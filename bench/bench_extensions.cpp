@@ -1,0 +1,184 @@
+// E-EXT — the paper's deferred directions, quantified:
+//
+//  1. Moldable vs malleable (§2.2): "malleability is much more easily
+//     usable from the scheduling point of view" — compare the MRT
+//     moldable schedule against EQUI / max-speedup malleable execution on
+//     identical instances (off-line and on-line), plus the reallocation-
+//     cost ablation.
+//  2. Clairvoyant vs non-clairvoyant (§4.2): the price of not knowing
+//     execution times under the doubling-budget strategy, and the budget
+//     ablation.
+#include <iostream>
+
+#include "core/report.h"
+#include "core/rng.h"
+#include "criteria/lower_bounds.h"
+#include "criteria/metrics.h"
+#include "pt/admission.h"
+#include "pt/allotment.h"
+#include "pt/backfill.h"
+#include "pt/batch.h"
+#include "pt/malleable.h"
+#include "pt/mrt.h"
+#include "pt/nonclairvoyant.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace lgs;
+
+JobSet instance(std::uint64_t seed, Time window) {
+  Rng rng(seed);
+  MoldableWorkloadSpec spec;
+  spec.count = 80;
+  spec.max_procs = 16;
+  spec.sequential_fraction = 0.2;
+  spec.arrival_window = window;
+  return make_moldable_workload(spec, rng);
+}
+
+double mean_flow_of(const JobSet& jobs,
+                    const std::map<JobId, Time>& completion) {
+  double flow = 0.0;
+  for (const Job& j : jobs) flow += completion.at(j.id) - j.release;
+  return flow / static_cast<double>(jobs.size());
+}
+
+void moldable_vs_malleable() {
+  const int m = 32;
+  std::cout << "=== E-EXT/1: moldable vs malleable (m = " << m
+            << ", 80 jobs, 3 seeds averaged) ===\n\n";
+  for (const bool online : {false, true}) {
+    TextTable table({"scheduler", "Cmax ratio", "mean flow"});
+    double mrt_c = 0, mrt_f = 0, eq_c = 0, eq_f = 0, ms_c = 0, ms_f = 0,
+           pen_c = 0;
+    const int reps = 3;
+    for (int r = 0; r < reps; ++r) {
+      const JobSet jobs = instance(300 + r, online ? 30.0 : 0.0);
+      const Time lb = cmax_lower_bound(jobs, m);
+
+      const Schedule mold = online
+                                ? online_moldable_schedule(jobs, m).schedule
+                                : mrt_schedule(jobs, m).schedule;
+      const Metrics mm = compute_metrics(jobs, mold);
+      mrt_c += mm.cmax / lb / reps;
+      mrt_f += mm.mean_flow / reps;
+
+      MalleableOptions eq;
+      const MalleableSchedule me = malleable_schedule(jobs, m, eq);
+      eq_c += me.makespan / lb / reps;
+      eq_f += mean_flow_of(jobs, me.completion) / reps;
+
+      MalleableOptions mx;
+      mx.policy = MalleablePolicy::kMaxSpeedup;
+      const MalleableSchedule mg = malleable_schedule(jobs, m, mx);
+      ms_c += mg.makespan / lb / reps;
+      ms_f += mean_flow_of(jobs, mg.completion) / reps;
+
+      MalleableOptions paid;
+      paid.realloc_penalty = 0.5;
+      pen_c += malleable_schedule(jobs, m, paid).makespan / lb / reps;
+    }
+    std::cout << (online ? "--- on-line (arrival window 30) ---\n"
+                         : "--- off-line (all released at 0) ---\n");
+    table.add_row({online ? "MRT batches (moldable)" : "MRT (moldable)",
+                   fmt(mrt_c, 3), fmt(mrt_f, 2)});
+    table.add_row({"malleable EQUI", fmt(eq_c, 3), fmt(eq_f, 2)});
+    table.add_row({"malleable max-speedup", fmt(ms_c, 3), fmt(ms_f, 2)});
+    table.add_row(
+        {"malleable EQUI, realloc cost 0.5", fmt(pen_c, 3), "-"});
+    std::cout << table.to_string() << "\n";
+  }
+  std::cout << "the §2.2 claim quantified: dynamic reallocation removes "
+               "the allotment-guessing problem entirely (no λ search, no "
+               "batches) and matches or beats the moldable guarantee — "
+               "when the runtime supports it and reallocation is cheap.\n\n";
+}
+
+void clairvoyance_premium() {
+  const int m = 32;
+  std::cout << "=== E-EXT/2: the price of non-clairvoyance (§4.2) ===\n\n";
+  TextTable table({"scheduler", "Cmax ratio", "kills", "wasted / useful"});
+  const int reps = 3;
+
+  double cl_ratio = 0;
+  for (int r = 0; r < reps; ++r) {
+    const JobSet jobs = instance(500 + r, 30.0);
+    const Schedule s = online_moldable_schedule(jobs, m).schedule;
+    cl_ratio += s.makespan() / cmax_lower_bound(jobs, m) / reps;
+  }
+  table.add_row({"clairvoyant (MRT batches)", fmt(cl_ratio, 3), "0", "0"});
+
+  for (const double b0 : {0.25, 1.0, 4.0}) {
+    double ratio = 0, kills = 0, waste = 0;
+    for (int r = 0; r < reps; ++r) {
+      const JobSet jobs = instance(500 + r, 30.0);
+      const JobSet rigid = fix_canonical(jobs, cmax_lower_bound(jobs, m), m);
+      const NonClairvoyantResult nc =
+          nonclairvoyant_schedule(rigid, m, {b0, 2.0});
+      double useful = 0.0;
+      for (const Job& j : rigid) useful += j.min_work();
+      ratio += nc.makespan / cmax_lower_bound(jobs, m) / reps;
+      kills += static_cast<double>(nc.kills) / reps;
+      waste += nc.wasted_work / useful / reps;
+    }
+    table.add_row({"non-clairvoyant, b0=" + fmt(b0), fmt(ratio, 3),
+                   fmt(kills, 1), fmt(waste, 3)});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "doubling budgets bound the damage: wasted work stays below "
+               "twice the useful work (the geometric-series bound) and the "
+               "makespan within a small factor of the clairvoyant schedule "
+               "— but the clairvoyant §4.2 algorithm is strictly better, "
+               "which is why the paper assumes runtime estimates are "
+               "available.\n";
+}
+
+void rejection_tradeoff() {
+  // §3's rejection criterion: with hard due dates, compare scheduling
+  // everything (and paying tardiness) against admission control (zero
+  // tardiness, some jobs turned away) as the deadline tightness varies.
+  const int m = 32;
+  std::cout << "=== E-EXT/3: rejection vs tardiness (§3) ===\n\n";
+  TextTable table({"due-date slack", "late jobs (no rejection)",
+                   "sum tardiness", "rejected jobs", "rejected weight %"});
+  for (const double slack : {1.5, 3.0, 6.0, 12.0}) {
+    double late = 0, tard = 0, rejected = 0, rej_weight = 0;
+    const int reps = 3;
+    for (int r = 0; r < reps; ++r) {
+      Rng rng(static_cast<std::uint64_t>(700 + r));
+      RigidWorkloadSpec spec;
+      spec.count = 120;
+      spec.max_procs = 8;
+      spec.arrival_window = 40.0;
+      JobSet jobs = make_rigid_workload(spec, rng);
+      double total_weight = 0.0;
+      for (Job& j : jobs) {
+        j.due = j.release + j.time(j.min_procs) * slack;
+        total_weight += j.weight;
+      }
+      const Metrics all =
+          compute_metrics(jobs, conservative_backfill(jobs, m));
+      late += static_cast<double>(all.late_count) / reps;
+      tard += all.sum_tardiness / reps;
+      const AdmissionResult adm = schedule_with_admission(jobs, m);
+      rejected += static_cast<double>(adm.rejected.size()) / reps;
+      rej_weight += 100.0 * adm.rejected_weight / total_weight / reps;
+    }
+    table.add_row({fmt(slack), fmt(late, 1), fmt(tard, 1), fmt(rejected, 1),
+                   fmt(rej_weight, 1)});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "tight deadlines force the choice the paper lists under "
+               "'other criteria': either many late jobs or explicit "
+               "rejection with a service guarantee for the rest.\n";
+}
+
+}  // namespace
+
+int main() {
+  moldable_vs_malleable();
+  clairvoyance_premium();
+  rejection_tradeoff();
+  return 0;
+}

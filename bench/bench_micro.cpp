@@ -1,0 +1,155 @@
+// MICRO — google-benchmark microbenchmarks of the algorithmic kernels:
+// how expensive are the schedulers themselves?  (The paper's algorithms
+// must run inside a production batch manager, so scheduler latency
+// matters.)
+#include <benchmark/benchmark.h>
+
+#include "core/proc_assign.h"
+#include "core/rng.h"
+#include "criteria/lower_bounds.h"
+#include "dlt/dlt.h"
+#include "pt/backfill.h"
+#include "pt/bicriteria.h"
+#include "pt/mrt.h"
+#include "pt/shelves.h"
+#include "pt/smart.h"
+#include "sim/simulator.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace lgs;
+
+JobSet moldable_jobs(int n, int max_procs, Time window = 0.0) {
+  Rng rng(12345);
+  MoldableWorkloadSpec spec;
+  spec.count = n;
+  spec.max_procs = max_procs;
+  spec.arrival_window = window;
+  return make_moldable_workload(spec, rng);
+}
+
+JobSet rigid_jobs(int n, int max_procs, Time window = 0.0) {
+  Rng rng(54321);
+  RigidWorkloadSpec spec;
+  spec.count = n;
+  spec.max_procs = max_procs;
+  spec.arrival_window = window;
+  return make_rigid_workload(spec, rng);
+}
+
+void BM_MrtSchedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const JobSet jobs = moldable_jobs(n, m / 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mrt_schedule(jobs, m).schedule.makespan());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MrtSchedule)->Args({50, 64})->Args({200, 64})->Args({200, 256});
+
+void BM_Bicriteria(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const JobSet jobs = moldable_jobs(n, 20, 0.2 * n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        bicriteria_schedule(jobs, 100).schedule.makespan());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Bicriteria)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_FfdhShelves(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const JobSet jobs = rigid_jobs(n, 16);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shelf_schedule_rigid(jobs, 64).makespan());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FfdhShelves)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_SmartShelves(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const JobSet jobs = rigid_jobs(n, 16);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(smart_schedule(jobs, 64).makespan());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SmartShelves)->Arg(100)->Arg(1000);
+
+void BM_ConservativeBackfill(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const JobSet jobs = rigid_jobs(n, 16, 100.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(conservative_backfill(jobs, 64).makespan());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConservativeBackfill)->Arg(100)->Arg(500);
+
+void BM_EasyBackfill(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const JobSet jobs = rigid_jobs(n, 16, 100.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(easy_backfill(jobs, 64).makespan());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EasyBackfill)->Arg(100)->Arg(500);
+
+void BM_ProcAssign(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const JobSet jobs = rigid_jobs(n, 16);
+  const Schedule base = shelf_schedule_rigid(jobs, 64);
+  for (auto _ : state) {
+    Schedule s = base;
+    benchmark::DoNotOptimize(assign_processors(s));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProcAssign)->Arg(100)->Arg(1000);
+
+void BM_DltStarClosedForm(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  Rng rng(7);
+  DltPlatform p;
+  for (int i = 0; i < workers; ++i)
+    p.workers.push_back(
+        {rng.uniform(0.01, 0.5), rng.uniform(0.5, 3.0), 0.001});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(single_round_star(p, 1e4).makespan);
+  state.SetItemsProcessed(state.iterations() * workers);
+}
+BENCHMARK(BM_DltStarClosedForm)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_DltWorkStealing(benchmark::State& state) {
+  const DltPlatform p = DltPlatform::homogeneous_bus(16, 0.02, 1.0, 0.01);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        work_stealing(p, 1000.0, 1.0, ChunkPolicy::kGuided).makespan);
+}
+BENCHMARK(BM_DltWorkStealing);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < events; ++i)
+      sim.at(static_cast<Time>(i % 97), [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_LowerBounds(benchmark::State& state) {
+  const JobSet jobs = moldable_jobs(static_cast<int>(state.range(0)), 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cmax_lower_bound(jobs, 64));
+    benchmark::DoNotOptimize(sum_weighted_completion_lower_bound(jobs, 64));
+  }
+}
+BENCHMARK(BM_LowerBounds)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// E-POL — the title question: which policy for which application?
+//
+// Runs every scheduling policy of the library on every application class
+// the paper motivates, scores them on the §3 criteria, and prints the
+// recommendation per (class, criterion).  This is the quantitative version
+// of the paper's qualitative conclusion that no single policy dominates.
+#include <iostream>
+
+#include "core/report.h"
+#include "policy/policy.h"
+
+int main() {
+  using namespace lgs;
+  // Contention matters: with too few jobs per processor every policy
+  // degenerates to "start everything now" and FCFS trivially wins.
+  const int m = 32;
+  const int jobs = 150;
+
+  std::cout << "=== E-POL: policy x application matrix (m = " << m << ", "
+            << jobs << " jobs per class) ===\n\n";
+
+  const auto matrix = evaluate_policy_matrix(m, jobs, /*seed=*/2004);
+  for (const MatrixRow& row : matrix) {
+    std::cout << "--- application class: " << to_string(row.app) << " ---\n";
+    TextTable table({"policy", "Cmax ratio", "SumWC ratio", "mean flow",
+                     "max flow", "utilization"});
+    for (const PolicyScore& s : row.scores) {
+      table.add_row({to_string(s.policy), fmt(s.cmax_ratio, 3),
+                     fmt(s.sum_wc_ratio, 3), fmt(s.mean_flow, 2),
+                     fmt(s.max_flow, 2), fmt(s.utilization, 3)});
+    }
+    std::cout << table.to_string();
+    std::cout << "best for Cmax: " << to_string(row.best_for_cmax)
+              << " | best for SumWC: " << to_string(row.best_for_sum_wc)
+              << " | best for max flow: " << to_string(row.best_for_max_flow)
+              << "\n\n";
+  }
+
+  std::cout << "=== recommendation summary ===\n";
+  TextTable rec({"application", "Cmax", "SumWC", "max flow"});
+  for (const MatrixRow& row : matrix)
+    rec.add_row({to_string(row.app), to_string(row.best_for_cmax),
+                 to_string(row.best_for_sum_wc),
+                 to_string(row.best_for_max_flow)});
+  std::cout << rec.to_string() << "\n";
+  std::cout << paper_guidance();
+  return 0;
+}

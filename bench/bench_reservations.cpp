@@ -1,0 +1,142 @@
+// E-RSV — reservations (§5.1): "including support for such reservations
+// into a scheduling algorithm is a difficult problem.  A batch algorithm
+// could try to ensure that batch boundaries match the beginning and the
+// end of the reservations, but that would likely be inefficient."
+//
+// We quantify that remark: conservative backfilling around reservation
+// windows (profile-based, jobs flow through holes) versus the naive
+// batch-aligned strategy that drains the machine before every reservation
+// boundary.  Sweep over reservation density.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/report.h"
+#include "core/rng.h"
+#include "core/validate.h"
+#include "criteria/lower_bounds.h"
+#include "pt/allotment.h"
+#include "pt/backfill.h"
+#include "pt/shelves.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace lgs;
+
+/// The naive strategy the paper warns about: between consecutive
+/// reservation boundaries, schedule with FFDH shelves only jobs that fit
+/// entirely inside the window; everything else waits.
+Schedule batch_aligned(const JobSet& jobs, int m,
+                       const std::vector<Reservation>& rsv) {
+  std::vector<Time> bounds = {0.0};
+  for (const Reservation& r : rsv) {
+    bounds.push_back(r.start);
+    bounds.push_back(r.end);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  Schedule out(m);
+  std::vector<bool> done(jobs.size(), false);
+  std::size_t remaining = jobs.size();
+  std::size_t bi = 0;
+  Time window_start = 0.0;
+  while (remaining > 0) {
+    const Time window_end =
+        bi < bounds.size() ? bounds[bi] : kTimeInfinity;
+    // Capacity available in this window = m minus overlapping reservations.
+    int reserved = 0;
+    for (const Reservation& r : rsv)
+      if (r.start < window_end - kTimeEps &&
+          r.end > window_start + kTimeEps)
+        reserved = std::max(reserved, r.procs);
+    const int avail = m - reserved;
+    if (avail > 0) {
+      // Greedily shelf-pack released jobs that fit the window entirely.
+      JobSet batch;
+      std::vector<std::size_t> members;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (done[i] || jobs[i].release > window_start + kTimeEps) continue;
+        if (jobs[i].min_procs > avail) continue;
+        batch.push_back(Job::rigid(jobs[i].id, jobs[i].min_procs,
+                                   jobs[i].time(jobs[i].min_procs)));
+        members.push_back(i);
+      }
+      // Drop jobs from the end until the packing fits the window.
+      while (!batch.empty()) {
+        Schedule packed = shelf_schedule_rigid(batch, avail);
+        if (packed.makespan() <= window_end - window_start + kTimeEps) {
+          for (const Assignment& a : packed.assignments())
+            out.add(a.job, a.start + window_start, a.nprocs, a.duration);
+          for (std::size_t i : members) done[i] = true;
+          remaining -= members.size();
+          break;
+        }
+        batch.pop_back();
+        members.pop_back();
+      }
+    }
+    if (bi >= bounds.size() && remaining > 0) {
+      // Past the last boundary with work left: schedule the rest freely.
+      JobSet rest;
+      for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (!done[i])
+          rest.push_back(Job::rigid(jobs[i].id, jobs[i].min_procs,
+                                    jobs[i].time(jobs[i].min_procs)));
+      Schedule packed = shelf_schedule_rigid(rest, m);
+      const Time base = std::max(window_start, out.makespan());
+      for (const Assignment& a : packed.assignments())
+        out.add(a.job, a.start + base, a.nprocs, a.duration);
+      break;
+    }
+    window_start = window_end;
+    ++bi;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int m = 32;
+  std::cout << "=== E-RSV: scheduling around reservations (§5.1), m = " << m
+            << " ===\n\n";
+
+  TextTable table({"reservations", "reserved frac", "conservative Cmax",
+                   "batch-aligned Cmax", "penalty of naive batching"});
+  for (int n_rsv : {0, 2, 4, 8}) {
+    double cons_sum = 0, naive_sum = 0;
+    const int reps = 3;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng(static_cast<std::uint64_t>(n_rsv) * 100 + rep);
+      RigidWorkloadSpec spec;
+      spec.count = 80;
+      spec.max_procs = 8;
+      spec.arrival_window = 30.0;
+      const JobSet jobs = make_rigid_workload(spec, rng);
+      std::vector<Reservation> rsv;
+      for (int i = 0; i < n_rsv; ++i) {
+        const Time start = rng.uniform(5.0, 120.0);
+        rsv.push_back({start, start + rng.uniform(5.0, 20.0),
+                       static_cast<int>(rng.uniform_int(4, m / 4))});
+      }
+      const Schedule cons = conservative_backfill(jobs, m, rsv);
+      ValidateOptions vopts;
+      vopts.reservations = rsv;
+      if (!is_valid(jobs, cons, vopts))
+        std::cout << "WARNING: conservative schedule invalid!\n";
+      const Schedule naive = batch_aligned(jobs, m, rsv);
+      cons_sum += cons.makespan() / reps;
+      naive_sum += naive.makespan() / reps;
+    }
+    table.add_row({fmt(n_rsv), fmt(n_rsv * 12.5 / 100.0, 2),
+                   fmt(cons_sum, 2), fmt(naive_sum, 2),
+                   fmt(naive_sum / cons_sum, 2) + "x"});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "paper's remark verified when the right column exceeds 1: "
+               "aligning batch boundaries with reservations wastes the "
+               "capacity left beside and between reservations.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// FIG2 — reproduces Figure 2 of the paper: the bi-criteria moldable
+// scheduler simulated on a cluster of 100 machines, with parallel and
+// non-parallel job families.  Two panels:
+//   top:    Σ wᵢCᵢ ratio (schedule / lower bound) vs number of tasks
+//   bottom: Cmax ratio vs number of tasks
+// The paper plots n = 0..1000; we sweep the same range.  Shape targets:
+// ratios start high for tiny instances and settle in the ~1–2.8 band.
+//
+// Usage: fig2_bicriteria [--ablation] [--csv PREFIX]
+//   --ablation also sweeps the batch growth factor {1.5, 2, 3} (DESIGN ✧5).
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/rng.h"
+#include "criteria/lower_bounds.h"
+#include "criteria/metrics.h"
+#include "pt/bicriteria.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace lgs;
+
+struct Point {
+  int n;
+  double wc_ratio;
+  double cmax_ratio;
+};
+
+Point run_one(int n, bool parallel, double factor, std::uint64_t seed) {
+  Rng rng(seed);
+  MoldableWorkloadSpec spec;
+  spec.count = n;
+  spec.t1_min = 1.0;
+  spec.t1_max = 50.0;
+  spec.max_procs = 20;
+  spec.sequential_fraction = parallel ? 0.25 : 1.0;
+  spec.arrival_window = 0.2 * n;  // steady trickle, as an on-line system sees
+  spec.w_min = 1.0;
+  spec.w_max = 5.0;
+  const JobSet jobs = make_moldable_workload(spec, rng);
+  const int m = 100;
+
+  BicriteriaOptions opts;
+  opts.factor = factor;
+  const Schedule s = bicriteria_schedule(jobs, m, opts).schedule;
+  const Metrics metrics = compute_metrics(jobs, s);
+  Point p;
+  p.n = n;
+  p.wc_ratio =
+      metrics.sum_weighted / sum_weighted_completion_lower_bound(jobs, m);
+  p.cmax_ratio = metrics.cmax / cmax_lower_bound(jobs, m);
+  return p;
+}
+
+void sweep(double factor, const std::string& csv_prefix) {
+  const std::vector<int> sizes = {10,  25,  50,  100, 200, 300, 400,
+                                  500, 600, 700, 800, 900, 1000};
+  const int reps = 3;
+
+  Series wc_np{"Non Parallel", {}, {}}, wc_p{"Parallel", {}, {}};
+  Series cm_np{"Non Parallel", {}, {}}, cm_p{"Parallel", {}, {}};
+  TextTable table({"tasks", "WiCi ratio (NP)", "WiCi ratio (P)",
+                   "Cmax ratio (NP)", "Cmax ratio (P)"});
+
+  for (int n : sizes) {
+    double wc[2] = {0, 0}, cm[2] = {0, 0};
+    for (int r = 0; r < reps; ++r) {
+      for (int parallel = 0; parallel < 2; ++parallel) {
+        const Point p = run_one(n, parallel != 0, factor,
+                                1000ull * n + 10ull * r + parallel);
+        wc[parallel] += p.wc_ratio / reps;
+        cm[parallel] += p.cmax_ratio / reps;
+      }
+    }
+    wc_np.x.push_back(n);
+    wc_np.y.push_back(wc[0]);
+    wc_p.x.push_back(n);
+    wc_p.y.push_back(wc[1]);
+    cm_np.x.push_back(n);
+    cm_np.y.push_back(cm[0]);
+    cm_p.x.push_back(n);
+    cm_p.y.push_back(cm[1]);
+    table.add_row_numeric({static_cast<double>(n), wc[0], wc[1], cm[0], cm[1]});
+  }
+
+  std::cout << "=== Fig. 2 (growth factor " << factor
+            << "): bi-criteria on 100 machines ===\n\n";
+  std::cout << table.to_string() << "\n";
+  std::cout << ascii_plot({wc_np, wc_p}, 72, 16,
+                          "WiCi ratio vs number of tasks (Fig. 2 top)")
+            << "\n";
+  std::cout << ascii_plot({cm_np, cm_p}, 72, 16,
+                          "Cmax ratio vs number of tasks (Fig. 2 bottom)")
+            << "\n";
+  if (!csv_prefix.empty()) {
+    write_file(csv_prefix + "_factor" + fmt(factor) + ".csv", table.to_csv());
+    std::cout << "csv written to " << csv_prefix << "_factor" << fmt(factor)
+              << ".csv\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ablation = false;
+  std::string csv_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ablation") == 0) ablation = true;
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc)
+      csv_prefix = argv[++i];
+  }
+  sweep(2.0, csv_prefix);
+  if (ablation) {
+    sweep(1.5, csv_prefix);
+    sweep(3.0, csv_prefix);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Execution-time models for Parallel Tasks.
+//
+// The PT model (paper §2.2, §4) folds all communication costs into a global
+// penalty on the parallel execution time p_j(k).  The moldable algorithms of
+// §4 additionally assume *monotony*:
+//   - p_j(k) is non-increasing in the number of processors k, and
+//   - the work  W_j(k) = k * p_j(k)  is non-decreasing in k.
+// Analytic models here are monotone by construction (communication-penalty
+// models are clamped at their optimum processor count), so the canonical
+// allotment used by the MRT algorithm is always well defined.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lgs {
+
+/// Parallel execution-time model: maps a processor count k >= 1 to a time.
+///
+/// Value type; cheap to copy for the analytic variants.  Construct through
+/// the named factories.
+class ExecModel {
+ public:
+  /// Strictly sequential task: p(1) = t and no speedup whatsoever.
+  static ExecModel sequential(Time t);
+
+  /// Amdahl's law: p(k) = t1 * (f + (1 - f)/k), serial fraction f in [0,1].
+  static ExecModel amdahl(Time t1, double serial_fraction);
+
+  /// Power-law speedup: p(k) = t1 / k^alpha, alpha in (0, 1].
+  /// alpha = 1 is perfect (linear) speedup.
+  static ExecModel power_law(Time t1, double alpha);
+
+  /// Communication-penalty model: p(k) = t1/k + overhead * (k - 1),
+  /// clamped at the processor count minimizing it so the model stays
+  /// monotone (adding processors never hurts, it just stops helping).
+  static ExecModel comm_penalty(Time t1, double overhead_per_proc);
+
+  /// Tabulated model: times[k-1] is the execution time on k processors.
+  /// The table is prefix-min monotonized; for k beyond the table the last
+  /// (best) value is used.
+  static ExecModel table(std::vector<Time> times);
+
+  /// Execution time on k >= 1 processors (monotone non-increasing).
+  Time time(int k) const;
+
+  /// Work (processor-time area) on k processors: k * time(k).
+  double work(int k) const { return static_cast<double>(k) * time(k); }
+
+  /// Sequential time p(1).
+  Time seq_time() const { return time(1); }
+
+  /// Smallest processor count achieving the minimum execution time; adding
+  /// processors beyond this is pure waste.  Returns `limit` if the model
+  /// keeps improving through `limit` processors.
+  int useful_limit(int limit) const;
+
+  /// True for the strictly sequential variant.
+  bool is_sequential() const;
+
+ private:
+  struct Seq {
+    Time t;
+  };
+  struct Amdahl {
+    Time t1;
+    double f;
+  };
+  struct Power {
+    Time t1;
+    double alpha;
+  };
+  struct CommPenalty {
+    Time t1;
+    double c;
+    int best_k;  // argmin of the unclamped curve
+  };
+  struct Table {
+    std::vector<Time> times;  // prefix-min monotonized
+  };
+  using Rep = std::variant<Seq, Amdahl, Power, CommPenalty, Table>;
+
+  explicit ExecModel(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+}  // namespace lgs

@@ -1,0 +1,102 @@
+#include "core/job.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lgs {
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kRigid:
+      return "rigid";
+    case JobKind::kMoldable:
+      return "moldable";
+    case JobKind::kMalleable:
+      return "malleable";
+  }
+  return "?";
+}
+
+Time Job::time(int k) const {
+  if (k < min_procs || k > max_procs)
+    throw std::invalid_argument("allotment outside [min_procs, max_procs]");
+  return model.time(k);
+}
+
+Time Job::best_time(int m) const {
+  const int k = std::min(max_procs, m);
+  if (k < min_procs)
+    throw std::invalid_argument("job cannot run on this machine count");
+  return model.time(k);
+}
+
+Job Job::rigid(JobId id, int procs, Time duration, Time release,
+               double weight) {
+  Job j;
+  j.id = id;
+  j.kind = JobKind::kRigid;
+  j.release = release;
+  j.weight = weight;
+  j.min_procs = procs;
+  j.max_procs = procs;
+  // A rigid job's "model" is constant: it runs for `duration` on exactly
+  // `procs` processors; the table is a single entry queried at k == procs.
+  j.model = ExecModel::table(std::vector<Time>(procs, duration));
+  return j;
+}
+
+Job Job::moldable(JobId id, ExecModel model, int min_procs, int max_procs,
+                  Time release, double weight) {
+  Job j;
+  j.id = id;
+  j.kind = JobKind::kMoldable;
+  j.release = release;
+  j.weight = weight;
+  j.min_procs = min_procs;
+  j.max_procs = max_procs;
+  j.model = std::move(model);
+  return j;
+}
+
+Job Job::sequential(JobId id, Time duration, Time release, double weight) {
+  Job j;
+  j.id = id;
+  j.kind = JobKind::kRigid;
+  j.release = release;
+  j.weight = weight;
+  j.min_procs = 1;
+  j.max_procs = 1;
+  j.model = ExecModel::sequential(duration);
+  return j;
+}
+
+double total_min_work(const JobSet& jobs) {
+  double total = 0.0;
+  for (const Job& j : jobs) total += j.min_work();
+  return total;
+}
+
+Time max_release(const JobSet& jobs) {
+  Time r = 0.0;
+  for (const Job& j : jobs) r = std::max(r, j.release);
+  return r;
+}
+
+void check_jobset(const JobSet& jobs, int machines) {
+  if (machines < 1) throw std::invalid_argument("machine count must be >= 1");
+  for (const Job& j : jobs) {
+    if (j.id == kInvalidJob) throw std::invalid_argument("job without id");
+    if (j.release < 0) throw std::invalid_argument("negative release date");
+    if (j.weight < 0) throw std::invalid_argument("negative weight");
+    if (j.min_procs < 1 || j.min_procs > j.max_procs)
+      throw std::invalid_argument("bad allotment range");
+    if (j.min_procs > machines)
+      throw std::invalid_argument("job needs more processors than available");
+    if (j.kind == JobKind::kRigid && j.min_procs != j.max_procs)
+      throw std::invalid_argument("rigid job with non-degenerate range");
+    if (j.model.time(j.min_procs) <= 0)
+      throw std::invalid_argument("non-positive execution time");
+  }
+}
+
+}  // namespace lgs

@@ -1,0 +1,82 @@
+// Job model: the Parallel Tasks taxonomy of the paper (§2.2).
+//
+// A job is rigid (fixed processor count), moldable (count chosen once,
+// before execution) or malleable (count may change during execution).  The
+// scheduling algorithms in src/pt consume `JobSet`s; the divisible-load
+// library (src/dlt) has its own finer-grain load description.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/exec_model.h"
+#include "core/types.h"
+
+namespace lgs {
+
+/// The three Parallel Task classes of §2.2.
+enum class JobKind { kRigid, kMoldable, kMalleable };
+
+const char* to_string(JobKind kind);
+
+/// One submitted job.
+///
+/// For rigid jobs min_procs == max_procs.  `weight` is the priority used by
+/// the ΣwᵢCᵢ criteria (§3); `due` feeds the tardiness criteria and is
+/// kNoDueDate when absent.
+struct Job {
+  JobId id = kInvalidJob;
+  JobKind kind = JobKind::kMoldable;
+  Time release = 0.0;
+  double weight = 1.0;
+  Time due = kNoDueDate;
+  int min_procs = 1;
+  int max_procs = 1;
+  ExecModel model = ExecModel::sequential(1.0);
+  /// Which community submitted the job (grid fairness accounting, §5.2).
+  int community = 0;
+
+  /// Execution time on k processors.  `k` must lie in [min_procs, max_procs].
+  Time time(int k) const;
+
+  /// Work (processor-time product) on k processors.
+  double work(int k) const { return static_cast<double>(k) * time(k); }
+
+  /// Smallest admissible allotment's work — a lower bound on the resources
+  /// the job consumes in any schedule (monotone models: work grows with k).
+  double min_work() const { return work(min_procs); }
+
+  /// Fastest achievable execution time given at most `m` processors.
+  Time best_time(int m) const;
+
+  /// Named constructors ------------------------------------------------
+
+  /// Rigid job: exactly `procs` processors for `duration`.
+  static Job rigid(JobId id, int procs, Time duration, Time release = 0.0,
+                   double weight = 1.0);
+
+  /// Moldable job with the given model and allotment range.
+  static Job moldable(JobId id, ExecModel model, int min_procs, int max_procs,
+                      Time release = 0.0, double weight = 1.0);
+
+  /// Sequential (non-parallel) job — the "Non Parallel" series of Fig. 2.
+  static Job sequential(JobId id, Time duration, Time release = 0.0,
+                        double weight = 1.0);
+};
+
+/// A set of submitted jobs.  Algorithms never reorder the caller's vector;
+/// they work on index views.
+using JobSet = std::vector<Job>;
+
+/// Sum over the set of the minimal work of each job — the "area" used by
+/// the W <= λm feasibility test of §4.1 and by the area lower bound.
+double total_min_work(const JobSet& jobs);
+
+/// Largest release date in the set (0 for an empty set).
+Time max_release(const JobSet& jobs);
+
+/// Validate basic well-formedness (positive times, procs ranges, rigid
+/// consistency).  Throws std::invalid_argument on the first problem.
+void check_jobset(const JobSet& jobs, int machines);
+
+}  // namespace lgs

@@ -1,0 +1,30 @@
+// Mapping abstract allotments to concrete processor ids.
+//
+// The paper's packing algorithms reason about processor *counts*; actual
+// dispatch needs ids.  A schedule whose simultaneous demand never exceeds m
+// can always be realized on m processors when jobs may run on arbitrary
+// (non-contiguous) processor sets — this module performs that realization
+// with a deterministic sweep.
+#pragma once
+
+#include "core/schedule.h"
+
+namespace lgs {
+
+/// Assign concrete processor ids to every assignment of `s`.
+///
+/// Deterministic: events are processed in (time, job id) order and the
+/// lowest-numbered free processors are taken first.  Returns false (leaving
+/// `s` untouched) if at some instant demand exceeds s.machines() — i.e. the
+/// abstract schedule was invalid.
+bool assign_processors(Schedule& s);
+
+/// Like assign_processors, but every job must receive a *contiguous*
+/// range of processor ids (first-fit over free intervals) — the
+/// constraint torus/mesh interconnects impose.  Unlike the unconstrained
+/// variant this can fail on a capacity-valid schedule when the free set
+/// is fragmented; callers fall back to assign_processors or resequence.
+/// Returns false (schedule untouched) on fragmentation or overcommit.
+bool assign_processors_contiguous(Schedule& s);
+
+}  // namespace lgs

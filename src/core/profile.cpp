@@ -1,0 +1,80 @@
+#include "core/profile.h"
+
+#include <stdexcept>
+
+namespace lgs {
+
+Profile::Profile(int machines) : machines_(machines) {
+  if (machines < 1) throw std::invalid_argument("machine count must be >= 1");
+}
+
+int Profile::used_at(Time t) const {
+  int used = 0;
+  for (const auto& [when, d] : delta_) {
+    if (when > t) break;
+    used += d;
+  }
+  return used;
+}
+
+bool Profile::fits(Time start, Time duration, int procs) const {
+  if (procs > machines_) return false;
+  const Time end = start + duration;
+  // The usage step function can only increase at breakpoints, so it
+  // suffices to test the level at `start` and at every breakpoint strictly
+  // inside (start, end).
+  if (used_at(start) + procs > machines_) return false;
+  int used = 0;
+  for (const auto& [when, d] : delta_) {
+    used += d;
+    if (when <= start + kTimeEps) continue;
+    if (when >= end - kTimeEps) break;
+    if (used + procs > machines_) return false;
+  }
+  return true;
+}
+
+Time Profile::earliest_fit(Time from, Time duration, int procs) const {
+  if (procs > machines_)
+    throw std::invalid_argument("request exceeds machine size");
+  // Candidate starts: `from` and every breakpoint after it.
+  if (fits(from, duration, procs)) return from;
+  for (const auto& [when, d] : delta_) {
+    (void)d;
+    if (when <= from) continue;
+    if (fits(when, duration, procs)) return when;
+  }
+  // After the last event everything is free.
+  return delta_.empty() ? from : std::max(from, delta_.rbegin()->first);
+}
+
+void Profile::commit(Time start, Time duration, int procs) {
+  if (!fits(start, duration, procs))
+    throw std::logic_error("commit would exceed profile capacity");
+  delta_[start] += procs;
+  delta_[start + duration] -= procs;
+}
+
+void Profile::release(Time start, Time duration, int procs) {
+  delta_[start] -= procs;
+  delta_[start + duration] += procs;
+  // Drop zero entries to keep the map compact.
+  for (auto it = delta_.begin(); it != delta_.end();) {
+    if (it->second == 0)
+      it = delta_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::vector<Time> Profile::breakpoints() const {
+  std::vector<Time> out;
+  out.reserve(delta_.size());
+  for (const auto& [when, d] : delta_) {
+    (void)d;
+    out.push_back(when);
+  }
+  return out;
+}
+
+}  // namespace lgs

@@ -1,0 +1,51 @@
+// Processor-availability profile: a step function of used processors over
+// time.  This is the workhorse behind conservative/EASY backfilling and
+// reservation support (§5.1): schedulers query the earliest interval where
+// a job fits and commit allotments into the profile.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lgs {
+
+class Profile {
+ public:
+  /// A profile over `machines` identical processors, initially all free.
+  explicit Profile(int machines);
+
+  int machines() const { return machines_; }
+
+  /// Processors in use at time t (right-continuous: a job ending at t no
+  /// longer counts, a job starting at t does).
+  int used_at(Time t) const;
+  int free_at(Time t) const { return machines_ - used_at(t); }
+
+  /// True if `procs` processors are continuously free over [start,
+  /// start+duration).
+  bool fits(Time start, Time duration, int procs) const;
+
+  /// Earliest start >= from where `procs` processors stay free for
+  /// `duration`.  Always exists (the profile is finite), possibly after the
+  /// last event.
+  Time earliest_fit(Time from, Time duration, int procs) const;
+
+  /// Commit `procs` processors over [start, start+duration).  Throws
+  /// std::logic_error if that would exceed capacity.
+  void commit(Time start, Time duration, int procs);
+
+  /// Remove a previously committed block (exact same parameters).
+  void release(Time start, Time duration, int procs);
+
+  /// All event times (profile breakpoints), sorted.
+  std::vector<Time> breakpoints() const;
+
+ private:
+  int machines_;
+  // Map time -> usage delta at that instant; running prefix sum = usage.
+  std::map<Time, int> delta_;
+};
+
+}  // namespace lgs

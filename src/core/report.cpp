@@ -1,0 +1,134 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lgs {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("row width differs from header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row_numeric(const std::vector<double>& row,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string ascii_plot(const std::vector<Series>& series, int width,
+                       int height, const std::string& title) {
+  double xmin = 0, xmax = 1, ymin = 0, ymax = 1;
+  bool first = true;
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (first) {
+        xmin = xmax = s.x[i];
+        ymin = ymax = s.y[i];
+        first = false;
+      }
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+    }
+  }
+  if (xmax - xmin < 1e-12) xmax = xmin + 1;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height),
+      std::string(static_cast<std::size_t>(width), ' '));
+  static const char kGlyphs[] = "*+ox#@%&";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    const Series& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = static_cast<int>(
+          std::round((s.x[i] - xmin) / (xmax - xmin) * (width - 1)));
+      const int row = static_cast<int>(
+          std::round((s.y[i] - ymin) / (ymax - ymin) * (height - 1)));
+      grid[static_cast<std::size_t>(height - 1 - row)]
+          [static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+  out << fmt(ymax) << "\n";
+  for (const auto& line : grid) out << "|" << line << "\n";
+  out << fmt(ymin) << " +" << std::string(static_cast<std::size_t>(width), '-')
+      << "\n";
+  out << "   x: " << fmt(xmin) << " .. " << fmt(xmax) << "\n";
+  for (std::size_t si = 0; si < series.size(); ++si)
+    out << "   '" << kGlyphs[si % (sizeof(kGlyphs) - 1)]
+        << "' = " << series[si].name << "\n";
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << content;
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  std::string s = out.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace lgs

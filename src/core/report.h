@@ -1,0 +1,46 @@
+// Reporting utilities shared by the benchmark harnesses: aligned text
+// tables, CSV dumps and terminal ASCII plots used to regenerate the paper's
+// figures in a headless environment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lgs {
+
+/// Fixed-column text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& row, int precision = 3);
+
+  std::string to_string() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One data series for AsciiPlot.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Minimal scatter/line plot rendered in ASCII, one glyph per series —
+/// enough to see the *shape* of Fig. 2's ratio curves in a terminal.
+std::string ascii_plot(const std::vector<Series>& series, int width = 72,
+                       int height = 20, const std::string& title = "");
+
+/// Write CSV content to a file; throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& content);
+
+/// Format a double compactly (fixed, trimmed trailing zeros).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace lgs

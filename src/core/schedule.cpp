@@ -1,0 +1,160 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace lgs {
+
+Schedule::Schedule(int machines) : machines_(machines) {
+  if (machines < 1) throw std::invalid_argument("machine count must be >= 1");
+}
+
+void Schedule::add(Assignment a) { items_.push_back(std::move(a)); }
+
+void Schedule::add(JobId job, Time start, int nprocs, Time duration) {
+  Assignment a;
+  a.job = job;
+  a.start = start;
+  a.nprocs = nprocs;
+  a.duration = duration;
+  items_.push_back(std::move(a));
+}
+
+Time Schedule::makespan() const {
+  Time end = 0.0;
+  for (const Assignment& a : items_) end = std::max(end, a.end());
+  return end;
+}
+
+const Assignment* Schedule::find(JobId job) const {
+  for (const Assignment& a : items_)
+    if (a.job == job) return &a;
+  return nullptr;
+}
+
+Time Schedule::completion(JobId job) const {
+  const Assignment* a = find(job);
+  if (a == nullptr) throw std::invalid_argument("job not in schedule");
+  return a->end();
+}
+
+int Schedule::peak_demand() const {
+  // Sweep start/end events; ends processed before starts at equal time so
+  // back-to-back shelves do not double count.
+  std::map<Time, int> delta;
+  for (const Assignment& a : items_) {
+    delta[a.start] += a.nprocs;
+    delta[a.end()] -= a.nprocs;
+  }
+  int cur = 0, peak = 0;
+  for (const auto& [t, d] : delta) {
+    cur += d;
+    peak = std::max(peak, cur);
+  }
+  return peak;
+}
+
+void Schedule::shift(Time delta) {
+  for (Assignment& a : items_) a.start += delta;
+}
+
+void Schedule::append(const Schedule& other) {
+  if (other.machines_ != machines_)
+    throw std::invalid_argument("appending schedule for different machine count");
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+}
+
+std::string gantt_ascii(const Schedule& s, int width) {
+  std::ostringstream out;
+  const Time span = s.makespan();
+  if (span <= 0 || s.empty()) return "(empty schedule)\n";
+  const double scale = (width - 1) / span;
+  const auto col = [&](Time t) {
+    return std::min(width - 1, static_cast<int>(std::floor(t * scale)));
+  };
+
+  const bool concrete =
+      std::all_of(s.assignments().begin(), s.assignments().end(),
+                  [](const Assignment& a) { return !a.procs.empty(); });
+  if (concrete) {
+    std::vector<std::string> rows(static_cast<std::size_t>(s.machines()),
+                                  std::string(static_cast<std::size_t>(width), '.'));
+    for (const Assignment& a : s.assignments()) {
+      const char glyph = static_cast<char>('A' + a.job % 26);
+      for (ProcId p : a.procs)
+        for (int c = col(a.start); c <= col(a.end() - kTimeEps); ++c)
+          rows[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)] = glyph;
+    }
+    for (int p = s.machines() - 1; p >= 0; --p)
+      out << "p" << p << "\t|" << rows[static_cast<std::size_t>(p)] << "|\n";
+  } else {
+    // Demand profile: one line, digits = utilization deciles.
+    std::vector<double> demand(static_cast<std::size_t>(width), 0.0);
+    for (const Assignment& a : s.assignments())
+      for (int c = col(a.start); c <= col(a.end() - kTimeEps); ++c)
+        demand[static_cast<std::size_t>(c)] += a.nprocs;
+    out << "demand\t|";
+    for (double d : demand) {
+      const int decile =
+          std::min(9, static_cast<int>(std::floor(10.0 * d / s.machines())));
+      out << (d <= 0 ? '.' : static_cast<char>('0' + decile));
+    }
+    out << "|\n";
+  }
+  out << "t\t 0";
+  for (int i = 0; i < width - 10; ++i) out << ' ';
+  out << span << "\n";
+  return out.str();
+}
+
+std::string gantt_svg(const Schedule& s, int width_px, int row_px) {
+  std::ostringstream out;
+  const Time span = std::max(s.makespan(), kTimeEps);
+  const double xscale = static_cast<double>(width_px) / span;
+  const int height_px = s.machines() * row_px;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px
+      << "\" height=\"" << height_px << "\" viewBox=\"0 0 " << width_px
+      << " " << height_px << "\">\n";
+  out << "<rect width=\"" << width_px << "\" height=\"" << height_px
+      << "\" fill=\"#f8f8f8\"/>\n";
+
+  // Deterministic palette keyed by job id.
+  const auto color = [](JobId id) {
+    static const char* kPalette[] = {"#4e79a7", "#f28e2b", "#e15759",
+                                     "#76b7b2", "#59a14f", "#edc948",
+                                     "#b07aa1", "#ff9da7", "#9c755f",
+                                     "#bab0ac"};
+    return kPalette[id % 10];
+  };
+
+  const bool concrete =
+      !s.empty() &&
+      std::all_of(s.assignments().begin(), s.assignments().end(),
+                  [](const Assignment& a) { return !a.procs.empty(); });
+  for (const Assignment& a : s.assignments()) {
+    const double x = a.start * xscale;
+    const double w = std::max(1.0, a.duration * xscale);
+    if (concrete) {
+      for (ProcId p : a.procs) {
+        const int y = (s.machines() - 1 - p) * row_px;
+        out << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+            << "\" height=\"" << row_px - 1 << "\" fill=\"" << color(a.job)
+            << "\"><title>job " << a.job << "</title></rect>\n";
+      }
+    } else {
+      // Without ids: draw the assignment as a block anchored at row 0 —
+      // an area-true (if overlapping) picture of the load.
+      out << "<rect x=\"" << x << "\" y=\"0\" width=\"" << w
+          << "\" height=\"" << a.nprocs * row_px - 1 << "\" fill=\""
+          << color(a.job) << "\" fill-opacity=\"0.45\"><title>job " << a.job
+          << "</title></rect>\n";
+    }
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace lgs

@@ -1,0 +1,83 @@
+// Schedule representation: the output of every PT scheduling algorithm.
+//
+// A schedule is a list of assignments (job, start, allotment, duration),
+// optionally refined with concrete processor ids by assign_processors()
+// (src/core/proc_assign.h).  Algorithms produce *abstract* schedules —
+// only processor counts — which is the level at which the paper's packing
+// arguments live; concrete ids are a post-processing step.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/types.h"
+
+namespace lgs {
+
+/// One scheduled job occurrence.
+struct Assignment {
+  JobId job = kInvalidJob;
+  Time start = 0.0;
+  int nprocs = 1;
+  Time duration = 0.0;
+  /// Concrete processor ids; empty until assign_processors() runs.
+  std::vector<ProcId> procs;
+
+  Time end() const { return start + duration; }
+};
+
+/// A complete schedule on `machines()` identical processors.
+class Schedule {
+ public:
+  explicit Schedule(int machines);
+
+  int machines() const { return machines_; }
+
+  /// Append an assignment.  No validation here — see validate().
+  void add(Assignment a);
+  void add(JobId job, Time start, int nprocs, Time duration);
+
+  const std::vector<Assignment>& assignments() const { return items_; }
+  std::vector<Assignment>& assignments() { return items_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Latest completion time (0 for an empty schedule).
+  Time makespan() const;
+
+  /// First assignment of the given job, if any.
+  const Assignment* find(JobId job) const;
+
+  /// Completion time of the given job; throws if the job is absent.
+  Time completion(JobId job) const;
+
+  /// Maximum simultaneous processor demand, by sweep over start/end events.
+  int peak_demand() const;
+
+  /// Shift every assignment by `delta` (used when concatenating batches).
+  void shift(Time delta);
+
+  /// Append all assignments of `other` (same machine count required).
+  void append(const Schedule& other);
+
+  void clear() { items_.clear(); }
+
+ private:
+  int machines_;
+  std::vector<Assignment> items_;
+};
+
+/// Render an ASCII Gantt chart (rows = processors after proc assignment,
+/// or demand profile when ids are absent).  Width is the number of
+/// character columns used for the time axis.
+std::string gantt_ascii(const Schedule& s, int width = 78);
+
+/// Render an SVG Gantt chart: one rectangle per (assignment × processor)
+/// when concrete ids are present, or stacked demand rectangles otherwise.
+/// Self-contained SVG document, suitable for write_file().
+std::string gantt_svg(const Schedule& s, int width_px = 800,
+                      int row_px = 14);
+
+}  // namespace lgs

@@ -1,0 +1,50 @@
+// Core scalar types and constants shared by every lgs module.
+//
+// The library models time as a continuous quantity (`Time`, a double):
+// the paper's algorithms (two-shelf moldable scheduling, batch doubling,
+// divisible-load closed forms) are all stated over the reals, and the
+// discrete-event simulator only needs a totally ordered clock.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lgs {
+
+/// Continuous simulated time, in abstract seconds.
+using Time = double;
+
+/// Job identifier. Dense, assigned by the workload generator / submitter.
+using JobId = std::uint32_t;
+
+/// Processor identifier inside one cluster (0..m-1).
+using ProcId = std::int32_t;
+
+/// Cluster identifier inside a light grid.
+using ClusterId = std::int32_t;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+inline constexpr Time kNoDueDate = kTimeInfinity;
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+
+/// Tolerance used when comparing times that were produced by closed-form
+/// arithmetic (divisible-load fractions, shelf boundaries, ...).
+inline constexpr double kTimeEps = 1e-9;
+
+/// Relative tolerance for validating durations against execution models.
+inline constexpr double kRelEps = 1e-7;
+
+/// True when `a` and `b` are equal up to kTimeEps scaled by magnitude.
+inline bool almost_equal(double a, double b) {
+  const double scale = 1.0 + (a < 0 ? -a : a) + (b < 0 ? -b : b);
+  const double d = a - b;
+  return (d < 0 ? -d : d) <= kTimeEps * scale;
+}
+
+/// True when `a <= b` up to tolerance.
+inline bool leq_eps(double a, double b) { return a <= b || almost_equal(a, b); }
+
+/// True when `a >= b` up to tolerance.
+inline bool geq_eps(double a, double b) { return a >= b || almost_equal(a, b); }
+
+}  // namespace lgs

@@ -1,0 +1,136 @@
+#include "core/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace lgs {
+
+namespace {
+
+void check_capacity(const Schedule& s, const ValidateOptions& opts,
+                    std::vector<Violation>& out) {
+  std::map<Time, int> delta;
+  for (const Assignment& a : s.assignments()) {
+    delta[a.start] += a.nprocs;
+    delta[a.end()] -= a.nprocs;
+  }
+  for (const Reservation& r : opts.reservations) {
+    delta[r.start] += r.procs;
+    delta[r.end] -= r.procs;
+  }
+  int cur = 0;
+  for (auto it = delta.begin(); it != delta.end(); ++it) {
+    cur += it->second;
+    if (cur > s.machines()) {
+      // Ignore sub-tolerance slivers: a job ending at t+1e-13 while the
+      // next starts at t is a floating-point artifact, not an overlap.
+      auto next = std::next(it);
+      const Time span =
+          next == delta.end() ? kTimeInfinity : next->first - it->first;
+      if (span <= kTimeEps * (1.0 + std::abs(it->first))) continue;
+      std::ostringstream msg;
+      msg << "demand " << cur << " exceeds " << s.machines()
+          << " machines at t=" << it->first;
+      out.push_back({kInvalidJob, msg.str()});
+      return;  // one capacity report is enough
+    }
+  }
+}
+
+void check_concrete_procs(const Schedule& s, std::vector<Violation>& out) {
+  // Per-processor interval overlap check, only for assignments that carry
+  // concrete ids.
+  struct Slot {
+    Time start, end;
+    JobId job;
+  };
+  std::unordered_map<ProcId, std::vector<Slot>> per_proc;
+  for (const Assignment& a : s.assignments()) {
+    if (a.procs.empty()) continue;
+    if (static_cast<int>(a.procs.size()) != a.nprocs)
+      out.push_back({a.job, "procs list size differs from nprocs"});
+    for (ProcId p : a.procs) {
+      if (p < 0 || p >= s.machines())
+        out.push_back({a.job, "processor id out of range"});
+      else
+        per_proc[p].push_back({a.start, a.end(), a.job});
+    }
+  }
+  for (auto& [p, slots] : per_proc) {
+    std::sort(slots.begin(), slots.end(),
+              [](const Slot& x, const Slot& y) { return x.start < y.start; });
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+      if (slots[i].start < slots[i - 1].end - kTimeEps) {
+        std::ostringstream msg;
+        msg << "processor " << p << " double-booked by jobs "
+            << slots[i - 1].job << " and " << slots[i].job;
+        out.push_back({slots[i].job, msg.str()});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> validate(const JobSet& jobs, const Schedule& s,
+                                const ValidateOptions& opts) {
+  std::vector<Violation> out;
+
+  std::unordered_map<JobId, const Job*> by_id;
+  for (const Job& j : jobs) by_id[j.id] = &j;
+
+  std::unordered_map<JobId, int> occurrences;
+  for (const Assignment& a : s.assignments()) {
+    ++occurrences[a.job];
+    const auto it = by_id.find(a.job);
+    if (it == by_id.end()) {
+      out.push_back({a.job, "scheduled job not in job set"});
+      continue;
+    }
+    const Job& j = *it->second;
+    if (a.nprocs < j.min_procs || a.nprocs > j.max_procs)
+      out.push_back({a.job, "allotment outside [min_procs, max_procs]"});
+    else if (!geq_eps(a.duration, j.time(a.nprocs)))
+      out.push_back({a.job, "duration shorter than the execution model time"});
+    if (a.nprocs > s.machines())
+      out.push_back({a.job, "allotment larger than the machine"});
+    if (opts.check_release_dates && a.start < j.release - kTimeEps)
+      out.push_back({a.job, "started before its release date"});
+    if (a.start < -kTimeEps) out.push_back({a.job, "negative start time"});
+  }
+
+  for (const auto& [id, count] : occurrences)
+    if (count > 1) out.push_back({id, "scheduled more than once"});
+  if (opts.require_all_jobs) {
+    for (const Job& j : jobs)
+      if (occurrences.find(j.id) == occurrences.end())
+        out.push_back({j.id, "job missing from schedule"});
+  }
+
+  check_capacity(s, opts, out);
+  check_concrete_procs(s, out);
+  return out;
+}
+
+bool is_valid(const JobSet& jobs, const Schedule& s,
+              const ValidateOptions& opts) {
+  return validate(jobs, s, opts).empty();
+}
+
+std::string describe(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  for (const Violation& v : violations) {
+    if (v.job == kInvalidJob)
+      out << "[global] ";
+    else
+      out << "[job " << v.job << "] ";
+    out << v.what << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lgs

@@ -1,0 +1,54 @@
+// Schedule validation: the invariant checker behind all property tests.
+//
+// Every algorithm in src/pt is tested by generating random instances and
+// running this validator on its output; the checks mirror the constraints
+// listed in §4.1 of the paper plus the submission rules of §1.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+/// A processor reservation (§5.1): `procs` processors are unavailable to
+/// the scheduler during [start, end).
+struct Reservation {
+  Time start = 0.0;
+  Time end = 0.0;
+  int procs = 0;
+};
+
+/// One validation failure, human-readable.
+struct Violation {
+  JobId job = kInvalidJob;  // kInvalidJob for global violations
+  std::string what;
+};
+
+struct ValidateOptions {
+  /// Require every job of the set to appear exactly once.
+  bool require_all_jobs = true;
+  /// Check release dates (off-line algorithms on batches already shifted).
+  bool check_release_dates = true;
+  /// Reservations the schedule must avoid.
+  std::vector<Reservation> reservations;
+};
+
+/// Check `s` against `jobs`.  Verifies per job: scheduled at most (exactly,
+/// if required) once, allotment within [min,max], duration covers the model
+/// time, release respected.  Globally: simultaneous demand (including
+/// reservations) never exceeds machines; concrete processor ids, when
+/// present, are disjoint per instant and consistent with nprocs.
+std::vector<Violation> validate(const JobSet& jobs, const Schedule& s,
+                                const ValidateOptions& opts = {});
+
+/// Convenience: true iff validate() returns no violations.
+bool is_valid(const JobSet& jobs, const Schedule& s,
+              const ValidateOptions& opts = {});
+
+/// Format violations for gtest failure messages.
+std::string describe(const std::vector<Violation>& violations);
+
+}  // namespace lgs

@@ -1,0 +1,48 @@
+#include "criteria/lower_bounds.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace lgs {
+
+Time cmax_lower_bound(const JobSet& jobs, int m) {
+  Time area = total_min_work(jobs) / m;
+  Time critical = 0.0;
+  for (const Job& j : jobs)
+    critical = std::max(critical, j.release + j.best_time(m));
+  return std::max(area, critical);
+}
+
+double sum_weighted_completion_lower_bound(const JobSet& jobs, int m) {
+  // (a) release + best-time bound.
+  double lb_release = 0.0;
+  for (const Job& j : jobs)
+    lb_release += j.weight * (j.release + j.best_time(m));
+
+  // (b) squashed-area bound: relax to one machine of speed m running the
+  // minimal work of each job, ordered by WSPT (optimal for 1 machine, no
+  // releases); the resulting Σ wᵢCᵢ lower-bounds any m-machine schedule
+  // because C_j ≥ (work finished by C_j)/m for every prefix.
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    // WSPT: increasing minwork/weight.
+    return jobs[a].min_work() * jobs[b].weight <
+           jobs[b].min_work() * jobs[a].weight;
+  });
+  double prefix = 0.0, lb_squash = 0.0;
+  for (std::size_t idx : order) {
+    prefix += jobs[idx].min_work();
+    lb_squash += jobs[idx].weight * prefix / m;
+  }
+  return std::max(lb_release, lb_squash);
+}
+
+double sum_completion_lower_bound(const JobSet& jobs, int m) {
+  JobSet unit = jobs;
+  for (Job& j : unit) j.weight = 1.0;
+  return sum_weighted_completion_lower_bound(unit, m);
+}
+
+}  // namespace lgs

@@ -1,0 +1,28 @@
+// Lower bounds on the optimal value of the §3 criteria.
+//
+// The simulation ratios of Fig. 2 — and our guarantee benches — compare a
+// schedule's criteria to *lower bounds* on the off-line optimum, because
+// computing the optimum is NP-hard for every problem in the paper.  All
+// bounds here are provably valid for moldable jobs with monotone models.
+#pragma once
+
+#include "core/job.h"
+
+namespace lgs {
+
+/// Lower bound on the optimal makespan of `jobs` on `m` machines:
+///   max( total minimal work / m,  max_j (r_j + best_time_j(m)) ).
+/// The first term is the area argument of §4.1 (W ≤ λm), the second the
+/// critical-job argument (∀j, p_j ≤ λ, shifted by release dates).
+Time cmax_lower_bound(const JobSet& jobs, int m);
+
+/// Lower bound on the optimal Σ wᵢCᵢ on `m` machines: the max of
+///  (a) Σ wᵢ (rᵢ + best_timeᵢ(m))            — each job must run, and
+///  (b) the squashed-area bound: jobs sorted by WSPT on minimal work on a
+///      single machine of speed m (Eastman–Even–Isaacs relaxation).
+double sum_weighted_completion_lower_bound(const JobSet& jobs, int m);
+
+/// Lower bound on Σ Cᵢ (the unweighted specialization of the above).
+double sum_completion_lower_bound(const JobSet& jobs, int m);
+
+}  // namespace lgs

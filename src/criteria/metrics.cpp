@@ -1,0 +1,57 @@
+#include "criteria/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lgs {
+
+Metrics compute_metrics(const JobSet& jobs, const Schedule& s) {
+  std::unordered_map<JobId, const Assignment*> by_id;
+  for (const Assignment& a : s.assignments()) by_id[a.job] = &a;
+
+  Metrics m;
+  m.jobs = static_cast<int>(jobs.size());
+  double total_work = 0.0;
+  for (const Job& j : jobs) {
+    const auto it = by_id.find(j.id);
+    if (it == by_id.end())
+      throw std::invalid_argument("job missing from schedule in metrics");
+    const Assignment& a = *it->second;
+    const Time c = a.end();
+    m.cmax = std::max(m.cmax, c);
+    m.sum_completion += c;
+    m.sum_weighted += j.weight * c;
+    const double flow = c - j.release;
+    m.mean_flow += flow;
+    m.max_flow = std::max(m.max_flow, flow);
+    const double best = j.best_time(s.machines());
+    const double slow = flow / best;
+    m.mean_slowdown += slow;
+    m.max_slowdown = std::max(m.max_slowdown, slow);
+    if (j.due != kNoDueDate && c > j.due) {
+      ++m.late_count;
+      const double tard = c - j.due;
+      m.sum_tardiness += tard;
+      m.max_tardiness = std::max(m.max_tardiness, tard);
+    }
+    total_work += static_cast<double>(a.nprocs) * a.duration;
+  }
+  if (!jobs.empty()) {
+    m.mean_flow /= static_cast<double>(jobs.size());
+    m.mean_slowdown /= static_cast<double>(jobs.size());
+  }
+  if (m.cmax > 0)
+    m.utilization = total_work / (static_cast<double>(s.machines()) * m.cmax);
+  return m;
+}
+
+double throughput(const Schedule& s, Time horizon) {
+  if (horizon <= 0) throw std::invalid_argument("horizon must be positive");
+  int done = 0;
+  for (const Assignment& a : s.assignments())
+    if (leq_eps(a.end(), horizon)) ++done;
+  return done / horizon;
+}
+
+}  // namespace lgs

@@ -1,0 +1,39 @@
+// Optimization criteria (paper §3): makespan, average (weighted) completion
+// time, stretch, throughput, tardiness, and normalized variants.
+//
+// All metrics are computed from a (JobSet, Schedule) pair so that every
+// scheduling algorithm can be scored on every criterion — the heart of the
+// "which policy for which application" matrix.
+#pragma once
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+/// All §3 criteria for one schedule.
+struct Metrics {
+  Time cmax = 0.0;                 ///< max completion time
+  double sum_completion = 0.0;     ///< Σ Cᵢ
+  double sum_weighted = 0.0;       ///< Σ wᵢCᵢ
+  double mean_flow = 0.0;          ///< mean of Cᵢ − rᵢ (the paper's "stretch")
+  double max_flow = 0.0;           ///< max of Cᵢ − rᵢ (longest user wait)
+  double mean_slowdown = 0.0;      ///< mean of (Cᵢ − rᵢ)/best_timeᵢ, ≥ 1
+  double max_slowdown = 0.0;
+  int late_count = 0;              ///< jobs finishing after their due date
+  double sum_tardiness = 0.0;      ///< Σ max(0, Cᵢ − dᵢ)
+  double max_tardiness = 0.0;
+  double utilization = 0.0;        ///< Σ work / (m · Cmax)
+  int jobs = 0;
+};
+
+/// Compute all criteria.  Jobs absent from the schedule are an error
+/// (validate first); the slowdown normalizer is the job's best time on the
+/// full machine.
+Metrics compute_metrics(const JobSet& jobs, const Schedule& s);
+
+/// Throughput (§3 steady state): completed jobs per unit time within
+/// [0, horizon].
+double throughput(const Schedule& s, Time horizon);
+
+}  // namespace lgs

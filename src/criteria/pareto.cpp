@@ -1,0 +1,47 @@
+#include "criteria/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lgs {
+
+bool dominates(const BiPoint& x, const BiPoint& y) {
+  return x.a <= y.a && x.b <= y.b && (x.a < y.a || x.b < y.b);
+}
+
+std::vector<BiPoint> pareto_front(std::vector<BiPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const BiPoint& x, const BiPoint& y) {
+              if (x.a != y.a) return x.a < y.a;
+              if (x.b != y.b) return x.b < y.b;
+              return x.label < y.label;
+            });
+  std::vector<BiPoint> front;
+  double best_b = std::numeric_limits<double>::infinity();
+  for (const BiPoint& p : points) {
+    if (p.b < best_b) {
+      // Drop exact duplicates of the previous front point.
+      if (!front.empty() && front.back().a == p.a && front.back().b == p.b)
+        continue;
+      front.push_back(p);
+      best_b = p.b;
+    }
+  }
+  return front;
+}
+
+double pareto_slack(const BiPoint& p, const std::vector<BiPoint>& front) {
+  double slack = 0.0;
+  for (const BiPoint& f : front) {
+    if (!dominates(f, p)) continue;
+    // Smallest ε with p/(1+ε) undominated by f: need p.a/(1+ε) < f.a or
+    // p.b/(1+ε) < f.b → ε > min(p.a/f.a, p.b/f.b) − 1.
+    const double need_a = f.a > 0 ? p.a / f.a : 0.0;
+    const double need_b = f.b > 0 ? p.b / f.b : 0.0;
+    slack = std::max(slack, std::min(need_a, need_b) - 1.0);
+  }
+  return std::max(0.0, slack);
+}
+
+}  // namespace lgs

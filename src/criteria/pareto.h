@@ -1,0 +1,36 @@
+// Pareto analysis for bi-criteria comparisons (§4.4).
+//
+// The paper's point about Cmax vs Σ wᵢCᵢ is that no schedule optimizes
+// both ("it is easy to find examples where there is no schedule reaching
+// the optimal value for both criteria").  This helper extracts the
+// non-dominated subset of scored alternatives so benches and tests can
+// state that claim precisely: the bi-criteria algorithm should sit on or
+// near the front, and on antagonistic instances the front has > 1 point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lgs {
+
+/// One alternative scored on two minimization criteria.
+struct BiPoint {
+  std::string label;
+  double a = 0.0;  ///< first criterion (e.g. Cmax)
+  double b = 0.0;  ///< second criterion (e.g. Σ wᵢCᵢ)
+};
+
+/// True iff x dominates y: no worse on both, strictly better on one.
+bool dominates(const BiPoint& x, const BiPoint& y);
+
+/// Non-dominated subset, sorted by increasing `a` (ties by `b`, then
+/// label for determinism).  Duplicate coordinates are kept once (first
+/// label wins).
+std::vector<BiPoint> pareto_front(std::vector<BiPoint> points);
+
+/// Distance-to-front diagnostic: 0 when `p` is on the front, otherwise
+/// the smallest relative slack ε such that scaling p by 1/(1+ε) makes it
+/// non-dominated.
+double pareto_slack(const BiPoint& p, const std::vector<BiPoint>& front);
+
+}  // namespace lgs

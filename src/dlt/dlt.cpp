@@ -1,0 +1,284 @@
+#include "dlt/dlt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace lgs {
+
+namespace {
+
+void check_platform(const DltPlatform& p) {
+  if (p.workers.empty()) throw std::invalid_argument("no workers");
+  for (const DltWorker& w : p.workers) {
+    if (w.comm < 0 || w.comp <= 0 || w.latency < 0)
+      throw std::invalid_argument("bad worker rates");
+  }
+}
+
+/// Indices of workers sorted by increasing comm rate (optimal single-
+/// installment service order on a star).
+std::vector<std::size_t> service_order(const DltPlatform& p) {
+  std::vector<std::size_t> order(p.workers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return p.workers[a].comm < p.workers[b].comm;
+                   });
+  return order;
+}
+
+}  // namespace
+
+DltPlatform DltPlatform::homogeneous_bus(int n, double comm, double comp,
+                                         double latency) {
+  if (n < 1) throw std::invalid_argument("need at least one worker");
+  DltPlatform p;
+  p.workers.assign(static_cast<std::size_t>(n), {comm, comp, latency});
+  return p;
+}
+
+DltPlatform DltPlatform::from_grid(const LightGrid& grid) {
+  DltPlatform p;
+  for (const Cluster& c : grid.clusters) {
+    DltWorker w;
+    const Link link = c.link();
+    w.comm = 1.0 / link.bandwidth;
+    w.latency = link.latency;
+    // The whole cluster acts as one aggregate worker.
+    w.comp = 1.0 / (static_cast<double>(c.processors()) * c.speed);
+    p.workers.push_back(w);
+  }
+  return p;
+}
+
+DltPlan single_round_bus(const DltPlatform& p, double volume,
+                         double gather_ratio) {
+  check_platform(p);
+  if (volume <= 0) throw std::invalid_argument("volume must be positive");
+  const double c = p.workers.front().comm;
+  const double w = p.workers.front().comp;
+  const double lat = p.workers.front().latency;
+  for (const DltWorker& wk : p.workers)
+    if (wk.comm != c || wk.comp != w || wk.latency != lat)
+      throw std::invalid_argument("bus platform must be homogeneous");
+  if (lat > 0) {
+    // Latency breaks the pure geometric form; reuse the star solver, which
+    // handles affine terms (identical links = a bus).
+    DltPlan plan = single_round_star(p, volume, gather_ratio);
+    plan.strategy = "single-round-bus";
+    return plan;
+  }
+
+  const std::size_t n = p.workers.size();
+  DltPlan plan;
+  plan.strategy = "single-round-bus";
+  plan.alpha.resize(n);
+  if (c == 0.0) {
+    // Infinite bandwidth: equal shares, perfect parallelism.
+    std::fill(plan.alpha.begin(), plan.alpha.end(), volume / n);
+    plan.makespan = w * volume / n;
+    return plan;
+  }
+  // α_{i+1} = α_i · w/(c+w): every worker finishes at the same instant.
+  const double q = w / (c + w);
+  const double denom = q == 1.0 ? static_cast<double>(n)
+                                : (1.0 - std::pow(q, n)) / (1.0 - q);
+  const double alpha1 = volume / denom;
+  double cur = alpha1;
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.alpha[i] = cur;
+    cur *= q;
+  }
+  plan.makespan = alpha1 * (c + w);
+  // Non-overlapped mirror gather: results flow back sequentially.
+  if (gather_ratio > 0) plan.makespan += c * gather_ratio * volume;
+  return plan;
+}
+
+DltPlan single_round_star(const DltPlatform& p, double volume,
+                          double gather_ratio) {
+  check_platform(p);
+  if (volume <= 0) throw std::invalid_argument("volume must be positive");
+  std::vector<std::size_t> order = service_order(p);
+
+  DltPlan plan;
+  plan.strategy = "single-round-star";
+  plan.alpha.assign(p.workers.size(), 0.0);
+
+  // Solve with the first k workers of the order; shrink while the last
+  // participant's share is negative (its link is too slow to help).
+  for (std::size_t k = order.size(); k >= 1; --k) {
+    // α_i = (T - S_{i-1} - lat_i)/(c_i + w_i) with S_i the bus busy time:
+    // express α_i and S_i as affine functions a·T + b.
+    std::vector<double> a(k), b(k);
+    double su = 0.0, sv = 0.0;  // S_{i-1} = sv·T + su
+    for (std::size_t idx = 0; idx < k; ++idx) {
+      const DltWorker& wk = p.workers[order[idx]];
+      const double inv = 1.0 / (wk.comm + wk.comp);
+      a[idx] = (1.0 - sv) * inv;
+      b[idx] = (-su - wk.latency) * inv;
+      su += wk.latency + wk.comm * b[idx];
+      sv += wk.comm * a[idx];
+    }
+    const double sum_a = std::accumulate(a.begin(), a.end(), 0.0);
+    const double sum_b = std::accumulate(b.begin(), b.end(), 0.0);
+    if (sum_a <= 0) continue;  // degenerate; try fewer workers
+    const double T = (volume - sum_b) / sum_a;
+    bool ok = true;
+    for (std::size_t idx = 0; idx < k; ++idx)
+      if (a[idx] * T + b[idx] < -kTimeEps) ok = false;
+    if (!ok && k > 1) continue;
+    double gather = 0.0;
+    for (std::size_t idx = 0; idx < k; ++idx) {
+      const double alpha = std::max(0.0, a[idx] * T + b[idx]);
+      plan.alpha[order[idx]] = alpha;
+      gather += p.workers[order[idx]].comm * gather_ratio * alpha;
+    }
+    plan.makespan = T + gather;
+    return plan;
+  }
+  throw std::logic_error("star closed form failed");
+}
+
+DltPlan multi_round(const DltPlatform& p, double volume, int rounds,
+                    double growth) {
+  check_platform(p);
+  if (volume <= 0) throw std::invalid_argument("volume must be positive");
+  if (rounds < 1) throw std::invalid_argument("need at least one round");
+  if (growth <= 0) throw std::invalid_argument("growth must be positive");
+  const std::size_t n = p.workers.size();
+
+  // Per-worker share follows the steady-state rates; per-round share grows
+  // geometrically so early rounds are small (latency hiding).
+  SteadyState ss = steady_state(p);
+  double rate_sum = std::accumulate(ss.rate.begin(), ss.rate.end(), 0.0);
+  std::vector<double> share(n);
+  for (std::size_t i = 0; i < n; ++i)
+    share[i] = rate_sum > 0 ? ss.rate[i] / rate_sum : 1.0 / n;
+
+  std::vector<double> round_weight(static_cast<std::size_t>(rounds));
+  double rw = 1.0, rw_sum = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    round_weight[static_cast<std::size_t>(r)] = rw;
+    rw_sum += rw;
+    rw *= growth;
+  }
+
+  // Exact one-port simulation: the master sends chunks round by round in
+  // service order; each worker computes its chunks in arrival order.
+  DltPlan plan;
+  plan.strategy = growth == 1.0 ? "multi-round-uniform" : "multi-round-geometric";
+  plan.rounds = rounds;
+  plan.alpha.assign(n, 0.0);
+  std::vector<std::size_t> order = service_order(p);
+  double master_free = 0.0;
+  std::vector<double> worker_free(n, 0.0);
+  double makespan = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      const std::size_t i = order[idx];
+      const DltWorker& wk = p.workers[i];
+      const double chunk =
+          volume * share[i] * round_weight[static_cast<std::size_t>(r)] / rw_sum;
+      if (chunk <= 0) continue;
+      plan.alpha[i] += chunk;
+      const double send_end = master_free + wk.latency + wk.comm * chunk;
+      master_free = send_end;
+      const double start = std::max(send_end, worker_free[i]);
+      worker_free[i] = start + wk.comp * chunk;
+      makespan = std::max(makespan, worker_free[i]);
+    }
+  }
+  plan.makespan = makespan;
+  return plan;
+}
+
+SteadyState steady_state(const DltPlatform& p) {
+  check_platform(p);
+  SteadyState ss;
+  ss.rate.assign(p.workers.size(), 0.0);
+  double bus_budget = 1.0;  // fraction of time the one-port master can send
+  for (std::size_t i : service_order(p)) {
+    const DltWorker& wk = p.workers[i];
+    const double compute_cap = 1.0 / wk.comp;
+    const double bw_cap =
+        wk.comm > 0 ? bus_budget / wk.comm : compute_cap;
+    const double x = std::min(compute_cap, bw_cap);
+    ss.rate[i] = x;
+    bus_budget -= wk.comm * x;
+    if (bus_budget <= 1e-15) break;
+  }
+  ss.throughput = std::accumulate(ss.rate.begin(), ss.rate.end(), 0.0);
+  return ss;
+}
+
+DltPlan work_stealing(const DltPlatform& p, double volume, double chunk,
+                      ChunkPolicy policy) {
+  check_platform(p);
+  if (volume <= 0) throw std::invalid_argument("volume must be positive");
+  if (chunk <= 0) throw std::invalid_argument("chunk must be positive");
+  const std::size_t n = p.workers.size();
+
+  DltPlan plan;
+  plan.rounds = 0;
+  plan.alpha.assign(n, 0.0);
+  switch (policy) {
+    case ChunkPolicy::kFixed:
+      plan.strategy = "steal-fixed";
+      break;
+    case ChunkPolicy::kGuided:
+      plan.strategy = "steal-guided";
+      break;
+    case ChunkPolicy::kFactoring:
+      plan.strategy = "steal-factoring";
+      break;
+  }
+
+  // Event loop: min-heap of (idle time, worker); master serves FIFO
+  // (one-port).  Ties broken by worker index for determinism.
+  using Ev = std::pair<double, std::size_t>;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> idle;
+  for (std::size_t i = 0; i < n; ++i) idle.push({0.0, i});
+
+  double remaining = volume;
+  double master_free = 0.0;
+  double makespan = 0.0;
+  // Factoring state: batches of n chunks, each batch = half the remainder.
+  double batch_chunk = 0.0;
+  int batch_left = 0;
+
+  while (remaining > kTimeEps) {
+    const auto [t, i] = idle.top();
+    idle.pop();
+    double s = chunk;
+    if (policy == ChunkPolicy::kGuided) {
+      s = std::max(chunk, remaining / (2.0 * static_cast<double>(n)));
+    } else if (policy == ChunkPolicy::kFactoring) {
+      if (batch_left == 0) {
+        batch_chunk =
+            std::max(chunk, remaining / (2.0 * static_cast<double>(n)));
+        batch_left = static_cast<int>(n);
+      }
+      s = batch_chunk;
+      --batch_left;
+    }
+    s = std::min(s, remaining);
+    remaining -= s;
+    const DltWorker& wk = p.workers[i];
+    const double send_start = std::max(t, master_free);
+    const double send_end = send_start + wk.latency + wk.comm * s;
+    master_free = send_end;
+    const double finish = send_end + wk.comp * s;
+    plan.alpha[i] += s;
+    ++plan.rounds;  // total chunks served
+    makespan = std::max(makespan, finish);
+    idle.push({finish, i});
+  }
+  plan.makespan = makespan;
+  return plan;
+}
+
+}  // namespace lgs

@@ -1,0 +1,92 @@
+// Divisible Load Theory library (§2.1, used by §5.2 for multi-parametric
+// grid jobs).
+//
+// A divisible load is a volume V of arbitrarily partitionable, independent
+// fine-grain computation.  The master distributes fractions α_i to workers
+// over a one-port medium (bus or star); worker i spends c_i seconds of
+// communication and w_i seconds of computation per unit.  The classical
+// results implemented here:
+//   * single-round closed forms on a bus (homogeneous) and a star
+//     (heterogeneous, served in increasing-c_i order), with optional
+//     per-message latency and result gather-back (mirror) phase;
+//   * multi-round distribution (uniform or geometric chunks);
+//   * steady-state throughput (optimal asymptotic rate, polynomial as the
+//     paper notes for multi-parametric jobs);
+//   * dynamic distribution by work stealing / self-scheduling chunks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "platform/platform.h"
+
+namespace lgs {
+
+/// One worker of a star (or bus) platform.
+struct DltWorker {
+  double comm = 1.0;  ///< c_i: seconds per load unit on this worker's link
+  double comp = 1.0;  ///< w_i: seconds per load unit of computation
+  double latency = 0.0;  ///< per-message latency (seconds)
+};
+
+/// Master + workers.  On a bus all comm rates must be equal (the medium is
+/// shared); on a star they are per-link.
+struct DltPlatform {
+  std::vector<DltWorker> workers;
+
+  static DltPlatform homogeneous_bus(int n, double comm, double comp,
+                                     double latency = 0.0);
+  /// Build a star from a light grid: one worker per cluster, aggregate
+  /// compute rate = 1 / (processors · speed), link from the cluster NIC.
+  static DltPlatform from_grid(const LightGrid& grid);
+};
+
+/// Outcome of a distribution plan.
+struct DltPlan {
+  std::vector<double> alpha;  ///< load fraction per worker (sums to volume)
+  Time makespan = 0.0;
+  int rounds = 1;
+  std::string strategy;
+};
+
+/// Single-round distribution on a shared bus (homogeneous workers),
+/// closed-form geometric fractions; all workers finish simultaneously.
+/// `gather_ratio` > 0 adds a mirror result-collection phase transferring
+/// gather_ratio · α_i per worker in reverse order.
+DltPlan single_round_bus(const DltPlatform& p, double volume,
+                         double gather_ratio = 0.0);
+
+/// Single-round distribution on a heterogeneous star.  Workers are served
+/// in increasing c_i order (the optimal single-installment order); workers
+/// whose participation would be counter-productive receive nothing.
+DltPlan single_round_star(const DltPlatform& p, double volume,
+                          double gather_ratio = 0.0);
+
+/// Multi-round distribution: `rounds` installments per worker.  Chunk
+/// growth factor 1 = uniform rounds; > 1 = geometric (later rounds bigger,
+/// hiding latency at the start).  Makespan via exact one-port simulation.
+DltPlan multi_round(const DltPlatform& p, double volume, int rounds,
+                    double growth = 1.0);
+
+/// Steady-state throughput (load units per second) of the star under the
+/// one-port model: maximize Σ x_i s.t. Σ c_i x_i ≤ 1 and w_i x_i ≤ 1.
+/// Returns per-worker rates in `alpha` (units/second) and throughput in
+/// 1/makespan (makespan = time to process `volume` asymptotically).
+struct SteadyState {
+  std::vector<double> rate;
+  double throughput = 0.0;
+};
+SteadyState steady_state(const DltPlatform& p);
+
+/// Dynamic distribution: workers self-schedule chunks from the master
+/// (one-port FIFO service).  Chunking policies for the ablation bench.
+enum class ChunkPolicy {
+  kFixed,      ///< constant chunk size
+  kGuided,     ///< remaining / (2n), floor at `chunk`
+  kFactoring,  ///< batches of n chunks, each batch = half the remainder
+};
+DltPlan work_stealing(const DltPlatform& p, double volume, double chunk,
+                      ChunkPolicy policy = ChunkPolicy::kFixed);
+
+}  // namespace lgs

@@ -1,0 +1,173 @@
+#include "dlt/tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lgs {
+
+namespace {
+
+/// Affine completion model of a subtree: T(V) = w·V + lat.
+struct Equivalent {
+  double w = 0.0;
+  double lat = 0.0;
+};
+
+struct StarSolve {
+  double master_alpha = 0.0;
+  std::vector<double> child_alpha;
+  double T = 0.0;
+};
+
+/// Solve the one-port star where the master may compute (rate w0, 0 =
+/// none) and child i is an affine worker behind link (c_i, lat_i).  All
+/// participants finish simultaneously; children whose share would be
+/// negative are dropped (served none).  Children must be pre-sorted by
+/// increasing c.
+StarSolve solve_star(double w0, const std::vector<Equivalent>& eq,
+                     const std::vector<double>& comm,
+                     const std::vector<double>& link_lat, double volume) {
+  const std::size_t n = eq.size();
+  for (std::size_t active = n + 1; active >= 1; --active) {
+    // Master: alpha0 = T / w0 (a = 1/w0).  Child i (i < active):
+    // finishes at S_{i-1} + lat_i + c_i·α_i + w_i·α_i + lat_eq_i = T
+    // → α_i = (T - S_{i-1} - lat_i - lat_eq_i) / (c_i + w_i).
+    double sum_a = w0 > 0 ? 1.0 / w0 : 0.0;
+    double sum_b = 0.0;
+    std::vector<double> a(n, 0.0), b(n, 0.0);
+    double su = 0.0, sv = 0.0;  // S = sv·T + su (bus busy time)
+    const std::size_t kids = active - 1;
+    for (std::size_t i = 0; i < kids; ++i) {
+      const double inv = 1.0 / (comm[i] + eq[i].w);
+      a[i] = (1.0 - sv) * inv;
+      b[i] = (-su - link_lat[i] - eq[i].lat) * inv;
+      su += link_lat[i] + comm[i] * b[i];
+      sv += comm[i] * a[i];
+      sum_a += a[i];
+      sum_b += b[i];
+    }
+    if (sum_a <= 0) continue;
+    const double T = (volume - sum_b) / sum_a;
+    bool ok = T > 0;
+    for (std::size_t i = 0; i < kids && ok; ++i)
+      if (a[i] * T + b[i] < -kTimeEps) ok = false;
+    if (!ok && active > 1) continue;
+    StarSolve out;
+    out.T = T;
+    out.master_alpha = w0 > 0 ? T / w0 : 0.0;
+    out.child_alpha.assign(n, 0.0);
+    for (std::size_t i = 0; i < kids; ++i)
+      out.child_alpha[i] = std::max(0.0, a[i] * T + b[i]);
+    // Renormalize the master share for rounding (conservation).
+    double assigned = out.master_alpha +
+                      std::accumulate(out.child_alpha.begin(),
+                                      out.child_alpha.end(), 0.0);
+    if (w0 > 0) out.master_alpha += volume - assigned;
+    return out;
+  }
+  throw std::logic_error("tree star solve failed");
+}
+
+/// Children of `node` sorted by increasing link comm (service order).
+std::vector<std::size_t> child_order(const DltTreeNode& node) {
+  std::vector<std::size_t> order(node.children.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return node.children[x].comm < node.children[y].comm;
+                   });
+  return order;
+}
+
+/// Bottom-up reduction: the affine completion model of the whole subtree.
+Equivalent reduce(const DltTreeNode& node) {
+  if (node.is_leaf()) {
+    if (node.comp <= 0)
+      throw std::invalid_argument("leaf node without computing rate");
+    return {node.comp, 0.0};
+  }
+  const auto order = child_order(node);
+  std::vector<Equivalent> eq;
+  std::vector<double> comm, lat;
+  for (std::size_t i : order) {
+    eq.push_back(reduce(node.children[i]));
+    comm.push_back(node.children[i].comm);
+    lat.push_back(node.children[i].latency);
+  }
+  // Symbolic solve at reference volume 1 and 2 to recover the affine
+  // coefficients T(V) = w·V + lat.
+  const double t1 = solve_star(node.comp, eq, comm, lat, 1.0).T;
+  const double t2 = solve_star(node.comp, eq, comm, lat, 2.0).T;
+  Equivalent out;
+  out.w = t2 - t1;
+  out.lat = t1 - out.w;
+  if (out.w <= 0) throw std::logic_error("non-increasing subtree model");
+  return out;
+}
+
+void distribute(const DltTreeNode& node, double volume, DltTreePlan* plan) {
+  plan->node.push_back(node.name);
+  const std::size_t own_slot = plan->alpha.size();
+  plan->alpha.push_back(0.0);
+  if (node.is_leaf()) {
+    plan->alpha[own_slot] = volume;
+    return;
+  }
+  const auto order = child_order(node);
+  std::vector<Equivalent> eq;
+  std::vector<double> comm, lat;
+  for (std::size_t i : order) {
+    eq.push_back(reduce(node.children[i]));
+    comm.push_back(node.children[i].comm);
+    lat.push_back(node.children[i].latency);
+  }
+  const StarSolve solve = solve_star(node.comp, eq, comm, lat, volume);
+  plan->alpha[own_slot] = solve.master_alpha;
+  // Recurse in the node's declared child order (pre-order output), using
+  // the share computed for each child's position in the service order.
+  std::vector<double> share(node.children.size(), 0.0);
+  for (std::size_t k = 0; k < order.size(); ++k)
+    share[order[k]] = solve.child_alpha[k];
+  for (std::size_t i = 0; i < node.children.size(); ++i)
+    distribute(node.children[i], share[i], plan);
+}
+
+}  // namespace
+
+DltTreePlan tree_distribute(const DltTreeNode& root, double volume) {
+  if (volume <= 0) throw std::invalid_argument("volume must be positive");
+  const Equivalent eq = reduce(root);
+  DltTreePlan plan;
+  plan.makespan = eq.w * volume + eq.lat;
+  plan.equivalent = {0.0, eq.w, eq.lat};
+  distribute(root, volume, &plan);
+  return plan;
+}
+
+DltTreeNode ciment_tree() {
+  const LightGrid grid = ciment_grid();
+  DltTreeNode root;
+  root.name = "ciment-wan";
+  root.comp = 0.0;  // the WAN head node only forwards
+  for (const Cluster& c : grid.clusters) {
+    DltTreeNode frontend;
+    frontend.name = c.name;
+    const Link wan = grid.wan;
+    frontend.comm = 1.0 / wan.bandwidth;
+    frontend.latency = wan.latency;
+    frontend.comp = 0.0;  // front-end forwards to the nodes
+    // One leaf per cluster aggregating its nodes behind the local link.
+    DltTreeNode nodes;
+    nodes.name = c.name + "-nodes";
+    const Link local = c.link();
+    nodes.comm = 1.0 / local.bandwidth;
+    nodes.latency = local.latency;
+    nodes.comp = 1.0 / (static_cast<double>(c.processors()) * c.speed);
+    frontend.children.push_back(std::move(nodes));
+    root.children.push_back(std::move(frontend));
+  }
+  return root;
+}
+
+}  // namespace lgs

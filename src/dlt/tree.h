@@ -1,0 +1,55 @@
+// Divisible load on tree networks.
+//
+// The DLT model entered the literature through tree networks — the
+// paper's reference [4] is Cheng & Robertazzi, "Distributed computation
+// for a tree network with communication delays".  A light grid is itself
+// a two-level tree (master → cluster front-ends → nodes), so this module
+// solves the hierarchical distribution the CIMENT platform actually
+// needs: each subtree is collapsed into an *equivalent worker* (the
+// classical bottom-up reduction), then the root runs the star closed
+// form and shares are pushed back down.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlt/dlt.h"
+
+namespace lgs {
+
+/// A node of the distribution tree.  Leaves compute; internal nodes
+/// forward load to their children over per-child links and may compute
+/// themselves (front-end model).
+struct DltTreeNode {
+  std::string name;
+  /// Link from the parent (ignored for the root).
+  double comm = 0.0;
+  double latency = 0.0;
+  /// Own computing rate, seconds per unit (0 = pure forwarder).
+  double comp = 0.0;
+  std::vector<DltTreeNode> children;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+/// Result of a tree distribution: load per node, in pre-order.
+struct DltTreePlan {
+  std::vector<std::string> node;   ///< pre-order names
+  std::vector<double> alpha;       ///< load fraction per node (same order)
+  Time makespan = 0.0;
+  /// Equivalent (comm, comp) of the whole tree seen from above — the
+  /// bottom-up reduction result, useful for composing grids.
+  DltWorker equivalent;
+};
+
+/// Single-installment distribution of `volume` over the tree: children of
+/// each node are served in increasing equivalent-comm order, every branch
+/// finishes simultaneously (the Cheng–Robertazzi optimality condition).
+DltTreePlan tree_distribute(const DltTreeNode& root, double volume);
+
+/// The CIMENT grid as a two-level tree: a WAN root forwarding to each
+/// cluster's front-end, which spreads over its nodes' shared local link.
+DltTreeNode ciment_tree();
+
+}  // namespace lgs

@@ -1,0 +1,74 @@
+// Centralized light-grid management (§5.2, "Centralized").
+//
+// Each cluster keeps its own submission system for local jobs; one central
+// server holds the grid jobs — multi-parametric bags of short runs — and
+// pushes them onto idle processors as *best-effort* jobs.  A best-effort
+// run is killed whenever a local job needs its processor and is then
+// resubmitted by the server.  Local users keep their exact service: the
+// defining property (tested!) is that local job records are identical with
+// and without grid jobs.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/job.h"
+#include "platform/platform.h"
+#include "sim/online_cluster.h"
+#include "workload/generators.h"
+
+namespace lgs {
+
+/// The central server: a queue of best-effort run durations (unit speed).
+/// Killed runs return to the front (they are retried first).
+class CentralServer {
+ public:
+  explicit CentralServer(const std::vector<ParametricBag>& bags);
+
+  /// Source handed to each cluster.
+  BestEffortSource make_source();
+
+  long total_runs() const { return total_runs_; }
+  long completed() const { return completed_; }
+  long resubmissions() const { return resubmissions_; }
+  long pending() const { return static_cast<long>(pending_.size()); }
+
+ private:
+  std::deque<Time> pending_;
+  long total_runs_ = 0;
+  long completed_ = 0;
+  long resubmissions_ = 0;
+};
+
+/// Per-cluster outcome of the centralized experiment.
+struct ClusterOutcome {
+  ClusterId id = 0;
+  double local_mean_wait = 0.0;
+  double local_mean_slowdown = 0.0;
+  double utilization_local = 0.0;  ///< local work only
+  double utilization_total = 0.0;  ///< local + best-effort
+  BestEffortStats be;
+};
+
+struct CentralizedResult {
+  Time horizon = 0.0;
+  std::vector<ClusterOutcome> clusters;
+  long grid_runs_total = 0;
+  long grid_runs_completed = 0;
+  long grid_resubmissions = 0;
+  /// True when every local job has identical (submit, start, finish) with
+  /// and without the grid jobs — the §5.2 non-disturbance guarantee.
+  bool local_unaffected = false;
+};
+
+/// Run the centralized scenario on `grid`: `local_per_cluster[i]` is the
+/// local workload of cluster i (release dates honored), `bags` the grid
+/// campaigns.  The experiment is run twice (with and without grid jobs) to
+/// check the non-disturbance property.
+CentralizedResult run_centralized(
+    const LightGrid& grid, const std::vector<JobSet>& local_per_cluster,
+    const std::vector<ParametricBag>& bags,
+    OnlineCluster::Options cluster_opts = {});
+
+}  // namespace lgs

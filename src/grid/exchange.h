@@ -1,0 +1,61 @@
+// Decentralized light-grid management (§5.2, "Decentralized").
+//
+// All jobs — grid and local — enter through their home cluster's
+// submission system; clusters may then exchange work to balance load.
+// The paper leaves the protocol open and lists candidate directions; we
+// implement three placement policies for the E-DEC bench:
+//   * isolated      — no exchange (the fairness baseline),
+//   * threshold     — migrate a job at submission when the home queue's
+//                     expected wait exceeds a threshold and some other
+//                     cluster is substantially less loaded,
+//   * economic      — every cluster "bids" its expected completion time
+//                     (wait + speed-adjusted run time) and the job goes to
+//                     the cheapest bidder (each job optimizes for itself).
+#pragma once
+
+#include <vector>
+
+#include "core/job.h"
+#include "platform/platform.h"
+#include "sim/online_cluster.h"
+
+namespace lgs {
+
+enum class ExchangePolicy { kIsolated, kThreshold, kEconomic };
+
+const char* to_string(ExchangePolicy p);
+
+struct ExchangeOptions {
+  ExchangePolicy policy = ExchangePolicy::kIsolated;
+  /// kThreshold: migrate when home wait exceeds this (seconds).
+  double wait_threshold = 10.0;
+  /// kThreshold: required advantage of the target over home (seconds),
+  /// modeling the migration cost (data transfer, requeue).
+  double migration_penalty = 1.0;
+};
+
+/// Per-community fairness outcome.
+struct CommunityOutcome {
+  int community = 0;
+  int jobs = 0;
+  double mean_wait = 0.0;
+  double mean_slowdown = 0.0;
+  double mean_flow = 0.0;
+};
+
+struct ExchangeResult {
+  Time horizon = 0.0;
+  double global_utilization = 0.0;
+  long migrations = 0;
+  std::vector<CommunityOutcome> communities;
+  /// Mean flow over all jobs (global performance signal).
+  double mean_flow = 0.0;
+};
+
+/// Simulate the grid under the given policy.  `home_of[i]` gives the home
+/// cluster index of workload `workloads[i]`; jobs carry their community.
+ExchangeResult run_exchange(const LightGrid& grid,
+                            const std::vector<JobSet>& workload_per_cluster,
+                            const ExchangeOptions& opts = {});
+
+}  // namespace lgs

@@ -1,0 +1,104 @@
+#include "grid/global.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/profile.h"
+
+namespace lgs {
+
+Schedule GlobalSchedule::cluster_view(const LightGrid& grid,
+                                      ClusterId id) const {
+  Schedule s(grid.cluster(id).processors());
+  for (const GlobalAssignment& a : items)
+    if (a.cluster == id) s.add(a.job, a.start, a.nprocs, a.duration);
+  return s;
+}
+
+const GlobalAssignment* GlobalSchedule::find(JobId job) const {
+  for (const GlobalAssignment& a : items)
+    if (a.job == job) return &a;
+  return nullptr;
+}
+
+GlobalSchedule global_ect_schedule(const LightGrid& grid, const JobSet& jobs,
+                                   GlobalOrder order) {
+  if (grid.clusters.empty()) throw std::invalid_argument("empty grid");
+  check_jobset(jobs, grid.total_processors());
+
+  // One availability profile per cluster.
+  std::vector<Profile> profiles;
+  for (const Cluster& c : grid.clusters) profiles.emplace_back(c.processors());
+
+  std::vector<std::size_t> seq(jobs.size());
+  std::iota(seq.begin(), seq.end(), 0);
+  const double fastest =
+      std::max_element(grid.clusters.begin(), grid.clusters.end(),
+                       [](const Cluster& a, const Cluster& b) {
+                         return a.speed < b.speed;
+                       })
+          ->speed;
+  if (order == GlobalOrder::kSubmission) {
+    std::stable_sort(seq.begin(), seq.end(), [&](std::size_t a, std::size_t b) {
+      if (jobs[a].release != jobs[b].release)
+        return jobs[a].release < jobs[b].release;
+      return jobs[a].id < jobs[b].id;
+    });
+  } else {
+    std::stable_sort(seq.begin(), seq.end(), [&](std::size_t a, std::size_t b) {
+      return jobs[a].best_time(1024) / fastest >
+             jobs[b].best_time(1024) / fastest;
+    });
+  }
+
+  GlobalSchedule out;
+  for (std::size_t i : seq) {
+    const Job& j = jobs[i];
+    Time best_end = kTimeInfinity;
+    GlobalAssignment chosen;
+    for (std::size_t ci = 0; ci < grid.clusters.size(); ++ci) {
+      const Cluster& c = grid.clusters[ci];
+      if (j.min_procs > c.processors()) continue;
+      const int hi = std::min(j.max_procs, c.processors());
+      const int k = std::max(j.min_procs, j.model.useful_limit(hi));
+      const Time dur = j.model.time(k) / c.speed;
+      const Time start = profiles[ci].earliest_fit(j.release, dur, k);
+      if (start + dur < best_end - kTimeEps) {
+        best_end = start + dur;
+        chosen = {j.id, c.id, start, k, dur};
+      }
+    }
+    if (best_end == kTimeInfinity)
+      throw std::invalid_argument("job fits no cluster");
+    const std::size_t ci = static_cast<std::size_t>(chosen.cluster);
+    profiles[ci].commit(chosen.start, chosen.duration, chosen.nprocs);
+    out.items.push_back(chosen);
+    out.makespan = std::max(out.makespan, chosen.end());
+  }
+  return out;
+}
+
+Time global_cmax_lower_bound(const LightGrid& grid, const JobSet& jobs) {
+  double capacity = 0.0;  // speed-weighted processors
+  for (const Cluster& c : grid.clusters)
+    capacity += static_cast<double>(c.processors()) * c.speed;
+  // Minimal work interprets a unit of model time as one unit-speed
+  // processor-second; the grid processes `capacity` of those per second.
+  const Time area = total_min_work(jobs) / capacity;
+
+  Time critical = 0.0;
+  for (const Job& j : jobs) {
+    Time best = kTimeInfinity;
+    for (const Cluster& c : grid.clusters) {
+      if (j.min_procs > c.processors()) continue;
+      best = std::min(best, j.best_time(c.processors()) / c.speed);
+    }
+    if (best == kTimeInfinity)
+      throw std::invalid_argument("job fits no cluster");
+    critical = std::max(critical, j.release + best);
+  }
+  return std::max(area, critical);
+}
+
+}  // namespace lgs

@@ -1,0 +1,57 @@
+// Global heterogeneous scheduling across the whole light grid.
+//
+// §5.2 lists "view it as a big global optimization problem" among the
+// decentralized-exchange alternatives.  This module is that baseline: an
+// omniscient scheduler that sees every job and every cluster and places
+// each job greedily where it completes earliest (ECT — the heterogeneous
+// list-scheduling rule under uniform cluster speeds).  It bounds from
+// above what any decentralized protocol can hope to reach, and is what
+// the E-DEC bench compares the exchange policies against.
+#pragma once
+
+#include <vector>
+
+#include "core/job.h"
+#include "core/schedule.h"
+#include "platform/platform.h"
+
+namespace lgs {
+
+/// One placed job: cluster plus the usual schedule fields (duration is
+/// wall-clock, i.e. already divided by the cluster speed).
+struct GlobalAssignment {
+  JobId job = kInvalidJob;
+  ClusterId cluster = -1;
+  Time start = 0.0;
+  int nprocs = 1;
+  Time duration = 0.0;
+
+  Time end() const { return start + duration; }
+};
+
+struct GlobalSchedule {
+  std::vector<GlobalAssignment> items;
+  Time makespan = 0.0;
+
+  /// Per-cluster view as a plain Schedule (durations wall-clock).
+  Schedule cluster_view(const LightGrid& grid, ClusterId id) const;
+  const GlobalAssignment* find(JobId job) const;
+};
+
+enum class GlobalOrder {
+  kSubmission,  ///< FCFS by release
+  kLongestFirst ///< LPT on best wall-clock time over the fastest cluster
+};
+
+/// Greedy earliest-completion-time placement over all clusters.  Moldable
+/// jobs take their best-time allotment on each candidate cluster
+/// (clamped by the cluster size).  Honors release dates.
+GlobalSchedule global_ect_schedule(const LightGrid& grid, const JobSet& jobs,
+                                   GlobalOrder order = GlobalOrder::kSubmission);
+
+/// Makespan lower bound on a heterogeneous grid: total minimal work over
+/// aggregate speed-weighted capacity, and the critical job on the fastest
+/// adequate cluster.
+Time global_cmax_lower_bound(const LightGrid& grid, const JobSet& jobs);
+
+}  // namespace lgs

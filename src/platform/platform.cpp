@@ -1,0 +1,82 @@
+#include "platform/platform.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lgs {
+
+const char* to_string(Interconnect net) {
+  switch (net) {
+    case Interconnect::kMyrinet:
+      return "Myrinet";
+    case Interconnect::kGigabitEthernet:
+      return "Giga Eth";
+    case Interconnect::kFastEthernet:
+      return "Eth 100";
+  }
+  return "?";
+}
+
+Link link_for(Interconnect net) {
+  // Latency/bandwidth in seconds and work-units/second; calibrated to the
+  // relative order Myrinet > GigE > 100 Mb Ethernet of 2004-era hardware.
+  switch (net) {
+    case Interconnect::kMyrinet:
+      return {7e-6, 250.0};
+    case Interconnect::kGigabitEthernet:
+      return {60e-6, 125.0};
+    case Interconnect::kFastEthernet:
+      return {100e-6, 12.5};
+  }
+  return {};
+}
+
+int LightGrid::total_processors() const {
+  int total = 0;
+  for (const Cluster& c : clusters) total += c.processors();
+  return total;
+}
+
+const Cluster& LightGrid::cluster(ClusterId id) const {
+  for (const Cluster& c : clusters)
+    if (c.id == id) return c;
+  throw std::invalid_argument("unknown cluster id");
+}
+
+std::string LightGrid::inventory() const {
+  std::ostringstream out;
+  out << "light grid '" << name << "': " << clusters.size() << " clusters, "
+      << total_processors() << " processors\n";
+  for (const Cluster& c : clusters) {
+    out << "  [" << c.id << "] " << c.name << ": " << c.nodes << " nodes x "
+        << c.cpus_per_node << " cpus @ speed " << c.speed << " ("
+        << to_string(c.net) << ", " << c.os << ", community "
+        << c.owner_community << ")\n";
+  }
+  return out.str();
+}
+
+LightGrid ciment_grid() {
+  LightGrid g;
+  g.name = "CIMENT";
+  g.clusters = {
+      {0, "bi-Itanium2", 104, 2, 1.6, Interconnect::kMyrinet, "Linux", 0},
+      {1, "bi-P4-Xeon", 48, 2, 1.2, Interconnect::kGigabitEthernet, "Linux",
+       1},
+      {2, "bi-Athlon-A", 40, 2, 1.0, Interconnect::kFastEthernet, "Linux", 2},
+      {3, "bi-Athlon-B", 24, 2, 1.0, Interconnect::kFastEthernet, "Linux", 3},
+  };
+  return g;
+}
+
+LightGrid single_cluster(int processors, const std::string& name) {
+  if (processors < 1)
+    throw std::invalid_argument("cluster needs at least one processor");
+  LightGrid g;
+  g.name = name;
+  g.clusters = {{0, name, processors, 1, 1.0, Interconnect::kGigabitEthernet,
+                 "Linux", 0}};
+  return g;
+}
+
+}  // namespace lgs

@@ -1,0 +1,77 @@
+// Platform model (paper §1.2 and Fig. 3).
+//
+// A *light grid* is a small set of clusters in one geographic area:
+// strongly heterogeneous between clusters (processor type, count, network,
+// OS), weakly heterogeneous inside a cluster (same OS, similar processors
+// with different clock speeds).  No global topology is assumed; each
+// cluster exposes a node count, a relative speed, and a local interconnect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lgs {
+
+/// Local interconnect technology of a cluster, as in Fig. 3.
+enum class Interconnect { kMyrinet, kGigabitEthernet, kFastEthernet };
+
+const char* to_string(Interconnect net);
+
+/// Link parameters used by the DLT library and the simulator: latency in
+/// seconds and bandwidth in work-units per second.
+struct Link {
+  double latency = 0.0;
+  double bandwidth = 1.0;
+
+  /// Time to push `volume` units through the link.
+  double transfer_time(double volume) const {
+    return latency + volume / bandwidth;
+  }
+};
+
+Link link_for(Interconnect net);
+
+/// One cluster: `nodes` machines with `cpus_per_node` processors each, all
+/// running at `speed` (relative to a reference processor = 1.0).
+struct Cluster {
+  ClusterId id = 0;
+  std::string name;
+  int nodes = 0;
+  int cpus_per_node = 1;
+  double speed = 1.0;
+  Interconnect net = Interconnect::kFastEthernet;
+  std::string os = "Linux";
+  /// Community owning the cluster (fairness accounting, §5.2).
+  int owner_community = 0;
+
+  int processors() const { return nodes * cpus_per_node; }
+  Link link() const { return link_for(net); }
+};
+
+/// A light grid: a few clusters plus the WAN link between them (fast,
+/// possibly hierarchical — modeled as one shared link).
+struct LightGrid {
+  std::string name;
+  std::vector<Cluster> clusters;
+  Link wan{1e-3, 100.0};
+
+  int total_processors() const;
+  const Cluster& cluster(ClusterId id) const;
+
+  /// Human-readable inventory (used to regenerate Fig. 3).
+  std::string inventory() const;
+};
+
+/// The 4 largest clusters of the CIMENT project exactly as in Fig. 3:
+///   104 bi-Itanium2 / Myrinet, 48 bi-P4 Xeon / GigE,
+///   40 bi-Athlon / 100 Mb Ethernet, 24 bi-Athlon / 100 Mb Ethernet.
+/// Speeds are relative estimates for 2004-era hardware.
+LightGrid ciment_grid();
+
+/// Homogeneous single cluster of `processors` unit-speed CPUs — the setting
+/// of the Fig. 2 simulation (100 machines).
+LightGrid single_cluster(int processors, const std::string& name = "cluster");
+
+}  // namespace lgs

@@ -1,0 +1,223 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "criteria/lower_bounds.h"
+#include "criteria/metrics.h"
+#include "pt/allotment.h"
+#include "pt/backfill.h"
+#include "pt/batch.h"
+#include "pt/bicriteria.h"
+#include "pt/mrt.h"
+#include "pt/rigid_list.h"
+#include "pt/shelves.h"
+#include "pt/smart.h"
+#include "workload/generators.h"
+
+namespace lgs {
+
+const char* to_string(ApplicationClass app) {
+  switch (app) {
+    case ApplicationClass::kSequentialBatch:
+      return "sequential-batch";
+    case ApplicationClass::kRigidParallel:
+      return "rigid-parallel";
+    case ApplicationClass::kMoldableParallel:
+      return "moldable-parallel";
+    case ApplicationClass::kMultiParametric:
+      return "multi-parametric";
+    case ApplicationClass::kMixedCampus:
+      return "mixed-campus";
+  }
+  return "?";
+}
+
+const char* to_string(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kFcfsList:
+      return "fcfs-list";
+    case PolicyKind::kEasyBackfill:
+      return "easy-backfill";
+    case PolicyKind::kConservativeBackfill:
+      return "conservative-bf";
+    case PolicyKind::kFfdhShelves:
+      return "ffdh-shelves";
+    case PolicyKind::kMrtBatches:
+      return "mrt-batches";
+    case PolicyKind::kSmartShelves:
+      return "smart-shelves";
+    case PolicyKind::kBicriteria:
+      return "bi-criteria";
+  }
+  return "?";
+}
+
+std::vector<PolicyKind> all_policies() {
+  return {PolicyKind::kFcfsList,      PolicyKind::kEasyBackfill,
+          PolicyKind::kConservativeBackfill, PolicyKind::kFfdhShelves,
+          PolicyKind::kMrtBatches,    PolicyKind::kSmartShelves,
+          PolicyKind::kBicriteria};
+}
+
+std::vector<ApplicationClass> all_application_classes() {
+  return {ApplicationClass::kSequentialBatch,
+          ApplicationClass::kRigidParallel,
+          ApplicationClass::kMoldableParallel,
+          ApplicationClass::kMultiParametric,
+          ApplicationClass::kMixedCampus};
+}
+
+namespace {
+
+/// Fix moldable allotments for rigid-only policies: canonical allotment at
+/// the area lower bound, the a-priori strategy of §5.1.
+JobSet rigidize(const JobSet& jobs, int m) {
+  return fix_canonical(jobs, cmax_lower_bound(jobs, m), m);
+}
+
+}  // namespace
+
+Schedule run_policy(PolicyKind policy, const JobSet& jobs, int m) {
+  switch (policy) {
+    case PolicyKind::kFcfsList:
+      // Strict FCFS: no queue jumping at all — the baseline every
+      // backfilling study compares against.
+      return list_schedule_rigid(rigidize(jobs, m), m,
+                                 {ListOrder::kSubmission, true});
+    case PolicyKind::kEasyBackfill:
+      return easy_backfill(rigidize(jobs, m), m);
+    case PolicyKind::kConservativeBackfill:
+      return conservative_backfill(rigidize(jobs, m), m);
+    case PolicyKind::kFfdhShelves:
+      return batch_schedule(jobs, m,
+                            [](const JobSet& batch, int machines) {
+                              return shelf_schedule_rigid(
+                                  rigidize(batch, machines), machines,
+                                  ShelfPolicy::kFirstFitDecreasing);
+                            })
+          .schedule;
+    case PolicyKind::kMrtBatches:
+      return online_moldable_schedule(jobs, m).schedule;
+    case PolicyKind::kSmartShelves:
+      return batch_schedule(jobs, m,
+                            [](const JobSet& batch, int machines) {
+                              return smart_schedule(rigidize(batch, machines),
+                                                    machines);
+                            })
+          .schedule;
+    case PolicyKind::kBicriteria:
+      return bicriteria_schedule(jobs, m).schedule;
+  }
+  throw std::logic_error("unknown policy");
+}
+
+JobSet make_application_workload(ApplicationClass app, int jobs, int m,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  switch (app) {
+    case ApplicationClass::kSequentialBatch: {
+      MoldableWorkloadSpec spec;
+      spec.count = jobs;
+      spec.t1_min = 20.0;
+      spec.t1_max = 500.0;
+      spec.arrival_window = 50.0;
+      spec.w_min = 1.0;
+      spec.w_max = 8.0;
+      return make_sequential_workload(spec, rng);
+    }
+    case ApplicationClass::kRigidParallel: {
+      RigidWorkloadSpec spec;
+      spec.count = jobs;
+      spec.max_procs = std::max(2, m / 4);
+      spec.arrival_window = 50.0;
+      spec.w_min = 1.0;
+      spec.w_max = 8.0;
+      return make_rigid_workload(spec, rng);
+    }
+    case ApplicationClass::kMoldableParallel: {
+      MoldableWorkloadSpec spec;
+      spec.count = jobs;
+      spec.max_procs = std::max(2, m / 2);
+      spec.arrival_window = 50.0;
+      spec.w_min = 1.0;
+      spec.w_max = 8.0;
+      return make_moldable_workload(spec, rng);
+    }
+    case ApplicationClass::kMultiParametric: {
+      ParametricBag bag;
+      bag.runs = jobs;
+      bag.run_time = 0.5;
+      return expand_bag(bag, 0);
+    }
+    case ApplicationClass::kMixedCampus: {
+      const int quarter = std::max(1, jobs / 4);
+      JobSet mixed = make_community_workload(Community::kNumericalPhysics,
+                                             quarter, rng, 0, 0.05, 100.0);
+      append_workload(mixed,
+                      make_community_workload(Community::kAstrophysics,
+                                              quarter, rng, 0, 0.05, 100.0));
+      append_workload(mixed,
+                      make_community_workload(Community::kComputerScience,
+                                              quarter, rng, 0, 0.05, 100.0));
+      append_workload(mixed,
+                      make_community_workload(Community::kMedicalResearch,
+                                              quarter, rng, 0, 0.05, 100.0));
+      return mixed;
+    }
+  }
+  throw std::logic_error("unknown application class");
+}
+
+std::vector<MatrixRow> evaluate_policy_matrix(int m, int jobs_per_class,
+                                              std::uint64_t seed) {
+  std::vector<MatrixRow> rows;
+  for (ApplicationClass app : all_application_classes()) {
+    MatrixRow row;
+    row.app = app;
+    const JobSet jobs = make_application_workload(app, jobs_per_class, m, seed);
+    const Time cmax_lb = cmax_lower_bound(jobs, m);
+    const double wc_lb = sum_weighted_completion_lower_bound(jobs, m);
+
+    double best_cmax = kTimeInfinity, best_wc = kTimeInfinity,
+           best_maxflow = kTimeInfinity;
+    for (PolicyKind policy : all_policies()) {
+      const Schedule s = run_policy(policy, jobs, m);
+      const Metrics metrics = compute_metrics(jobs, s);
+      PolicyScore score;
+      score.policy = policy;
+      score.cmax_ratio = metrics.cmax / std::max(cmax_lb, kTimeEps);
+      score.sum_wc_ratio = metrics.sum_weighted / std::max(wc_lb, kTimeEps);
+      score.mean_flow = metrics.mean_flow;
+      score.max_flow = metrics.max_flow;
+      score.utilization = metrics.utilization;
+      row.scores.push_back(score);
+      if (metrics.cmax < best_cmax) {
+        best_cmax = metrics.cmax;
+        row.best_for_cmax = policy;
+      }
+      if (metrics.sum_weighted < best_wc) {
+        best_wc = metrics.sum_weighted;
+        row.best_for_sum_wc = policy;
+      }
+      if (metrics.max_flow < best_maxflow) {
+        best_maxflow = metrics.max_flow;
+        row.best_for_max_flow = policy;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string paper_guidance() {
+  return
+      "Paper guidance (qualitative, §2):\n"
+      "  parallel applications, slow networks      -> Parallel Tasks model\n"
+      "  moldable codes, clairvoyant runtimes      -> MRT batches / bi-criteria\n"
+      "  multi-user clusters (fair response time)  -> bi-criteria or SMART\n"
+      "  multi-parametric campaigns (fine grain)   -> Divisible Load + best-effort\n"
+      "  rigid legacy jobs                         -> backfilling / first batch that fits\n";
+}
+
+}  // namespace lgs

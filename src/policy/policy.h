@@ -1,0 +1,81 @@
+// The paper's title question: which policy for which application?
+//
+// This module runs every scheduling policy of the library against every
+// application class the paper discusses and scores them on every §3
+// criterion, producing the recommendation matrix that the paper argues
+// cannot be collapsed into a single global optimization problem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+/// Application classes motivated in the paper (§2, §5.2).
+enum class ApplicationClass {
+  kSequentialBatch,   ///< long sequential jobs (numerical physics)
+  kRigidParallel,     ///< historically rigid parallel jobs
+  kMoldableParallel,  ///< moldable parallel applications
+  kMultiParametric,   ///< bags of short identical runs (divisible-load-like)
+  kMixedCampus,       ///< the CIMENT reality: everything at once
+};
+
+const char* to_string(ApplicationClass app);
+
+/// Scheduling policies assembled from src/pt.
+enum class PolicyKind {
+  kFcfsList,              ///< greedy list scheduling, submission order
+  kEasyBackfill,          ///< EASY backfilling
+  kConservativeBackfill,  ///< conservative backfilling
+  kFfdhShelves,           ///< batched FFDH strip packing
+  kMrtBatches,            ///< on-line MRT batches (3 + ε for Cmax)
+  kSmartShelves,          ///< batched SMART (Σ wᵢCᵢ)
+  kBicriteria,            ///< doubling-deadline bi-criteria batches
+};
+
+const char* to_string(PolicyKind policy);
+
+/// All policies, in presentation order.
+std::vector<PolicyKind> all_policies();
+std::vector<ApplicationClass> all_application_classes();
+
+/// Run one policy on a workload (release dates honored by every policy —
+/// off-line algorithms are wrapped in the §4.2 batch transformation).
+Schedule run_policy(PolicyKind policy, const JobSet& jobs, int m);
+
+/// Scores of one policy on one application class.
+struct PolicyScore {
+  PolicyKind policy{};
+  double cmax_ratio = 0.0;    ///< Cmax / lower bound
+  double sum_wc_ratio = 0.0;  ///< Σ wᵢCᵢ / lower bound
+  double mean_flow = 0.0;
+  double max_flow = 0.0;
+  double utilization = 0.0;
+};
+
+struct MatrixRow {
+  ApplicationClass app{};
+  std::vector<PolicyScore> scores;
+  PolicyKind best_for_cmax{};
+  PolicyKind best_for_sum_wc{};
+  PolicyKind best_for_max_flow{};
+};
+
+/// Generate the workload of one application class (deterministic in seed).
+JobSet make_application_workload(ApplicationClass app, int jobs, int m,
+                                 std::uint64_t seed);
+
+/// The full matrix: every class × every policy on an m-processor cluster.
+std::vector<MatrixRow> evaluate_policy_matrix(int m, int jobs_per_class,
+                                              std::uint64_t seed);
+
+/// The paper's qualitative guidance (§2): which *model* fits which
+/// application — rendered as text for the bench output.
+std::string paper_guidance();
+
+}  // namespace lgs

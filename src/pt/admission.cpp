@@ -1,0 +1,43 @@
+#include "pt/admission.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/profile.h"
+
+namespace lgs {
+
+AdmissionResult schedule_with_admission(const JobSet& jobs, int m) {
+  for (const Job& j : jobs)
+    if (j.min_procs != j.max_procs)
+      throw std::invalid_argument("admission needs fixed allotments");
+  check_jobset(jobs, m);
+
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (jobs[a].release != jobs[b].release)
+                       return jobs[a].release < jobs[b].release;
+                     return jobs[a].id < jobs[b].id;
+                   });
+
+  AdmissionResult res{Schedule(m), {}, 0.0};
+  Profile profile(m);
+  for (std::size_t i : order) {
+    const Job& j = jobs[i];
+    const Time dur = j.time(j.min_procs);
+    const Time start = profile.earliest_fit(j.release, dur, j.min_procs);
+    if (j.due != kNoDueDate && start + dur > j.due + kTimeEps) {
+      res.rejected.push_back(j.id);
+      res.rejected_weight += j.weight;
+      continue;
+    }
+    profile.commit(start, dur, j.min_procs);
+    res.schedule.add(j.id, start, j.min_procs, dur);
+  }
+  return res;
+}
+
+}  // namespace lgs

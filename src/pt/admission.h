@@ -1,0 +1,30 @@
+// Admission control / task rejection (§3: "Other criteria may include
+// rejection of tasks").
+//
+// With hard due dates a scheduler may be better off *rejecting* a job it
+// cannot finish in time than admitting it and blowing every deadline
+// behind it.  This module implements profile-based admission: jobs are
+// considered FCFS; each is tentatively placed at its earliest fit and
+// admitted only if it meets its due date (jobs without one are always
+// admitted).  The resulting schedule is tardiness-free by construction —
+// the property the tests pin down.
+#pragma once
+
+#include <vector>
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+struct AdmissionResult {
+  Schedule schedule;           ///< admitted jobs only
+  std::vector<JobId> rejected; ///< jobs turned away
+  double rejected_weight = 0.0;
+};
+
+/// Schedule rigid jobs (fix allotments first) with due-date admission.
+/// Honors release dates; admitted jobs never finish late.
+AdmissionResult schedule_with_admission(const JobSet& jobs, int m);
+
+}  // namespace lgs

@@ -1,0 +1,72 @@
+#include "pt/allotment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lgs {
+
+int canonical_allotment(const Job& j, Time t, int m) {
+  const int hi = std::min(j.max_procs, m);
+  if (hi < j.min_procs) return 0;
+  if (j.model.time(hi) > t + kTimeEps) return 0;
+  // Binary search: time() is non-increasing, find the smallest k meeting t.
+  int lo = j.min_procs, best = hi;
+  int high = hi;
+  while (lo <= high) {
+    const int mid = lo + (high - lo) / 2;
+    if (j.model.time(mid) <= t + kTimeEps) {
+      best = mid;
+      high = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+int min_work_allotment(const Job& j, int m) {
+  if (j.min_procs > m)
+    throw std::invalid_argument("job cannot run on this machine");
+  return j.min_procs;
+}
+
+int best_time_allotment(const Job& j, int m) {
+  const int hi = std::min(j.max_procs, m);
+  if (hi < j.min_procs)
+    throw std::invalid_argument("job cannot run on this machine");
+  // The model may stop improving before hi; don't waste processors.
+  const int useful = j.model.useful_limit(hi);
+  return std::max(j.min_procs, useful);
+}
+
+JobSet fix_allotments(const JobSet& jobs, const std::vector<int>& allotments) {
+  if (allotments.size() != jobs.size())
+    throw std::invalid_argument("allotment vector size mismatch");
+  JobSet rigid;
+  rigid.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& j = jobs[i];
+    int k = allotments[i];
+    if (j.kind == JobKind::kRigid) k = j.min_procs;
+    if (k < j.min_procs || k > j.max_procs)
+      throw std::invalid_argument("allotment out of range");
+    Job r = Job::rigid(j.id, k, j.time(k), j.release, j.weight);
+    r.due = j.due;
+    r.community = j.community;
+    rigid.push_back(std::move(r));
+  }
+  return rigid;
+}
+
+JobSet fix_canonical(const JobSet& jobs, Time t, int m) {
+  std::vector<int> allot(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& j = jobs[i];
+    int k = canonical_allotment(j, t, m);
+    if (k == 0) k = best_time_allotment(j, m);
+    allot[i] = k;
+  }
+  return fix_allotments(jobs, allot);
+}
+
+}  // namespace lgs

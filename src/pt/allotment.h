@@ -1,0 +1,37 @@
+// Allotment selection for moldable jobs (§4).
+//
+// The moldable algorithms all reduce to: pick a processor count for each
+// job (the *allotment*), then solve a rigid packing problem.  The canonical
+// allotment γ(j, t) — the fewest processors bringing job j under time t —
+// is the key primitive of the MRT dual-approximation (§4.1).
+#pragma once
+
+#include <vector>
+
+#include "core/job.h"
+
+namespace lgs {
+
+/// Smallest admissible allotment k (min_procs <= k <= min(max_procs, m))
+/// with time(k) <= t, or 0 when no admissible count meets t.  Well defined
+/// because ExecModel times are monotone non-increasing.
+int canonical_allotment(const Job& j, Time t, int m);
+
+/// Allotment minimizing work = min_procs for monotone models (clamped to m).
+int min_work_allotment(const Job& j, int m);
+
+/// Allotment minimizing execution time (fastest, most wasteful).
+int best_time_allotment(const Job& j, int m);
+
+/// Turn a moldable job set into a rigid one by fixing allotments[i]
+/// processors for jobs[i]; durations come from the execution model.
+/// Rigid/sequential jobs keep their processor count (allotments entry
+/// ignored).  Throws if an allotment is out of range.
+JobSet fix_allotments(const JobSet& jobs, const std::vector<int>& allotments);
+
+/// Convenience: fix every moldable job at its canonical allotment for
+/// target time `t` (jobs that cannot meet `t` get their best-time
+/// allotment instead — used by heuristic batch fillers).
+JobSet fix_canonical(const JobSet& jobs, Time t, int m);
+
+}  // namespace lgs

@@ -1,0 +1,162 @@
+#include "pt/backfill.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "core/profile.h"
+
+namespace lgs {
+
+namespace {
+
+std::vector<std::size_t> fcfs_order(const JobSet& jobs) {
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (jobs[a].release != jobs[b].release)
+                       return jobs[a].release < jobs[b].release;
+                     return jobs[a].id < jobs[b].id;
+                   });
+  return order;
+}
+
+}  // namespace
+
+Schedule conservative_backfill(const JobSet& jobs, int m,
+                               const std::vector<Reservation>& reservations) {
+  for (const Job& j : jobs)
+    if (j.min_procs != j.max_procs)
+      throw std::invalid_argument("backfilling needs fixed allotments");
+  check_jobset(jobs, m);
+
+  Profile profile(m);
+  for (const Reservation& r : reservations) {
+    if (r.procs > m) throw std::invalid_argument("reservation too large");
+    profile.commit(r.start, r.end - r.start, r.procs);
+  }
+
+  Schedule s(m);
+  for (std::size_t i : fcfs_order(jobs)) {
+    const Job& j = jobs[i];
+    const Time dur = j.time(j.min_procs);
+    const Time start = profile.earliest_fit(j.release, dur, j.min_procs);
+    profile.commit(start, dur, j.min_procs);
+    s.add(j.id, start, j.min_procs, dur);
+  }
+  return s;
+}
+
+Schedule easy_backfill(const JobSet& jobs, int m) {
+  for (const Job& j : jobs)
+    if (j.min_procs != j.max_procs)
+      throw std::invalid_argument("backfilling needs fixed allotments");
+  check_jobset(jobs, m);
+
+  const std::vector<std::size_t> order = fcfs_order(jobs);
+  std::vector<bool> started(jobs.size(), false);
+
+  struct Running {
+    Time finish;
+    int procs;
+  };
+  std::vector<Running> running;
+  int free = m;
+  Time now = 0.0;
+  Schedule s(m);
+  std::size_t remaining = jobs.size();
+
+  const auto start_job = [&](std::size_t i) {
+    const Job& j = jobs[i];
+    const Time dur = j.time(j.min_procs);
+    s.add(j.id, now, j.min_procs, dur);
+    running.push_back({now + dur, j.min_procs});
+    free -= j.min_procs;
+    started[i] = true;
+    --remaining;
+  };
+
+  while (remaining > 0) {
+    // 1. Start queued jobs FCFS while the head fits.
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (std::size_t i : order) {
+        if (started[i]) continue;
+        const Job& j = jobs[i];
+        if (j.release > now + kTimeEps) continue;  // not yet in the queue
+        if (j.min_procs <= free) {
+          start_job(i);
+          moved = true;
+        }
+        break;  // only the queue head may start in this phase
+      }
+    }
+
+    // 2. Find the queue head (earliest unstarted released job).
+    std::size_t head = jobs.size();
+    for (std::size_t i : order) {
+      if (!started[i] && jobs[i].release <= now + kTimeEps) {
+        head = i;
+        break;
+      }
+    }
+
+    if (head != jobs.size()) {
+      // Compute the head's shadow time: when enough processors free up.
+      std::vector<Running> sorted = running;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Running& a, const Running& b) {
+                  return a.finish < b.finish;
+                });
+      int avail = free;
+      Time shadow = now;
+      int surplus = free - jobs[head].min_procs;
+      for (const Running& r : sorted) {
+        if (avail >= jobs[head].min_procs) break;
+        avail += r.procs;
+        shadow = r.finish;
+        surplus = avail - jobs[head].min_procs;
+      }
+      // 3. Backfill: later queued jobs may start now if they fit and do not
+      // delay the head's reservation.
+      for (std::size_t i : order) {
+        if (started[i] || i == head) continue;
+        const Job& j = jobs[i];
+        if (j.release > now + kTimeEps) continue;
+        if (j.min_procs > free) continue;
+        const Time dur = j.time(j.min_procs);
+        const bool fits_before_shadow = now + dur <= shadow + kTimeEps;
+        const bool fits_beside = j.min_procs <= surplus;
+        if (fits_before_shadow || fits_beside) {
+          start_job(i);
+          if (fits_beside && !fits_before_shadow) surplus -= j.min_procs;
+        }
+      }
+    }
+    if (remaining == 0) break;
+
+    // 4. Advance to the next completion or release.
+    Time next = kTimeInfinity;
+    for (const Running& r : running) next = std::min(next, r.finish);
+    for (std::size_t i : order)
+      if (!started[i] && jobs[i].release > now + kTimeEps)
+        next = std::min(next, jobs[i].release);
+    if (next == kTimeInfinity)
+      throw std::logic_error("EASY backfilling stalled");
+    now = next;
+    std::vector<Running> still;
+    for (const Running& r : running) {
+      if (r.finish <= now + kTimeEps)
+        free += r.procs;
+      else
+        still.push_back(r);
+    }
+    running = std::move(still);
+  }
+  return s;
+}
+
+}  // namespace lgs

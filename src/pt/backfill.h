@@ -1,0 +1,29 @@
+// Backfilling schedulers (§5.2 mentions conservative backfilling as the
+// mechanism the grid layer exploits to fill holes; §5.1 needs reservation
+// support).
+//
+// * Conservative backfilling: every queued job gets a start-time
+//   reservation in the availability profile; later jobs may slide into
+//   holes only when they delay nobody.
+// * EASY backfilling: only the queue head holds a reservation; shorter
+//   jobs may jump ahead when they do not delay it.
+//
+// Both take rigid jobs (fix allotments first) and honor release dates.
+// Conservative backfilling additionally honors fixed reservations
+// (§5.1), which are committed into the profile before scheduling.
+#pragma once
+
+#include "core/job.h"
+#include "core/schedule.h"
+#include "core/validate.h"
+
+namespace lgs {
+
+/// Conservative backfilling; `reservations` are unavailable windows.
+Schedule conservative_backfill(const JobSet& jobs, int m,
+                               const std::vector<Reservation>& reservations = {});
+
+/// EASY (aggressive) backfilling; no reservation support.
+Schedule easy_backfill(const JobSet& jobs, int m);
+
+}  // namespace lgs

@@ -1,0 +1,59 @@
+#include "pt/batch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pt/mrt.h"
+
+namespace lgs {
+
+BatchResult batch_schedule(const JobSet& jobs, int m,
+                           const OfflineAlgo& offline) {
+  check_jobset(jobs, m);
+  BatchResult res{Schedule(m), 0};
+  if (jobs.empty()) return res;
+
+  std::vector<bool> scheduled(jobs.size(), false);
+  std::size_t remaining = jobs.size();
+  // First batch opens at the earliest release date.
+  Time now = kTimeInfinity;
+  for (const Job& j : jobs) now = std::min(now, j.release);
+
+  while (remaining > 0) {
+    JobSet batch;
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (scheduled[i] || jobs[i].release > now + kTimeEps) continue;
+      Job copy = jobs[i];
+      copy.release = 0.0;  // off-line sub-problem
+      batch.push_back(std::move(copy));
+      members.push_back(i);
+    }
+    if (batch.empty()) {
+      // Idle until the next arrival.
+      Time next = kTimeInfinity;
+      for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (!scheduled[i]) next = std::min(next, jobs[i].release);
+      now = next;
+      continue;
+    }
+    Schedule sub = offline(batch, m);
+    sub.shift(now);
+    res.schedule.append(sub);
+    for (std::size_t i : members) scheduled[i] = true;
+    remaining -= members.size();
+    now = std::max(now, sub.makespan());
+    ++res.batches;
+  }
+  return res;
+}
+
+BatchResult online_moldable_schedule(const JobSet& jobs, int m, double eps) {
+  MrtOptions opts;
+  opts.eps = eps;
+  return batch_schedule(jobs, m, [opts](const JobSet& batch, int machines) {
+    return mrt_schedule(batch, machines, opts).schedule;
+  });
+}
+
+}  // namespace lgs

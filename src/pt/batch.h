@@ -1,0 +1,36 @@
+// On-line batch scheduling (§4.2).
+//
+// Shmoys, Wein and Williamson's generic transformation: run an off-line
+// algorithm with performance ratio ρ on successive *batches* — all jobs
+// that arrived while the previous batch was executing — and obtain a
+// 2ρ-competitive algorithm for on-line release dates.  With the MRT
+// (3/2 + ε) off-line algorithm this yields the paper's 3 + ε result for
+// on-line moldable jobs.
+#pragma once
+
+#include <functional>
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+/// Off-line makespan scheduler: jobs all released at 0, m machines.
+using OfflineAlgo = std::function<Schedule(const JobSet&, int)>;
+
+struct BatchResult {
+  Schedule schedule;
+  int batches = 0;
+};
+
+/// Batch-scheduling wrapper: collect released jobs, run `offline` on them,
+/// execute the batch, repeat with everything that arrived meanwhile.
+BatchResult batch_schedule(const JobSet& jobs, int m,
+                           const OfflineAlgo& offline);
+
+/// The paper's on-line moldable scheduler: batch wrapper around the MRT
+/// algorithm (performance ratio 3 + ε for Cmax with release dates).
+BatchResult online_moldable_schedule(const JobSet& jobs, int m,
+                                     double eps = 0.02);
+
+}  // namespace lgs

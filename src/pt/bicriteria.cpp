@@ -1,0 +1,141 @@
+#include "pt/bicriteria.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "pt/allotment.h"
+
+namespace lgs {
+
+namespace {
+
+/// Incremental A_Cmax: first-fit shelves bounded by the batch length.
+/// Jobs are offered one at a time; a job is accepted iff it fits in an
+/// existing shelf without pushing the stacked height beyond `len`, or a
+/// fresh shelf for it still fits.  O(#shelves) per offer.
+class BatchPacker {
+ public:
+  BatchPacker(int m, Time len) : m_(m), len_(len) {}
+
+  /// Try to place (job, k procs, dur).  Returns true and records the
+  /// placement on success.
+  bool offer(JobId id, int k, Time dur) {
+    if (dur > len_ + kTimeEps || k > m_) return false;
+    // First fit: a shelf whose height won't grow past budget.
+    for (std::size_t si = 0; si < shelves_.size(); ++si) {
+      ShelfState& sh = shelves_[si];
+      if (sh.used + k > m_) continue;
+      const Time new_height = std::max(sh.height, dur);
+      if (total_ - sh.height + new_height > len_ + kTimeEps) continue;
+      total_ += new_height - sh.height;
+      sh.height = new_height;
+      sh.used += k;
+      items_.push_back({id, si, k, dur});
+      return true;
+    }
+    if (total_ + dur > len_ + kTimeEps) return false;
+    shelves_.push_back({k, dur});
+    total_ += dur;
+    items_.push_back({id, shelves_.size() - 1, k, dur});
+    return true;
+  }
+
+  /// Emit the batch-relative schedule (shelves stacked from 0).
+  void emit(Time offset, Schedule* out) const {
+    std::vector<Time> base(shelves_.size(), 0.0);
+    Time acc = 0.0;
+    for (std::size_t si = 0; si < shelves_.size(); ++si) {
+      base[si] = acc;
+      acc += shelves_[si].height;
+    }
+    for (const Item& it : items_)
+      out->add(it.id, offset + base[it.shelf], it.procs, it.dur);
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t count() const { return items_.size(); }
+
+ private:
+  struct ShelfState {
+    int used = 0;
+    Time height = 0.0;
+  };
+  struct Item {
+    JobId id;
+    std::size_t shelf;
+    int procs;
+    Time dur;
+  };
+  int m_;
+  Time len_;
+  Time total_ = 0.0;
+  std::vector<ShelfState> shelves_;
+  std::vector<Item> items_;
+};
+
+}  // namespace
+
+BicriteriaResult bicriteria_schedule(const JobSet& jobs, int m,
+                                     const BicriteriaOptions& opts) {
+  check_jobset(jobs, m);
+  if (opts.factor <= 1.0)
+    throw std::invalid_argument("growth factor must exceed 1");
+  BicriteriaResult res{Schedule(m), 0};
+  if (jobs.empty()) return res;
+
+  Time d0 = opts.first_deadline;
+  if (d0 <= 0) {
+    d0 = kTimeInfinity;
+    for (const Job& j : jobs) d0 = std::min(d0, j.best_time(m));
+  }
+
+  std::vector<bool> done(jobs.size(), false);
+  std::size_t remaining = jobs.size();
+
+  Time batch_start = 0.0;
+  Time deadline = d0;
+  int guard = 0;
+  while (remaining > 0) {
+    if (++guard > 300)
+      throw std::logic_error("bicriteria batches failed to converge");
+    const Time len = deadline - batch_start;
+
+    // Candidates released by the start of this batch, heaviest density
+    // first (greedy stand-in for the max-weight selection of §4.4).
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (!done[i] && jobs[i].release <= batch_start + kTimeEps)
+        candidates.push_back(i);
+    if (opts.density_order) {
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return jobs[a].weight * jobs[b].min_work() >
+                                jobs[b].weight * jobs[a].min_work();
+                       });
+    }
+
+    BatchPacker packer(m, len);
+    std::vector<std::size_t> selected;
+    for (std::size_t i : candidates) {
+      const Job& j = jobs[i];
+      const int k = canonical_allotment(j, len, m);
+      if (k == 0) continue;  // cannot meet this deadline; wait for a later one
+      if (packer.offer(j.id, k, j.time(k))) selected.push_back(i);
+    }
+
+    if (!selected.empty()) {
+      packer.emit(batch_start, &res.schedule);
+      for (std::size_t i : selected) done[i] = true;
+      remaining -= selected.size();
+      ++res.batches;
+    }
+    batch_start = deadline;
+    deadline = batch_start * opts.factor;
+    if (deadline <= batch_start) deadline = batch_start + d0;
+  }
+  return res;
+}
+
+}  // namespace lgs

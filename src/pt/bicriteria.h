@@ -1,0 +1,42 @@
+// Bi-criteria scheduling (§4.4 and Fig. 2).
+//
+// The paper's family of algorithms obtains simultaneous guarantees on Cmax
+// and Σ wᵢCᵢ by running a makespan procedure A_Cmax in batches of doubling
+// deadlines d, 2d, 4d, ...: each batch receives as many (as heavy) tasks
+// as possible among those already released, so small/heavy jobs finish in
+// early batches (good Σ wᵢCᵢ) while the geometric growth keeps the total
+// length within 4·ρ_Cmax of the optimal makespan.
+//
+// A_Cmax here is "canonical allotment at the batch deadline + FFDH shelf
+// packing", a ρ ≈ 2 heuristic; jobs are offered to a batch in decreasing
+// weight-density order (weight / minimal work), a knapsack-style greedy
+// for the max-weight selection the theory asks of A_Cmax.
+#pragma once
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+struct BicriteriaOptions {
+  /// Geometric growth factor of batch deadlines (paper: 2).
+  double factor = 2.0;
+  /// First deadline; 0 = auto (smallest best execution time among jobs).
+  Time first_deadline = 0.0;
+  /// Offer jobs to batches in weight-density order (true) or submission
+  /// order (ablation).
+  bool density_order = true;
+};
+
+struct BicriteriaResult {
+  Schedule schedule;
+  int batches = 0;
+};
+
+/// Schedule moldable/sequential jobs with release dates; every job is
+/// placed in the first batch (after its release) where the makespan
+/// procedure still fits it.
+BicriteriaResult bicriteria_schedule(const JobSet& jobs, int m,
+                                     const BicriteriaOptions& opts = {});
+
+}  // namespace lgs

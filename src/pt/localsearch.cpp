@@ -1,0 +1,95 @@
+#include "pt/localsearch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.h"
+#include "criteria/lower_bounds.h"
+#include "pt/allotment.h"
+#include "pt/shelves.h"
+
+namespace lgs {
+
+namespace {
+
+Time evaluate(const JobSet& jobs, const std::vector<int>& allot, int m) {
+  return shelf_schedule_rigid(fix_allotments(jobs, allot), m,
+                              ShelfPolicy::kFirstFitDecreasing)
+      .makespan();
+}
+
+}  // namespace
+
+LocalSearchResult local_search_moldable(const JobSet& jobs, int m,
+                                        const LocalSearchOptions& opts) {
+  check_jobset(jobs, m);
+  for (const Job& j : jobs)
+    if (j.release > 0)
+      throw std::invalid_argument("local search is off-line only");
+  if (opts.iterations < 0) throw std::invalid_argument("negative iterations");
+
+  LocalSearchResult res{Schedule(m), 0.0, 0};
+  if (jobs.empty()) return res;
+
+  // Start from the canonical allotment at the area bound — the same
+  // a-priori point §5.1 suggests.
+  const Time lb = cmax_lower_bound(jobs, m);
+  std::vector<int> current(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    int k = canonical_allotment(jobs[i], lb, m);
+    if (k == 0) k = best_time_allotment(jobs[i], m);
+    current[i] = k;
+  }
+  Time cur_val = evaluate(jobs, current, m);
+  res.initial_makespan = cur_val;
+  std::vector<int> best = current;
+  Time best_val = cur_val;
+
+  Rng rng(opts.seed);
+  double temp = opts.temperature * cur_val;
+  const double cooling =
+      opts.iterations > 0 ? std::pow(1e-3, 1.0 / opts.iterations) : 1.0;
+
+  for (int it = 0; it < opts.iterations; ++it) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniform_int(0, jobs.size() - 1));
+    const Job& j = jobs[pick];
+    const int hi = std::min(j.max_procs, m);
+    if (hi == j.min_procs) continue;  // rigid: nothing to move
+    int proposal;
+    if (rng.flip(0.5)) {
+      // Nudge by one.
+      proposal = current[pick] + (rng.flip(0.5) ? 1 : -1);
+    } else {
+      proposal = static_cast<int>(rng.uniform_int(j.min_procs, hi));
+    }
+    proposal = std::clamp(proposal, j.min_procs, hi);
+    if (proposal == current[pick]) continue;
+
+    const int saved = current[pick];
+    current[pick] = proposal;
+    const Time val = evaluate(jobs, current, m);
+    const bool accept =
+        val <= cur_val ||
+        (temp > 0 && rng.uniform(0.0, 1.0) < std::exp((cur_val - val) / temp));
+    if (accept) {
+      cur_val = val;
+      ++res.accepted_moves;
+      if (val < best_val) {
+        best_val = val;
+        best = current;
+      }
+    } else {
+      current[pick] = saved;
+    }
+    temp *= cooling;
+  }
+
+  res.schedule = shelf_schedule_rigid(fix_allotments(jobs, best), m,
+                                      ShelfPolicy::kFirstFitDecreasing);
+  return res;
+}
+
+}  // namespace lgs

@@ -1,0 +1,39 @@
+// Local-search allotment optimizer for off-line moldable makespan.
+//
+// Not part of the paper's toolbox — a reference point for it.  The §4
+// guarantees are stated against an unknowable OPT; this annealed local
+// search over allotment vectors (evaluated with FFDH packing) produces a
+// strong feasible schedule whose makespan upper-bounds OPT far more
+// tightly than the analytic lower bound, letting the guarantee benches
+// sandwich OPT from both sides (LB ≤ OPT ≤ local-search ≤ 1.5λ·…).
+#pragma once
+
+#include <cstdint>
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+struct LocalSearchOptions {
+  int iterations = 2000;
+  std::uint64_t seed = 1;
+  /// Initial acceptance temperature as a fraction of the starting
+  /// makespan (simulated-annealing style; 0 = pure hill climbing).
+  double temperature = 0.02;
+};
+
+struct LocalSearchResult {
+  Schedule schedule;
+  /// Makespan of the canonical-allotment starting point, for reporting
+  /// the improvement.
+  Time initial_makespan = 0.0;
+  int accepted_moves = 0;
+};
+
+/// Optimize allotments of moldable jobs (all releases must be 0) for
+/// makespan.  Deterministic in the seed.
+LocalSearchResult local_search_moldable(const JobSet& jobs, int m,
+                                        const LocalSearchOptions& opts = {});
+
+}  // namespace lgs

@@ -1,0 +1,272 @@
+#include "pt/malleable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace lgs {
+
+namespace {
+
+constexpr double kProgressEps = 1e-9;
+
+/// Instantaneous speedup of job j on k processors (0 when unallocated).
+double speedup(const Job& j, int k) {
+  if (k <= 0) return 0.0;
+  return j.model.time(1) / j.model.time(k);
+}
+
+struct Active {
+  std::size_t idx;        // into jobs
+  double remaining;       // sequential-time units left
+  int allotment = 0;
+};
+
+/// EQUI: equal shares, respecting [min,max] bounds, deterministic in job
+/// id order; leftovers water-filled one processor at a time.
+void allocate_equi(const JobSet& jobs, std::vector<Active>& active, int m) {
+  for (Active& a : active) a.allotment = 0;
+  if (active.empty()) return;
+  const int share = std::max(1, m / static_cast<int>(active.size()));
+  int left = m;
+  for (Active& a : active) {
+    const Job& j = jobs[a.idx];
+    const int hi = std::min(j.max_procs, m);
+    const int want = std::min(hi, std::max(j.min_procs, share));
+    if (want <= left) {
+      a.allotment = want;
+      left -= want;
+    }
+  }
+  // Water-fill leftovers to jobs that can still grow.
+  bool grew = true;
+  while (left > 0 && grew) {
+    grew = false;
+    for (Active& a : active) {
+      if (left == 0) break;
+      const Job& j = jobs[a.idx];
+      if (a.allotment == 0) {
+        if (j.min_procs <= left) {
+          a.allotment = j.min_procs;
+          left -= j.min_procs;
+          grew = true;
+        }
+      } else if (a.allotment < std::min(j.max_procs, m)) {
+        ++a.allotment;
+        --left;
+        grew = true;
+      }
+    }
+  }
+}
+
+/// MaxSpeedup: repeatedly spend processors where the marginal speedup per
+/// processor is highest (activation of an idle job costs min_procs at
+/// once).  Clairvoyant-greedy; deterministic (ties by job id).
+void allocate_max_speedup(const JobSet& jobs, std::vector<Active>& active,
+                          int m) {
+  for (Active& a : active) a.allotment = 0;
+  int left = m;
+  while (left > 0) {
+    double best_gain = 0.0;
+    Active* best = nullptr;
+    int best_cost = 0;
+    for (Active& a : active) {
+      const Job& j = jobs[a.idx];
+      const int hi = std::min(j.max_procs, m);
+      double gain = 0.0;
+      int cost = 0;
+      if (a.allotment == 0) {
+        cost = j.min_procs;
+        if (cost > left) continue;
+        gain = speedup(j, j.min_procs) / cost;
+      } else if (a.allotment < hi) {
+        cost = 1;
+        gain = speedup(j, a.allotment + 1) - speedup(j, a.allotment);
+      } else {
+        continue;
+      }
+      if (gain > best_gain + kProgressEps ||
+          (gain > best_gain - kProgressEps && best != nullptr &&
+           jobs[a.idx].id < jobs[best->idx].id)) {
+        best_gain = gain;
+        best = &a;
+        best_cost = cost;
+      }
+    }
+    if (best == nullptr || best_gain <= kProgressEps) break;
+    best->allotment += best_cost == 1 ? 1 : best_cost;
+    left -= best_cost;
+  }
+}
+
+}  // namespace
+
+const char* to_string(MalleablePolicy p) {
+  switch (p) {
+    case MalleablePolicy::kEqui:
+      return "equi-partition";
+    case MalleablePolicy::kMaxSpeedup:
+      return "max-speedup";
+  }
+  return "?";
+}
+
+int MalleableSchedule::peak_demand() const {
+  int peak = 0;
+  for (const MalleablePhase& ph : phases) {
+    int total = 0;
+    for (const auto& [id, k] : ph.allotment) total += k;
+    peak = std::max(peak, total);
+  }
+  return peak;
+}
+
+double MalleableSchedule::consumed(JobId id) const {
+  double total = 0.0;
+  for (const MalleablePhase& ph : phases) {
+    const auto it = ph.allotment.find(id);
+    if (it != ph.allotment.end())
+      total += static_cast<double>(it->second) * (ph.end - ph.start);
+  }
+  return total;
+}
+
+MalleableSchedule malleable_schedule(const JobSet& jobs, int m,
+                                     const MalleableOptions& opts) {
+  check_jobset(jobs, m);
+  MalleableSchedule out;
+  if (jobs.empty()) return out;
+
+  // Pending jobs sorted by release; active set with remaining progress.
+  std::vector<std::size_t> pending(jobs.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  std::stable_sort(pending.begin(), pending.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (jobs[a].release != jobs[b].release)
+                       return jobs[a].release < jobs[b].release;
+                     return jobs[a].id < jobs[b].id;
+                   });
+  std::size_t next_pending = 0;
+  std::vector<Active> active;
+  Time now = 0.0;
+  std::size_t done = 0;
+
+  int guard = 0;
+  const int guard_limit = static_cast<int>(jobs.size()) * 1000 + 1000;
+  while (done < jobs.size()) {
+    if (++guard > guard_limit)
+      throw std::logic_error("malleable scheduler failed to converge");
+
+    // Admit released jobs.
+    while (next_pending < pending.size() &&
+           jobs[pending[next_pending]].release <= now + kTimeEps) {
+      active.push_back(
+          {pending[next_pending], jobs[pending[next_pending]].model.time(1)});
+      ++next_pending;
+    }
+    if (active.empty()) {
+      // Idle until the next release.
+      now = jobs[pending[next_pending]].release;
+      continue;
+    }
+
+    // Reallocate.
+    std::vector<int> before(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i)
+      before[i] = active[i].allotment;
+    if (opts.policy == MalleablePolicy::kEqui)
+      allocate_equi(jobs, active, m);
+    else
+      allocate_max_speedup(jobs, active, m);
+    if (opts.realloc_penalty > 0) {
+      for (std::size_t i = 0; i < active.size(); ++i)
+        if (before[i] != 0 && before[i] != active[i].allotment)
+          active[i].remaining += opts.realloc_penalty;
+    }
+
+    // Time to the next event: completion or release.
+    Time dt = kTimeInfinity;
+    if (next_pending < pending.size())
+      dt = jobs[pending[next_pending]].release - now;
+    for (const Active& a : active) {
+      const double s = speedup(jobs[a.idx], a.allotment);
+      if (s > 0) dt = std::min(dt, a.remaining / s);
+    }
+    if (dt == kTimeInfinity)
+      throw std::logic_error("malleable scheduler stalled");
+    dt = std::max(dt, 0.0);
+
+    // Record the phase and advance progress.
+    if (dt > 0) {
+      MalleablePhase ph;
+      ph.start = now;
+      ph.end = now + dt;
+      for (const Active& a : active)
+        if (a.allotment > 0) ph.allotment[jobs[a.idx].id] = a.allotment;
+      if (!ph.allotment.empty()) out.phases.push_back(std::move(ph));
+    }
+    now += dt;
+    std::vector<Active> still;
+    for (Active& a : active) {
+      a.remaining -= speedup(jobs[a.idx], a.allotment) * dt;
+      if (a.remaining <= kProgressEps * (1.0 + jobs[a.idx].model.time(1))) {
+        out.completion[jobs[a.idx].id] = now;
+        ++done;
+      } else {
+        still.push_back(a);
+      }
+    }
+    active = std::move(still);
+  }
+  out.makespan = now;
+  return out;
+}
+
+std::vector<std::string> validate_malleable(const JobSet& jobs, int m,
+                                            const MalleableSchedule& s) {
+  std::vector<std::string> problems;
+  const auto report = [&](const std::string& p) { problems.push_back(p); };
+
+  Time prev_end = 0.0;
+  for (const MalleablePhase& ph : s.phases) {
+    if (ph.end < ph.start - kTimeEps) report("phase with negative length");
+    if (ph.start < prev_end - kTimeEps) report("overlapping phases");
+    prev_end = ph.end;
+    int total = 0;
+    for (const auto& [id, k] : ph.allotment) total += k;
+    if (total > m) {
+      std::ostringstream msg;
+      msg << "phase demand " << total << " exceeds " << m;
+      report(msg.str());
+    }
+  }
+
+  for (const Job& j : jobs) {
+    const auto it = s.completion.find(j.id);
+    if (it == s.completion.end()) {
+      report("job missing completion");
+      continue;
+    }
+    double progress = 0.0;
+    for (const MalleablePhase& ph : s.phases) {
+      const auto a = ph.allotment.find(j.id);
+      if (a == ph.allotment.end()) continue;
+      if (ph.start < j.release - kTimeEps)
+        report("job allocated before its release");
+      if (a->second < j.min_procs || a->second > j.max_procs)
+        report("allotment outside bounds");
+      progress += (j.model.time(1) / j.model.time(a->second)) *
+                  (ph.end - ph.start);
+      if (ph.start > it->second + kTimeEps)
+        report("job allocated after its completion");
+    }
+    if (progress < j.model.time(1) * (1.0 - 1e-6))
+      report("job completed without enough progress");
+  }
+  return problems;
+}
+
+}  // namespace lgs

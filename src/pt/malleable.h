@@ -1,0 +1,79 @@
+// Malleable job scheduling (§2.2, third PT class).
+//
+// The paper defers malleability ("we will not consider malleability
+// here") while noting it is "much more easily usable from the scheduling
+// point of view" and should grow in importance — this module implements
+// that future-work direction so the claim can be measured (see
+// bench/bench_malleable).
+//
+// Model: a malleable job's processor count may change at any scheduler
+// event.  Progress is tracked in sequential-time units: with allotment k
+// the job advances at its *speedup* rate  s(k) = t(1) / t(k)  (monotone,
+// from the job's ExecModel), and completes when the accumulated progress
+// reaches t(1).  Reallocation is free (the paper's penalty-factor view:
+// redistribution costs are already inside the model; an explicit cost can
+// be enabled for ablation).
+//
+// Schedulers:
+//  * EQUI — equi-partitioning: active jobs share the machine equally
+//    (the classical non-clairvoyant-fair policy);
+//  * MaxSpeedup — water-filling by marginal speedup: each processor goes
+//    where it buys the most instantaneous progress (clairvoyant-greedy).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/job.h"
+#include "core/types.h"
+
+namespace lgs {
+
+/// One constant-allocation interval of a malleable execution.
+struct MalleablePhase {
+  Time start = 0.0;
+  Time end = 0.0;
+  /// job id -> processors during [start, end).
+  std::map<JobId, int> allotment;
+};
+
+/// Completed malleable execution.
+struct MalleableSchedule {
+  std::vector<MalleablePhase> phases;
+  std::map<JobId, Time> completion;
+  Time makespan = 0.0;
+
+  /// Largest Σ allotment over all phases (must be ≤ m).
+  int peak_demand() const;
+  /// Integrated processor-time consumed by one job.
+  double consumed(JobId id) const;
+};
+
+enum class MalleablePolicy {
+  kEqui,        ///< equal shares among active jobs
+  kMaxSpeedup,  ///< processors to the best marginal speedup
+};
+
+const char* to_string(MalleablePolicy p);
+
+struct MalleableOptions {
+  MalleablePolicy policy = MalleablePolicy::kEqui;
+  /// Progress lost at each reallocation of a job, in sequential-time
+  /// units (0 = free malleability; > 0 models redistribution cost).
+  double realloc_penalty = 0.0;
+};
+
+/// Schedule jobs (any kind; rigid jobs keep their fixed width, moldable/
+/// malleable use [min_procs, max_procs]) with dynamic reallocation.
+/// Release dates honored.  Throws on jobs wider than the machine.
+MalleableSchedule malleable_schedule(const JobSet& jobs, int m,
+                                     const MalleableOptions& opts = {});
+
+/// Sanity checker mirroring core/validate.h for the malleable structure:
+/// capacity respected in every phase, phases contiguous and ordered,
+/// every job completed exactly once after its release, allotments within
+/// bounds.  Returns human-readable problems (empty = valid).
+std::vector<std::string> validate_malleable(const JobSet& jobs, int m,
+                                            const MalleableSchedule& s);
+
+}  // namespace lgs

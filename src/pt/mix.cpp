@@ -1,0 +1,64 @@
+#include "pt/mix.h"
+
+#include <stdexcept>
+
+#include "criteria/lower_bounds.h"
+#include "pt/allotment.h"
+#include "pt/backfill.h"
+#include "pt/bicriteria.h"
+#include "pt/mrt.h"
+#include "pt/shelves.h"
+
+namespace lgs {
+
+const char* to_string(MixStrategy s) {
+  switch (s) {
+    case MixStrategy::kSeparatePhases:
+      return "separate-phases";
+    case MixStrategy::kAprioriAllotment:
+      return "a-priori-allotment";
+    case MixStrategy::kRigidIntoBatches:
+      return "rigid-into-batches";
+  }
+  return "?";
+}
+
+Schedule schedule_mixed(const JobSet& jobs, int m, MixStrategy strategy) {
+  check_jobset(jobs, m);
+  switch (strategy) {
+    case MixStrategy::kSeparatePhases: {
+      for (const Job& j : jobs)
+        if (j.release > 0)
+          throw std::invalid_argument("kSeparatePhases is off-line only");
+      JobSet moldable, rigid;
+      for (const Job& j : jobs)
+        (j.kind == JobKind::kRigid ? rigid : moldable).push_back(j);
+      Schedule s(m);
+      Time offset = 0.0;
+      if (!moldable.empty()) {
+        Schedule ms = mrt_schedule(moldable, m).schedule;
+        offset = ms.makespan();
+        s.append(ms);
+      }
+      if (!rigid.empty()) {
+        Schedule rs =
+            shelf_schedule_rigid(rigid, m, ShelfPolicy::kFirstFitDecreasing);
+        rs.shift(offset);
+        s.append(rs);
+      }
+      return s;
+    }
+    case MixStrategy::kAprioriAllotment: {
+      // Allot every moldable job for the area lower bound — the natural
+      // a-priori target — then run a rigid scheduler on the union.
+      const Time target = cmax_lower_bound(jobs, m);
+      const JobSet rigidized = fix_canonical(jobs, target, m);
+      return conservative_backfill(rigidized, m);
+    }
+    case MixStrategy::kRigidIntoBatches:
+      return bicriteria_schedule(jobs, m).schedule;
+  }
+  throw std::logic_error("unknown mix strategy");
+}
+
+}  // namespace lgs

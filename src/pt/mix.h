@@ -1,0 +1,31 @@
+// Mixing rigid and moldable jobs (§5.1).
+//
+// Real queues contain both: moldable applications plus jobs that must stay
+// rigid (memory constraints, benchmarking runs, un-recoded programs).  The
+// paper sketches three ideas, all implemented here for the E-MIX bench:
+//   1. schedule the two categories one after the other,
+//   2. fix an a-priori allotment for the moldable jobs and run a rigid
+//      scheduler on the union,
+//   3. modify the bi-criteria batch algorithm to put each rigid job in the
+//      first batch where it fits (our bicriteria_schedule already treats a
+//      rigid job as a degenerate moldable one, which is exactly that).
+#pragma once
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+enum class MixStrategy {
+  kSeparatePhases,    ///< moldable first (MRT), rigid afterwards (FFDH)
+  kAprioriAllotment,  ///< canonical allotment at the area bound, then backfill
+  kRigidIntoBatches,  ///< bi-criteria batches accepting rigid jobs as-is
+};
+
+const char* to_string(MixStrategy s);
+
+/// Schedule a mixed rigid/moldable set.  kSeparatePhases is off-line only
+/// (all releases 0); the other strategies honor release dates.
+Schedule schedule_mixed(const JobSet& jobs, int m, MixStrategy strategy);
+
+}  // namespace lgs

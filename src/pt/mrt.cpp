@@ -1,0 +1,151 @@
+#include "pt/mrt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "criteria/lower_bounds.h"
+#include "pt/allotment.h"
+#include "pt/shelves.h"
+
+namespace lgs {
+
+namespace {
+
+/// One attempt at guess λ.  Returns the schedule on success.
+///
+/// Structure (see mrt.h): canonical allotments for the two shelf targets
+/// λ and λ/2; a knapsack DP picks, for each job, the large-shelf or
+/// small-shelf allotment so that total work is minimized under the
+/// constraint that large-allotment jobs fit side by side (Σ k1 ≤ m).
+/// Certified rejections — some job cannot meet λ at all, or minimal work
+/// exceeds λm — prove λ < C*max.  The chosen allotments are then realized
+/// with FFDH strip packing; if the packing exceeds 3λ/2 the guess is
+/// rejected heuristically (see DESIGN.md for the deviation discussion).
+std::optional<Schedule> try_lambda(const JobSet& jobs, int m, Time lambda) {
+  const std::size_t n = jobs.size();
+
+  std::vector<int> k1(n), k2(n);
+  std::vector<double> w1(n), w2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k1[i] = canonical_allotment(jobs[i], lambda, m);
+    if (k1[i] == 0) return std::nullopt;  // λ < p_i(m) <= C*max: certified
+    w1[i] = jobs[i].work(k1[i]);
+    k2[i] = canonical_allotment(jobs[i], lambda / 2, m);
+    w2[i] = k2[i] ? jobs[i].work(k2[i]) : 0.0;
+  }
+
+  // Knapsack DP over shelf-1 capacity: dp[c] = minimal total work with the
+  // S1 jobs using exactly c processors.  Choices recorded exactly.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t width = static_cast<std::size_t>(m) + 1;
+  std::vector<double> dp(width, kInf);
+  dp[0] = 0.0;
+  // choice[i][c]: job i goes to S1 in the optimum reaching capacity c
+  // after processing jobs 0..i.
+  std::vector<std::vector<bool>> choice(n, std::vector<bool>(width, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> ndp(width, kInf);
+    for (std::size_t c = 0; c < width; ++c) {
+      if (dp[c] == kInf) continue;
+      // Option S2 (needs a λ/2-feasible allotment).
+      if (k2[i] != 0 && dp[c] + w2[i] < ndp[c]) {
+        ndp[c] = dp[c] + w2[i];
+        choice[i][c] = false;
+      }
+      // Option S1.
+      const std::size_t nc = c + static_cast<std::size_t>(k1[i]);
+      if (nc < width && dp[c] + w1[i] < ndp[nc]) {
+        ndp[nc] = dp[c] + w1[i];
+        choice[i][nc] = true;
+      }
+    }
+    dp = std::move(ndp);
+  }
+
+  std::size_t best_c = 0;
+  double best_w = kInf;
+  for (std::size_t c = 0; c < width; ++c) {
+    if (dp[c] < best_w) {
+      best_w = dp[c];
+      best_c = c;
+    }
+  }
+  if (best_w == kInf) return std::nullopt;
+  // Area argument: any schedule of makespan λ has total work ≤ λm.
+  if (best_w > lambda * m * (1.0 + kRelEps) + kTimeEps) return std::nullopt;
+
+  // Back-track the partition and fix allotments accordingly.
+  std::vector<int> allot(n);
+  {
+    std::size_t c = best_c;
+    for (std::size_t ii = n; ii-- > 0;) {
+      if (choice[ii][c]) {
+        allot[ii] = k1[ii];
+        c -= static_cast<std::size_t>(k1[ii]);
+      } else {
+        allot[ii] = k2[ii];
+      }
+    }
+  }
+
+  // Realize with FFDH strip packing (jobs sorted by decreasing duration,
+  // shelves stacked).  Capacity-safe by construction; accept iff the strip
+  // stays within the two-shelf budget 3λ/2.
+  JobSet rigid;
+  rigid.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    rigid.push_back(Job::rigid(jobs[i].id, allot[i], jobs[i].time(allot[i])));
+  Schedule s =
+      shelf_schedule_rigid(rigid, m, ShelfPolicy::kFirstFitDecreasing);
+  if (s.makespan() > 1.5 * lambda + kTimeEps) return std::nullopt;
+  return s;
+}
+
+}  // namespace
+
+MrtResult mrt_schedule(const JobSet& jobs, int m, const MrtOptions& opts) {
+  check_jobset(jobs, m);
+  for (const Job& j : jobs)
+    if (j.release > 0)
+      throw std::invalid_argument(
+          "mrt_schedule is off-line; wrap with batch_schedule for releases");
+
+  MrtResult res{Schedule(m), 0.0, 0.0};
+  if (jobs.empty()) return res;
+
+  const Time lb = cmax_lower_bound(jobs, m);
+  res.lower_bound = lb;
+
+  // Find a feasible upper guess by doubling.
+  Time hi = lb;
+  std::optional<Schedule> hi_sched = try_lambda(jobs, m, hi);
+  while (!hi_sched) {
+    hi *= 2.0;
+    if (hi > lb * 1e6)
+      throw std::logic_error("MRT could not find a feasible guess");
+    hi_sched = try_lambda(jobs, m, hi);
+  }
+
+  // Binary search between lb and hi to relative precision eps.
+  Time lo = lb;
+  while (hi - lo > opts.eps * lo) {
+    const Time mid = 0.5 * (lo + hi);
+    std::optional<Schedule> mid_sched = try_lambda(jobs, m, mid);
+    if (mid_sched) {
+      hi = mid;
+      hi_sched = std::move(mid_sched);
+    } else {
+      lo = mid;
+    }
+  }
+  res.schedule = std::move(*hi_sched);
+  res.lambda = hi;
+  return res;
+}
+
+}  // namespace lgs

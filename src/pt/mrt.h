@@ -1,0 +1,47 @@
+// MRT two-shelf dual-approximation for off-line moldable makespan (§4.1).
+//
+// The algorithm guesses the optimal makespan λ (dual approximation,
+// Hochbaum–Shmoys), refines the guess by binary search, and for each guess
+// builds a schedule of length at most 3λ/2:
+//
+//   * every job gets its canonical allotment for either shelf S1 (length
+//     λ, starts at 0) or shelf S2 (length λ/2, starts at λ);
+//   * the S1/S2 partition is chosen by a knapsack DP minimizing total work
+//     subject to Σ_{S1} procs ≤ m — mirroring the optimal schedule's
+//     structure: at most m processors run jobs longer than λ/2 (§4.1);
+//   * a guess is *rejected* (λ too small) when some job cannot meet λ on m
+//     processors, or when the minimal work exceeds λm — both certified
+//     lower-bound arguments — or when the shelf-2 repair below fails.
+//
+// Repair (documented deviation from [8], see DESIGN.md): when shelf S2
+// overflows m processors, jobs are moved back to S1 while capacity allows,
+// cheapest work-increase first; S2 jobs are then further packed with FFDH
+// inside the λ/2 strip, so several short jobs can share processors.  If
+// the packing still exceeds λ/2 in height the guess is rejected.  The
+// returned schedule always satisfies makespan ≤ (3/2)·λ_final with
+// λ_final ≤ (1+ε)·λ_feasible.
+#pragma once
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+struct MrtOptions {
+  /// Relative precision of the λ binary search — the ε of 3/2 + ε.
+  double eps = 0.02;
+};
+
+struct MrtResult {
+  Schedule schedule;
+  /// Final accepted guess; the schedule has makespan ≤ 1.5 · lambda.
+  Time lambda = 0.0;
+  /// Lower bound used to seed the search (area / critical job).
+  Time lower_bound = 0.0;
+};
+
+/// Schedule moldable jobs (all release dates must be 0 — wrap with
+/// batch_schedule for on-line instances) for the makespan criterion.
+MrtResult mrt_schedule(const JobSet& jobs, int m, const MrtOptions& opts = {});
+
+}  // namespace lgs

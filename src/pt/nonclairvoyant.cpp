@@ -1,0 +1,111 @@
+#include "pt/nonclairvoyant.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace lgs {
+
+NonClairvoyantResult nonclairvoyant_schedule(
+    const JobSet& jobs, int m, const NonClairvoyantOptions& opts) {
+  for (const Job& j : jobs)
+    if (j.min_procs != j.max_procs)
+      throw std::invalid_argument(
+          "nonclairvoyant_schedule needs fixed allotments");
+  check_jobset(jobs, m);
+  if (opts.initial_budget <= 0 || opts.growth <= 1.0)
+    throw std::invalid_argument("bad budget parameters");
+
+  NonClairvoyantResult res{Schedule(m), {}, 0.0, 0, 0.0};
+
+  struct Attempt {
+    std::size_t idx;
+    Time budget;
+  };
+  struct Running {
+    std::size_t idx;
+    Time budget;
+    Time finish;   // end of the slice
+    bool completes;
+    int procs;
+  };
+
+  // Arrival order; budget resets per job on kill (restart-from-scratch).
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (jobs[a].release != jobs[b].release)
+                       return jobs[a].release < jobs[b].release;
+                     return jobs[a].id < jobs[b].id;
+                   });
+
+  std::deque<Attempt> queue;
+  std::size_t next_arrival = 0;
+  std::vector<Running> running;
+  int free = m;
+  Time now = 0.0;
+  std::size_t remaining = jobs.size();
+
+  while (remaining > 0) {
+    // Admit releases.
+    while (next_arrival < order.size() &&
+           jobs[order[next_arrival]].release <= now + kTimeEps) {
+      queue.push_back({order[next_arrival], opts.initial_budget});
+      ++next_arrival;
+    }
+
+    // Greedy dispatch: start every queued attempt that fits.
+    for (std::size_t qi = 0; qi < queue.size();) {
+      const Attempt at = queue[qi];
+      const Job& j = jobs[at.idx];
+      if (j.min_procs <= free) {
+        const Time truth = j.time(j.min_procs);
+        const bool completes = at.budget >= truth - kTimeEps;
+        const Time slice = completes ? truth : at.budget;
+        res.attempts.add(j.id, now, j.min_procs, slice);
+        running.push_back({at.idx, at.budget, now + slice, completes,
+                           j.min_procs});
+        free -= j.min_procs;
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
+      } else {
+        ++qi;
+      }
+    }
+
+    // Advance to the next slice end or release.
+    Time next = kTimeInfinity;
+    for (const Running& r : running) next = std::min(next, r.finish);
+    if (next_arrival < order.size())
+      next = std::min(next, jobs[order[next_arrival]].release);
+    if (next == kTimeInfinity) {
+      if (remaining > 0)
+        throw std::logic_error("non-clairvoyant scheduler stalled");
+      break;
+    }
+    now = next;
+    std::vector<Running> still;
+    for (const Running& r : running) {
+      if (r.finish > now + kTimeEps) {
+        still.push_back(r);
+        continue;
+      }
+      free += r.procs;
+      if (r.completes) {
+        res.completion[jobs[r.idx].id] = r.finish;
+        --remaining;
+      } else {
+        ++res.kills;
+        res.wasted_work += static_cast<double>(r.procs) * r.budget;
+        queue.push_back({r.idx, r.budget * opts.growth});
+      }
+    }
+    running = std::move(still);
+  }
+  res.makespan = res.attempts.makespan();
+  return res;
+}
+
+}  // namespace lgs

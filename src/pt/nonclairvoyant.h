@@ -1,0 +1,47 @@
+// Non-clairvoyant on-line scheduling (§4.2).
+//
+// The paper distinguishes clairvoyant on-line algorithms (execution times
+// known at submission — the case it develops) from non-clairvoyant ones
+// (only partial knowledge).  This module implements the classical
+// doubling-budget technique for the non-clairvoyant case so the price of
+// clairvoyance can be measured (bench/bench_extensions):
+//
+// Jobs run with a *budget*; a job that exhausts its budget is killed and
+// requeued with a doubled budget (its work so far is lost — the paper's
+// best-effort kill/resubmit mechanic, applied to unknown durations).
+// Each round is dispatched with greedy list scheduling.  Every job with
+// true duration p is killed at most ⌈log2(p/b0)⌉ times, so the total
+// wasted work is within a constant factor of the useful work.
+#pragma once
+
+#include <map>
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+struct NonClairvoyantOptions {
+  /// First budget b0 (doubled after every kill).
+  Time initial_budget = 1.0;
+  double growth = 2.0;
+};
+
+struct NonClairvoyantResult {
+  /// All execution attempts, including killed ones (duration = the slice
+  /// actually held).  Capacity-valid; jobs appear multiple times.
+  Schedule attempts;
+  /// Completion time of each job's successful run.
+  std::map<JobId, Time> completion;
+  /// Processor-seconds burnt by killed attempts.
+  double wasted_work = 0.0;
+  long kills = 0;
+  Time makespan = 0.0;
+};
+
+/// Schedule rigid jobs (fix allotments first) without knowing durations.
+/// Honors release dates.
+NonClairvoyantResult nonclairvoyant_schedule(
+    const JobSet& jobs, int m, const NonClairvoyantOptions& opts = {});
+
+}  // namespace lgs

@@ -1,0 +1,130 @@
+#include "pt/rigid_list.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace lgs {
+
+namespace {
+
+std::vector<std::size_t> make_order(const JobSet& jobs,
+                                    const ListOptions& opts) {
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto dur = [&](std::size_t i) {
+    return jobs[i].time(jobs[i].min_procs);
+  };
+  switch (opts.order) {
+    case ListOrder::kSubmission:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         if (jobs[a].release != jobs[b].release)
+                           return jobs[a].release < jobs[b].release;
+                         return jobs[a].id < jobs[b].id;
+                       });
+      break;
+    case ListOrder::kLongestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return dur(a) > dur(b);
+                       });
+      break;
+    case ListOrder::kShortestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return dur(a) < dur(b);
+                       });
+      break;
+    case ListOrder::kWidestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return jobs[a].min_procs > jobs[b].min_procs;
+                       });
+      break;
+    case ListOrder::kWeightDensity:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return jobs[a].weight * jobs[b].min_work() >
+                                jobs[b].weight * jobs[a].min_work();
+                       });
+      break;
+    case ListOrder::kEarliestDue:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return jobs[a].due < jobs[b].due;
+                       });
+      break;
+  }
+  return order;
+}
+
+}  // namespace
+
+Schedule list_schedule_rigid(const JobSet& jobs, int m,
+                             const ListOptions& opts) {
+  for (const Job& j : jobs)
+    if (j.min_procs != j.max_procs)
+      throw std::invalid_argument(
+          "list_schedule_rigid needs fixed allotments (use fix_allotments)");
+  check_jobset(jobs, m);
+
+  Schedule s(m);
+  std::vector<std::size_t> queue = make_order(jobs, opts);
+  std::vector<bool> started(jobs.size(), false);
+
+  // Min-heap of (finish time, procs) of running jobs.
+  using Fin = std::pair<Time, int>;
+  std::priority_queue<Fin, std::vector<Fin>, std::greater<>> running;
+  int free = m;
+  Time now = 0.0;
+
+  std::size_t remaining = jobs.size();
+  while (remaining > 0) {
+    // Start everything that can start at `now`.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const std::size_t i = queue[qi];
+        if (started[i]) continue;
+        const Job& j = jobs[i];
+        const bool ready = j.release <= now + kTimeEps;
+        if (ready && j.min_procs <= free) {
+          const Time dur = j.time(j.min_procs);
+          s.add(j.id, std::max(now, j.release), j.min_procs, dur);
+          running.push({std::max(now, j.release) + dur, j.min_procs});
+          free -= j.min_procs;
+          started[i] = true;
+          --remaining;
+          progress = true;
+        } else if (opts.strict_order && !started[i]) {
+          // Head of queue can't run: nobody may jump it.
+          break;
+        }
+      }
+    }
+    if (remaining == 0) break;
+
+    // Advance time to the next event: a completion or a release.
+    Time next = kTimeInfinity;
+    if (!running.empty()) next = running.top().first;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const std::size_t i = queue[qi];
+      if (!started[i] && jobs[i].release > now + kTimeEps)
+        next = std::min(next, jobs[i].release);
+    }
+    if (next == kTimeInfinity)
+      throw std::logic_error("list scheduling stalled (job too large?)");
+    now = next;
+    while (!running.empty() && running.top().first <= now + kTimeEps) {
+      free += running.top().second;
+      running.pop();
+    }
+  }
+  return s;
+}
+
+}  // namespace lgs

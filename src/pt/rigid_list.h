@@ -1,0 +1,38 @@
+// Greedy list scheduling of rigid jobs (with release dates).
+//
+// The baseline rigid scheduler of §5.1 and the building block behind the
+// a-priori-allotment strategy: jobs are kept in a priority order and
+// started as soon as enough processors are free.  Event-driven, O(n log n)
+// per event sweep.
+#pragma once
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+/// Queue orders for list scheduling.
+enum class ListOrder {
+  kSubmission,    ///< FCFS by (release, id)
+  kLongestFirst,  ///< LPT: decreasing duration
+  kShortestFirst, ///< SPT: increasing duration
+  kWidestFirst,   ///< decreasing processor demand (helps packing)
+  kWeightDensity, ///< decreasing weight / work (ΣwC-oriented greedy)
+  kEarliestDue,   ///< EDF: increasing due date (§3 tardiness criteria)
+};
+
+struct ListOptions {
+  ListOrder order = ListOrder::kSubmission;
+  /// Strict queue order (FCFS, no jumping): a job may only start when every
+  /// earlier queued job has started.  Off = greedy list scheduling where
+  /// any fitting released job may start (i.e. unlimited backfilling).
+  bool strict_order = false;
+};
+
+/// Schedule rigid jobs (all kinds accepted, but moldable jobs must have
+/// min_procs == max_procs — use fix_allotments first).  Returns an abstract
+/// schedule (no concrete processor ids).
+Schedule list_schedule_rigid(const JobSet& jobs, int m,
+                             const ListOptions& opts = {});
+
+}  // namespace lgs

@@ -1,0 +1,65 @@
+#include "pt/shelves.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lgs {
+
+std::vector<Shelf> build_shelves(const JobSet& jobs, int m,
+                                 ShelfPolicy policy) {
+  for (const Job& j : jobs)
+    if (j.min_procs != j.max_procs)
+      throw std::invalid_argument("shelf packing needs fixed allotments");
+
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].time(jobs[a].min_procs) >
+                            jobs[b].time(jobs[b].min_procs);
+                   });
+
+  std::vector<Shelf> shelves;
+  for (std::size_t i : order) {
+    const int need = jobs[i].min_procs;
+    const Time dur = jobs[i].time(need);
+    Shelf* target = nullptr;
+    if (policy == ShelfPolicy::kNextFitDecreasing) {
+      if (!shelves.empty() && shelves.back().used_procs + need <= m)
+        target = &shelves.back();
+    } else {
+      for (Shelf& sh : shelves) {
+        if (sh.used_procs + need <= m) {
+          target = &sh;
+          break;
+        }
+      }
+    }
+    if (target == nullptr) {
+      shelves.push_back({});
+      target = &shelves.back();
+    }
+    target->items.push_back(i);
+    target->used_procs += need;
+    target->height = std::max(target->height, dur);
+  }
+  return shelves;
+}
+
+Schedule shelf_schedule_rigid(const JobSet& jobs, int m, ShelfPolicy policy) {
+  check_jobset(jobs, m);
+  const std::vector<Shelf> shelves = build_shelves(jobs, m, policy);
+  Schedule s(m);
+  Time base = 0.0;
+  for (const Shelf& sh : shelves) {
+    for (std::size_t i : sh.items) {
+      const Job& j = jobs[i];
+      s.add(j.id, base, j.min_procs, j.time(j.min_procs));
+    }
+    base += sh.height;
+  }
+  return s;
+}
+
+}  // namespace lgs

@@ -1,0 +1,39 @@
+// Shelf algorithms / strip packing for rigid jobs (§2.2: "the allocation
+// problem corresponds to a strip-packing problem").
+//
+// A shelf is a set of jobs starting at the same time whose processor
+// demands sum to at most m; the shelf's height is its longest job.  NFDH
+// and FFDH are the classical level (shelf) strip-packing heuristics; the
+// shelf structure is also the backbone of SMART (§4.3) and of the MRT
+// two-shelf algorithm (§4.1).
+#pragma once
+
+#include <vector>
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+/// One shelf under construction: indices into the job set plus geometry.
+struct Shelf {
+  std::vector<std::size_t> items;
+  int used_procs = 0;
+  Time height = 0.0;
+};
+
+enum class ShelfPolicy {
+  kNextFitDecreasing,   ///< NFDH: only the current (last) shelf is tried
+  kFirstFitDecreasing,  ///< FFDH: first shelf with room wins
+};
+
+/// Pack rigid jobs into shelves by decreasing duration and stack the
+/// shelves from time 0.  Ignores release dates (off-line, batch interior).
+Schedule shelf_schedule_rigid(const JobSet& jobs, int m,
+                              ShelfPolicy policy = ShelfPolicy::kFirstFitDecreasing);
+
+/// Build the shelf decomposition without committing start times (used by
+/// SMART, which orders shelves by weight rather than stacking greedily).
+std::vector<Shelf> build_shelves(const JobSet& jobs, int m, ShelfPolicy policy);
+
+}  // namespace lgs

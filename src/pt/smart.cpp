@@ -1,0 +1,98 @@
+#include "pt/smart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lgs {
+
+namespace {
+
+struct SmartShelf {
+  std::vector<std::size_t> items;
+  int used_procs = 0;
+  Time height = 0.0;    // power-of-two class height
+  double weight = 0.0;  // Σ weights of members
+};
+
+}  // namespace
+
+Schedule smart_schedule(const JobSet& jobs, int m, const SmartOptions& opts) {
+  check_jobset(jobs, m);
+  for (const Job& j : jobs) {
+    if (j.min_procs != j.max_procs)
+      throw std::invalid_argument("smart_schedule needs fixed allotments");
+    if (j.release > 0)
+      throw std::invalid_argument("smart_schedule is off-line");
+  }
+  Schedule s(m);
+  if (jobs.empty()) return s;
+
+  // Normalize durations by the smallest one; class of job j is
+  // ceil(log2(p_j / p_min)), shelf height = p_min * 2^class.
+  Time pmin = kTimeInfinity;
+  for (const Job& j : jobs) pmin = std::min(pmin, j.time(j.min_procs));
+
+  std::map<int, std::vector<std::size_t>> classes;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double ratio = jobs[i].time(jobs[i].min_procs) / pmin;
+    const int cls = std::max(0, static_cast<int>(std::ceil(
+                                    std::log2(ratio) - 1e-12)));
+    classes[cls].push_back(i);
+  }
+
+  // Fill each class first-fit into shelves of m processors.
+  std::vector<SmartShelf> shelves;
+  for (auto& [cls, members] : classes) {
+    const Time height = pmin * std::ldexp(1.0, cls);
+    if (opts.sort_by_procs) {
+      std::stable_sort(members.begin(), members.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return jobs[a].min_procs > jobs[b].min_procs;
+                       });
+    }
+    const std::size_t first_new = shelves.size();
+    for (std::size_t i : members) {
+      const int need = jobs[i].min_procs;
+      SmartShelf* target = nullptr;
+      for (std::size_t si = first_new; si < shelves.size(); ++si) {
+        if (shelves[si].used_procs + need <= m) {
+          target = &shelves[si];
+          break;
+        }
+      }
+      if (target == nullptr) {
+        shelves.push_back({});
+        shelves.back().height = height;
+        target = &shelves.back();
+      }
+      target->items.push_back(i);
+      target->used_procs += need;
+      target->weight += jobs[i].weight;
+    }
+  }
+
+  // Sequence shelves by Smith's rule: increasing height / weight.
+  std::vector<std::size_t> order(shelves.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return shelves[a].height * shelves[b].weight <
+           shelves[b].height * shelves[a].weight;
+  });
+
+  Time base = 0.0;
+  for (std::size_t si : order) {
+    const SmartShelf& sh = shelves[si];
+    for (std::size_t i : sh.items) {
+      const Job& j = jobs[i];
+      s.add(j.id, base, j.min_procs, j.time(j.min_procs));
+    }
+    base += sh.height;
+  }
+  return s;
+}
+
+}  // namespace lgs

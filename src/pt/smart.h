@@ -1,0 +1,30 @@
+// SMART shelf scheduling for average (weighted) completion time (§4.3).
+//
+// Schwiegelshohn, Ludwig, Wolf, Turek and Yu's algorithm for rigid
+// parallel tasks: jobs are grouped into shelves whose heights are powers
+// of two (of the smallest job duration), each shelf is filled first-fit,
+// and the shelves are then sequenced like jobs on a single machine by
+// Smith's rule (weighted shortest shelf first).  Performance ratio 8 for
+// ΣCᵢ and 8.53 for ΣwᵢCᵢ, as quoted in the paper.
+//
+// The module also exposes a batched variant for moldable jobs: fix
+// allotments first (see pt/allotment.h).
+#pragma once
+
+#include "core/job.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+struct SmartOptions {
+  /// Pack each power-of-two class with first-fit by decreasing processor
+  /// demand (the "first fit" the paper quotes) — turning this off keeps
+  /// submission order inside a class (ablation).
+  bool sort_by_procs = true;
+};
+
+/// Schedule rigid jobs (release dates must be 0) to minimize Σ wᵢCᵢ.
+Schedule smart_schedule(const JobSet& jobs, int m,
+                        const SmartOptions& opts = {});
+
+}  // namespace lgs

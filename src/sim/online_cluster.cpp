@@ -1,0 +1,275 @@
+#include "sim/online_cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lgs {
+
+OnlineCluster::OnlineCluster(Simulator& sim, const Cluster& desc, Options opts)
+    : sim_(sim), desc_(desc), opts_(opts), procs_total_(desc.processors()) {
+  if (procs_total_ < 1)
+    throw std::invalid_argument("cluster without processors");
+  capacity_ = procs_total_;
+  free_ = procs_total_;
+}
+
+void OnlineCluster::set_capacity(int procs) {
+  if (procs < 1 || procs > procs_total_)
+    throw std::invalid_argument("capacity outside [1, processors()]");
+  const int delta = procs - capacity_;
+  capacity_ = procs;
+  free_ += delta;
+  ++volatility_.capacity_changes;
+  // Shrinking may leave free_ negative: evict until consistent —
+  // best-effort runs first (they are killable by design), then the most
+  // recently started local jobs.
+  while (free_ < 0 && !be_running_.empty()) kill_best_effort(1);
+  while (free_ < 0) {
+    if (running_.empty())
+      throw std::logic_error("volatility eviction found nothing to evict");
+    std::size_t victim = 0;
+    Time latest = -kTimeInfinity;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      const Time started = records_[running_[i].record].start;
+      if (started > latest) {
+        latest = started;
+        victim = i;
+      }
+    }
+    const RunningLocal evicted = running_[victim];
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(victim));
+    sim_.cancel(evicted.completion);
+    free_ += evicted.procs;
+    account(-evicted.procs, 0);
+    ++volatility_.local_preemptions;
+    volatility_.local_wasted +=
+        static_cast<double>(evicted.procs) *
+        (sim_.now() - records_[evicted.record].start);
+    // Resubmit at the head of the queue; progress is lost (restart).
+    Queued q{submitted_[evicted.record], sim_.now(), evicted.record, 0};
+    queue_.insert(queue_.begin(), std::move(q));
+  }
+  dispatch();
+}
+
+void OnlineCluster::set_besteffort_source(BestEffortSource source) {
+  be_source_ = std::move(source);
+  // New supply may fill currently idle processors.
+  sim_.after(0.0, [this] { dispatch(); }, /*priority=*/1);
+}
+
+int OnlineCluster::allotment_for(const Job& j) const {
+  const int hi = std::min(j.max_procs, procs_total_);
+  if (hi < j.min_procs)
+    throw std::invalid_argument("job wider than the cluster");
+  return std::max(j.min_procs, j.model.useful_limit(hi));
+}
+
+void OnlineCluster::submit_local(const Job& j, int queue_priority) {
+  if (j.release > sim_.now() + kTimeEps) {
+    sim_.at(j.release,
+            [this, j, queue_priority] { submit_local(j, queue_priority); },
+            /*priority=*/-1);
+    return;
+  }
+  LocalJobRecord rec;
+  rec.id = j.id;
+  rec.community = j.community;
+  rec.submit = sim_.now();
+  const int k = allotment_for(j);
+  rec.procs = k;
+  rec.best_duration = j.best_time(procs_total_) / desc_.speed;
+  records_.push_back(rec);
+  submitted_.push_back(j);
+  // Insert behind every queued job of equal or higher priority (the §1.2
+  // priority files: strict priority between files, FCFS inside one).
+  Queued entry{j, sim_.now(), records_.size() - 1, queue_priority};
+  auto pos = queue_.end();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->priority < queue_priority) {
+      pos = it;
+      break;
+    }
+  }
+  queue_.insert(pos, std::move(entry));
+  dispatch();
+}
+
+void OnlineCluster::account(int delta_local, int delta_be) {
+  const Time now = sim_.now();
+  const double span = now - last_change_;
+  if (span > 0) {
+    local_busy_integral_ += span * local_busy_now_;
+    busy_integral_ += span * (local_busy_now_ + be_busy_now_);
+  }
+  last_change_ = now;
+  local_busy_now_ += delta_local;
+  be_busy_now_ += delta_be;
+}
+
+double OnlineCluster::busy_integral() const {
+  const double span = sim_.now() - last_change_;
+  return busy_integral_ + span * (local_busy_now_ + be_busy_now_);
+}
+
+double OnlineCluster::local_busy_integral() const {
+  const double span = sim_.now() - last_change_;
+  return local_busy_integral_ + span * local_busy_now_;
+}
+
+double OnlineCluster::expected_wait() const {
+  double work = 0.0;  // processor-seconds of wall time still owed
+  for (const Queued& q : queue_)
+    work += static_cast<double>(records_[q.record].procs) *
+            q.job.best_time(procs_total_) / desc_.speed;
+  for (const RunningLocal& r : running_)
+    work += static_cast<double>(r.procs) *
+            std::max(0.0, r.finish - sim_.now());
+  return work / procs_total_;
+}
+
+void OnlineCluster::kill_best_effort(int count) {
+  for (int k = 0; k < count; ++k) {
+    if (be_running_.empty()) throw std::logic_error("no best-effort to kill");
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < be_running_.size(); ++i) {
+      const RunningBe& a = be_running_[i];
+      const RunningBe& b = be_running_[victim];
+      switch (opts_.kill_policy) {
+        case KillPolicy::kYoungestFirst:
+          if (a.start > b.start) victim = i;
+          break;
+        case KillPolicy::kOldestFirst:
+          if (a.start < b.start) victim = i;
+          break;
+        case KillPolicy::kLongestRemaining:
+          if (a.finish > b.finish) victim = i;
+          break;
+      }
+    }
+    const RunningBe be = be_running_[victim];
+    be_running_.erase(be_running_.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+    sim_.cancel(be.completion);
+    account(0, -1);
+    ++free_;
+    ++be_stats_.killed;
+    be_stats_.wasted_time += sim_.now() - be.start;
+    if (be_source_.on_kill) be_source_.on_kill(be.duration);
+  }
+}
+
+void OnlineCluster::start_local(std::size_t queue_index) {
+  const Queued q = queue_[queue_index];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(queue_index));
+  LocalJobRecord& rec = records_[q.record];
+  const int k = rec.procs;
+  if (k > free_ + killable_procs())
+    throw std::logic_error("start_local without room");
+  if (k > free_) kill_best_effort(k - free_);
+  const Time dur = q.job.time(k) / desc_.speed;
+  rec.start = sim_.now();
+  rec.finish = sim_.now() + dur;
+  free_ -= k;
+  account(k, 0);
+  const std::size_t record_index = q.record;
+  const EventId completion = sim_.at(
+      rec.finish, [this, record_index] { finish_local(record_index); });
+  running_.push_back({q.record, k, rec.finish, completion});
+}
+
+void OnlineCluster::finish_local(std::size_t record_index) {
+  const auto it = std::find_if(running_.begin(), running_.end(),
+                               [&](const RunningLocal& r) {
+                                 return r.record == record_index;
+                               });
+  if (it == running_.end())
+    throw std::logic_error("completion for unknown local job");
+  free_ += it->procs;
+  account(-it->procs, 0);
+  running_.erase(it);
+  dispatch();
+}
+
+void OnlineCluster::dispatch() {
+  // Phase 1: local jobs, FCFS with optional EASY backfilling.  Best-effort
+  // runs never block a local job — they are killable, so the head fits
+  // whenever free + killable >= procs.
+  bool progress = true;
+  while (progress && !queue_.empty()) {
+    progress = false;
+    const int head_procs = records_[queue_.front().record].procs;
+    const int avail = free_ + killable_procs();
+    if (head_procs <= avail) {
+      start_local(0);
+      progress = true;
+      continue;
+    }
+    if (!opts_.easy_backfill) break;
+
+    // Head is stuck: compute its shadow time from running *local* jobs.
+    std::vector<RunningLocal> sorted = running_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const RunningLocal& a, const RunningLocal& b) {
+                return a.finish < b.finish;
+              });
+    int freed = avail;
+    Time shadow = sim_.now();
+    int surplus = avail - head_procs;
+    for (const RunningLocal& r : sorted) {
+      if (freed >= head_procs) break;
+      freed += r.procs;
+      shadow = r.finish;
+      surplus = freed - head_procs;
+    }
+    for (std::size_t qi = 1; qi < queue_.size(); ++qi) {
+      const int k = records_[queue_[qi].record].procs;
+      if (k > free_ + killable_procs()) continue;
+      const Time dur =
+          queue_[qi].job.time(k) / desc_.speed;
+      const bool before_shadow = sim_.now() + dur <= shadow + kTimeEps;
+      const bool beside = k <= surplus;
+      if (before_shadow || beside) {
+        if (beside && !before_shadow) surplus -= k;
+        start_local(qi);
+        progress = true;
+        break;  // indices shifted; restart the scan
+      }
+    }
+  }
+
+  // Phase 2: fill remaining holes with best-effort runs (§5.2).
+  if (be_source_.request && free_ > 0) {
+    const std::vector<Time> grants = be_source_.request(free_);
+    for (Time unit_duration : grants) {
+      if (free_ <= 0) throw std::logic_error("best-effort overcommit");
+      RunningBe be;
+      be.start = sim_.now();
+      be.duration = unit_duration;
+      be.finish = sim_.now() + unit_duration / desc_.speed;
+      --free_;
+      account(0, 1);
+      ++be_stats_.started;
+      const Time finish = be.finish;
+      be.completion = sim_.at(finish, [this, finish] {
+        const auto it = std::find_if(
+            be_running_.begin(), be_running_.end(), [&](const RunningBe& b) {
+              return almost_equal(b.finish, finish);
+            });
+        if (it == be_running_.end())
+          throw std::logic_error("completion for unknown best-effort run");
+        const double wall = it->finish - it->start;
+        be_running_.erase(it);
+        ++free_;
+        account(0, -1);
+        ++be_stats_.completed;
+        be_stats_.completed_time += wall;
+        if (be_source_.on_done) be_source_.on_done();
+        dispatch();
+      });
+      be_running_.push_back(be);
+    }
+  }
+}
+
+}  // namespace lgs

@@ -1,0 +1,167 @@
+// On-line single-cluster engine on top of the DES kernel.
+//
+// Models one cluster of a light grid under the paper's submission rules
+// (§1.2): local jobs arrive in a priority file (FCFS queue, optional EASY
+// backfilling) and — for the centralized grid of §5.2 — idle processors
+// are filled with killable *best-effort* runs drawn from an external
+// source.  A local job that needs processors currently held by best-effort
+// runs kills them; the source is notified so it can resubmit.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/job.h"
+#include "platform/platform.h"
+#include "sim/simulator.h"
+
+namespace lgs {
+
+/// Completion record of one local job.
+struct LocalJobRecord {
+  JobId id = kInvalidJob;
+  int community = 0;
+  Time submit = 0.0;
+  Time start = 0.0;
+  Time finish = 0.0;
+  int procs = 1;
+  double best_duration = 0.0;  ///< duration used for slowdown normalization
+
+  double wait() const { return start - submit; }
+  double flow() const { return finish - submit; }
+  double slowdown() const { return flow() / best_duration; }
+};
+
+/// Best-effort accounting for one cluster.
+struct BestEffortStats {
+  long started = 0;
+  long completed = 0;
+  long killed = 0;
+  double wasted_time = 0.0;     ///< processor-seconds lost to kills
+  double completed_time = 0.0;  ///< processor-seconds of useful grid work
+};
+
+/// Node-volatility accounting (§1: "some nodes can appear or disappear").
+struct VolatilityStats {
+  long capacity_changes = 0;
+  long local_preemptions = 0;   ///< local jobs evicted by node loss
+  double local_wasted = 0.0;    ///< processor-seconds of lost local work
+};
+
+/// Source of best-effort runs (the central server of §5.2).
+///
+/// `request(max_runs)` returns durations (at unit speed) for up to
+/// max_runs runs to start now; `on_kill(duration)` hands a killed run back
+/// for resubmission; `on_done()` reports one completed run.
+struct BestEffortSource {
+  std::function<std::vector<Time>(int)> request;
+  std::function<void(Time)> on_kill;
+  std::function<void()> on_done;
+};
+
+class OnlineCluster {
+ public:
+  /// Kill-selection policy when a local job needs best-effort processors
+  /// (DESIGN.md ablation ✧6).
+  enum class KillPolicy { kYoungestFirst, kOldestFirst, kLongestRemaining };
+
+  struct Options {
+    bool easy_backfill = false;  ///< backfill local jobs past a stuck head
+    KillPolicy kill_policy = KillPolicy::kYoungestFirst;
+  };
+
+  OnlineCluster(Simulator& sim, const Cluster& desc, Options opts);
+  OnlineCluster(Simulator& sim, const Cluster& desc)
+      : OnlineCluster(sim, desc, Options{}) {}
+
+  /// Submit a local job at the current simulated time (or at j.release if
+  /// later; the release date is honored via a timer).  `queue_priority`
+  /// models the §1.2 "several priority files": higher-priority jobs are
+  /// dispatched before lower ones, FCFS within a priority level (0 =
+  /// default queue).
+  void submit_local(const Job& j, int queue_priority = 0);
+
+  /// Attach the best-effort source (may be null — no grid jobs).
+  void set_besteffort_source(BestEffortSource source);
+
+  /// Node volatility (§1): change the number of usable processors at the
+  /// current simulated time.  Shrinking evicts best-effort runs first,
+  /// then preempts the most recently started local jobs, which are
+  /// resubmitted at the head of the queue (their progress is lost).
+  /// Growing triggers a dispatch.  `procs` must stay in [1, processors()].
+  void set_capacity(int procs);
+  int capacity() const { return capacity_; }
+
+  const VolatilityStats& volatility_stats() const { return volatility_; }
+
+  /// Estimated wait for a new `procs`-wide job: queued+running local work
+  /// divided by capacity — the load signal used by the decentralized
+  /// exchange policies.
+  double expected_wait() const;
+
+  int processors() const { return procs_total_; }
+  double speed() const { return desc_.speed; }
+  ClusterId id() const { return desc_.id; }
+
+  const std::vector<LocalJobRecord>& local_records() const { return records_; }
+  const BestEffortStats& besteffort_stats() const { return be_stats_; }
+
+  /// Integral of busy processors (local + best-effort) for utilization,
+  /// accrued up to the current simulated time.
+  double busy_integral() const;
+  double local_busy_integral() const;
+
+ private:
+  struct Queued {
+    Job job;
+    Time submit;
+    std::size_t record;  // index into records_
+    int priority = 0;
+  };
+  struct RunningLocal {
+    std::size_t record;
+    int procs;
+    Time finish;
+    EventId completion = 0;
+  };
+  struct RunningBe {
+    Time start;
+    Time finish;
+    Time duration;  // unit-speed duration, for resubmission
+    EventId completion;
+  };
+
+  void dispatch();
+  void start_local(std::size_t queue_index);
+  void finish_local(std::size_t record_index);
+  int allotment_for(const Job& j) const;
+  /// Accrue busy integrals up to now, then apply counter deltas.
+  void account(int delta_local, int delta_be);
+  int killable_procs() const { return static_cast<int>(be_running_.size()); }
+  void kill_best_effort(int count);
+
+  Simulator& sim_;
+  Cluster desc_;
+  Options opts_;
+  int procs_total_;
+  int capacity_ = 0;  ///< currently usable processors (volatility)
+  int free_ = 0;
+
+  std::vector<Queued> queue_;
+  std::vector<RunningLocal> running_;
+  std::vector<RunningBe> be_running_;
+  std::vector<LocalJobRecord> records_;
+  std::vector<Job> submitted_;  ///< aligned with records_, for resubmission
+  BestEffortStats be_stats_;
+  VolatilityStats volatility_;
+  BestEffortSource be_source_;
+
+  // Busy-time integrals maintained incrementally.
+  double busy_integral_ = 0.0;
+  double local_busy_integral_ = 0.0;
+  Time last_change_ = 0.0;
+  int local_busy_now_ = 0;
+  int be_busy_now_ = 0;
+};
+
+}  // namespace lgs

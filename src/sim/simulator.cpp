@@ -1,0 +1,28 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace lgs {
+
+EventId Simulator::at(Time t, Callback cb, int priority) {
+  if (t < now_ - kTimeEps)
+    throw std::invalid_argument("cannot schedule an event in the past");
+  const EventId id = next_id_++;
+  queue_.push(Ev{t, priority, id, std::move(cb)});
+  return id;
+}
+
+void Simulator::run(Time horizon) {
+  while (!queue_.empty()) {
+    Ev ev = queue_.top();
+    if (ev.t > horizon) break;
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    now_ = ev.t;
+    ++executed_;
+    ev.cb();
+  }
+  if (now_ < horizon && horizon != kTimeInfinity) now_ = horizon;
+}
+
+}  // namespace lgs

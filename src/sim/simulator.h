@@ -1,0 +1,69 @@
+// Minimal discrete-event simulation kernel (SimGrid-lite).
+//
+// The grid-level policies of §5.2 (centralized best-effort filling,
+// decentralized load exchange) are dynamic: jobs arrive over time, grid
+// jobs get killed and resubmitted.  This kernel provides the event queue
+// those simulations run on: callbacks at simulated times, deterministic
+// ordering (time, priority, insertion sequence), and event cancellation
+// (needed to kill a best-effort job's completion event).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lgs {
+
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now).  Events at equal times
+  /// fire by increasing priority, then insertion order.
+  EventId at(Time t, Callback cb, int priority = 0);
+
+  /// Schedule `cb` after a delay.
+  EventId after(Time delay, Callback cb, int priority = 0) {
+    return at(now_ + delay, std::move(cb), priority);
+  }
+
+  /// Cancel a pending event (no-op if it already fired).
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Run until the queue drains (or `horizon` is reached, if finite).
+  void run(Time horizon = kTimeInfinity);
+
+  /// Number of events executed so far (for the micro bench).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Ev {
+    Time t;
+    int priority;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace lgs

@@ -1,0 +1,168 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lgs {
+
+namespace {
+
+/// Log-uniform draw in [lo, hi].
+double log_uniform(Rng& rng, double lo, double hi) {
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+Time draw_release(Rng& rng, Time window) {
+  return window > 0 ? rng.uniform(0.0, window) : 0.0;
+}
+
+double draw_weight(Rng& rng, double lo, double hi) {
+  return hi > lo ? rng.uniform(lo, hi) : lo;
+}
+
+}  // namespace
+
+JobSet make_moldable_workload(const MoldableWorkloadSpec& spec, Rng& rng) {
+  if (spec.count < 0) throw std::invalid_argument("negative job count");
+  JobSet jobs;
+  jobs.reserve(static_cast<std::size_t>(spec.count));
+  for (int i = 0; i < spec.count; ++i) {
+    const Time t1 = log_uniform(rng, spec.t1_min, spec.t1_max);
+    const Time release = draw_release(rng, spec.arrival_window);
+    const double weight = draw_weight(rng, spec.w_min, spec.w_max);
+    const JobId id = static_cast<JobId>(i);
+    if (rng.flip(spec.sequential_fraction)) {
+      jobs.push_back(Job::sequential(id, t1, release, weight));
+      continue;
+    }
+    ExecModel model =
+        rng.flip(spec.amdahl_fraction)
+            ? ExecModel::amdahl(t1,
+                                rng.uniform(spec.serial_min, spec.serial_max))
+            : ExecModel::power_law(
+                  t1, rng.uniform(spec.alpha_min, spec.alpha_max));
+    const int max_p = std::max(
+        1, static_cast<int>(rng.uniform_int(1, std::max(1, spec.max_procs))));
+    jobs.push_back(
+        Job::moldable(id, std::move(model), 1, max_p, release, weight));
+  }
+  return jobs;
+}
+
+JobSet make_sequential_workload(const MoldableWorkloadSpec& spec, Rng& rng) {
+  MoldableWorkloadSpec seq = spec;
+  seq.sequential_fraction = 1.0;
+  return make_moldable_workload(seq, rng);
+}
+
+JobSet make_rigid_workload(const RigidWorkloadSpec& spec, Rng& rng) {
+  if (spec.count < 0) throw std::invalid_argument("negative job count");
+  JobSet jobs;
+  jobs.reserve(static_cast<std::size_t>(spec.count));
+  for (int i = 0; i < spec.count; ++i) {
+    const Time t = log_uniform(rng, spec.t_min, spec.t_max);
+    const int procs = std::max(
+        1, static_cast<int>(std::lround(
+               log_uniform(rng, 1.0, static_cast<double>(spec.max_procs)))));
+    jobs.push_back(Job::rigid(static_cast<JobId>(i), procs, t,
+                              draw_release(rng, spec.arrival_window),
+                              draw_weight(rng, spec.w_min, spec.w_max)));
+  }
+  return jobs;
+}
+
+const char* to_string(Community c) {
+  switch (c) {
+    case Community::kNumericalPhysics:
+      return "numerical-physics";
+    case Community::kAstrophysics:
+      return "astrophysics";
+    case Community::kMedicalResearch:
+      return "medical-research";
+    case Community::kComputerScience:
+      return "computer-science";
+  }
+  return "?";
+}
+
+JobSet make_community_workload(Community c, int count, Rng& rng,
+                               JobId first_id, double time_scale,
+                               Time arrival_window) {
+  JobSet jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const JobId id = first_id + static_cast<JobId>(i);
+    const Time release = draw_release(rng, arrival_window);
+    switch (c) {
+      case Community::kNumericalPhysics: {
+        // Long sequential jobs: 1 day .. 3 weeks (in hours).
+        const Time t = time_scale * log_uniform(rng, 24.0, 24.0 * 21);
+        Job j = Job::sequential(id, t, release);
+        j.community = 0;
+        jobs.push_back(std::move(j));
+        break;
+      }
+      case Community::kAstrophysics: {
+        // Moldable simulations: hours to days, decent scalability.
+        const Time t1 = time_scale * log_uniform(rng, 4.0, 96.0);
+        Job j = Job::moldable(
+            id, ExecModel::amdahl(t1, rng.uniform(0.02, 0.10)), 1,
+            static_cast<int>(rng.uniform_int(8, 64)), release);
+        j.community = 1;
+        jobs.push_back(std::move(j));
+        break;
+      }
+      case Community::kMedicalResearch: {
+        // One short run of a parametric campaign (bags are expanded
+        // separately; lone runs model interactive exploration).
+        const Time t = time_scale * log_uniform(rng, 0.05, 0.5);
+        Job j = Job::sequential(id, t, release);
+        j.community = 2;
+        jobs.push_back(std::move(j));
+        break;
+      }
+      case Community::kComputerScience: {
+        // Short debug jobs, sometimes small-parallel.
+        const Time t1 = time_scale * log_uniform(rng, 0.02, 2.0);
+        if (rng.flip(0.5)) {
+          Job j = Job::sequential(id, t1, release);
+          j.community = 3;
+          jobs.push_back(std::move(j));
+        } else {
+          Job j = Job::moldable(
+              id, ExecModel::power_law(t1, rng.uniform(0.6, 0.95)), 1,
+              static_cast<int>(rng.uniform_int(2, 16)), release);
+          j.community = 3;
+          jobs.push_back(std::move(j));
+        }
+        break;
+      }
+    }
+  }
+  return jobs;
+}
+
+JobSet expand_bag(const ParametricBag& bag, JobId first_id, Time release) {
+  if (bag.runs < 0) throw std::invalid_argument("negative run count");
+  JobSet jobs;
+  jobs.reserve(static_cast<std::size_t>(bag.runs));
+  for (int i = 0; i < bag.runs; ++i) {
+    Job j = Job::sequential(first_id + static_cast<JobId>(i), bag.run_time,
+                            release, bag.weight);
+    j.community = bag.community;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+void append_workload(JobSet& base, JobSet extra) {
+  JobId next = 0;
+  for (const Job& j : base) next = std::max(next, j.id + 1);
+  for (Job& j : extra) {
+    j.id = next++;
+    base.push_back(std::move(j));
+  }
+}
+
+}  // namespace lgs

@@ -1,0 +1,100 @@
+// Synthetic workload generators.
+//
+// The paper evaluates by simulation on synthetic workloads ("a cluster of
+// 100 machines, parallel and non-parallel jobs", Fig. 2) and motivates the
+// grid layer with the CIMENT communities of §5.2 (long sequential physics
+// jobs, short computer-science debug jobs, huge multi-parametric
+// campaigns).  These generators produce all of those, deterministically
+// from an explicit Rng.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/rng.h"
+
+namespace lgs {
+
+/// Parameters for the generic moldable workload (Fig. 2 "Parallel" series).
+struct MoldableWorkloadSpec {
+  int count = 100;
+  /// Sequential times drawn log-uniformly in [t1_min, t1_max].
+  Time t1_min = 1.0;
+  Time t1_max = 100.0;
+  /// Fraction of jobs that are strictly sequential (non-parallel).
+  double sequential_fraction = 0.0;
+  /// Moldable jobs get a power-law model with alpha in [alpha_min, alpha_max]
+  /// (1 = perfect speedup) or, with probability `amdahl_fraction`, an Amdahl
+  /// model with serial fraction in [serial_min, serial_max].
+  double alpha_min = 0.5;
+  double alpha_max = 1.0;
+  double amdahl_fraction = 0.5;
+  double serial_min = 0.01;
+  double serial_max = 0.25;
+  /// Allotment cap, as a fraction of the machine (paper: jobs rarely span
+  /// the whole cluster).
+  int max_procs = 32;
+  /// Release dates: uniform in [0, arrival_window] (0 = off-line, all at 0).
+  Time arrival_window = 0.0;
+  /// Weights uniform in [w_min, w_max] (1,1 = unweighted).
+  double w_min = 1.0;
+  double w_max = 1.0;
+};
+
+/// Generic moldable/sequential mix.  Ids are 0..count-1 in creation order.
+JobSet make_moldable_workload(const MoldableWorkloadSpec& spec, Rng& rng);
+
+/// Strictly sequential workload (Fig. 2 "Non Parallel" series): the same
+/// spec with every job forced to one processor.
+JobSet make_sequential_workload(const MoldableWorkloadSpec& spec, Rng& rng);
+
+/// Rigid workload: processor counts log-uniform in [1, max_procs], durations
+/// log-uniform in [t_min, t_max] — the SMART / strip-packing input class.
+struct RigidWorkloadSpec {
+  int count = 100;
+  Time t_min = 1.0;
+  Time t_max = 100.0;
+  int max_procs = 32;
+  Time arrival_window = 0.0;
+  double w_min = 1.0;
+  double w_max = 1.0;
+};
+JobSet make_rigid_workload(const RigidWorkloadSpec& spec, Rng& rng);
+
+/// The CIMENT communities of §5.2.
+enum class Community {
+  kNumericalPhysics,   // long (up to weeks) sequential jobs
+  kAstrophysics,       // medium moldable parallel jobs
+  kMedicalResearch,    // multi-parametric campaigns (many short runs)
+  kComputerScience,    // short debug jobs, bursty
+};
+
+const char* to_string(Community c);
+
+/// Jobs matching one community's qualitative profile.  `time_scale` maps
+/// "one hour" of the description to simulated time units (default 1 unit =
+/// one hour, so physics jobs run hundreds of units).
+JobSet make_community_workload(Community c, int count, Rng& rng,
+                               JobId first_id = 0, double time_scale = 1.0,
+                               Time arrival_window = 0.0);
+
+/// A multi-parametric campaign (§5.2): `runs` executions of the same
+/// program, each lasting `run_time` — the paper's canonical best-effort /
+/// divisible-load workload.
+struct ParametricBag {
+  std::string name;
+  int runs = 1000;
+  Time run_time = 0.25;
+  int community = 2;
+  double weight = 1.0;
+};
+
+/// Expand a bag into individual sequential jobs (ids from `first_id`).
+JobSet expand_bag(const ParametricBag& bag, JobId first_id, Time release = 0.0);
+
+/// Renumber ids of `extra` to follow `base` and append (convenience when
+/// composing workloads from several generators).
+void append_workload(JobSet& base, JobSet extra);
+
+}  // namespace lgs

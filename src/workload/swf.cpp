@@ -1,0 +1,115 @@
+#include "workload/swf.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lgs {
+
+namespace {
+
+struct SwfLine {
+  long job_id = -1;
+  double submit = -1;
+  double wait = -1;
+  double run = -1;
+  long procs_alloc = -1;
+  long procs_req = -1;
+  double req_time = -1;
+  long status = -1;
+  long user = -1;
+};
+
+/// Parse one data line; returns false for blank lines.
+bool parse_line(const std::string& line, SwfLine* out) {
+  std::istringstream in(line);
+  std::vector<double> fields;
+  double v;
+  while (in >> v) fields.push_back(v);
+  if (fields.empty()) return false;
+  if (fields.size() < 5)
+    throw std::invalid_argument("SWF line with fewer than 5 fields: " + line);
+  const auto get = [&](std::size_t idx1) {
+    return idx1 <= fields.size() ? fields[idx1 - 1] : -1.0;
+  };
+  out->job_id = static_cast<long>(get(1));
+  out->submit = get(2);
+  out->wait = get(3);
+  out->run = get(4);
+  out->procs_alloc = static_cast<long>(get(5));
+  out->procs_req = static_cast<long>(get(8));
+  out->req_time = get(9);
+  out->status = static_cast<long>(get(11));
+  out->user = static_cast<long>(get(12));
+  return true;
+}
+
+}  // namespace
+
+JobSet parse_swf(const std::string& text, const SwfOptions& opts) {
+  JobSet jobs;
+  std::istringstream in(text);
+  std::string line;
+  JobId next_id = 0;
+  while (std::getline(in, line)) {
+    // Header/comment lines start with ';'.
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == ';') continue;
+    SwfLine rec;
+    if (!parse_line(line, &rec)) continue;
+
+    long procs = opts.prefer_requested_procs && rec.procs_req > 0
+                     ? rec.procs_req
+                     : rec.procs_alloc;
+    if (procs <= 0) procs = rec.procs_req;  // fall back either way
+    const double run = rec.run;
+    if (procs <= 0 || run <= 0) {
+      if (opts.skip_invalid) continue;
+      throw std::invalid_argument("SWF job without processors or run time");
+    }
+    Job j = Job::rigid(next_id, static_cast<int>(procs),
+                       run * opts.time_scale,
+                       std::max(0.0, rec.submit) * opts.time_scale);
+    j.community = rec.user > 0 ? static_cast<int>(rec.user) : 0;
+    jobs.push_back(std::move(j));
+    ++next_id;
+    if (opts.max_jobs > 0 &&
+        static_cast<int>(jobs.size()) >= opts.max_jobs)
+      break;
+  }
+  return jobs;
+}
+
+JobSet load_swf_file(const std::string& path, const SwfOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open SWF trace: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_swf(buf.str(), opts);
+}
+
+std::string to_swf(const JobSet& jobs, const Schedule* s,
+                   const std::string& header_comment) {
+  std::ostringstream out;
+  out << "; " << header_comment << "\n";
+  out << "; Fields: id submit wait run procs -1 -1 req_procs -1 -1 status "
+         "user -1 -1 -1 -1 -1 -1\n";
+  for (const Job& j : jobs) {
+    double wait = -1, run = j.time(j.min_procs);
+    int status = -1;
+    if (s != nullptr) {
+      const Assignment* a = s->find(j.id);
+      if (a != nullptr) {
+        wait = a->start - j.release;
+        run = a->duration;
+        status = 1;  // completed
+      }
+    }
+    out << (j.id + 1) << " " << j.release << " " << wait << " " << run
+        << " " << j.min_procs << " -1 -1 " << j.max_procs << " -1 -1 "
+        << status << " " << j.community << " -1 -1 -1 -1 -1 -1\n";
+  }
+  return out.str();
+}
+
+}  // namespace lgs

@@ -1,0 +1,92 @@
+// Tests for admission control / rejection (pt/admission.h), §3.
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "criteria/metrics.h"
+#include "pt/admission.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+TEST(Admission, AdmitsEverythingWithoutDueDates) {
+  JobSet jobs = {Job::sequential(0, 5.0), Job::rigid(1, 2, 3.0)};
+  const AdmissionResult r = schedule_with_admission(jobs, 4);
+  EXPECT_TRUE(r.rejected.empty());
+  EXPECT_TRUE(is_valid(jobs, r.schedule));
+}
+
+TEST(Admission, RejectsImpossibleDeadline) {
+  JobSet jobs;
+  Job j = Job::sequential(0, 10.0);
+  j.due = 5.0;  // cannot possibly finish
+  jobs.push_back(j);
+  const AdmissionResult r = schedule_with_admission(jobs, 4);
+  ASSERT_EQ(r.rejected.size(), 1u);
+  EXPECT_EQ(r.rejected[0], 0u);
+  EXPECT_TRUE(r.schedule.empty());
+  EXPECT_DOUBLE_EQ(r.rejected_weight, 1.0);
+}
+
+TEST(Admission, RejectsWhenQueueMakesItLate) {
+  JobSet jobs;
+  jobs.push_back(Job::rigid(0, 1, 10.0));  // occupies the machine
+  Job tight = Job::sequential(1, 2.0);
+  tight.due = 5.0;  // would need to start by 3; machine busy until 10
+  jobs.push_back(tight);
+  const AdmissionResult r = schedule_with_admission(jobs, 1);
+  ASSERT_EQ(r.rejected.size(), 1u);
+  EXPECT_EQ(r.rejected[0], 1u);
+  EXPECT_DOUBLE_EQ(r.schedule.find(0)->start, 0.0);
+}
+
+TEST(Admission, AdmittedJobsFitInHoles) {
+  JobSet jobs;
+  jobs.push_back(Job::rigid(0, 2, 10.0));  // half of 4 procs
+  Job ok = Job::sequential(1, 2.0);
+  ok.due = 3.0;  // fits beside job 0
+  jobs.push_back(ok);
+  const AdmissionResult r = schedule_with_admission(jobs, 4);
+  EXPECT_TRUE(r.rejected.empty());
+  EXPECT_DOUBLE_EQ(r.schedule.find(1)->start, 0.0);
+}
+
+TEST(Admission, RejectsMoldable) {
+  JobSet jobs = {Job::moldable(0, ExecModel::sequential(1.0), 1, 2)};
+  EXPECT_THROW(schedule_with_admission(jobs, 4), std::invalid_argument);
+}
+
+// The defining property: an admission schedule never has a late job.
+class AdmissionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdmissionProperty, NoAdmittedJobIsLate) {
+  Rng rng(GetParam());
+  RigidWorkloadSpec spec;
+  spec.count = 100;
+  spec.max_procs = 8;
+  spec.arrival_window = 30.0;
+  JobSet jobs = make_rigid_workload(spec, rng);
+  // Tight random due dates: plenty of rejections expected.
+  for (Job& j : jobs)
+    if (rng.flip(0.7))
+      j.due = j.release + j.time(j.min_procs) * rng.uniform(1.0, 4.0);
+
+  const AdmissionResult r = schedule_with_admission(jobs, 16);
+  // Validate only the admitted subset.
+  JobSet admitted;
+  for (const Job& j : jobs)
+    if (std::find(r.rejected.begin(), r.rejected.end(), j.id) ==
+        r.rejected.end())
+      admitted.push_back(j);
+  const auto violations = validate(admitted, r.schedule);
+  EXPECT_TRUE(violations.empty()) << describe(violations);
+  const Metrics m = compute_metrics(admitted, r.schedule);
+  EXPECT_EQ(m.late_count, 0) << "admission must guarantee zero tardiness";
+  EXPECT_DOUBLE_EQ(m.sum_tardiness, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdmissionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,84 @@
+// Tests for allotment selection (pt/allotment.h).
+#include <gtest/gtest.h>
+
+#include "pt/allotment.h"
+
+namespace lgs {
+namespace {
+
+Job wide_job() {
+  // Perfect speedup, t(k) = 64/k, 1..64 procs.
+  return Job::moldable(0, ExecModel::power_law(64.0, 1.0), 1, 64);
+}
+
+TEST(Allotment, CanonicalIsMinimalMeeting) {
+  const Job j = wide_job();
+  // t(k) <= 16 needs k >= 4.
+  EXPECT_EQ(canonical_allotment(j, 16.0, 64), 4);
+  EXPECT_EQ(canonical_allotment(j, 64.0, 64), 1);
+  EXPECT_EQ(canonical_allotment(j, 1.0, 64), 64);
+  // Infeasible target.
+  EXPECT_EQ(canonical_allotment(j, 0.5, 64), 0);
+  // Machine cap binds.
+  EXPECT_EQ(canonical_allotment(j, 1.0, 32), 0);
+}
+
+TEST(Allotment, CanonicalMonotoneInTarget) {
+  const Job j = Job::moldable(0, ExecModel::amdahl(100.0, 0.05), 1, 40);
+  int prev = 41;
+  for (Time t = 5.0; t < 120.0; t += 2.5) {
+    const int k = canonical_allotment(j, t, 40);
+    if (k == 0) continue;  // still infeasible
+    EXPECT_LE(k, prev) << "larger targets need fewer processors";
+    prev = k;
+  }
+}
+
+TEST(Allotment, CanonicalRespectsMinProcs) {
+  const Job j = Job::moldable(0, ExecModel::power_law(64.0, 1.0), 4, 64);
+  EXPECT_EQ(canonical_allotment(j, 1000.0, 64), 4);
+}
+
+TEST(Allotment, MinWorkAndBestTime) {
+  const Job j = wide_job();
+  EXPECT_EQ(min_work_allotment(j, 64), 1);
+  EXPECT_EQ(best_time_allotment(j, 64), 64);
+  EXPECT_EQ(best_time_allotment(j, 16), 16);
+  // Comm-penalty model: stops being useful past its optimum.
+  const Job p = Job::moldable(1, ExecModel::comm_penalty(100.0, 1.0), 1, 64);
+  EXPECT_LE(best_time_allotment(p, 64), 11);
+  const Job narrow = Job::moldable(2, ExecModel::sequential(5.0), 2, 4);
+  EXPECT_THROW(best_time_allotment(narrow, 1), std::invalid_argument);
+  EXPECT_THROW(min_work_allotment(narrow, 1), std::invalid_argument);
+}
+
+TEST(Allotment, FixAllotmentsProducesRigidJobs) {
+  JobSet jobs = {wide_job(), Job::sequential(1, 3.0, 2.0, 1.5)};
+  const JobSet rigid = fix_allotments(jobs, {8, 1});
+  ASSERT_EQ(rigid.size(), 2u);
+  EXPECT_EQ(rigid[0].min_procs, 8);
+  EXPECT_EQ(rigid[0].max_procs, 8);
+  EXPECT_DOUBLE_EQ(rigid[0].time(8), 8.0);
+  EXPECT_EQ(rigid[0].kind, JobKind::kRigid);
+  // Metadata preserved.
+  EXPECT_DOUBLE_EQ(rigid[1].release, 2.0);
+  EXPECT_DOUBLE_EQ(rigid[1].weight, 1.5);
+}
+
+TEST(Allotment, FixAllotmentsValidation) {
+  JobSet jobs = {wide_job()};
+  EXPECT_THROW(fix_allotments(jobs, {}), std::invalid_argument);
+  EXPECT_THROW(fix_allotments(jobs, {0}), std::invalid_argument);
+  EXPECT_THROW(fix_allotments(jobs, {65}), std::invalid_argument);
+}
+
+TEST(Allotment, FixCanonicalFallsBackToBestTime) {
+  // Target far below what the job can reach: fall back to best time.
+  JobSet jobs = {Job::moldable(0, ExecModel::sequential(50.0), 1, 1)};
+  const JobSet rigid = fix_canonical(jobs, 1.0, 8);
+  EXPECT_EQ(rigid[0].min_procs, 1);
+  EXPECT_DOUBLE_EQ(rigid[0].time(1), 50.0);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,155 @@
+// Tests for conservative and EASY backfilling (pt/backfill.h).
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "criteria/lower_bounds.h"
+#include "pt/backfill.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+TEST(Conservative, FillsHoleWithoutDelayingAnyone) {
+  JobSet jobs;
+  jobs.push_back(Job::rigid(0, 4, 10.0));        // full machine
+  jobs.push_back(Job::rigid(1, 4, 5.0, 1.0));    // queued behind it
+  jobs.push_back(Job::sequential(2, 2.0, 2.0));  // would fit... nowhere: no hole
+  const Schedule s = conservative_backfill(jobs, 4);
+  EXPECT_TRUE(is_valid(jobs, s));
+  EXPECT_DOUBLE_EQ(s.find(1)->start, 10.0);
+  EXPECT_DOUBLE_EQ(s.find(2)->start, 15.0);
+
+  // With one extra machine there is a permanent 1-proc hole: job 2 slides in.
+  const Schedule s2 = conservative_backfill(jobs, 5);
+  EXPECT_TRUE(is_valid(jobs, s2));
+  EXPECT_DOUBLE_EQ(s2.find(2)->start, 2.0);
+}
+
+TEST(Conservative, HonorsReservations) {
+  JobSet jobs = {Job::rigid(0, 4, 5.0)};
+  const std::vector<Reservation> rsv = {{0.0, 8.0, 2}};  // half the machine
+  const Schedule s = conservative_backfill(jobs, 4, rsv);
+  ValidateOptions opts;
+  opts.reservations = rsv;
+  EXPECT_TRUE(is_valid(jobs, s, opts));
+  EXPECT_DOUBLE_EQ(s.find(0)->start, 8.0);
+}
+
+TEST(Conservative, SmallJobsRunBesideReservation) {
+  JobSet jobs = {Job::rigid(0, 2, 3.0), Job::sequential(1, 2.0)};
+  const std::vector<Reservation> rsv = {{0.0, 10.0, 1}};
+  const Schedule s = conservative_backfill(jobs, 4, rsv);
+  ValidateOptions opts;
+  opts.reservations = rsv;
+  EXPECT_TRUE(is_valid(jobs, s, opts));
+  EXPECT_DOUBLE_EQ(s.find(0)->start, 0.0);  // 2+1 <= 4: fits beside
+  EXPECT_DOUBLE_EQ(s.find(1)->start, 0.0);
+}
+
+TEST(Conservative, RejectsOversizedReservation) {
+  JobSet jobs = {Job::sequential(0, 1.0)};
+  EXPECT_THROW(conservative_backfill(jobs, 4, {{0.0, 1.0, 5}}),
+               std::invalid_argument);
+}
+
+TEST(Easy, BackfillsShortJobBehindStuckHead) {
+  JobSet jobs;
+  jobs.push_back(Job::rigid(0, 3, 10.0));        // running
+  jobs.push_back(Job::rigid(1, 4, 5.0, 1.0));    // stuck head (needs all 4)
+  jobs.push_back(Job::sequential(2, 2.0, 1.0));  // short: fits before shadow
+  const Schedule s = easy_backfill(jobs, 4);
+  EXPECT_TRUE(is_valid(jobs, s));
+  EXPECT_DOUBLE_EQ(s.find(2)->start, 1.0);   // backfilled
+  EXPECT_DOUBLE_EQ(s.find(1)->start, 10.0);  // head not delayed
+}
+
+TEST(Easy, DoesNotBackfillJobThatWouldDelayHead) {
+  JobSet jobs;
+  jobs.push_back(Job::rigid(0, 3, 10.0));
+  jobs.push_back(Job::rigid(1, 4, 5.0, 1.0));     // shadow at t=10
+  jobs.push_back(Job::sequential(2, 20.0, 1.0));  // too long to backfill
+  const Schedule s = easy_backfill(jobs, 4);
+  EXPECT_TRUE(is_valid(jobs, s));
+  EXPECT_DOUBLE_EQ(s.find(1)->start, 10.0);
+  EXPECT_GE(s.find(2)->start, 10.0);  // had to wait
+}
+
+TEST(Easy, BackfillsBesideHeadUsingSurplus) {
+  JobSet jobs;
+  jobs.push_back(Job::rigid(0, 3, 10.0));         // leaves 2 procs free
+  jobs.push_back(Job::rigid(1, 3, 5.0, 1.0));     // stuck head, shadow at 10
+  jobs.push_back(Job::sequential(2, 20.0, 1.0));  // long but fits the surplus
+  const Schedule s = easy_backfill(jobs, 5);
+  EXPECT_TRUE(is_valid(jobs, s));
+  // At the shadow (t=10) 5 procs free vs 3 needed: surplus 2, so the long
+  // 1-proc job may run beside the head without delaying it.
+  EXPECT_DOUBLE_EQ(s.find(2)->start, 1.0);
+  EXPECT_DOUBLE_EQ(s.find(1)->start, 10.0);
+}
+
+TEST(Backfill, RejectMoldable) {
+  JobSet jobs = {Job::moldable(0, ExecModel::power_law(8, 1.0), 1, 8)};
+  EXPECT_THROW(conservative_backfill(jobs, 8), std::invalid_argument);
+  EXPECT_THROW(easy_backfill(jobs, 8), std::invalid_argument);
+}
+
+TEST(Backfill, EmptySet) {
+  EXPECT_TRUE(conservative_backfill({}, 4).empty());
+  EXPECT_TRUE(easy_backfill({}, 4).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Properties over random on-line instances.
+// ---------------------------------------------------------------------------
+
+class BackfillProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackfillProperty, BothVariantsValidAndSane) {
+  Rng rng(GetParam());
+  RigidWorkloadSpec spec;
+  spec.count = 100;
+  spec.max_procs = 12;
+  spec.arrival_window = 80.0;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const int m = 24;
+  const Time lb = cmax_lower_bound(jobs, m);
+
+  const Schedule cons = conservative_backfill(jobs, m);
+  auto v = validate(jobs, cons);
+  EXPECT_TRUE(v.empty()) << describe(v);
+  EXPECT_LE(cons.makespan(), 4.0 * lb);
+
+  const Schedule easy = easy_backfill(jobs, m);
+  v = validate(jobs, easy);
+  EXPECT_TRUE(v.empty()) << describe(v);
+  EXPECT_LE(easy.makespan(), 4.0 * lb);
+}
+
+TEST_P(BackfillProperty, ConservativeWithRandomReservations) {
+  Rng rng(GetParam() + 1000);
+  RigidWorkloadSpec spec;
+  spec.count = 60;
+  spec.max_procs = 8;
+  spec.arrival_window = 40.0;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const int m = 16;
+  std::vector<Reservation> rsv;
+  for (int i = 0; i < 4; ++i) {
+    const Time start = rng.uniform(0.0, 100.0);
+    // Cap each reservation at m/4 so even fully overlapping reservations
+    // stay within the machine (reservations must be feasible together).
+    rsv.push_back({start, start + rng.uniform(1.0, 20.0),
+                   static_cast<int>(rng.uniform_int(1, m / 4))});
+  }
+  const Schedule s = conservative_backfill(jobs, m, rsv);
+  ValidateOptions opts;
+  opts.reservations = rsv;
+  const auto v = validate(jobs, s, opts);
+  EXPECT_TRUE(v.empty()) << describe(v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackfillProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace lgs

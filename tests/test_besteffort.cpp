@@ -1,0 +1,124 @@
+// Tests for the centralized best-effort grid (grid/besteffort.h), §5.2.
+#include <gtest/gtest.h>
+
+#include "grid/besteffort.h"
+
+namespace lgs {
+namespace {
+
+LightGrid two_cluster_grid() {
+  LightGrid g;
+  g.name = "mini";
+  g.clusters = {
+      {0, "alpha", 4, 1, 1.0, Interconnect::kGigabitEthernet, "Linux", 0},
+      {1, "beta", 2, 1, 2.0, Interconnect::kFastEthernet, "Linux", 1},
+  };
+  return g;
+}
+
+TEST(CentralServer, BagAccounting) {
+  CentralServer server({{"bag", 10, 0.5, 2, 1.0}});
+  EXPECT_EQ(server.total_runs(), 10);
+  EXPECT_EQ(server.pending(), 10);
+  BestEffortSource src = server.make_source();
+  const auto grants = src.request(3);
+  ASSERT_EQ(grants.size(), 3u);
+  EXPECT_DOUBLE_EQ(grants[0], 0.5);
+  EXPECT_EQ(server.pending(), 7);
+  src.on_kill(0.5);
+  EXPECT_EQ(server.pending(), 8);
+  EXPECT_EQ(server.resubmissions(), 1);
+  src.on_done();
+  EXPECT_EQ(server.completed(), 1);
+}
+
+TEST(CentralServer, GrantsCappedByRequest) {
+  CentralServer server({{"bag", 2, 1.0, 2, 1.0}});
+  BestEffortSource src = server.make_source();
+  EXPECT_EQ(src.request(10).size(), 2u);
+  EXPECT_EQ(src.request(10).size(), 0u);
+}
+
+TEST(Centralized, GridJobsFillIdleClusters) {
+  const LightGrid grid = two_cluster_grid();
+  // No local jobs at all: the grid bag has the machines to itself.
+  const std::vector<JobSet> locals = {{}, {}};
+  const CentralizedResult res =
+      run_centralized(grid, locals, {{"campaign", 60, 1.0, 2, 1.0}});
+  EXPECT_EQ(res.grid_runs_completed, 60);
+  EXPECT_EQ(res.grid_resubmissions, 0);
+  EXPECT_TRUE(res.local_unaffected);
+  for (const ClusterOutcome& c : res.clusters) {
+    EXPECT_EQ(c.be.killed, 0);
+    EXPECT_GT(c.utilization_total, 0.5);
+    EXPECT_DOUBLE_EQ(c.utilization_local, 0.0);
+  }
+}
+
+TEST(Centralized, LocalJobsNeverDisturbed) {
+  const LightGrid grid = two_cluster_grid();
+  std::vector<JobSet> locals(2);
+  // Bursty local load on cluster 0 so kills must happen.
+  for (int i = 0; i < 10; ++i)
+    locals[0].push_back(
+        Job::rigid(static_cast<JobId>(i), 4, 2.0, 3.0 * i + 1.0));
+  for (int i = 0; i < 5; ++i)
+    locals[1].push_back(
+        Job::sequential(static_cast<JobId>(100 + i), 4.0, 2.0 * i));
+  const CentralizedResult res =
+      run_centralized(grid, locals, {{"campaign", 200, 0.7, 2, 1.0}});
+  EXPECT_TRUE(res.local_unaffected)
+      << "best-effort jobs must not delay local jobs";
+  EXPECT_EQ(res.grid_runs_completed, 200);
+  // The bursty cluster must have produced kills and resubmissions.
+  EXPECT_GT(res.clusters[0].be.killed, 0);
+  EXPECT_EQ(res.grid_resubmissions,
+            res.clusters[0].be.killed + res.clusters[1].be.killed);
+  EXPECT_GT(res.clusters[0].be.wasted_time, 0.0);
+  // Utilization with grid jobs dominates local-only utilization.
+  for (const ClusterOutcome& c : res.clusters)
+    EXPECT_GE(c.utilization_total, c.utilization_local - 1e-12);
+}
+
+TEST(Centralized, EveryRunEventuallyCompletes) {
+  const LightGrid grid = two_cluster_grid();
+  std::vector<JobSet> locals(2);
+  for (int i = 0; i < 20; ++i)
+    locals[0].push_back(
+        Job::rigid(static_cast<JobId>(i), 3, 1.0, 0.8 * i));
+  const CentralizedResult res =
+      run_centralized(grid, locals, {{"campaign", 50, 0.3, 2, 1.0}});
+  EXPECT_EQ(res.grid_runs_completed, res.grid_runs_total);
+  EXPECT_EQ(res.grid_runs_total, 50);
+}
+
+TEST(Centralized, NoBagMeansPureLocal) {
+  const LightGrid grid = two_cluster_grid();
+  std::vector<JobSet> locals(2);
+  locals[0].push_back(Job::sequential(0, 5.0));
+  const CentralizedResult res = run_centralized(grid, locals, {});
+  EXPECT_EQ(res.grid_runs_total, 0);
+  EXPECT_TRUE(res.local_unaffected);
+  EXPECT_GT(res.clusters[0].utilization_local, 0.0);
+}
+
+TEST(Centralized, KillPolicyAblation) {
+  const LightGrid grid = two_cluster_grid();
+  std::vector<JobSet> locals(2);
+  for (int i = 0; i < 8; ++i)
+    locals[0].push_back(
+        Job::rigid(static_cast<JobId>(i), 4, 1.5, 4.0 * i + 2.0));
+  for (auto policy : {OnlineCluster::KillPolicy::kYoungestFirst,
+                      OnlineCluster::KillPolicy::kOldestFirst,
+                      OnlineCluster::KillPolicy::kLongestRemaining}) {
+    OnlineCluster::Options opts;
+    opts.kill_policy = policy;
+    const CentralizedResult res = run_centralized(
+        grid, locals, {{"campaign", 100, 0.9, 2, 1.0}}, opts);
+    EXPECT_TRUE(res.local_unaffected);
+    EXPECT_EQ(res.grid_runs_completed, 100);
+  }
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,115 @@
+// Tests for the §3 criteria (criteria/metrics.h) and lower bounds
+// (criteria/lower_bounds.h).
+#include <gtest/gtest.h>
+
+#include "criteria/lower_bounds.h"
+#include "criteria/metrics.h"
+#include "pt/backfill.h"
+#include "pt/shelves.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+TEST(Metrics, HandComputedSchedule) {
+  JobSet jobs;
+  jobs.push_back(Job::sequential(0, 4.0, /*release=*/0.0, /*weight=*/2.0));
+  jobs.push_back(Job::rigid(1, 2, 3.0, /*release=*/1.0));
+  jobs[1].due = 3.0;  // will be late
+
+  Schedule s(4);
+  s.add(0, 0.0, 1, 4.0);  // C0 = 4
+  s.add(1, 2.0, 2, 3.0);  // C1 = 5, flow = 4, tardy by 2
+
+  const Metrics m = compute_metrics(jobs, s);
+  EXPECT_DOUBLE_EQ(m.cmax, 5.0);
+  EXPECT_DOUBLE_EQ(m.sum_completion, 9.0);
+  EXPECT_DOUBLE_EQ(m.sum_weighted, 2.0 * 4.0 + 1.0 * 5.0);
+  EXPECT_DOUBLE_EQ(m.mean_flow, (4.0 + 4.0) / 2);
+  EXPECT_DOUBLE_EQ(m.max_flow, 4.0);
+  EXPECT_EQ(m.late_count, 1);
+  EXPECT_DOUBLE_EQ(m.sum_tardiness, 2.0);
+  EXPECT_DOUBLE_EQ(m.max_tardiness, 2.0);
+  // Work = 4 + 6 = 10 over 4 procs * 5s.
+  EXPECT_DOUBLE_EQ(m.utilization, 10.0 / 20.0);
+  // Slowdown of job 0: flow 4 / best 4 = 1; job 1: 4 / 3.
+  EXPECT_DOUBLE_EQ(m.max_slowdown, 4.0 / 3.0);
+}
+
+TEST(Metrics, ThrowsOnMissingJob) {
+  JobSet jobs = {Job::sequential(0, 1.0)};
+  Schedule s(2);
+  EXPECT_THROW(compute_metrics(jobs, s), std::invalid_argument);
+}
+
+TEST(Metrics, Throughput) {
+  Schedule s(2);
+  s.add(0, 0.0, 1, 1.0);
+  s.add(1, 0.0, 1, 3.0);
+  s.add(2, 3.0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(throughput(s, 3.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(throughput(s, 10.0), 3.0 / 10.0);
+  EXPECT_THROW(throughput(s, 0.0), std::invalid_argument);
+}
+
+TEST(LowerBounds, HandComputedCmax) {
+  JobSet jobs;
+  jobs.push_back(Job::rigid(0, 4, 10.0));         // work 40
+  jobs.push_back(Job::sequential(1, 2.0, 30.0));  // release 30 + 2
+  // Area: 42 / 4 = 10.5; critical: max(10, 32) = 32.
+  EXPECT_DOUBLE_EQ(cmax_lower_bound(jobs, 4), 32.0);
+  jobs[1].release = 0.0;
+  EXPECT_DOUBLE_EQ(cmax_lower_bound(jobs, 4), 10.5);
+}
+
+TEST(LowerBounds, SingleJobTight) {
+  JobSet jobs = {Job::sequential(0, 7.0)};
+  EXPECT_DOUBLE_EQ(cmax_lower_bound(jobs, 16), 7.0);
+  EXPECT_DOUBLE_EQ(sum_weighted_completion_lower_bound(jobs, 16), 7.0);
+}
+
+TEST(LowerBounds, SquashedAreaDominatesOnManyJobs) {
+  // 10 unit jobs on 1 machine: optimal ΣC = 1+2+...+10 = 55, and the
+  // squashed-area bound is exact here.
+  JobSet jobs;
+  for (int i = 0; i < 10; ++i)
+    jobs.push_back(Job::sequential(static_cast<JobId>(i), 1.0));
+  EXPECT_DOUBLE_EQ(sum_completion_lower_bound(jobs, 1), 55.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property: lower bounds never exceed the value achieved by real schedules.
+// ---------------------------------------------------------------------------
+
+class LowerBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LowerBoundProperty, BoundsBelowAchievedValues) {
+  Rng rng(GetParam());
+  RigidWorkloadSpec spec;
+  spec.count = 80;
+  spec.max_procs = 12;
+  spec.w_min = 1.0;
+  spec.w_max = 5.0;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const int m = 24;
+
+  const Schedule s = shelf_schedule_rigid(jobs, m);
+  const Metrics metrics = compute_metrics(jobs, s);
+  EXPECT_LE(cmax_lower_bound(jobs, m), metrics.cmax + kTimeEps);
+  EXPECT_LE(sum_weighted_completion_lower_bound(jobs, m),
+            metrics.sum_weighted * (1 + kRelEps));
+  EXPECT_LE(sum_completion_lower_bound(jobs, m),
+            metrics.sum_completion * (1 + kRelEps));
+
+  const Schedule s2 = conservative_backfill(jobs, m);
+  const Metrics m2 = compute_metrics(jobs, s2);
+  EXPECT_LE(cmax_lower_bound(jobs, m), m2.cmax + kTimeEps);
+  EXPECT_LE(sum_weighted_completion_lower_bound(jobs, m),
+            m2.sum_weighted * (1 + kRelEps));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,183 @@
+// Tests for the Divisible Load library (dlt/dlt.h), §2.1.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dlt/dlt.h"
+
+namespace lgs {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(DltBus, FractionsConserveVolume) {
+  const DltPlatform p = DltPlatform::homogeneous_bus(5, 0.1, 1.0);
+  const DltPlan plan = single_round_bus(p, 100.0);
+  EXPECT_NEAR(sum(plan.alpha), 100.0, 1e-6);
+  // Geometric decrease: earlier-served workers get more.
+  for (std::size_t i = 1; i < plan.alpha.size(); ++i)
+    EXPECT_LT(plan.alpha[i], plan.alpha[i - 1]);
+}
+
+TEST(DltBus, AllWorkersFinishSimultaneously) {
+  const double c = 0.2, w = 1.5;
+  const DltPlatform p = DltPlatform::homogeneous_bus(4, c, w);
+  const DltPlan plan = single_round_bus(p, 50.0);
+  // Worker i receives after Σ_{k<=i} c·α_k and computes w·α_i.
+  double bus = 0.0;
+  for (std::size_t i = 0; i < plan.alpha.size(); ++i) {
+    bus += c * plan.alpha[i];
+    EXPECT_NEAR(bus + w * plan.alpha[i], plan.makespan, 1e-6)
+        << "worker " << i;
+  }
+}
+
+TEST(DltBus, MoreWorkersNeverHurt) {
+  double prev = kTimeInfinity;
+  for (int n : {1, 2, 4, 8, 16}) {
+    const DltPlan plan =
+        single_round_bus(DltPlatform::homogeneous_bus(n, 0.05, 1.0), 100.0);
+    EXPECT_LT(plan.makespan, prev);
+    prev = plan.makespan;
+  }
+}
+
+TEST(DltBus, InfiniteBandwidthEqualSplit) {
+  const DltPlan plan =
+      single_round_bus(DltPlatform::homogeneous_bus(4, 0.0, 2.0), 100.0);
+  for (double a : plan.alpha) EXPECT_NEAR(a, 25.0, 1e-9);
+  EXPECT_NEAR(plan.makespan, 50.0, 1e-9);
+}
+
+TEST(DltBus, RejectsHeterogeneousPlatform) {
+  DltPlatform p = DltPlatform::homogeneous_bus(3, 0.1, 1.0);
+  p.workers[1].comp = 2.0;
+  EXPECT_THROW(single_round_bus(p, 10.0), std::invalid_argument);
+  EXPECT_THROW(single_round_bus(DltPlatform::homogeneous_bus(3, 0.1, 1.0), 0),
+               std::invalid_argument);
+}
+
+TEST(DltBus, GatherBackExtendsMakespan) {
+  const DltPlatform p = DltPlatform::homogeneous_bus(4, 0.1, 1.0);
+  const DltPlan without = single_round_bus(p, 100.0);
+  const DltPlan with = single_round_bus(p, 100.0, /*gather_ratio=*/0.5);
+  EXPECT_NEAR(with.makespan, without.makespan + 0.1 * 0.5 * 100.0, 1e-9);
+}
+
+TEST(DltStar, MatchesBusOnHomogeneousPlatform) {
+  const DltPlatform p = DltPlatform::homogeneous_bus(6, 0.1, 1.0);
+  const DltPlan bus = single_round_bus(p, 80.0);
+  const DltPlan star = single_round_star(p, 80.0);
+  EXPECT_NEAR(bus.makespan, star.makespan, 1e-6);
+  for (std::size_t i = 0; i < p.workers.size(); ++i)
+    EXPECT_NEAR(bus.alpha[i], star.alpha[i], 1e-6);
+}
+
+TEST(DltStar, HeterogeneousSimultaneousFinish) {
+  DltPlatform p;
+  p.workers = {{0.05, 0.8, 0.0}, {0.2, 1.0, 0.0}, {0.1, 2.0, 0.0}};
+  const DltPlan plan = single_round_star(p, 60.0);
+  EXPECT_NEAR(sum(plan.alpha), 60.0, 1e-6);
+  // Service order is increasing comm: workers 0, 2, 1.
+  double bus = 0.0;
+  for (std::size_t idx : {0u, 2u, 1u}) {
+    bus += p.workers[idx].comm * plan.alpha[idx];
+    EXPECT_NEAR(bus + p.workers[idx].comp * plan.alpha[idx], plan.makespan,
+                1e-6);
+  }
+}
+
+TEST(DltStar, SlowWorkerDroppedWhenLatencyDominates) {
+  DltPlatform p;
+  p.workers = {{0.01, 1.0, 0.0}, {5.0, 1.0, 100.0}};  // worker 1 is hopeless
+  const DltPlan plan = single_round_star(p, 1.0);
+  EXPECT_NEAR(plan.alpha[1], 0.0, 1e-9);
+  EXPECT_NEAR(plan.alpha[0], 1.0, 1e-9);
+}
+
+TEST(DltStar, FromGridUsesClusterAggregates) {
+  const DltPlatform p = DltPlatform::from_grid(ciment_grid());
+  ASSERT_EQ(p.workers.size(), 4u);
+  // Itanium cluster: fastest network and most compute.
+  EXPECT_LT(p.workers[0].comm, p.workers[2].comm);
+  EXPECT_LT(p.workers[0].comp, p.workers[3].comp);
+  const DltPlan plan = single_round_star(p, 1000.0);
+  EXPECT_NEAR(sum(plan.alpha), 1000.0, 1e-6);
+}
+
+TEST(DltMultiRound, ConservesVolume) {
+  const DltPlatform p = DltPlatform::homogeneous_bus(4, 0.1, 1.0, 0.5);
+  for (int rounds : {1, 2, 5, 10}) {
+    const DltPlan plan = multi_round(p, 100.0, rounds, 2.0);
+    EXPECT_NEAR(sum(plan.alpha), 100.0, 1e-6) << rounds << " rounds";
+    EXPECT_EQ(plan.rounds, rounds);
+    EXPECT_GT(plan.makespan, 0.0);
+  }
+}
+
+TEST(DltMultiRound, UniformVsGeometricStrategyNames) {
+  const DltPlatform p = DltPlatform::homogeneous_bus(3, 0.1, 1.0);
+  EXPECT_EQ(multi_round(p, 10.0, 3, 1.0).strategy, "multi-round-uniform");
+  EXPECT_EQ(multi_round(p, 10.0, 3, 2.0).strategy, "multi-round-geometric");
+  EXPECT_THROW(multi_round(p, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(multi_round(p, 10.0, 2, 0.0), std::invalid_argument);
+}
+
+TEST(DltSteadyState, RespectsConstraints) {
+  DltPlatform p;
+  p.workers = {{0.1, 1.0, 0.0}, {0.3, 0.5, 0.0}, {0.5, 2.0, 0.0}};
+  const SteadyState ss = steady_state(p);
+  double bus = 0.0;
+  for (std::size_t i = 0; i < p.workers.size(); ++i) {
+    EXPECT_LE(ss.rate[i], 1.0 / p.workers[i].comp + 1e-9);
+    bus += p.workers[i].comm * ss.rate[i];
+  }
+  EXPECT_LE(bus, 1.0 + 1e-9);
+  EXPECT_NEAR(ss.throughput, sum(ss.rate), 1e-12);
+  EXPECT_GT(ss.throughput, 0.0);
+}
+
+TEST(DltSteadyState, BandwidthBoundBinds) {
+  // One-port master with slow links: throughput limited by Σ c x = 1.
+  DltPlatform p;
+  p.workers = {{1.0, 0.001, 0.0}, {1.0, 0.001, 0.0}};
+  const SteadyState ss = steady_state(p);
+  EXPECT_NEAR(ss.throughput, 1.0, 1e-6);
+}
+
+TEST(DltSteadyState, ComputeBoundBinds) {
+  DltPlatform p;
+  p.workers = {{0.0001, 2.0, 0.0}, {0.0001, 2.0, 0.0}};
+  const SteadyState ss = steady_state(p);
+  EXPECT_NEAR(ss.throughput, 1.0, 1e-3);  // 2 workers × 0.5/s
+}
+
+TEST(DltStealing, ConservesVolumeAllPolicies) {
+  const DltPlatform p = DltPlatform::homogeneous_bus(4, 0.05, 1.0, 0.01);
+  for (ChunkPolicy policy :
+       {ChunkPolicy::kFixed, ChunkPolicy::kGuided, ChunkPolicy::kFactoring}) {
+    const DltPlan plan = work_stealing(p, 100.0, 1.0, policy);
+    EXPECT_NEAR(sum(plan.alpha), 100.0, 1e-6);
+    EXPECT_GT(plan.makespan, 0.0);
+    // Cannot beat the perfect-parallelism bound.
+    EXPECT_GE(plan.makespan, 100.0 * 1.0 / 4 - 1e-9);
+  }
+}
+
+TEST(DltStealing, GuidedUsesFewerChunksThanFixed) {
+  const DltPlatform p = DltPlatform::homogeneous_bus(4, 0.05, 1.0);
+  const DltPlan fixed = work_stealing(p, 100.0, 0.5, ChunkPolicy::kFixed);
+  const DltPlan guided = work_stealing(p, 100.0, 0.5, ChunkPolicy::kGuided);
+  EXPECT_LT(guided.rounds, fixed.rounds);
+}
+
+TEST(DltStealing, RejectsBadArguments) {
+  const DltPlatform p = DltPlatform::homogeneous_bus(2, 0.1, 1.0);
+  EXPECT_THROW(work_stealing(p, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(work_stealing(p, 10.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,128 @@
+// Tests for divisible load on tree networks (dlt/tree.h) — the setting of
+// the paper's reference [4] (Cheng & Robertazzi).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dlt/tree.h"
+
+namespace lgs {
+namespace {
+
+double total(const DltTreePlan& p) {
+  return std::accumulate(p.alpha.begin(), p.alpha.end(), 0.0);
+}
+
+DltTreeNode leaf(const std::string& name, double comm, double comp,
+                 double latency = 0.0) {
+  DltTreeNode n;
+  n.name = name;
+  n.comm = comm;
+  n.comp = comp;
+  n.latency = latency;
+  return n;
+}
+
+TEST(DltTree, SingleLeafMatchesDirectComputation) {
+  DltTreeNode root = leaf("root", 0.0, 2.0);
+  const DltTreePlan plan = tree_distribute(root, 10.0);
+  EXPECT_NEAR(plan.makespan, 20.0, 1e-9);
+  EXPECT_NEAR(total(plan), 10.0, 1e-9);
+  EXPECT_NEAR(plan.equivalent.comp, 2.0, 1e-9);
+}
+
+TEST(DltTree, FlatTreeMatchesStarClosedForm) {
+  // A root that only forwards to three heterogeneous leaves must
+  // reproduce the star solution exactly.
+  DltTreeNode root;
+  root.name = "master";
+  root.comp = 0.0;
+  root.children = {leaf("a", 0.05, 0.8), leaf("b", 0.2, 1.0),
+                   leaf("c", 0.1, 2.0)};
+  const DltTreePlan tree = tree_distribute(root, 60.0);
+
+  DltPlatform star;
+  star.workers = {{0.05, 0.8, 0.0}, {0.2, 1.0, 0.0}, {0.1, 2.0, 0.0}};
+  const DltPlan flat = single_round_star(star, 60.0);
+
+  EXPECT_NEAR(tree.makespan, flat.makespan, 1e-6);
+  // Pre-order: master(0), a, b, c.
+  EXPECT_NEAR(tree.alpha[1], flat.alpha[0], 1e-6);
+  EXPECT_NEAR(tree.alpha[2], flat.alpha[1], 1e-6);
+  EXPECT_NEAR(tree.alpha[3], flat.alpha[2], 1e-6);
+  EXPECT_NEAR(total(tree), 60.0, 1e-6);
+}
+
+TEST(DltTree, ComputingRootTakesShare) {
+  DltTreeNode root = leaf("root", 0.0, 1.0);
+  root.children = {leaf("child", 0.1, 1.0)};
+  const DltTreePlan plan = tree_distribute(root, 20.0);
+  EXPECT_NEAR(total(plan), 20.0, 1e-9);
+  EXPECT_GT(plan.alpha[0], plan.alpha[1])
+      << "root computes without paying communication";
+}
+
+TEST(DltTree, TwoLevelBeatsWanOnlyDistribution) {
+  // Two clusters behind a WAN: distributing through front-ends to local
+  // aggregates must finish in finite simultaneous time and conserve load.
+  DltTreeNode root;
+  root.name = "wan";
+  DltTreeNode site_a;
+  site_a.name = "site-a";
+  site_a.comm = 0.01;
+  site_a.children = {leaf("a-nodes", 0.004, 0.01)};
+  DltTreeNode site_b;
+  site_b.name = "site-b";
+  site_b.comm = 0.02;
+  site_b.children = {leaf("b-nodes", 0.08, 0.02)};
+  root.children = {site_a, site_b};
+
+  const DltTreePlan plan = tree_distribute(root, 1000.0);
+  EXPECT_NEAR(total(plan), 1000.0, 1e-6);
+  EXPECT_GT(plan.makespan, 0.0);
+  // The fast site gets the bigger share.
+  double share_a = 0.0, share_b = 0.0;
+  for (std::size_t i = 0; i < plan.node.size(); ++i) {
+    if (plan.node[i].rfind("a-", 0) == 0 || plan.node[i] == "site-a")
+      share_a += plan.alpha[i];
+    if (plan.node[i].rfind("b-", 0) == 0 || plan.node[i] == "site-b")
+      share_b += plan.alpha[i];
+  }
+  EXPECT_GT(share_a, share_b);
+}
+
+TEST(DltTree, DeeperTreesReduce) {
+  // Chain: root -> mid -> leaf; the reduction must compose.
+  DltTreeNode mid;
+  mid.name = "mid";
+  mid.comm = 0.05;
+  mid.children = {leaf("deep", 0.05, 0.5)};
+  DltTreeNode root;
+  root.name = "root";
+  root.comp = 0.0;
+  root.children = {mid};
+  const DltTreePlan plan = tree_distribute(root, 100.0);
+  EXPECT_NEAR(total(plan), 100.0, 1e-6);
+  // Equivalent rate slower than the leaf alone (links in the way).
+  EXPECT_GT(plan.equivalent.comp, 0.5 - 1e-9);
+}
+
+TEST(DltTree, CimentTreeDistributes) {
+  const DltTreeNode tree = ciment_tree();
+  ASSERT_EQ(tree.children.size(), 4u);
+  const DltTreePlan plan = tree_distribute(tree, 50000.0);
+  EXPECT_NEAR(total(plan), 50000.0, 1e-4);
+  EXPECT_GT(plan.makespan, 0.0);
+  // 1 root + 4 front-ends + 4 node-aggregates.
+  EXPECT_EQ(plan.node.size(), 9u);
+}
+
+TEST(DltTree, RejectsBadInput) {
+  DltTreeNode bad = leaf("dead", 0.0, 0.0);  // leaf that cannot compute
+  EXPECT_THROW(tree_distribute(bad, 1.0), std::invalid_argument);
+  DltTreeNode ok = leaf("ok", 0.0, 1.0);
+  EXPECT_THROW(tree_distribute(ok, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,107 @@
+// Tests for decentralized load exchange (grid/exchange.h), §5.2.
+#include <gtest/gtest.h>
+
+#include "grid/exchange.h"
+
+namespace lgs {
+namespace {
+
+LightGrid two_cluster_grid() {
+  LightGrid g;
+  g.name = "mini";
+  g.clusters = {
+      {0, "alpha", 4, 1, 1.0, Interconnect::kGigabitEthernet, "Linux", 0},
+      {1, "beta", 4, 1, 1.0, Interconnect::kFastEthernet, "Linux", 1},
+  };
+  return g;
+}
+
+std::vector<JobSet> lopsided_workload() {
+  // Cluster 0 drowning, cluster 1 idle.
+  std::vector<JobSet> w(2);
+  for (int i = 0; i < 24; ++i) {
+    Job j = Job::sequential(static_cast<JobId>(i), 10.0, 0.1 * i);
+    j.community = 0;
+    w[0].push_back(std::move(j));
+  }
+  return w;
+}
+
+TEST(Exchange, IsolatedNeverMigrates) {
+  const ExchangeResult res =
+      run_exchange(two_cluster_grid(), lopsided_workload(),
+                   {ExchangePolicy::kIsolated, 10.0, 1.0});
+  EXPECT_EQ(res.migrations, 0);
+  EXPECT_GT(res.mean_flow, 0.0);
+}
+
+TEST(Exchange, EconomicBalancesLopsidedLoad) {
+  const ExchangeOptions isolated{ExchangePolicy::kIsolated, 10.0, 1.0};
+  const ExchangeOptions economic{ExchangePolicy::kEconomic, 10.0, 1.0};
+  const ExchangeResult iso =
+      run_exchange(two_cluster_grid(), lopsided_workload(), isolated);
+  const ExchangeResult eco =
+      run_exchange(two_cluster_grid(), lopsided_workload(), economic);
+  EXPECT_GT(eco.migrations, 0);
+  EXPECT_LT(eco.mean_flow, iso.mean_flow)
+      << "exchanging work must help a drowning cluster";
+  EXPECT_LT(eco.horizon, iso.horizon + kTimeEps);
+}
+
+TEST(Exchange, ThresholdMigratesOnlyUnderPressure) {
+  // Huge threshold: behaves like isolated.
+  const ExchangeResult calm =
+      run_exchange(two_cluster_grid(), lopsided_workload(),
+                   {ExchangePolicy::kThreshold, 1e9, 1.0});
+  EXPECT_EQ(calm.migrations, 0);
+  // Tiny threshold: migrates.
+  const ExchangeResult eager =
+      run_exchange(two_cluster_grid(), lopsided_workload(),
+                   {ExchangePolicy::kThreshold, 0.5, 1.0});
+  EXPECT_GT(eager.migrations, 0);
+}
+
+TEST(Exchange, CommunityAccounting) {
+  std::vector<JobSet> w(2);
+  Job a = Job::sequential(0, 5.0);
+  a.community = 3;
+  Job b = Job::sequential(1, 5.0);
+  b.community = 7;
+  w[0].push_back(a);
+  w[1].push_back(b);
+  const ExchangeResult res = run_exchange(two_cluster_grid(), w, {});
+  ASSERT_EQ(res.communities.size(), 2u);
+  EXPECT_EQ(res.communities[0].community, 3);
+  EXPECT_EQ(res.communities[0].jobs, 1);
+  EXPECT_EQ(res.communities[1].community, 7);
+  EXPECT_GE(res.communities[0].mean_slowdown, 1.0 - 1e-9);
+}
+
+TEST(Exchange, WideJobStaysWhereItFits) {
+  LightGrid g = two_cluster_grid();
+  g.clusters[1].nodes = 2;  // too small for a 4-wide job
+  std::vector<JobSet> w(2);
+  // Load cluster 0 heavily, then submit a 4-wide job: economic must NOT
+  // migrate it to the tiny cluster.
+  for (int i = 0; i < 10; ++i)
+    w[0].push_back(Job::sequential(static_cast<JobId>(i), 10.0));
+  w[0].push_back(Job::rigid(100, 4, 1.0, 0.5));
+  const ExchangeResult res =
+      run_exchange(g, w, {ExchangePolicy::kEconomic, 10.0, 1.0});
+  EXPECT_GT(res.mean_flow, 0.0);  // completed without throwing
+}
+
+TEST(Exchange, PolicyNames) {
+  EXPECT_STREQ(to_string(ExchangePolicy::kIsolated), "isolated");
+  EXPECT_STREQ(to_string(ExchangePolicy::kThreshold), "threshold");
+  EXPECT_STREQ(to_string(ExchangePolicy::kEconomic), "economic");
+}
+
+TEST(Exchange, RejectsTooManyWorkloads) {
+  std::vector<JobSet> w(3);
+  EXPECT_THROW(run_exchange(two_cluster_grid(), w, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lgs

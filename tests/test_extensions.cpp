@@ -1,0 +1,155 @@
+// Tests for the extension features: EDF list order (§3 tardiness),
+// contiguous processor assignment, and SVG Gantt export.
+#include <gtest/gtest.h>
+
+#include "core/proc_assign.h"
+#include "core/validate.h"
+#include "criteria/metrics.h"
+#include "pt/rigid_list.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+// --- EDF ------------------------------------------------------------------
+
+TEST(Edf, MeetsDeadlinesFcfsWouldMiss) {
+  JobSet jobs;
+  Job relaxed = Job::sequential(0, 5.0);
+  relaxed.due = 100.0;
+  Job urgent = Job::sequential(1, 2.0);
+  urgent.due = 3.0;
+  jobs = {relaxed, urgent};
+
+  const Schedule fcfs = list_schedule_rigid(jobs, 1);
+  const Schedule edf =
+      list_schedule_rigid(jobs, 1, {ListOrder::kEarliestDue, false});
+  const Metrics mf = compute_metrics(jobs, fcfs);
+  const Metrics me = compute_metrics(jobs, edf);
+  EXPECT_EQ(mf.late_count, 1);  // urgent job finishes at 7 > 3
+  EXPECT_EQ(me.late_count, 0);  // EDF runs it first
+  EXPECT_TRUE(is_valid(jobs, edf));
+}
+
+TEST(Edf, JobsWithoutDueDatesGoLast) {
+  JobSet jobs;
+  Job no_due = Job::sequential(0, 1.0);  // due = kNoDueDate = +inf
+  Job with_due = Job::sequential(1, 1.0);
+  with_due.due = 10.0;
+  jobs = {no_due, with_due};
+  const Schedule edf =
+      list_schedule_rigid(jobs, 1, {ListOrder::kEarliestDue, false});
+  EXPECT_LT(edf.find(1)->start, edf.find(0)->start);
+}
+
+TEST(Edf, ReducesTardinessOnRandomInstances) {
+  Rng rng(17);
+  RigidWorkloadSpec spec;
+  spec.count = 80;
+  spec.max_procs = 6;
+  JobSet jobs = make_rigid_workload(spec, rng);
+  // Due dates proportional to size with random slack.
+  for (Job& j : jobs)
+    j.due = j.time(j.min_procs) * rng.uniform(2.0, 12.0);
+  const Metrics mf =
+      compute_metrics(jobs, list_schedule_rigid(jobs, 16));
+  const Metrics me = compute_metrics(
+      jobs, list_schedule_rigid(jobs, 16, {ListOrder::kEarliestDue, false}));
+  EXPECT_LE(me.sum_tardiness, mf.sum_tardiness * 1.05)
+      << "EDF should not be much worse on total tardiness";
+}
+
+// --- contiguous processor assignment ---------------------------------------
+
+TEST(Contiguous, AssignsRangesWhenPossible) {
+  Schedule s(8);
+  s.add(0, 0.0, 3, 5.0);
+  s.add(1, 0.0, 5, 5.0);
+  ASSERT_TRUE(assign_processors_contiguous(s));
+  for (const Assignment& a : s.assignments()) {
+    for (std::size_t k = 1; k < a.procs.size(); ++k)
+      EXPECT_EQ(a.procs[k], a.procs[k - 1] + 1) << "non-contiguous range";
+  }
+  JobSet jobs = {Job::rigid(0, 3, 5.0), Job::rigid(1, 5, 5.0)};
+  EXPECT_TRUE(is_valid(jobs, s));
+}
+
+TEST(Contiguous, FailsOnFragmentation) {
+  Schedule s(5);
+  s.add(0, 0.0, 2, 10.0);  // takes 0,1
+  s.add(1, 0.0, 1, 2.0);   // takes 2
+  s.add(2, 0.0, 2, 10.0);  // takes 3,4
+  s.add(3, 2.0, 1, 1.0);   // slot 2 free again: fits
+  ASSERT_TRUE(assign_processors_contiguous(s));
+
+  Schedule frag(5);
+  frag.add(0, 0.0, 2, 10.0);  // 0,1
+  frag.add(1, 0.0, 1, 2.0);   // 2
+  frag.add(2, 0.0, 2, 10.0);  // 3,4
+  frag.add(3, 2.0, 2, 1.0);   // needs 2 contiguous; only proc 2 is free
+  EXPECT_FALSE(assign_processors_contiguous(frag));
+  // The unconstrained variant also fails here (demand 2 > free 1)...
+  EXPECT_FALSE(assign_processors(frag));
+}
+
+TEST(Contiguous, FragmentationOnlyFailure) {
+  // Capacity is fine (2 free procs) but they are not adjacent: contiguous
+  // fails, unconstrained succeeds.
+  Schedule s(5);
+  s.add(0, 0.0, 1, 10.0);  // proc 0
+  s.add(1, 0.0, 1, 2.0);   // proc 1 (ends at 2)
+  s.add(2, 0.0, 1, 10.0);  // proc 2
+  s.add(3, 0.0, 1, 2.0);   // proc 3 (ends at 2)
+  s.add(4, 0.0, 1, 10.0);  // proc 4
+  s.add(5, 2.0, 2, 1.0);   // needs {1,3}: non-adjacent
+  Schedule contiguous = s;
+  EXPECT_FALSE(assign_processors_contiguous(contiguous));
+  Schedule loose = s;
+  EXPECT_TRUE(assign_processors(loose));
+}
+
+TEST(Contiguous, UntouchedOnFailure) {
+  Schedule s(2);
+  s.add(0, 0.0, 2, 5.0);
+  s.add(1, 2.0, 1, 1.0);
+  EXPECT_FALSE(assign_processors_contiguous(s));
+  for (const Assignment& a : s.assignments())
+    EXPECT_TRUE(a.procs.empty());
+}
+
+// --- SVG Gantt --------------------------------------------------------------
+
+TEST(Svg, RendersRectPerProcessorSlot) {
+  Schedule s(3);
+  s.add(0, 0.0, 2, 4.0);
+  s.add(1, 0.0, 1, 4.0);
+  ASSERT_TRUE(assign_processors(s));
+  const std::string svg = gantt_svg(s);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 3 processor-slots + 1 background rect.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, 4u);
+  EXPECT_NE(svg.find("job 0"), std::string::npos);
+}
+
+TEST(Svg, AbstractScheduleStillRenders) {
+  Schedule s(4);
+  s.add(0, 0.0, 4, 2.0);
+  const std::string svg = gantt_svg(s);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("fill-opacity"), std::string::npos);
+}
+
+TEST(Svg, EmptyScheduleIsWellFormed) {
+  const std::string svg = gantt_svg(Schedule(2));
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,112 @@
+// Tests for the global heterogeneous ECT scheduler (grid/global.h).
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "grid/global.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+LightGrid hetero_grid() {
+  LightGrid g;
+  g.name = "hetero";
+  g.clusters = {
+      {0, "fast", 4, 1, 2.0, Interconnect::kMyrinet, "Linux", 0},
+      {1, "slow", 8, 1, 1.0, Interconnect::kFastEthernet, "Linux", 1},
+  };
+  return g;
+}
+
+TEST(GlobalEct, PrefersFasterCluster) {
+  const LightGrid grid = hetero_grid();
+  JobSet jobs = {Job::sequential(0, 10.0)};
+  const GlobalSchedule s = global_ect_schedule(grid, jobs);
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].cluster, 0);  // completes at 5 vs 10
+  EXPECT_DOUBLE_EQ(s.items[0].duration, 5.0);
+}
+
+TEST(GlobalEct, SpillsToSlowClusterUnderLoad) {
+  const LightGrid grid = hetero_grid();
+  JobSet jobs;
+  // 9 sequential jobs of 10: the fast cluster (4 procs, speed 2) hosts two
+  // waves ending at 5 and 10; the ninth job would end at 15 there, so ECT
+  // sends it to the slow cluster (ends at 10).
+  for (int i = 0; i < 9; ++i)
+    jobs.push_back(Job::sequential(static_cast<JobId>(i), 10.0));
+  const GlobalSchedule s = global_ect_schedule(grid, jobs);
+  int on_slow = 0;
+  for (const GlobalAssignment& a : s.items)
+    if (a.cluster == 1) ++on_slow;
+  EXPECT_GT(on_slow, 0);
+  EXPECT_LE(s.makespan, 10.0 + kTimeEps);  // nothing needs a second round
+}
+
+TEST(GlobalEct, WideJobGoesWhereItFits) {
+  const LightGrid grid = hetero_grid();
+  JobSet jobs = {Job::rigid(0, 6, 4.0)};  // wider than the fast cluster
+  const GlobalSchedule s = global_ect_schedule(grid, jobs);
+  EXPECT_EQ(s.items[0].cluster, 1);
+}
+
+TEST(GlobalEct, ThrowsWhenNoClusterFits) {
+  const LightGrid grid = hetero_grid();
+  JobSet jobs = {Job::rigid(0, 9, 1.0)};
+  EXPECT_THROW(global_ect_schedule(grid, jobs), std::invalid_argument);
+  EXPECT_THROW(global_cmax_lower_bound(grid, jobs), std::invalid_argument);
+}
+
+TEST(GlobalEct, ClusterViewsAreValidSchedules) {
+  const LightGrid grid = hetero_grid();
+  Rng rng(5);
+  RigidWorkloadSpec spec;
+  spec.count = 60;
+  spec.max_procs = 4;
+  spec.arrival_window = 20.0;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const GlobalSchedule s = global_ect_schedule(grid, jobs);
+
+  for (const Cluster& c : grid.clusters) {
+    const Schedule view = s.cluster_view(grid, c.id);
+    // Scale jobs to the cluster speed so the standard validator applies.
+    JobSet scaled;
+    for (const Job& j : jobs)
+      if (s.find(j.id)->cluster == c.id)
+        scaled.push_back(Job::rigid(j.id, j.min_procs,
+                                    j.time(j.min_procs) / c.speed,
+                                    j.release, j.weight));
+    const auto violations = validate(scaled, view);
+    EXPECT_TRUE(violations.empty()) << c.name << "\n" << describe(violations);
+  }
+}
+
+TEST(GlobalEct, RespectsLowerBound) {
+  const LightGrid grid = ciment_grid();
+  Rng rng(6);
+  MoldableWorkloadSpec spec;
+  spec.count = 120;
+  spec.max_procs = 32;
+  const JobSet jobs = make_moldable_workload(spec, rng);
+  const GlobalSchedule s = global_ect_schedule(grid, jobs);
+  const Time lb = global_cmax_lower_bound(grid, jobs);
+  EXPECT_GE(s.makespan, lb - kTimeEps);
+  EXPECT_LE(s.makespan, 5.0 * lb) << "ECT should stay near the bound";
+}
+
+TEST(GlobalEct, LptOrderHelpsMakespan) {
+  const LightGrid grid = hetero_grid();
+  Rng rng(7);
+  RigidWorkloadSpec spec;
+  spec.count = 80;
+  spec.max_procs = 4;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const Time fcfs =
+      global_ect_schedule(grid, jobs, GlobalOrder::kSubmission).makespan;
+  const Time lpt =
+      global_ect_schedule(grid, jobs, GlobalOrder::kLongestFirst).makespan;
+  EXPECT_LE(lpt, fcfs * 1.05) << "LPT should not lose badly off-line";
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,138 @@
+// Cross-module integration tests: the library pieces combined the way the
+// paper's CiGri system combines them.
+#include <gtest/gtest.h>
+
+#include "core/proc_assign.h"
+#include "core/validate.h"
+#include "criteria/lower_bounds.h"
+#include "criteria/metrics.h"
+#include "dlt/dlt.h"
+#include "grid/besteffort.h"
+#include "grid/exchange.h"
+#include "policy/policy.h"
+#include "pt/bicriteria.h"
+#include "pt/mrt.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+// Fig. 2 in miniature: the bi-criteria scheduler on a 100-machine cluster,
+// both workload families, ratios within the figure's plotted range.
+TEST(Integration, Figure2Miniature) {
+  const int m = 100;
+  for (const bool parallel : {false, true}) {
+    for (const int n : {50, 200}) {
+      Rng rng(static_cast<std::uint64_t>(n) * 2 + parallel);
+      MoldableWorkloadSpec spec;
+      spec.count = n;
+      spec.max_procs = 20;
+      spec.sequential_fraction = parallel ? 0.3 : 1.0;
+      spec.arrival_window = 20.0;
+      spec.w_min = 1.0;
+      spec.w_max = 5.0;
+      const JobSet jobs = make_moldable_workload(spec, rng);
+      const Schedule s = bicriteria_schedule(jobs, m).schedule;
+      ASSERT_TRUE(is_valid(jobs, s));
+      const Metrics metrics = compute_metrics(jobs, s);
+      const double cmax_ratio = metrics.cmax / cmax_lower_bound(jobs, m);
+      const double wc_ratio = metrics.sum_weighted /
+                              sum_weighted_completion_lower_bound(jobs, m);
+      // Fig. 2 plots ratios between 1 and ~2.8.
+      EXPECT_GE(cmax_ratio, 1.0 - 1e-9);
+      EXPECT_LE(cmax_ratio, 4.0);
+      EXPECT_GE(wc_ratio, 1.0 - 1e-9);
+      EXPECT_LE(wc_ratio, 5.0);
+    }
+  }
+}
+
+// The full CIMENT scenario: four communities submit to their clusters, a
+// medical campaign runs best-effort on the whole grid.
+TEST(Integration, CimentCentralizedScenario) {
+  const LightGrid grid = ciment_grid();
+  Rng rng(11);
+  std::vector<JobSet> locals(4);
+  locals[0] = make_community_workload(Community::kNumericalPhysics, 12, rng,
+                                      0, 0.02, 50.0);
+  locals[1] = make_community_workload(Community::kAstrophysics, 12, rng, 100,
+                                      0.02, 50.0);
+  locals[2] = make_community_workload(Community::kComputerScience, 20, rng,
+                                      200, 0.02, 50.0);
+  locals[3] = make_community_workload(Community::kMedicalResearch, 12, rng,
+                                      300, 0.02, 50.0);
+  // The campaign must be big enough to matter on 432 processors: 30000
+  // runs of 0.1 units = 3000 processor-units of grid work.
+  const CentralizedResult res = run_centralized(
+      grid, locals, {{"med-campaign", 30000, 0.1, 2, 1.0}});
+  EXPECT_TRUE(res.local_unaffected);
+  EXPECT_EQ(res.grid_runs_completed, 30000);
+  double util_total = 0.0, util_local = 0.0;
+  for (const ClusterOutcome& c : res.clusters) {
+    util_total += c.utilization_total;
+    util_local += c.utilization_local;
+  }
+  EXPECT_GT(util_total / 4, 0.05) << "grid jobs should lift utilization";
+  EXPECT_GT(util_total, util_local) << "best-effort work fills real holes";
+}
+
+// Decentralized exchange on CIMENT: economic beats isolated for a community
+// whose own cluster is overloaded.
+TEST(Integration, CimentExchangeScenario) {
+  const LightGrid grid = ciment_grid();
+  Rng rng(13);
+  std::vector<JobSet> w(4);
+  // Overload the smallest cluster (3) with CS debug jobs.
+  w[3] = make_community_workload(Community::kComputerScience, 150, rng, 0,
+                                 1.0, 10.0);
+  const ExchangeResult iso =
+      run_exchange(grid, w, {ExchangePolicy::kIsolated, 5.0, 0.5});
+  const ExchangeResult eco =
+      run_exchange(grid, w, {ExchangePolicy::kEconomic, 5.0, 0.5});
+  EXPECT_GT(eco.migrations, 0);
+  EXPECT_LE(eco.mean_flow, iso.mean_flow + kTimeEps);
+}
+
+// DLT planning for a campaign on the CIMENT star matches the steady-state
+// prediction asymptotically (§5.2: multi-parametric jobs are the DLT case).
+TEST(Integration, DltCampaignOnCiment) {
+  const DltPlatform p = DltPlatform::from_grid(ciment_grid());
+  const SteadyState ss = steady_state(p);
+  const double volume = 1e5;
+  const DltPlan plan = single_round_star(p, volume);
+  // Single-round makespan is lower-bounded by the steady-state time.
+  EXPECT_GE(plan.makespan, volume / ss.throughput - 1e-6);
+  // And within a small factor of it for large volumes (latency amortized).
+  EXPECT_LE(plan.makespan, 1.5 * volume / ss.throughput);
+}
+
+// MRT schedules realize on concrete processors end to end.
+TEST(Integration, MrtToConcreteProcessors) {
+  Rng rng(17);
+  MoldableWorkloadSpec spec;
+  spec.count = 40;
+  spec.max_procs = 16;
+  const JobSet jobs = make_moldable_workload(spec, rng);
+  MrtResult r = mrt_schedule(jobs, 32);
+  ASSERT_TRUE(assign_processors(r.schedule));
+  const auto violations = validate(jobs, r.schedule);
+  EXPECT_TRUE(violations.empty()) << describe(violations);
+}
+
+// The policy matrix agrees with the paper's broad expectations on at least
+// one anchor: on moldable workloads, the moldable-aware policies are not
+// dominated on Cmax by naive FCFS.
+TEST(Integration, MoldablePoliciesBeatFcfsOnCmax) {
+  const int m = 32;
+  const JobSet jobs = make_application_workload(
+      ApplicationClass::kMoldableParallel, 60, m, 23);
+  const Schedule fcfs = run_policy(PolicyKind::kFcfsList, jobs, m);
+  const Schedule mrt = run_policy(PolicyKind::kMrtBatches, jobs, m);
+  const Metrics mf = compute_metrics(jobs, fcfs);
+  const Metrics mm = compute_metrics(jobs, mrt);
+  EXPECT_LE(mm.cmax, 1.5 * mf.cmax)
+      << "MRT batches should be competitive with FCFS on makespan";
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,87 @@
+// Unit tests for the job model (core/job.h).
+#include <gtest/gtest.h>
+
+#include "core/job.h"
+
+namespace lgs {
+namespace {
+
+TEST(Job, RigidConstructor) {
+  const Job j = Job::rigid(3, 4, 12.5, 2.0, 1.5);
+  EXPECT_EQ(j.id, 3u);
+  EXPECT_EQ(j.kind, JobKind::kRigid);
+  EXPECT_EQ(j.min_procs, 4);
+  EXPECT_EQ(j.max_procs, 4);
+  EXPECT_DOUBLE_EQ(j.time(4), 12.5);
+  EXPECT_DOUBLE_EQ(j.work(4), 50.0);
+  EXPECT_DOUBLE_EQ(j.release, 2.0);
+  EXPECT_DOUBLE_EQ(j.weight, 1.5);
+}
+
+TEST(Job, SequentialConstructor) {
+  const Job j = Job::sequential(1, 8.0);
+  EXPECT_EQ(j.min_procs, 1);
+  EXPECT_EQ(j.max_procs, 1);
+  EXPECT_DOUBLE_EQ(j.best_time(128), 8.0);
+}
+
+TEST(Job, MoldableBestTime) {
+  const Job j = Job::moldable(0, ExecModel::power_law(32.0, 1.0), 1, 8);
+  EXPECT_DOUBLE_EQ(j.best_time(4), 8.0);   // clamped by machine
+  EXPECT_DOUBLE_EQ(j.best_time(64), 4.0);  // clamped by max_procs
+}
+
+TEST(Job, TimeRejectsOutOfRangeAllotment) {
+  const Job j = Job::moldable(0, ExecModel::power_law(32.0, 1.0), 2, 8);
+  EXPECT_THROW(j.time(1), std::invalid_argument);
+  EXPECT_THROW(j.time(9), std::invalid_argument);
+  EXPECT_NO_THROW(j.time(2));
+}
+
+TEST(Job, MinWorkUsesSmallestAllotment) {
+  // Amdahl work increases with procs, so min work is at min_procs.
+  const Job j = Job::moldable(0, ExecModel::amdahl(10.0, 0.5), 2, 8);
+  EXPECT_DOUBLE_EQ(j.min_work(), 2 * j.time(2));
+}
+
+TEST(JobSet, TotalMinWorkAndMaxRelease) {
+  JobSet jobs;
+  jobs.push_back(Job::sequential(0, 4.0, 1.0));
+  jobs.push_back(Job::rigid(1, 2, 3.0, 5.0));
+  EXPECT_DOUBLE_EQ(total_min_work(jobs), 4.0 + 6.0);
+  EXPECT_DOUBLE_EQ(max_release(jobs), 5.0);
+  EXPECT_DOUBLE_EQ(max_release({}), 0.0);
+}
+
+TEST(JobSet, CheckJobsetAcceptsValid) {
+  JobSet jobs = {Job::sequential(0, 1.0), Job::rigid(1, 4, 2.0)};
+  EXPECT_NO_THROW(check_jobset(jobs, 8));
+}
+
+TEST(JobSet, CheckJobsetRejections) {
+  EXPECT_THROW(check_jobset({Job::rigid(0, 9, 1.0)}, 8),
+               std::invalid_argument);  // wider than machine
+  Job bad_release = Job::sequential(0, 1.0);
+  bad_release.release = -1.0;
+  EXPECT_THROW(check_jobset({bad_release}, 8), std::invalid_argument);
+  Job bad_weight = Job::sequential(0, 1.0);
+  bad_weight.weight = -2.0;
+  EXPECT_THROW(check_jobset({bad_weight}, 8), std::invalid_argument);
+  Job bad_range = Job::moldable(0, ExecModel::sequential(1.0), 3, 2);
+  EXPECT_THROW(check_jobset({bad_range}, 8), std::invalid_argument);
+  Job rigid_range = Job::rigid(0, 2, 1.0);
+  rigid_range.max_procs = 4;  // rigid must have degenerate range
+  EXPECT_THROW(check_jobset({rigid_range}, 8), std::invalid_argument);
+  Job no_id;
+  EXPECT_THROW(check_jobset({no_id}, 8), std::invalid_argument);
+  EXPECT_THROW(check_jobset({}, 0), std::invalid_argument);
+}
+
+TEST(JobKind, ToString) {
+  EXPECT_STREQ(to_string(JobKind::kRigid), "rigid");
+  EXPECT_STREQ(to_string(JobKind::kMoldable), "moldable");
+  EXPECT_STREQ(to_string(JobKind::kMalleable), "malleable");
+}
+
+}  // namespace
+}  // namespace lgs

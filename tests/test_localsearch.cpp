@@ -1,0 +1,85 @@
+// Tests for the local-search allotment optimizer (pt/localsearch.h).
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "criteria/lower_bounds.h"
+#include "pt/localsearch.h"
+#include "pt/mrt.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+JobSet instance(int seed, int n = 50, int maxp = 12) {
+  Rng rng(static_cast<std::uint64_t>(seed));
+  MoldableWorkloadSpec spec;
+  spec.count = n;
+  spec.max_procs = maxp;
+  spec.sequential_fraction = 0.2;
+  return make_moldable_workload(spec, rng);
+}
+
+TEST(LocalSearch, NeverWorseThanStart) {
+  const JobSet jobs = instance(1);
+  const LocalSearchResult r = local_search_moldable(jobs, 24, {500, 7, 0.02});
+  EXPECT_TRUE(is_valid(jobs, r.schedule));
+  EXPECT_LE(r.schedule.makespan(), r.initial_makespan + kTimeEps);
+  EXPECT_GE(r.schedule.makespan(), cmax_lower_bound(jobs, 24) - kTimeEps);
+}
+
+TEST(LocalSearch, DeterministicInSeed) {
+  const JobSet jobs = instance(2);
+  const Time a = local_search_moldable(jobs, 24, {300, 42, 0.02})
+                     .schedule.makespan();
+  const Time b = local_search_moldable(jobs, 24, {300, 42, 0.02})
+                     .schedule.makespan();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(LocalSearch, ZeroIterationsIsJustTheStart) {
+  const JobSet jobs = instance(3);
+  const LocalSearchResult r = local_search_moldable(jobs, 24, {0, 1, 0.0});
+  EXPECT_DOUBLE_EQ(r.schedule.makespan(), r.initial_makespan);
+  EXPECT_EQ(r.accepted_moves, 0);
+}
+
+TEST(LocalSearch, SandwichesMrt) {
+  // The point of the module: LB <= local-search <= useful upper reference
+  // close to MRT's result.  On easy instances local search should land at
+  // or below MRT's makespan.
+  const JobSet jobs = instance(4, 60, 10);
+  const int m = 20;
+  const Time mrt = mrt_schedule(jobs, m).schedule.makespan();
+  const Time ls =
+      local_search_moldable(jobs, m, {3000, 11, 0.02}).schedule.makespan();
+  EXPECT_LE(ls, mrt * 1.02) << "local search should refine past MRT";
+  EXPECT_GE(ls, cmax_lower_bound(jobs, m) - kTimeEps);
+}
+
+TEST(LocalSearch, HandlesRigidOnlyInstances) {
+  Rng rng(5);
+  RigidWorkloadSpec spec;
+  spec.count = 30;
+  spec.max_procs = 6;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const LocalSearchResult r = local_search_moldable(jobs, 12, {200, 1, 0.02});
+  EXPECT_TRUE(is_valid(jobs, r.schedule));
+  // Nothing to move: every proposal lands on the same allotment.
+  EXPECT_DOUBLE_EQ(r.schedule.makespan(), r.initial_makespan);
+}
+
+TEST(LocalSearch, RejectsBadInput) {
+  JobSet jobs = {Job::sequential(0, 1.0, /*release=*/1.0)};
+  EXPECT_THROW(local_search_moldable(jobs, 4), std::invalid_argument);
+  JobSet ok = {Job::sequential(0, 1.0)};
+  EXPECT_THROW(local_search_moldable(ok, 4, {-1, 1, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(LocalSearch, EmptySet) {
+  const LocalSearchResult r = local_search_moldable({}, 4);
+  EXPECT_TRUE(r.schedule.empty());
+}
+
+}  // namespace
+}  // namespace lgs

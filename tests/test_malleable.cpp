@@ -1,0 +1,148 @@
+// Tests for malleable scheduling (pt/malleable.h), §2.2's third PT class.
+#include <gtest/gtest.h>
+
+#include "pt/malleable.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+TEST(Malleable, SingleJobUsesWholeMachine) {
+  JobSet jobs = {Job::moldable(0, ExecModel::power_law(16.0, 1.0), 1, 16)};
+  const MalleableSchedule s = malleable_schedule(jobs, 16);
+  EXPECT_TRUE(validate_malleable(jobs, 16, s).empty());
+  EXPECT_NEAR(s.makespan, 1.0, 1e-9);  // 16 work on 16 perfect procs
+  EXPECT_NEAR(s.completion.at(0), 1.0, 1e-9);
+}
+
+TEST(Malleable, EquiSplitsEvenly) {
+  JobSet jobs = {Job::moldable(0, ExecModel::power_law(8.0, 1.0), 1, 8),
+                 Job::moldable(1, ExecModel::power_law(8.0, 1.0), 1, 8)};
+  const MalleableSchedule s = malleable_schedule(jobs, 8);
+  EXPECT_TRUE(validate_malleable(jobs, 8, s).empty());
+  // Two identical perfect jobs sharing 8 procs: both finish at 2.0.
+  EXPECT_NEAR(s.completion.at(0), 2.0, 1e-9);
+  EXPECT_NEAR(s.completion.at(1), 2.0, 1e-9);
+}
+
+TEST(Malleable, GrowsWhenCompetitorFinishes) {
+  // Job 1 is short; after it completes, job 0 should widen and finish
+  // earlier than it would on a fixed half-machine allotment.
+  JobSet jobs = {Job::moldable(0, ExecModel::power_law(16.0, 1.0), 1, 8),
+                 Job::moldable(1, ExecModel::power_law(2.0, 1.0), 1, 8)};
+  const MalleableSchedule s = malleable_schedule(jobs, 8);
+  EXPECT_TRUE(validate_malleable(jobs, 8, s).empty());
+  // Job 1: 2 seq-work on 4 procs = 0.5.  Job 0: progress 0.5*4=2 of 16 by
+  // then, remaining 14 on 8 procs = 1.75 -> 2.25 total.
+  EXPECT_NEAR(s.completion.at(1), 0.5, 1e-9);
+  EXPECT_NEAR(s.completion.at(0), 2.25, 1e-9);
+  // A moldable (fixed 4-proc) run would have taken 4.0.
+  EXPECT_LT(s.completion.at(0), 4.0);
+}
+
+TEST(Malleable, ReleaseDatesCreateIdleThenAdmit) {
+  JobSet jobs = {Job::moldable(0, ExecModel::power_law(4.0, 1.0), 1, 4,
+                               /*release=*/10.0)};
+  const MalleableSchedule s = malleable_schedule(jobs, 4);
+  EXPECT_TRUE(validate_malleable(jobs, 4, s).empty());
+  EXPECT_NEAR(s.completion.at(0), 11.0, 1e-9);
+  EXPECT_GE(s.phases.front().start, 10.0 - kTimeEps);
+}
+
+TEST(Malleable, RigidJobsKeepFixedWidth) {
+  JobSet jobs = {Job::rigid(0, 4, 3.0),
+                 Job::moldable(1, ExecModel::power_law(4.0, 1.0), 1, 8)};
+  const MalleableSchedule s = malleable_schedule(jobs, 8);
+  EXPECT_TRUE(validate_malleable(jobs, 8, s).empty());
+  for (const MalleablePhase& ph : s.phases) {
+    const auto it = ph.allotment.find(0);
+    if (it != ph.allotment.end()) EXPECT_EQ(it->second, 4);
+  }
+}
+
+TEST(Malleable, MaxSpeedupPrefersEfficientJob) {
+  // Job 0 scales perfectly (capped at 6 procs), job 1 barely: max-speedup
+  // gives job 0 the lion's share and job 1 the leftovers.
+  JobSet jobs = {Job::moldable(0, ExecModel::power_law(8.0, 1.0), 1, 6),
+                 Job::moldable(1, ExecModel::amdahl(8.0, 0.9), 1, 8)};
+  MalleableOptions opts;
+  opts.policy = MalleablePolicy::kMaxSpeedup;
+  const MalleableSchedule s = malleable_schedule(jobs, 8, opts);
+  EXPECT_TRUE(validate_malleable(jobs, 8, s).empty());
+  ASSERT_FALSE(s.phases.empty());
+  const MalleablePhase& first = s.phases.front();
+  EXPECT_GT(first.allotment.at(0), first.allotment.at(1));
+}
+
+TEST(Malleable, ReallocPenaltySlowsCompletion) {
+  JobSet jobs = {Job::moldable(0, ExecModel::power_law(16.0, 1.0), 1, 8),
+                 Job::moldable(1, ExecModel::power_law(2.0, 1.0), 1, 8)};
+  MalleableOptions penalized;
+  penalized.realloc_penalty = 0.5;
+  const MalleableSchedule free_re = malleable_schedule(jobs, 8);
+  const MalleableSchedule paid = malleable_schedule(jobs, 8, penalized);
+  EXPECT_TRUE(validate_malleable(jobs, 8, paid).empty());
+  EXPECT_GE(paid.completion.at(0), free_re.completion.at(0) - kTimeEps);
+}
+
+TEST(Malleable, EmptySet) {
+  const MalleableSchedule s = malleable_schedule({}, 4);
+  EXPECT_TRUE(s.phases.empty());
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+}
+
+TEST(Malleable, PolicyNames) {
+  EXPECT_STREQ(to_string(MalleablePolicy::kEqui), "equi-partition");
+  EXPECT_STREQ(to_string(MalleablePolicy::kMaxSpeedup), "max-speedup");
+}
+
+// ---------------------------------------------------------------------------
+// Properties over random instances and both policies.
+// ---------------------------------------------------------------------------
+
+struct MalleableCase {
+  int seed;
+  MalleablePolicy policy;
+  double penalty;
+};
+
+class MalleableProperty : public ::testing::TestWithParam<MalleableCase> {};
+
+TEST_P(MalleableProperty, ValidAndConservative) {
+  const MalleableCase& param = GetParam();
+  Rng rng(param.seed);
+  MoldableWorkloadSpec spec;
+  spec.count = 40;
+  spec.max_procs = 12;
+  spec.arrival_window = param.seed % 2 ? 20.0 : 0.0;
+  spec.sequential_fraction = 0.25;
+  const JobSet jobs = make_moldable_workload(spec, rng);
+  const int m = 24;
+  MalleableOptions opts;
+  opts.policy = param.policy;
+  opts.realloc_penalty = param.penalty;
+  const MalleableSchedule s = malleable_schedule(jobs, m, opts);
+
+  const auto problems = validate_malleable(jobs, m, s);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  EXPECT_LE(s.peak_demand(), m);
+  EXPECT_EQ(s.completion.size(), jobs.size());
+  // Makespan can never beat the area bound.
+  double area = 0.0;
+  for (const Job& j : jobs) area += j.model.time(1);  // perfect-speedup work
+  EXPECT_GE(s.makespan * m, area * 0.999 - kTimeEps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MalleableProperty,
+    ::testing::Values(MalleableCase{1, MalleablePolicy::kEqui, 0.0},
+                      MalleableCase{2, MalleablePolicy::kEqui, 0.0},
+                      MalleableCase{3, MalleablePolicy::kEqui, 0.2},
+                      MalleableCase{4, MalleablePolicy::kMaxSpeedup, 0.0},
+                      MalleableCase{5, MalleablePolicy::kMaxSpeedup, 0.0},
+                      MalleableCase{6, MalleablePolicy::kMaxSpeedup, 0.2},
+                      MalleableCase{7, MalleablePolicy::kEqui, 0.0},
+                      MalleableCase{8, MalleablePolicy::kMaxSpeedup, 0.0}));
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,186 @@
+// Metamorphic properties across the scheduling library: relations that
+// must hold between runs on transformed inputs, independent of absolute
+// quality.  These catch bugs that per-instance validation cannot.
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "criteria/lower_bounds.h"
+#include "criteria/metrics.h"
+#include "pt/backfill.h"
+#include "pt/bicriteria.h"
+#include "pt/mrt.h"
+#include "pt/shelves.h"
+#include "pt/smart.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+JobSet moldable_instance(int seed, int n, int maxp, Time window = 0.0) {
+  Rng rng(static_cast<std::uint64_t>(seed));
+  MoldableWorkloadSpec spec;
+  spec.count = n;
+  spec.max_procs = maxp;
+  spec.sequential_fraction = 0.3;
+  spec.arrival_window = window;
+  return make_moldable_workload(spec, rng);
+}
+
+/// Multiply every job's execution time (and release) by `c`.
+JobSet scaled(const JobSet& jobs, double c) {
+  JobSet out;
+  for (const Job& j : jobs) {
+    // Rebuild via a table over the admissible range to scale exactly.
+    std::vector<Time> times;
+    const int hi = j.max_procs;
+    times.reserve(static_cast<std::size_t>(hi));
+    for (int k = 1; k <= hi; ++k)
+      times.push_back(k < j.min_procs ? c * j.model.time(j.min_procs)
+                                      : c * j.model.time(k));
+    Job copy = j;
+    copy.model = ExecModel::table(std::move(times));
+    copy.release = j.release * c;
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Time-scaling invariance: scaling all durations by c scales the makespan
+// by (almost exactly) c for the deterministic algorithms.
+// ---------------------------------------------------------------------------
+
+class ScalingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalingProperty, MrtScalesLinearly) {
+  const JobSet jobs = moldable_instance(GetParam(), 40, 8);
+  const JobSet big = scaled(jobs, 16.0);
+  const Time base = mrt_schedule(jobs, 16).schedule.makespan();
+  const Time scaled_ms = mrt_schedule(big, 16).schedule.makespan();
+  // Binary-search epsilons introduce small wiggle; 3% is far tighter than
+  // any real regression.
+  EXPECT_NEAR(scaled_ms / base, 16.0, 16.0 * 0.03);
+}
+
+TEST_P(ScalingProperty, ShelvesScaleExactly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 50);
+  RigidWorkloadSpec spec;
+  spec.count = 60;
+  spec.max_procs = 8;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const JobSet big = scaled(jobs, 7.0);
+  const Time base = shelf_schedule_rigid(jobs, 16).makespan();
+  EXPECT_NEAR(shelf_schedule_rigid(big, 16).makespan(), 7.0 * base,
+              1e-6 * base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalingProperty, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Machine monotonicity: more machines never hurt (for the bound-driven
+// algorithms, within search tolerance).
+// ---------------------------------------------------------------------------
+
+class MachineMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MachineMonotonicity, MrtNeverWorseOnBiggerMachine) {
+  const JobSet jobs = moldable_instance(GetParam() + 10, 50, 8);
+  Time prev = kTimeInfinity;
+  for (int m : {8, 16, 32, 64}) {
+    const Time ms = mrt_schedule(jobs, m).schedule.makespan();
+    EXPECT_LE(ms, prev * 1.05) << "m=" << m;  // 5% search tolerance
+    prev = ms;
+  }
+}
+
+TEST_P(MachineMonotonicity, ConservativeBackfillMonotone) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  RigidWorkloadSpec spec;
+  spec.count = 80;
+  spec.max_procs = 8;
+  spec.arrival_window = 30.0;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  Time prev = kTimeInfinity;
+  for (int m : {8, 16, 32}) {
+    const Time ms = conservative_backfill(jobs, m).makespan();
+    EXPECT_LE(ms, prev + kTimeEps) << "m=" << m;
+    prev = ms;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineMonotonicity,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Determinism: identical inputs give bit-identical schedules.
+// ---------------------------------------------------------------------------
+
+class DeterminismProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismProperty, AllSchedulersDeterministic) {
+  const JobSet jobs = moldable_instance(GetParam() + 20, 60, 10, 20.0);
+  const auto snapshot = [](const Schedule& s) {
+    std::vector<std::tuple<JobId, Time, int, Time>> out;
+    for (const Assignment& a : s.assignments())
+      out.emplace_back(a.job, a.start, a.nprocs, a.duration);
+    return out;
+  };
+  EXPECT_EQ(snapshot(bicriteria_schedule(jobs, 24).schedule),
+            snapshot(bicriteria_schedule(jobs, 24).schedule));
+
+  JobSet offline = jobs;
+  for (Job& j : offline) j.release = 0;
+  EXPECT_EQ(snapshot(mrt_schedule(offline, 24).schedule),
+            snapshot(mrt_schedule(offline, 24).schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismProperty,
+                         ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Weight monotonicity for Σ wᵢCᵢ-aware algorithms: raising one job's
+// weight never pushes its completion later under SMART.
+// ---------------------------------------------------------------------------
+
+class WeightMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightMonotonicity, SmartFavorsHeavierJob) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 40);
+  RigidWorkloadSpec spec;
+  spec.count = 50;
+  spec.max_procs = 8;
+  JobSet jobs = make_rigid_workload(spec, rng);
+  const JobId target = jobs[jobs.size() / 2].id;
+
+  const Time before = smart_schedule(jobs, 16).completion(target);
+  for (Job& j : jobs)
+    if (j.id == target) j.weight *= 100.0;
+  const Time after = smart_schedule(jobs, 16).completion(target);
+  EXPECT_LE(after, before + kTimeEps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightMonotonicity,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Subset monotonicity of lower bounds: adding a job never lowers them.
+// ---------------------------------------------------------------------------
+
+TEST(LowerBoundMonotonicity, GrowsWithJobs) {
+  const JobSet jobs = moldable_instance(77, 40, 8);
+  JobSet prefix;
+  Time prev_cmax = 0.0;
+  double prev_wc = 0.0;
+  for (const Job& j : jobs) {
+    prefix.push_back(j);
+    const Time c = cmax_lower_bound(prefix, 16);
+    const double w = sum_weighted_completion_lower_bound(prefix, 16);
+    EXPECT_GE(c, prev_cmax - kTimeEps);
+    EXPECT_GE(w, prev_wc - 1e-9);
+    prev_cmax = c;
+    prev_wc = w;
+  }
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,117 @@
+// Tests for non-clairvoyant doubling-budget scheduling
+// (pt/nonclairvoyant.h), the §4.2 case the paper sets aside.
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "criteria/lower_bounds.h"
+#include "pt/nonclairvoyant.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+TEST(NonClairvoyant, ShortJobCompletesFirstTry) {
+  JobSet jobs = {Job::sequential(0, 0.5)};
+  const NonClairvoyantResult r = nonclairvoyant_schedule(jobs, 4, {1.0, 2.0});
+  EXPECT_EQ(r.kills, 0);
+  EXPECT_DOUBLE_EQ(r.wasted_work, 0.0);
+  EXPECT_DOUBLE_EQ(r.completion.at(0), 0.5);
+  EXPECT_EQ(r.attempts.size(), 1u);
+}
+
+TEST(NonClairvoyant, LongJobDoublesUntilDone) {
+  // Duration 5 with b0=1: attempts 1, 2, 4, 8(completes at true 5).
+  JobSet jobs = {Job::sequential(0, 5.0)};
+  const NonClairvoyantResult r = nonclairvoyant_schedule(jobs, 1, {1.0, 2.0});
+  EXPECT_EQ(r.kills, 3);
+  EXPECT_DOUBLE_EQ(r.wasted_work, 1.0 + 2.0 + 4.0);
+  // Completion = 1 + 2 + 4 + 5 = 12.
+  EXPECT_DOUBLE_EQ(r.completion.at(0), 12.0);
+  EXPECT_EQ(r.attempts.size(), 4u);
+}
+
+TEST(NonClairvoyant, BudgetMatchingDurationNoKill) {
+  JobSet jobs = {Job::sequential(0, 2.0)};
+  const NonClairvoyantResult r = nonclairvoyant_schedule(jobs, 1, {2.0, 2.0});
+  EXPECT_EQ(r.kills, 0);
+  EXPECT_DOUBLE_EQ(r.completion.at(0), 2.0);
+}
+
+TEST(NonClairvoyant, WastedWorkWithinDoublingBound) {
+  // Classic property for growth 2 with restart-from-scratch: per job the
+  // killed budgets sum to b0(2^k − 1) < 2·p, so total wasted work stays
+  // below twice the useful work.
+  Rng rng(3);
+  RigidWorkloadSpec spec;
+  spec.count = 60;
+  spec.max_procs = 8;
+  spec.t_min = 0.5;
+  spec.t_max = 50.0;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const NonClairvoyantResult r =
+      nonclairvoyant_schedule(jobs, 16, {0.5, 2.0});
+  double useful = 0.0;
+  for (const Job& j : jobs) useful += j.min_work();
+  EXPECT_LT(r.wasted_work, 2.0 * useful);
+  EXPECT_EQ(r.completion.size(), jobs.size());
+}
+
+TEST(NonClairvoyant, AttemptsAreCapacityValid) {
+  Rng rng(5);
+  RigidWorkloadSpec spec;
+  spec.count = 50;
+  spec.max_procs = 6;
+  spec.arrival_window = 20.0;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const NonClairvoyantResult r =
+      nonclairvoyant_schedule(jobs, 12, {1.0, 2.0});
+  EXPECT_LE(r.attempts.peak_demand(), 12);
+  // Completions never beat the clairvoyant lower bound.
+  Time last = 0.0;
+  for (const auto& [id, c] : r.completion) last = std::max(last, c);
+  EXPECT_GE(last, cmax_lower_bound(jobs, 12) - kTimeEps);
+  // Release dates respected by every attempt.
+  ValidateOptions opts;
+  opts.require_all_jobs = false;
+  // attempts contains duplicates by design; only check capacity/releases
+  // via the dedicated fields below.
+  for (const Assignment& a : r.attempts.assignments()) {
+    const Job* j = nullptr;
+    for (const Job& cand : jobs)
+      if (cand.id == a.job) j = &cand;
+    ASSERT_NE(j, nullptr);
+    EXPECT_GE(a.start, j->release - kTimeEps);
+  }
+}
+
+TEST(NonClairvoyant, ClairvoyancePremiumIsBounded) {
+  // The whole point: not knowing durations costs a constant factor, not
+  // more.  Compare against the clairvoyant lower bound.
+  Rng rng(9);
+  RigidWorkloadSpec spec;
+  spec.count = 80;
+  spec.max_procs = 8;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const NonClairvoyantResult r =
+      nonclairvoyant_schedule(jobs, 16, {1.0, 2.0});
+  EXPECT_LE(r.makespan, 8.0 * cmax_lower_bound(jobs, 16));
+}
+
+TEST(NonClairvoyant, RejectsBadInput) {
+  JobSet moldable = {Job::moldable(0, ExecModel::sequential(1.0), 1, 2)};
+  EXPECT_THROW(nonclairvoyant_schedule(moldable, 4), std::invalid_argument);
+  JobSet ok = {Job::sequential(0, 1.0)};
+  EXPECT_THROW(nonclairvoyant_schedule(ok, 4, {0.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(nonclairvoyant_schedule(ok, 4, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(NonClairvoyant, EmptySet) {
+  const NonClairvoyantResult r = nonclairvoyant_schedule({}, 4);
+  EXPECT_TRUE(r.attempts.empty());
+  EXPECT_EQ(r.kills, 0);
+}
+
+}  // namespace
+}  // namespace lgs

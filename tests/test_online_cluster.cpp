@@ -1,0 +1,201 @@
+// Tests for the on-line cluster engine (sim/online_cluster.h).
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "sim/online_cluster.h"
+
+namespace lgs {
+namespace {
+
+Cluster small_cluster(int nodes, double speed = 1.0) {
+  return {0, "test", nodes, 1, speed, Interconnect::kGigabitEthernet, "Linux",
+          0};
+}
+
+TEST(OnlineCluster, FcfsTwoJobs) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(2));
+  cluster.submit_local(Job::rigid(0, 2, 5.0));
+  cluster.submit_local(Job::rigid(1, 2, 3.0));
+  sim.run();
+  const auto& recs = cluster.local_records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_DOUBLE_EQ(recs[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(recs[0].finish, 5.0);
+  EXPECT_DOUBLE_EQ(recs[1].start, 5.0);
+  EXPECT_DOUBLE_EQ(recs[1].finish, 8.0);
+  EXPECT_DOUBLE_EQ(recs[1].wait(), 5.0);
+}
+
+TEST(OnlineCluster, SpeedScalesDurations) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(1, /*speed=*/2.0));
+  cluster.submit_local(Job::sequential(0, 10.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(cluster.local_records()[0].finish, 5.0);
+}
+
+TEST(OnlineCluster, ReleaseDatesHonored) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(4));
+  cluster.submit_local(Job::sequential(0, 1.0, /*release=*/7.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(cluster.local_records()[0].submit, 7.0);
+  EXPECT_DOUBLE_EQ(cluster.local_records()[0].start, 7.0);
+}
+
+TEST(OnlineCluster, MoldableJobsGetBestAllotment) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(8));
+  cluster.submit_local(
+      Job::moldable(0, ExecModel::power_law(16.0, 1.0), 1, 4));
+  sim.run();
+  EXPECT_EQ(cluster.local_records()[0].procs, 4);  // capped by max_procs
+  EXPECT_DOUBLE_EQ(cluster.local_records()[0].finish, 4.0);
+}
+
+TEST(OnlineCluster, EasyBackfillOption) {
+  Simulator sim;
+  OnlineCluster::Options opts;
+  opts.easy_backfill = true;
+  OnlineCluster cluster(sim, small_cluster(4), opts);
+  cluster.submit_local(Job::rigid(0, 3, 10.0));
+  cluster.submit_local(Job::rigid(1, 4, 5.0, 1.0));     // stuck head
+  cluster.submit_local(Job::sequential(2, 2.0, 1.0));   // short backfiller
+  sim.run();
+  const auto& recs = cluster.local_records();
+  EXPECT_DOUBLE_EQ(recs[2].start, 1.0);   // backfilled
+  EXPECT_DOUBLE_EQ(recs[1].start, 10.0);  // head not delayed
+}
+
+// A controllable best-effort source for kill tests.
+struct TestSource {
+  std::deque<Time> bag;
+  long kills = 0;
+  long done = 0;
+
+  BestEffortSource make() {
+    BestEffortSource src;
+    src.request = [this](int k) {
+      std::vector<Time> out;
+      while (static_cast<int>(out.size()) < k && !bag.empty()) {
+        out.push_back(bag.front());
+        bag.pop_front();
+      }
+      return out;
+    };
+    src.on_kill = [this](Time d) {
+      bag.push_front(d);
+      ++kills;
+    };
+    src.on_done = [this] { ++done; };
+    return src;
+  }
+};
+
+TEST(OnlineCluster, BestEffortFillsIdleProcessors) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(4));
+  TestSource source;
+  source.bag.assign(8, 1.0);  // eight 1-second runs
+  cluster.set_besteffort_source(source.make());
+  sim.run();
+  EXPECT_EQ(source.done, 8);
+  EXPECT_EQ(cluster.besteffort_stats().completed, 8);
+  EXPECT_EQ(cluster.besteffort_stats().killed, 0);
+  // 8 runs on 4 procs = 2 seconds.
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(OnlineCluster, LocalJobKillsBestEffort) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(2));
+  TestSource source;
+  source.bag.assign(2, 100.0);  // two long grid runs grab both procs
+  cluster.set_besteffort_source(source.make());
+  // A local job arrives at t=5 and needs both processors NOW.
+  Job local = Job::rigid(0, 2, 3.0, 5.0);
+  cluster.submit_local(local);
+  sim.run();
+  const auto& recs = cluster.local_records();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_DOUBLE_EQ(recs[0].start, 5.0) << "local job must not wait";
+  EXPECT_EQ(source.kills, 2);
+  EXPECT_DOUBLE_EQ(cluster.besteffort_stats().wasted_time, 10.0);  // 2×5s
+  // Killed runs were resubmitted and eventually finish after the local job.
+  EXPECT_EQ(source.done, 2);
+}
+
+TEST(OnlineCluster, KillPolicyChoosesVictim) {
+  for (auto policy : {OnlineCluster::KillPolicy::kYoungestFirst,
+                      OnlineCluster::KillPolicy::kOldestFirst,
+                      OnlineCluster::KillPolicy::kLongestRemaining}) {
+    Simulator sim;
+    OnlineCluster::Options opts;
+    opts.kill_policy = policy;
+    OnlineCluster cluster(sim, small_cluster(2), opts);
+    TestSource source;
+    source.bag = {100.0, 50.0};
+    cluster.set_besteffort_source(source.make());
+    cluster.submit_local(Job::rigid(0, 1, 1.0, 5.0));  // kills exactly one
+    sim.run();
+    EXPECT_EQ(source.kills, 1) << "policy " << static_cast<int>(policy);
+    EXPECT_EQ(source.done, 2);
+  }
+}
+
+TEST(OnlineCluster, UtilizationIntegrals) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(2));
+  cluster.submit_local(Job::rigid(0, 1, 4.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(cluster.local_busy_integral(), 4.0);
+  EXPECT_DOUBLE_EQ(cluster.busy_integral(), 4.0);
+}
+
+TEST(OnlineCluster, ExpectedWaitGrowsWithQueue) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(1));
+  EXPECT_DOUBLE_EQ(cluster.expected_wait(), 0.0);
+  cluster.submit_local(Job::sequential(0, 10.0));
+  cluster.submit_local(Job::sequential(1, 10.0));
+  // One running (10s left) + one queued (10s) on one processor.
+  EXPECT_NEAR(cluster.expected_wait(), 20.0, 1e-9);
+  sim.run();
+}
+
+TEST(OnlineCluster, PriorityQueueJumpsAhead) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(1));
+  cluster.submit_local(Job::sequential(0, 5.0));            // runs at 0
+  cluster.submit_local(Job::sequential(1, 5.0));            // queue, prio 0
+  cluster.submit_local(Job::sequential(2, 5.0), /*prio=*/5);  // jumps job 1
+  sim.run();
+  const auto& recs = cluster.local_records();
+  EXPECT_DOUBLE_EQ(recs[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(recs[2].start, 5.0);   // high priority second
+  EXPECT_DOUBLE_EQ(recs[1].start, 10.0);  // default queue last
+}
+
+TEST(OnlineCluster, EqualPriorityStaysFcfs) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(1));
+  cluster.submit_local(Job::sequential(0, 1.0), 3);
+  cluster.submit_local(Job::sequential(1, 1.0), 3);
+  cluster.submit_local(Job::sequential(2, 1.0), 3);
+  sim.run();
+  const auto& recs = cluster.local_records();
+  EXPECT_LT(recs[0].start, recs[1].start);
+  EXPECT_LT(recs[1].start, recs[2].start);
+}
+
+TEST(OnlineCluster, RejectsOversizedJob) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(2));
+  EXPECT_THROW(cluster.submit_local(Job::rigid(0, 4, 1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lgs

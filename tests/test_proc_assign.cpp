@@ -1,0 +1,78 @@
+// Tests for abstract-to-concrete processor assignment (core/proc_assign.h).
+#include <gtest/gtest.h>
+
+#include "core/proc_assign.h"
+#include "core/rng.h"
+#include "core/validate.h"
+#include "pt/shelves.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+TEST(ProcAssign, SimpleTwoJobs) {
+  Schedule s(3);
+  s.add(0, 0.0, 2, 5.0);
+  s.add(1, 0.0, 1, 5.0);
+  ASSERT_TRUE(assign_processors(s));
+  EXPECT_EQ(s.assignments()[0].procs.size(), 2u);
+  EXPECT_EQ(s.assignments()[1].procs.size(), 1u);
+  // Lowest ids first, no overlap.
+  EXPECT_EQ(s.assignments()[0].procs[0], 0);
+  EXPECT_EQ(s.assignments()[0].procs[1], 1);
+  EXPECT_EQ(s.assignments()[1].procs[0], 2);
+}
+
+TEST(ProcAssign, ReusesFreedProcessors) {
+  Schedule s(2);
+  s.add(0, 0.0, 2, 1.0);
+  s.add(1, 1.0, 2, 1.0);  // starts exactly when job 0 ends
+  ASSERT_TRUE(assign_processors(s));
+}
+
+TEST(ProcAssign, FailsOnOvercommit) {
+  Schedule s(2);
+  s.add(0, 0.0, 2, 5.0);
+  s.add(1, 2.0, 1, 1.0);  // demand 3 > 2
+  EXPECT_FALSE(assign_processors(s));
+  // Untouched on failure.
+  EXPECT_TRUE(s.assignments()[0].procs.empty());
+}
+
+TEST(ProcAssign, DeterministicAcrossRuns) {
+  const auto build = [] {
+    Schedule s(4);
+    s.add(2, 0.0, 2, 3.0);
+    s.add(1, 0.0, 1, 1.0);
+    s.add(3, 1.0, 2, 2.0);
+    EXPECT_TRUE(assign_processors(s));
+    return s;
+  };
+  const Schedule a = build(), b = build();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.assignments()[i].procs, b.assignments()[i].procs);
+}
+
+// Property: any valid abstract schedule produced by the shelf packer can be
+// realized, and the realization passes full concrete validation.
+class ProcAssignProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProcAssignProperty, ShelfSchedulesAlwaysRealizable) {
+  Rng rng(GetParam());
+  RigidWorkloadSpec spec;
+  spec.count = 60;
+  spec.max_procs = 16;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  Schedule s = shelf_schedule_rigid(jobs, 32);
+  ASSERT_TRUE(assign_processors(s));
+  const auto violations = validate(jobs, s);
+  EXPECT_TRUE(violations.empty()) << describe(violations);
+  for (const Assignment& a : s.assignments())
+    EXPECT_EQ(static_cast<int>(a.procs.size()), a.nprocs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcAssignProperty,
+                         ::testing::Values(1, 2, 3, 17, 42, 1234));
+
+}  // namespace
+}  // namespace lgs

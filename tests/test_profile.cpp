@@ -1,0 +1,99 @@
+// Tests for the availability profile (core/profile.h).
+#include <gtest/gtest.h>
+
+#include "core/profile.h"
+
+namespace lgs {
+namespace {
+
+TEST(Profile, EmptyIsAllFree) {
+  Profile p(8);
+  EXPECT_EQ(p.machines(), 8);
+  EXPECT_EQ(p.used_at(0.0), 0);
+  EXPECT_EQ(p.free_at(123.0), 8);
+  EXPECT_TRUE(p.fits(0.0, 100.0, 8));
+  EXPECT_FALSE(p.fits(0.0, 1.0, 9));
+}
+
+TEST(Profile, CommitChangesUsage) {
+  Profile p(8);
+  p.commit(2.0, 3.0, 5);
+  EXPECT_EQ(p.used_at(1.9), 0);
+  EXPECT_EQ(p.used_at(2.0), 5);   // right-continuous
+  EXPECT_EQ(p.used_at(4.99), 5);
+  EXPECT_EQ(p.used_at(5.0), 0);   // released exactly at end
+}
+
+TEST(Profile, FitsRespectsInteriorBreakpoints) {
+  Profile p(8);
+  p.commit(5.0, 2.0, 6);
+  EXPECT_TRUE(p.fits(0.0, 5.0, 8));   // ends exactly at the busy window
+  EXPECT_FALSE(p.fits(0.0, 6.0, 3));  // 6+3 > 8 inside [5,7)
+  EXPECT_TRUE(p.fits(0.0, 6.0, 2));
+  EXPECT_TRUE(p.fits(7.0, 10.0, 8));  // after the window
+}
+
+TEST(Profile, EarliestFitSkipsBusyIntervals) {
+  Profile p(4);
+  p.commit(0.0, 10.0, 3);
+  // Needs 2 procs for 5: only 1 free until t=10.
+  EXPECT_DOUBLE_EQ(p.earliest_fit(0.0, 5.0, 2), 10.0);
+  // 1 proc fits right away.
+  EXPECT_DOUBLE_EQ(p.earliest_fit(0.0, 5.0, 1), 0.0);
+  // Request from the middle.
+  EXPECT_DOUBLE_EQ(p.earliest_fit(3.0, 1.0, 1), 3.0);
+}
+
+TEST(Profile, EarliestFitFindsHole) {
+  Profile p(4);
+  p.commit(0.0, 2.0, 4);
+  p.commit(5.0, 2.0, 4);
+  // The hole [2,5) is exactly 3 seconds wide: a 4-second job only fits
+  // after the second block, a 3-second one slides into the hole.
+  EXPECT_DOUBLE_EQ(p.earliest_fit(0.0, 4.0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(p.earliest_fit(0.0, 3.0, 1), 2.0);
+}
+
+TEST(Profile, CommitThrowsOnOverflow) {
+  Profile p(4);
+  p.commit(0.0, 10.0, 3);
+  EXPECT_THROW(p.commit(5.0, 1.0, 2), std::logic_error);
+  EXPECT_THROW(p.earliest_fit(0.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(Profile, ReleaseUndoesCommit) {
+  Profile p(4);
+  p.commit(0.0, 10.0, 3);
+  p.release(0.0, 10.0, 3);
+  EXPECT_EQ(p.used_at(5.0), 0);
+  EXPECT_TRUE(p.breakpoints().empty());  // map compacted
+}
+
+TEST(Profile, BreakpointsSorted) {
+  Profile p(4);
+  p.commit(5.0, 2.0, 1);
+  p.commit(1.0, 1.0, 1);
+  const auto bp = p.breakpoints();
+  ASSERT_EQ(bp.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(bp.begin(), bp.end()));
+}
+
+TEST(Profile, RejectsBadMachineCount) {
+  EXPECT_THROW(Profile(0), std::invalid_argument);
+}
+
+// Property: a sequence of earliest_fit + commit never violates capacity.
+TEST(Profile, GreedyFillNeverOverflows) {
+  Profile p(16);
+  // 50 requests with varying sizes; each committed at its earliest fit.
+  for (int i = 0; i < 50; ++i) {
+    const int procs = 1 + (i * 7) % 16;
+    const Time dur = 1.0 + (i % 5);
+    const Time start = p.earliest_fit(0.0, dur, procs);
+    ASSERT_NO_THROW(p.commit(start, dur, procs)) << "request " << i;
+  }
+  for (Time t : p.breakpoints()) EXPECT_LE(p.used_at(t), 16);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,81 @@
+// Tests for reporting utilities (core/report.h).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/report.h"
+
+namespace lgs {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RejectsBadRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumericRows) {
+  TextTable t({"x", "y"});
+  t.add_row_numeric({1.23456, 2.0});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("1.235"), std::string::npos);
+  EXPECT_NE(csv.find("2"), std::string::npos);
+}
+
+TEST(TextTable, CsvFormat) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Fmt, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt(2.0), "2");
+  EXPECT_EQ(fmt(2.5), "2.5");
+  EXPECT_EQ(fmt(2.126, 2), "2.13");
+  EXPECT_EQ(fmt(0.0), "0");
+}
+
+TEST(AsciiPlot, RendersSeries) {
+  Series s1{"one", {0, 1, 2, 3}, {1, 2, 3, 4}};
+  Series s2{"two", {0, 1, 2, 3}, {4, 3, 2, 1}};
+  const std::string plot = ascii_plot({s1, s2}, 40, 10, "title");
+  EXPECT_NE(plot.find("title"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find("one"), std::string::npos);
+  EXPECT_NE(plot.find("two"), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesDegenerateRanges) {
+  Series s{"flat", {1, 1, 1}, {2, 2, 2}};
+  EXPECT_NO_THROW(ascii_plot({s}));
+  EXPECT_NO_THROW(ascii_plot({}));
+}
+
+TEST(WriteFile, RoundTrips) {
+  const std::string path = "/tmp/lgs_report_test.csv";
+  write_file(path, "x,y\n1,2\n");
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFile, ThrowsOnBadPath) {
+  EXPECT_THROW(write_file("/nonexistent-dir/x.csv", "data"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,87 @@
+// Unit tests for the schedule container (core/schedule.h).
+#include <gtest/gtest.h>
+
+#include "core/schedule.h"
+
+namespace lgs {
+namespace {
+
+TEST(Schedule, EmptySchedule) {
+  const Schedule s(4);
+  EXPECT_EQ(s.machines(), 4);
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+  EXPECT_EQ(s.peak_demand(), 0);
+  EXPECT_EQ(s.find(0), nullptr);
+}
+
+TEST(Schedule, RejectsBadMachineCount) {
+  EXPECT_THROW(Schedule(0), std::invalid_argument);
+}
+
+TEST(Schedule, MakespanAndCompletion) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 5.0);
+  s.add(1, 3.0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 7.0);
+  EXPECT_DOUBLE_EQ(s.completion(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.completion(1), 7.0);
+  EXPECT_THROW(s.completion(9), std::invalid_argument);
+}
+
+TEST(Schedule, PeakDemandSweep) {
+  Schedule s(8);
+  s.add(0, 0.0, 3, 10.0);
+  s.add(1, 2.0, 4, 3.0);  // overlaps job 0: peak 7
+  s.add(2, 5.0, 1, 1.0);  // job 1 ended exactly at 5: no double count
+  EXPECT_EQ(s.peak_demand(), 7);
+}
+
+TEST(Schedule, BackToBackShelvesDontDoubleCount) {
+  Schedule s(4);
+  s.add(0, 0.0, 4, 2.0);
+  s.add(1, 2.0, 4, 2.0);
+  EXPECT_EQ(s.peak_demand(), 4);
+}
+
+TEST(Schedule, ShiftMovesEverything) {
+  Schedule s(2);
+  s.add(0, 1.0, 1, 2.0);
+  s.shift(10.0);
+  EXPECT_DOUBLE_EQ(s.find(0)->start, 11.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 13.0);
+}
+
+TEST(Schedule, AppendRequiresSameMachines) {
+  Schedule a(2), b(2), c(3);
+  b.add(0, 0.0, 1, 1.0);
+  a.append(b);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_THROW(a.append(c), std::invalid_argument);
+}
+
+TEST(Schedule, GanttAsciiRendersDemandProfile) {
+  Schedule s(2);
+  s.add(0, 0.0, 2, 1.0);
+  const std::string g = gantt_ascii(s, 40);
+  EXPECT_NE(g.find("demand"), std::string::npos);
+  EXPECT_EQ(gantt_ascii(Schedule(2)), "(empty schedule)\n");
+}
+
+TEST(Schedule, GanttAsciiRendersProcessorRows) {
+  Schedule s(2);
+  Assignment a;
+  a.job = 0;
+  a.start = 0.0;
+  a.nprocs = 2;
+  a.duration = 4.0;
+  a.procs = {0, 1};
+  s.add(a);
+  const std::string g = gantt_ascii(s, 40);
+  EXPECT_NE(g.find("p0"), std::string::npos);
+  EXPECT_NE(g.find("p1"), std::string::npos);
+  EXPECT_NE(g.find('A'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lgs

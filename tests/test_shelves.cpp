@@ -1,0 +1,100 @@
+// Tests for shelf / strip-packing algorithms (pt/shelves.h).
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+#include "criteria/lower_bounds.h"
+#include "pt/shelves.h"
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+TEST(Shelves, SingleShelfWhenAllFit) {
+  JobSet jobs = {Job::rigid(0, 2, 5.0), Job::rigid(1, 2, 3.0)};
+  const auto shelves =
+      build_shelves(jobs, 4, ShelfPolicy::kFirstFitDecreasing);
+  ASSERT_EQ(shelves.size(), 1u);
+  EXPECT_EQ(shelves[0].used_procs, 4);
+  EXPECT_DOUBLE_EQ(shelves[0].height, 5.0);
+}
+
+TEST(Shelves, DecreasingOrderDefinesHeights) {
+  // FFDH: first job of each shelf is its tallest.
+  JobSet jobs = {Job::rigid(0, 3, 2.0), Job::rigid(1, 3, 9.0),
+                 Job::rigid(2, 3, 4.0)};
+  const auto shelves =
+      build_shelves(jobs, 4, ShelfPolicy::kFirstFitDecreasing);
+  ASSERT_EQ(shelves.size(), 3u);
+  EXPECT_DOUBLE_EQ(shelves[0].height, 9.0);
+  EXPECT_DOUBLE_EQ(shelves[1].height, 4.0);
+  EXPECT_DOUBLE_EQ(shelves[2].height, 2.0);
+}
+
+TEST(Shelves, FirstFitReusesEarlierShelves) {
+  // Heights 10, 10, 5; widths 3, 2, 2 on m=4: NFDH closes shelf 1 after the
+  // first job + cannot fit the second (3+2>4) -> shelf 2; the third job
+  // fits shelf 2 under NFDH and FFDH alike, but a width-1 job later shows
+  // the difference.
+  JobSet jobs = {Job::rigid(0, 3, 10.0), Job::rigid(1, 2, 10.0),
+                 Job::rigid(2, 2, 5.0), Job::rigid(3, 1, 4.0)};
+  const auto ff = build_shelves(jobs, 4, ShelfPolicy::kFirstFitDecreasing);
+  const auto nf = build_shelves(jobs, 4, ShelfPolicy::kNextFitDecreasing);
+  // FFDH puts job 3 back into shelf 0 (3+1 <= 4); NFDH cannot revisit it
+  // and must open a third shelf (the current one is full: 2+2+1 > 4).
+  ASSERT_EQ(ff.size(), 2u);
+  EXPECT_EQ(ff[0].items.size(), 2u);
+  ASSERT_EQ(nf.size(), 3u);
+  EXPECT_EQ(nf[0].items.size(), 1u);
+}
+
+TEST(Shelves, ScheduleStacksShelves) {
+  JobSet jobs = {Job::rigid(0, 4, 5.0), Job::rigid(1, 4, 3.0)};
+  const Schedule s = shelf_schedule_rigid(jobs, 4);
+  EXPECT_TRUE(is_valid(jobs, s));
+  EXPECT_DOUBLE_EQ(s.makespan(), 8.0);
+  EXPECT_DOUBLE_EQ(s.find(1)->start, 5.0);
+}
+
+TEST(Shelves, RejectsMoldable) {
+  JobSet jobs = {Job::moldable(0, ExecModel::power_law(8, 1.0), 1, 8)};
+  EXPECT_THROW(build_shelves(jobs, 8, ShelfPolicy::kFirstFitDecreasing),
+               std::invalid_argument);
+}
+
+TEST(Shelves, EmptySet) {
+  EXPECT_TRUE(shelf_schedule_rigid({}, 4).empty());
+}
+
+// ---------------------------------------------------------------------------
+// FFDH quality: classical guarantee FFDH <= 1.7·OPT + h_max, and the lower
+// bound satisfies LB >= max(area/m, h_max) >= OPT/…; we assert the safe
+// consequence makespan <= 2.7·LB + h_max over random instances.
+// ---------------------------------------------------------------------------
+
+class ShelfProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShelfProperty, ValidAndWithinStripPackingBound) {
+  Rng rng(GetParam());
+  RigidWorkloadSpec spec;
+  spec.count = 150;
+  spec.max_procs = 13;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const int m = 29;
+  Time hmax = 0;
+  for (const Job& j : jobs) hmax = std::max(hmax, j.time(j.min_procs));
+
+  for (ShelfPolicy policy : {ShelfPolicy::kFirstFitDecreasing,
+                             ShelfPolicy::kNextFitDecreasing}) {
+    const Schedule s = shelf_schedule_rigid(jobs, m, policy);
+    const auto violations = validate(jobs, s);
+    EXPECT_TRUE(violations.empty()) << describe(violations);
+    EXPECT_LE(s.makespan(), 2.7 * cmax_lower_bound(jobs, m) + hmax);
+    EXPECT_EQ(s.size(), jobs.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShelfProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,93 @@
+// Tests for the DES kernel (sim/simulator.h).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace lgs {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, EqualTimesByPriorityThenInsertion) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] { order.push_back(0); }, /*priority=*/5);
+  sim.at(1.0, [&] { order.push_back(1); }, /*priority=*/-1);
+  sim.at(1.0, [&] { order.push_back(2); }, /*priority=*/5);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  Time fired = -1;
+  sim.at(5.0, [&] { sim.after(2.0, [&] { fired = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired, 7.0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(1.0, [&] { fired = true; });
+  sim.run();
+  sim.cancel(id);  // must not crash or corrupt
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, HorizonStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  sim.at(1.0, [&] { ++count; });
+  sim.at(10.0, [&] { ++count; });
+  sim.run(5.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();  // resumes with the pending event
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator sim;
+  sim.at(5.0, [&] {
+    EXPECT_THROW(sim.at(1.0, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulator, CascadingEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.after(1.0, chain);
+  };
+  sim.at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,113 @@
+// Tests for the Standard Workload Format reader/writer (workload/swf.h).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/report.h"
+#include "core/validate.h"
+#include "pt/backfill.h"
+#include "workload/swf.h"
+
+namespace lgs {
+namespace {
+
+const char* kSample =
+    "; Sample SWF trace\n"
+    "; Computer: test cluster\n"
+    "1 0 5 100 4 -1 -1 4 120 -1 1 7 1 -1 1 -1 -1 -1\n"
+    "2 10 0 50 1 -1 -1 1 60 -1 1 8 1 -1 1 -1 -1 -1\n"
+    "3 20 2 200 8 -1 -1 8 240 -1 1 7 1 -1 1 -1 -1 -1\n";
+
+TEST(Swf, ParsesBasicTrace) {
+  const JobSet jobs = parse_swf(kSample);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].id, 0u);  // renumbered densely
+  EXPECT_DOUBLE_EQ(jobs[0].release, 0.0);
+  EXPECT_DOUBLE_EQ(jobs[0].time(4), 100.0);
+  EXPECT_EQ(jobs[0].min_procs, 4);
+  EXPECT_EQ(jobs[0].community, 7);  // user id
+  EXPECT_DOUBLE_EQ(jobs[1].release, 10.0);
+  EXPECT_EQ(jobs[2].min_procs, 8);
+  check_jobset(jobs, 16);
+}
+
+TEST(Swf, TimeScaleApplied) {
+  SwfOptions opts;
+  opts.time_scale = 0.01;
+  const JobSet jobs = parse_swf(kSample, opts);
+  EXPECT_DOUBLE_EQ(jobs[0].time(4), 1.0);
+  EXPECT_DOUBLE_EQ(jobs[1].release, 0.1);
+}
+
+TEST(Swf, MaxJobsCap) {
+  SwfOptions opts;
+  opts.max_jobs = 2;
+  EXPECT_EQ(parse_swf(kSample, opts).size(), 2u);
+}
+
+TEST(Swf, SkipsInvalidJobs) {
+  const std::string text =
+      "1 0 -1 -1 4 -1 -1 4 -1 -1 0 1 1 -1 1 -1 -1 -1\n"  // no run time
+      "2 0 -1 50 -1 -1 -1 -1 -1 -1 1 1 1 -1 1 -1 -1 -1\n"  // no procs
+      "3 0 -1 50 2 -1 -1 2 -1 -1 1 1 1 -1 1 -1 -1 -1\n";
+  EXPECT_EQ(parse_swf(text).size(), 1u);
+  SwfOptions strict;
+  strict.skip_invalid = false;
+  EXPECT_THROW(parse_swf(text, strict), std::invalid_argument);
+}
+
+TEST(Swf, RequestedProcsPreference) {
+  const std::string text =
+      "1 0 -1 50 2 -1 -1 6 -1 -1 1 1 1 -1 1 -1 -1 -1\n";
+  EXPECT_EQ(parse_swf(text)[0].min_procs, 2);
+  SwfOptions opts;
+  opts.prefer_requested_procs = true;
+  EXPECT_EQ(parse_swf(text, opts)[0].min_procs, 6);
+}
+
+TEST(Swf, RejectsMalformedLine) {
+  EXPECT_THROW(parse_swf("1 2 3\n"), std::invalid_argument);
+  EXPECT_TRUE(parse_swf("; only comments\n\n").empty());
+}
+
+TEST(Swf, RoundTripThroughWriter) {
+  const JobSet jobs = parse_swf(kSample);
+  const std::string text = to_swf(jobs);
+  const JobSet again = parse_swf(text);
+  ASSERT_EQ(again.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].release, jobs[i].release);
+    EXPECT_EQ(again[i].min_procs, jobs[i].min_procs);
+    EXPECT_DOUBLE_EQ(again[i].time(again[i].min_procs),
+                     jobs[i].time(jobs[i].min_procs));
+  }
+}
+
+TEST(Swf, WriterIncludesScheduleResults) {
+  const JobSet jobs = parse_swf(kSample);
+  const Schedule s = conservative_backfill(jobs, 16);
+  const std::string text = to_swf(jobs, &s, "scheduled by lgs");
+  EXPECT_NE(text.find("scheduled by lgs"), std::string::npos);
+  // Status field 1 (completed) must appear for scheduled jobs.
+  const JobSet again = parse_swf(text);
+  EXPECT_EQ(again.size(), jobs.size());
+}
+
+TEST(Swf, FileRoundTrip) {
+  const std::string path = "/tmp/lgs_swf_test.swf";
+  write_file(path, kSample);
+  const JobSet jobs = load_swf_file(path);
+  EXPECT_EQ(jobs.size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_swf_file("/nonexistent.swf"), std::runtime_error);
+}
+
+TEST(Swf, TraceDrivesScheduler) {
+  // End to end: parse, schedule, validate.
+  const JobSet jobs = parse_swf(kSample);
+  const Schedule s = conservative_backfill(jobs, 8);
+  EXPECT_TRUE(is_valid(jobs, s));
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,150 @@
+// Tests for the schedule validator (core/validate.h) — each violation kind
+// must be caught, and valid schedules must pass.
+#include <gtest/gtest.h>
+
+#include "core/validate.h"
+
+namespace lgs {
+namespace {
+
+JobSet two_jobs() {
+  return {Job::rigid(0, 2, 5.0), Job::sequential(1, 3.0, /*release=*/4.0)};
+}
+
+TEST(Validate, AcceptsValidSchedule) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 5.0);
+  s.add(1, 4.0, 1, 3.0);
+  EXPECT_TRUE(is_valid(two_jobs(), s));
+}
+
+TEST(Validate, CatchesMissingJob) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 5.0);
+  const auto v = validate(two_jobs(), s);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].what.find("missing"), std::string::npos);
+}
+
+TEST(Validate, MissingJobOkWhenNotRequired) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 5.0);
+  ValidateOptions opts;
+  opts.require_all_jobs = false;
+  EXPECT_TRUE(is_valid(two_jobs(), s, opts));
+}
+
+TEST(Validate, CatchesDuplicate) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 5.0);
+  s.add(0, 6.0, 2, 5.0);
+  s.add(1, 4.0, 1, 3.0);
+  const auto v = validate(two_jobs(), s);
+  ASSERT_FALSE(v.empty());
+}
+
+TEST(Validate, CatchesUnknownJob) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 5.0);
+  s.add(1, 4.0, 1, 3.0);
+  s.add(77, 0.0, 1, 1.0);
+  EXPECT_FALSE(is_valid(two_jobs(), s));
+}
+
+TEST(Validate, CatchesReleaseViolation) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 5.0);
+  s.add(1, 1.0, 1, 3.0);  // released at 4
+  EXPECT_FALSE(is_valid(two_jobs(), s));
+  ValidateOptions opts;
+  opts.check_release_dates = false;
+  EXPECT_TRUE(is_valid(two_jobs(), s, opts));
+}
+
+TEST(Validate, CatchesShortDuration) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 4.0);  // needs 5.0 on 2 procs
+  s.add(1, 4.0, 1, 3.0);
+  EXPECT_FALSE(is_valid(two_jobs(), s));
+}
+
+TEST(Validate, PaddedDurationIsAllowed) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 6.0);  // padding beyond the model time is fine
+  s.add(1, 4.0, 1, 3.0);
+  EXPECT_TRUE(is_valid(two_jobs(), s));
+}
+
+TEST(Validate, CatchesBadAllotment) {
+  Schedule s(4);
+  s.add(0, 0.0, 3, 5.0);  // rigid at 2
+  s.add(1, 4.0, 1, 3.0);
+  EXPECT_FALSE(is_valid(two_jobs(), s));
+}
+
+TEST(Validate, CatchesCapacityOverflow) {
+  JobSet jobs = {Job::rigid(0, 3, 5.0), Job::rigid(1, 2, 5.0)};
+  Schedule s(4);
+  s.add(0, 0.0, 3, 5.0);
+  s.add(1, 2.0, 2, 5.0);  // 5 > 4 at t=2
+  const auto v = validate(jobs, s);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].job, kInvalidJob);
+  EXPECT_NE(v[0].what.find("demand"), std::string::npos);
+}
+
+TEST(Validate, ReservationsCountAgainstCapacity) {
+  JobSet jobs = {Job::rigid(0, 3, 5.0)};
+  Schedule s(4);
+  s.add(0, 0.0, 3, 5.0);
+  ValidateOptions opts;
+  opts.reservations = {{2.0, 4.0, 2}};  // 3 + 2 > 4 during [2,4)
+  EXPECT_FALSE(is_valid(jobs, s, opts));
+  opts.reservations = {{6.0, 8.0, 2}};  // disjoint in time: fine
+  EXPECT_TRUE(is_valid(jobs, s, opts));
+}
+
+TEST(Validate, CatchesConcreteProcOverlap) {
+  JobSet jobs = {Job::rigid(0, 1, 5.0), Job::rigid(1, 1, 5.0)};
+  Schedule s(2);
+  Assignment a;
+  a.job = 0;
+  a.start = 0;
+  a.nprocs = 1;
+  a.duration = 5;
+  a.procs = {0};
+  s.add(a);
+  a.job = 1;
+  a.procs = {0};  // same processor, same window
+  s.add(a);
+  EXPECT_FALSE(is_valid(jobs, s));
+}
+
+TEST(Validate, CatchesProcsSizeMismatchAndRange) {
+  JobSet jobs = {Job::rigid(0, 2, 5.0)};
+  Schedule s(2);
+  Assignment a;
+  a.job = 0;
+  a.start = 0;
+  a.nprocs = 2;
+  a.duration = 5;
+  a.procs = {0};  // size 1 != nprocs 2
+  s.add(a);
+  EXPECT_FALSE(is_valid(jobs, s));
+
+  Schedule s2(2);
+  a.procs = {0, 5};  // id out of range
+  s2.add(a);
+  EXPECT_FALSE(is_valid(jobs, s2));
+}
+
+TEST(Validate, DescribeMentionsJobIds) {
+  Schedule s(4);
+  const auto v = validate(two_jobs(), s);
+  const std::string text = describe(v);
+  EXPECT_NE(text.find("job 0"), std::string::npos);
+  EXPECT_NE(text.find("job 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,116 @@
+// Failure injection: node volatility (§1, "some nodes can appear or
+// disappear") on the on-line cluster engine.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/rng.h"
+#include "sim/online_cluster.h"
+
+namespace lgs {
+namespace {
+
+Cluster small_cluster(int nodes) {
+  return {0, "volatile", nodes, 1, 1.0, Interconnect::kGigabitEthernet,
+          "Linux", 0};
+}
+
+TEST(Volatility, ShrinkPreemptsAndRestartsLocalJob) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(4));
+  cluster.submit_local(Job::rigid(0, 4, 10.0));
+  // Half the machine disappears at t = 3.
+  sim.at(3.0, [&] { cluster.set_capacity(2); });
+  // And comes back at t = 5.
+  sim.at(5.0, [&] { cluster.set_capacity(4); });
+  sim.run();
+  const auto& recs = cluster.local_records();
+  ASSERT_EQ(recs.size(), 1u);
+  // Restarted at 5 from scratch: finishes at 15.
+  EXPECT_DOUBLE_EQ(recs[0].finish, 15.0);
+  EXPECT_EQ(cluster.volatility_stats().local_preemptions, 1);
+  EXPECT_DOUBLE_EQ(cluster.volatility_stats().local_wasted, 4 * 3.0);
+}
+
+TEST(Volatility, BestEffortEvictedBeforeLocalJobs) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(4));
+  std::deque<Time> bag(2, 100.0);
+  long be_kills = 0;
+  BestEffortSource src;
+  src.request = [&](int k) {
+    std::vector<Time> out;
+    while (static_cast<int>(out.size()) < k && !bag.empty()) {
+      out.push_back(bag.front());
+      bag.pop_front();
+    }
+    return out;
+  };
+  src.on_kill = [&](Time d) {
+    bag.push_front(d);
+    ++be_kills;
+  };
+  src.on_done = [] {};
+  cluster.submit_local(Job::rigid(0, 2, 20.0));  // 2 procs local
+  cluster.set_besteffort_source(std::move(src)); // 2 procs best-effort
+  sim.at(5.0, [&] { cluster.set_capacity(2); }); // lose half the machine
+  sim.run(30.0);
+  EXPECT_EQ(be_kills, 2) << "both grid runs die before any local job";
+  EXPECT_EQ(cluster.volatility_stats().local_preemptions, 0);
+  EXPECT_DOUBLE_EQ(cluster.local_records()[0].finish, 20.0);
+}
+
+TEST(Volatility, GrowthDispatchesWaitingJob) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(4));
+  sim.at(0.0, [&] { cluster.set_capacity(1); });
+  cluster.submit_local(Job::rigid(0, 4, 2.0));  // cannot run on 1 proc
+  sim.at(7.0, [&] { cluster.set_capacity(4); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(cluster.local_records()[0].start, 7.0);
+}
+
+TEST(Volatility, RejectsBadCapacity) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(4));
+  EXPECT_THROW(cluster.set_capacity(0), std::invalid_argument);
+  EXPECT_THROW(cluster.set_capacity(5), std::invalid_argument);
+}
+
+// Property: under random capacity churn every submitted job still
+// completes, and accounting stays consistent.
+class VolatilityChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(VolatilityChurn, AllJobsSurviveChurn) {
+  Rng rng(GetParam());
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(8));
+  const int jobs = 30;
+  for (int i = 0; i < jobs; ++i) {
+    Job j = Job::rigid(static_cast<JobId>(i),
+                       static_cast<int>(rng.uniform_int(1, 4)),
+                       rng.uniform(0.5, 4.0), rng.uniform(0.0, 20.0));
+    cluster.submit_local(j);
+  }
+  // Random capacity changes, never below the widest job (4).
+  for (int c = 0; c < 15; ++c) {
+    const Time when = rng.uniform(0.0, 40.0);
+    const int cap = static_cast<int>(rng.uniform_int(4, 8));
+    sim.at(when, [&cluster, cap] { cluster.set_capacity(cap); });
+  }
+  sim.run();
+  const auto& recs = cluster.local_records();
+  ASSERT_EQ(recs.size(), static_cast<std::size_t>(jobs));
+  for (const LocalJobRecord& r : recs) {
+    EXPECT_GT(r.finish, 0.0) << "job " << r.id << " never completed";
+    EXPECT_GE(r.start, r.submit - kTimeEps);
+    EXPECT_GT(r.finish, r.start);
+  }
+  EXPECT_GE(cluster.volatility_stats().capacity_changes, 15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VolatilityChurn,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,142 @@
+// Tests for the workload generators (workload/generators.h).
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace lgs {
+namespace {
+
+TEST(Workload, DeterministicInSeed) {
+  MoldableWorkloadSpec spec;
+  spec.count = 50;
+  spec.arrival_window = 100.0;
+  Rng a(7), b(7), c(8);
+  const JobSet ja = make_moldable_workload(spec, a);
+  const JobSet jb = make_moldable_workload(spec, b);
+  const JobSet jc = make_moldable_workload(spec, c);
+  ASSERT_EQ(ja.size(), jb.size());
+  bool all_equal_c = ja.size() == jc.size();
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ja[i].release, jb[i].release);
+    EXPECT_DOUBLE_EQ(ja[i].model.time(1), jb[i].model.time(1));
+    if (all_equal_c && ja[i].model.time(1) != jc[i].model.time(1))
+      all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c) << "different seeds should differ";
+}
+
+TEST(Workload, SpecBoundsRespected) {
+  MoldableWorkloadSpec spec;
+  spec.count = 200;
+  spec.t1_min = 2.0;
+  spec.t1_max = 20.0;
+  spec.max_procs = 8;
+  spec.arrival_window = 50.0;
+  spec.w_min = 1.0;
+  spec.w_max = 3.0;
+  Rng rng(1);
+  const JobSet jobs = make_moldable_workload(spec, rng);
+  ASSERT_EQ(jobs.size(), 200u);
+  for (const Job& j : jobs) {
+    EXPECT_GE(j.model.time(1), 2.0 - 1e-9);
+    EXPECT_LE(j.model.time(1), 20.0 + 1e-9);
+    EXPECT_LE(j.max_procs, 8);
+    EXPECT_GE(j.release, 0.0);
+    EXPECT_LE(j.release, 50.0);
+    EXPECT_GE(j.weight, 1.0);
+    EXPECT_LE(j.weight, 3.0);
+  }
+  check_jobset(jobs, 64);
+}
+
+TEST(Workload, SequentialWorkloadIsAllSequential) {
+  MoldableWorkloadSpec spec;
+  spec.count = 40;
+  Rng rng(2);
+  const JobSet jobs = make_sequential_workload(spec, rng);
+  for (const Job& j : jobs) {
+    EXPECT_EQ(j.max_procs, 1);
+    EXPECT_EQ(j.kind, JobKind::kRigid);
+  }
+}
+
+TEST(Workload, RigidWorkload) {
+  RigidWorkloadSpec spec;
+  spec.count = 100;
+  spec.max_procs = 16;
+  Rng rng(3);
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  for (const Job& j : jobs) {
+    EXPECT_EQ(j.min_procs, j.max_procs);
+    EXPECT_GE(j.min_procs, 1);
+    EXPECT_LE(j.min_procs, 16);
+  }
+}
+
+TEST(Workload, CommunityProfiles) {
+  Rng rng(4);
+  const JobSet phys =
+      make_community_workload(Community::kNumericalPhysics, 30, rng);
+  for (const Job& j : phys) {
+    EXPECT_EQ(j.max_procs, 1);           // long sequential jobs
+    EXPECT_GE(j.model.time(1), 24.0);    // at least a day (hours scale)
+    EXPECT_EQ(j.community, 0);
+  }
+  const JobSet astro =
+      make_community_workload(Community::kAstrophysics, 30, rng, 100);
+  for (const Job& j : astro) {
+    EXPECT_GE(j.id, 100u);  // first_id honored
+    EXPECT_GT(j.max_procs, 1);
+    EXPECT_EQ(j.community, 1);
+  }
+  const JobSet cs =
+      make_community_workload(Community::kComputerScience, 30, rng);
+  double mean_cs = 0;
+  for (const Job& j : cs) mean_cs += j.model.time(1);
+  mean_cs /= 30;
+  EXPECT_LT(mean_cs, 24.0) << "debug jobs are short";
+}
+
+TEST(Workload, BagExpansion) {
+  ParametricBag bag;
+  bag.runs = 500;
+  bag.run_time = 0.25;
+  bag.community = 2;
+  const JobSet jobs = expand_bag(bag, 1000, 5.0);
+  ASSERT_EQ(jobs.size(), 500u);
+  EXPECT_EQ(jobs.front().id, 1000u);
+  EXPECT_EQ(jobs.back().id, 1499u);
+  for (const Job& j : jobs) {
+    EXPECT_DOUBLE_EQ(j.model.time(1), 0.25);
+    EXPECT_DOUBLE_EQ(j.release, 5.0);
+    EXPECT_EQ(j.community, 2);
+  }
+}
+
+TEST(Workload, AppendRenumbersIds) {
+  JobSet base = {Job::sequential(0, 1.0), Job::sequential(1, 1.0)};
+  JobSet extra = {Job::sequential(0, 2.0), Job::sequential(1, 2.0)};
+  append_workload(base, std::move(extra));
+  ASSERT_EQ(base.size(), 4u);
+  EXPECT_EQ(base[2].id, 2u);
+  EXPECT_EQ(base[3].id, 3u);
+  check_jobset(base, 4);
+}
+
+TEST(Workload, CommunityNames) {
+  EXPECT_STREQ(to_string(Community::kNumericalPhysics), "numerical-physics");
+  EXPECT_STREQ(to_string(Community::kMedicalResearch), "medical-research");
+}
+
+TEST(Workload, NegativeCountsRejected) {
+  MoldableWorkloadSpec spec;
+  spec.count = -1;
+  Rng rng(1);
+  EXPECT_THROW(make_moldable_workload(spec, rng), std::invalid_argument);
+  ParametricBag bag;
+  bag.runs = -5;
+  EXPECT_THROW(expand_bag(bag, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lgs
