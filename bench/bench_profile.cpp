@@ -1,0 +1,236 @@
+// BENCH_profile — throughput of the availability-profile core.
+//
+// Pits the production flat-skyline lgs::Profile against the historical
+// std::map-based delta representation (tests/reference_profile.h) on
+// profiles with 10k–100k breakpoints: used_at lookups, fits checks,
+// earliest_fit queries, and commit/release cycles.  Results are asserted
+// identical between the two implementations while timing, and emitted as
+// JSON (stdout, plus a file with --json PATH).
+//
+// Usage: bench_profile [--quick] [--json PATH]
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+#include "core/rng.h"
+#include "reference_profile.h"
+
+namespace {
+
+using lgs::Profile;
+using lgs::ReferenceProfile;
+using lgs::Rng;
+using lgs::Time;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Query {
+  Time from;
+  Time dur;
+  int procs;
+};
+
+struct SizeResult {
+  std::size_t breakpoints = 0;
+  std::size_t queries = 0;
+  double sky_used_at_s = 0, ref_used_at_s = 0;
+  double sky_fits_s = 0, ref_fits_s = 0;
+  double sky_earliest_s = 0, ref_earliest_s = 0;
+  double sky_commit_s = 0, ref_commit_s = 0;
+
+  double speedup_earliest() const { return ref_earliest_s / sky_earliest_s; }
+};
+
+struct Workload {
+  int m = 64;
+  Time window = 0;
+};
+
+/// Build both profiles with `blocks` committed allotments arranged in 8
+/// phase-shifted sequential columns (total usage never exceeds m, every
+/// block contributes two non-merging breakpoints).  Two of every 16 rows
+/// are left empty: periodic full-machine gaps, so even machine-wide
+/// queries find a berth after a bounded sweep.
+Workload build(std::size_t blocks, Profile& sky, ReferenceProfile& ref) {
+  Workload w;
+  const int ncols = 8;
+  const int procs_per_col = w.m / ncols;
+  const Time slot = 10.0;
+  const Time dur = 8.0;  // < slot: a gap per block keeps breakpoints apart
+  sky.reserve(2 * blocks + 16);
+  std::size_t placed = 0;
+  for (std::size_t i = 0; placed < blocks; ++i) {
+    const int col = static_cast<int>(i % ncols);
+    const std::size_t row = i / ncols;
+    if (row % 16 >= 14) continue;  // machine-wide gap rows
+    const Time start = static_cast<double>(row) * slot + 1.2345 * col;
+    sky.commit(start, dur, procs_per_col);
+    ref.load_unchecked(start, dur, procs_per_col);
+    w.window = start + dur;
+    ++placed;
+  }
+  return w;
+}
+
+SizeResult run_size(std::size_t breakpoints, std::size_t nqueries,
+                    std::uint64_t seed) {
+  SizeResult res;
+  res.queries = nqueries;
+
+  Profile sky(64);
+  ReferenceProfile ref(64);
+  const Workload w = build(breakpoints / 2, sky, ref);
+  res.breakpoints = sky.breakpoint_count();
+  if (res.breakpoints != ref.breakpoints().size())
+    throw std::logic_error("construction diverged");
+
+  Rng rng(seed);
+  std::vector<Query> queries;
+  queries.reserve(nqueries);
+  for (std::size_t i = 0; i < nqueries; ++i) {
+    // Mostly small requests that fit inside a column gap near `from`,
+    // plus a tail of wider/longer ones that force longer sweeps.
+    const bool hard = (i % 16) == 0;
+    Query q;
+    q.from = rng.uniform(0.0, w.window);
+    // Hard queries need most of the machine for longer than a column gap:
+    // only the periodic full-machine gap rows (width ~13) can host them.
+    q.dur = hard ? rng.uniform(5.0, 12.0) : rng.uniform(0.1, 1.9);
+    q.procs = hard ? static_cast<int>(rng.uniform_int(48, 64))
+                   : static_cast<int>(rng.uniform_int(1, 8));
+    queries.push_back(q);
+  }
+
+  long long sink = 0;  // divergence check doubling as a do-not-optimize sink
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (const Query& q : queries) sink += sky.used_at(q.from);
+  res.sky_used_at_s = seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (const Query& q : queries) sink -= ref.used_at(q.from);
+  res.ref_used_at_s = seconds_since(t0);
+  if (sink != 0) throw std::logic_error("used_at diverged");
+
+  t0 = std::chrono::steady_clock::now();
+  for (const Query& q : queries) sink += sky.fits(q.from, q.dur, q.procs);
+  res.sky_fits_s = seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (const Query& q : queries) sink -= ref.fits(q.from, q.dur, q.procs);
+  res.ref_fits_s = seconds_since(t0);
+  if (sink != 0) throw std::logic_error("fits diverged");
+
+  std::vector<Time> sky_at(queries.size()), ref_at(queries.size());
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    sky_at[i] = sky.earliest_fit(queries[i].from, queries[i].dur,
+                                 queries[i].procs);
+  res.sky_earliest_s = seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    ref_at[i] = ref.earliest_fit(queries[i].from, queries[i].dur,
+                                 queries[i].procs);
+  res.ref_earliest_s = seconds_since(t0);
+  if (sky_at != ref_at) throw std::logic_error("earliest_fit diverged");
+
+  // Commit/release cycles at the found starts (1/4 of the query set so the
+  // map reference stays within budget at 100k breakpoints).
+  const std::size_t ncycles = queries.size() / 4;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ncycles; ++i) {
+    sky.commit(sky_at[i], queries[i].dur, queries[i].procs);
+    sky.release(sky_at[i], queries[i].dur, queries[i].procs);
+  }
+  res.sky_commit_s = seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ncycles; ++i) {
+    ref.commit(ref_at[i], queries[i].dur, queries[i].procs);
+    ref.release(ref_at[i], queries[i].dur, queries[i].procs);
+  }
+  res.ref_commit_s = seconds_since(t0);
+
+  return res;
+}
+
+std::string to_json(const std::vector<SizeResult>& results) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"profile\",\n  \"machines\": 64,\n  \"sizes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    out << "    {\"breakpoints\": " << r.breakpoints
+        << ", \"queries\": " << r.queries
+        << ",\n     \"skyline\": {\"used_at_s\": " << r.sky_used_at_s
+        << ", \"fits_s\": " << r.sky_fits_s
+        << ", \"earliest_fit_s\": " << r.sky_earliest_s
+        << ", \"commit_release_s\": " << r.sky_commit_s << "}"
+        << ",\n     \"map_ref\": {\"used_at_s\": " << r.ref_used_at_s
+        << ", \"fits_s\": " << r.ref_fits_s
+        << ", \"earliest_fit_s\": " << r.ref_earliest_s
+        << ", \"commit_release_s\": " << r.ref_commit_s << "}"
+        << ",\n     \"speedup_earliest_fit\": " << r.speedup_earliest() << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_profile [--quick] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{10000, 30000}
+            : std::vector<std::size_t>{10000, 30000, 100000};
+  const std::size_t nqueries = quick ? 500 : 2000;
+
+  std::vector<SizeResult> results;
+  for (std::size_t b : sizes) {
+    results.push_back(run_size(b, nqueries, /*seed=*/42 + b));
+    const SizeResult& r = results.back();
+    std::cerr << "B=" << r.breakpoints << "  earliest_fit skyline "
+              << r.sky_earliest_s << "s vs map " << r.ref_earliest_s
+              << "s  (x" << r.speedup_earliest() << ")\n";
+  }
+
+  const std::string json = to_json(results);
+  std::cout << json;
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << json;
+    if (!f) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 2;
+    }
+    std::cerr << "wrote " << json_path << "\n";
+  }
+
+  // Non-zero exit when the headline speedup regresses below 10x on the
+  // >=10k-breakpoint profiles (the acceptance bar), so CI catches it.
+  for (const SizeResult& r : results)
+    if (r.breakpoints >= 10000 && r.speedup_earliest() < 10.0) {
+      std::cerr << "FAIL: earliest_fit speedup below 10x at B="
+                << r.breakpoints << "\n";
+      return 1;
+    }
+  return 0;
+}

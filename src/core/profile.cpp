@@ -1,35 +1,42 @@
 #include "core/profile.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace lgs {
+
+namespace {
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+}  // namespace
 
 Profile::Profile(int machines) : machines_(machines) {
   if (machines < 1) throw std::invalid_argument("machine count must be >= 1");
 }
 
+std::size_t Profile::segment_of(Time t) const {
+  // First step with step.t > t, then back one: the segment containing t.
+  const auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Time value, const Step& s) { return value < s.t; });
+  if (it == steps_.begin()) return kNone;
+  return static_cast<std::size_t>(it - steps_.begin()) - 1;
+}
+
 int Profile::used_at(Time t) const {
-  int used = 0;
-  for (const auto& [when, d] : delta_) {
-    if (when > t) break;
-    used += d;
-  }
-  return used;
+  const std::size_t i = segment_of(t);
+  return i == kNone ? 0 : steps_[i].used;
 }
 
 bool Profile::fits(Time start, Time duration, int procs) const {
   if (procs > machines_) return false;
   const Time end = start + duration;
-  // The usage step function can only increase at breakpoints, so it
-  // suffices to test the level at `start` and at every breakpoint strictly
-  // inside (start, end).
-  if (used_at(start) + procs > machines_) return false;
-  int used = 0;
-  for (const auto& [when, d] : delta_) {
-    used += d;
-    if (when <= start + kTimeEps) continue;
-    if (when >= end - kTimeEps) break;
-    if (used + procs > machines_) return false;
+  const std::size_t at = segment_of(start);
+  if ((at == kNone ? 0 : steps_[at].used) + procs > machines_) return false;
+  // Every breakpoint strictly inside (start, end - eps) must also leave
+  // room; a level change at (or within eps of) `end` cannot conflict.
+  for (std::size_t j = (at == kNone ? 0 : at + 1);
+       j < steps_.size() && steps_[j].t < end - kTimeEps; ++j) {
+    if (steps_[j].used + procs > machines_) return false;
   }
   return true;
 }
@@ -37,43 +44,78 @@ bool Profile::fits(Time start, Time duration, int procs) const {
 Time Profile::earliest_fit(Time from, Time duration, int procs) const {
   if (procs > machines_)
     throw std::invalid_argument("request exceeds machine size");
-  // Candidate starts: `from` and every breakpoint after it.
-  if (fits(from, duration, procs)) return from;
-  for (const auto& [when, d] : delta_) {
-    (void)d;
-    if (when <= from) continue;
-    if (fits(when, duration, procs)) return when;
+  // Single skyline sweep: walk segments left to right keeping the earliest
+  // still-viable candidate start.  A segment without room pushes the
+  // candidate to the segment's end; the candidate wins as soon as the
+  // remaining segments start at or beyond candidate + duration (minus the
+  // end-boundary tolerance).
+  Time cand = from;
+  std::size_t j = segment_of(from);
+  if (j == kNone) {
+    if (procs <= machines_ && (steps_.empty() || steps_[0].t >= from + duration - kTimeEps))
+      return cand;
+    j = 0;
   }
-  // After the last event everything is free.
-  return delta_.empty() ? from : std::max(from, delta_.rbegin()->first);
+  for (; j < steps_.size(); ++j) {
+    if (steps_[j].used + procs > machines_) {
+      // Segment j is full: restart just past it.
+      if (j + 1 == steps_.size()) {
+        // Final segment overloaded — cannot happen (levels return to 0),
+        // but keep the sweep total anyway.
+        return std::max(cand, steps_[j].t);
+      }
+      cand = std::max(cand, steps_[j + 1].t);
+    } else if (j + 1 == steps_.size() ||
+               steps_[j + 1].t >= cand + duration - kTimeEps) {
+      return cand;
+    }
+  }
+  return cand;
+}
+
+std::size_t Profile::ensure_breakpoint(Time t) {
+  const auto it = std::lower_bound(
+      steps_.begin(), steps_.end(), t,
+      [](const Step& s, Time value) { return s.t < value; });
+  const std::size_t i = static_cast<std::size_t>(it - steps_.begin());
+  if (it != steps_.end() && it->t == t) return i;
+  const int level = i == 0 ? 0 : steps_[i - 1].used;
+  steps_.insert(it, Step{t, level});
+  return i;
+}
+
+void Profile::compact_at(std::size_t i) {
+  if (i >= steps_.size()) return;
+  const int prev = i == 0 ? 0 : steps_[i - 1].used;
+  if (steps_[i].used == prev)
+    steps_.erase(steps_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 void Profile::commit(Time start, Time duration, int procs) {
   if (!fits(start, duration, procs))
     throw std::logic_error("commit would exceed profile capacity");
-  delta_[start] += procs;
-  delta_[start + duration] -= procs;
+  const std::size_t a = ensure_breakpoint(start);
+  const std::size_t b = ensure_breakpoint(start + duration);
+  for (std::size_t i = a; i < b; ++i) steps_[i].used += procs;
+  // Only the two spliced boundaries can have become redundant.
+  compact_at(b);
+  compact_at(a);
 }
 
 void Profile::release(Time start, Time duration, int procs) {
-  delta_[start] -= procs;
-  delta_[start + duration] += procs;
-  // Drop zero entries to keep the map compact.
-  for (auto it = delta_.begin(); it != delta_.end();) {
-    if (it->second == 0)
-      it = delta_.erase(it);
-    else
-      ++it;
-  }
+  const std::size_t a = ensure_breakpoint(start);
+  const std::size_t b = ensure_breakpoint(start + duration);
+  for (std::size_t i = a; i < b; ++i) steps_[i].used -= procs;
+  // Erase only the two keys this release touched (the interior keeps its
+  // relative levels, so no other step can have become redundant).
+  compact_at(b);
+  compact_at(a);
 }
 
 std::vector<Time> Profile::breakpoints() const {
   std::vector<Time> out;
-  out.reserve(delta_.size());
-  for (const auto& [when, d] : delta_) {
-    (void)d;
-    out.push_back(when);
-  }
+  out.reserve(steps_.size());
+  for (const Step& s : steps_) out.push_back(s.t);
   return out;
 }
 

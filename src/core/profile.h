@@ -2,9 +2,29 @@
 // time.  This is the workhorse behind conservative/EASY backfilling and
 // reservation support (§5.1): schedulers query the earliest interval where
 // a job fits and commit allotments into the profile.
+//
+// Representation: a flat, sorted array of breakpoints, each carrying the
+// *absolute* usage level on [t, next t) — a skyline — rather than a
+// std::map of usage deltas.  Consequences for the hot paths:
+//   * used_at        O(log B) binary search;
+//   * fits           O(log B + k), k = breakpoints inside the interval;
+//   * earliest_fit   one left-to-right sweep, O(B) (was O(B²): a
+//                    candidate loop re-running fits per breakpoint);
+//   * commit/release splice at most two breakpoints and adjust levels in
+//                    between (O(log B + k) work after the splice; the
+//                    vector splice itself is a memmove).
+// The old map-based implementation is kept as an executable spec in
+// tests/reference_profile.h for differential tests and benchmarks.
+//
+// Epsilon rule at interval boundaries: for a query over [start, start+d),
+// breakpoints within kTimeEps of the *end* are ignored (a job ending
+// exactly there cannot conflict), while every breakpoint strictly after
+// `start` counts.  The historical code also skipped breakpoints in
+// (start, start + kTimeEps], which let fits() approve intervals that
+// exceed capacity.
 #pragma once
 
-#include <map>
+#include <cstddef>
 #include <vector>
 
 #include "core/types.h"
@@ -36,16 +56,40 @@ class Profile {
   /// std::logic_error if that would exceed capacity.
   void commit(Time start, Time duration, int procs);
 
-  /// Remove a previously committed block (exact same parameters).
+  /// Remove a previously committed block (exact same parameters).  Only
+  /// the two breakpoints bounding the released interval are candidates
+  /// for compaction — no full rescan.
   void release(Time start, Time duration, int procs);
 
   /// All event times (profile breakpoints), sorted.
   std::vector<Time> breakpoints() const;
 
+  /// Number of breakpoints currently stored.
+  std::size_t breakpoint_count() const { return steps_.size(); }
+
+  /// Pre-size the breakpoint array for `n` expected events.
+  void reserve(std::size_t n) { steps_.reserve(n); }
+
  private:
+  // Usage is `used` on [t, next step's t); 0 before the first step.
+  struct Step {
+    Time t;
+    int used;
+  };
+
+  /// Index of the step whose segment contains t, or npos when t precedes
+  /// every breakpoint (usage 0).
+  std::size_t segment_of(Time t) const;
+
+  /// Ensure a breakpoint exists exactly at t (splitting the containing
+  /// segment if needed); returns its index.
+  std::size_t ensure_breakpoint(Time t);
+
+  /// Drop step `i` if its level equals its predecessor's (compaction).
+  void compact_at(std::size_t i);
+
   int machines_;
-  // Map time -> usage delta at that instant; running prefix sum = usage.
-  std::map<Time, int> delta_;
+  std::vector<Step> steps_;
 };
 
 }  // namespace lgs

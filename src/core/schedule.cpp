@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,7 +11,12 @@ Schedule::Schedule(int machines) : machines_(machines) {
   if (machines < 1) throw std::invalid_argument("machine count must be >= 1");
 }
 
-void Schedule::add(Assignment a) { items_.push_back(std::move(a)); }
+void Schedule::add(Assignment a) {
+  if (index_valid_) index_.emplace(a.job, items_.size());
+  if (makespan_valid_) makespan_ = std::max(makespan_, a.end());
+  peak_valid_ = false;
+  items_.push_back(std::move(a));
+}
 
 void Schedule::add(JobId job, Time start, int nprocs, Time duration) {
   Assignment a;
@@ -20,19 +24,44 @@ void Schedule::add(JobId job, Time start, int nprocs, Time duration) {
   a.start = start;
   a.nprocs = nprocs;
   a.duration = duration;
-  items_.push_back(std::move(a));
+  add(std::move(a));
+}
+
+std::vector<Assignment>& Schedule::assignments() {
+  index_valid_ = false;
+  makespan_valid_ = false;
+  peak_valid_ = false;
+  return items_;
+}
+
+void Schedule::reserve(std::size_t n) {
+  items_.reserve(n);
+  index_.reserve(n);
 }
 
 Time Schedule::makespan() const {
-  Time end = 0.0;
-  for (const Assignment& a : items_) end = std::max(end, a.end());
-  return end;
+  if (!makespan_valid_) {
+    makespan_ = -kTimeInfinity;
+    for (const Assignment& a : items_) makespan_ = std::max(makespan_, a.end());
+    makespan_valid_ = true;
+  }
+  // The cache holds the raw latest end (-inf when empty) so shift() can
+  // adjust it exactly even through negative time; clamp only here.
+  return items_.empty() ? 0.0 : std::max(0.0, makespan_);
+}
+
+void Schedule::rebuild_index() const {
+  index_.clear();
+  index_.reserve(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i)
+    index_.emplace(items_[i].job, i);  // emplace keeps the first occurrence
+  index_valid_ = true;
 }
 
 const Assignment* Schedule::find(JobId job) const {
-  for (const Assignment& a : items_)
-    if (a.job == job) return &a;
-  return nullptr;
+  if (!index_valid_) rebuild_index();
+  const auto it = index_.find(job);
+  return it == index_.end() ? nullptr : &items_[it->second];
 }
 
 Time Schedule::completion(JobId job) const {
@@ -42,29 +71,60 @@ Time Schedule::completion(JobId job) const {
 }
 
 int Schedule::peak_demand() const {
-  // Sweep start/end events; ends processed before starts at equal time so
-  // back-to-back shelves do not double count.
-  std::map<Time, int> delta;
-  for (const Assignment& a : items_) {
-    delta[a.start] += a.nprocs;
-    delta[a.end()] -= a.nprocs;
+  if (!peak_valid_) {
+    // Sweep start/end events on a flat sorted array; ends processed before
+    // starts at equal time so back-to-back shelves do not double count
+    // (the -nprocs delta sorts first at a tied timestamp).
+    std::vector<std::pair<Time, int>> events;
+    events.reserve(items_.size() * 2);
+    for (const Assignment& a : items_) {
+      events.emplace_back(a.start, a.nprocs);
+      events.emplace_back(a.end(), -a.nprocs);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const std::pair<Time, int>& x, const std::pair<Time, int>& y) {
+                if (x.first != y.first) return x.first < y.first;
+                return x.second < y.second;
+              });
+    int cur = 0, peak = 0;
+    for (const auto& [t, d] : events) {
+      (void)t;
+      cur += d;
+      peak = std::max(peak, cur);
+    }
+    peak_ = peak;
+    peak_valid_ = true;
   }
-  int cur = 0, peak = 0;
-  for (const auto& [t, d] : delta) {
-    cur += d;
-    peak = std::max(peak, cur);
-  }
-  return peak;
+  return peak_;
 }
 
 void Schedule::shift(Time delta) {
   for (Assignment& a : items_) a.start += delta;
+  // Index (job → position) and peak demand are unaffected; the raw latest
+  // end shifts with the assignments (-inf + delta stays -inf when empty).
+  if (makespan_valid_) makespan_ += delta;
 }
 
 void Schedule::append(const Schedule& other) {
   if (other.machines_ != machines_)
     throw std::invalid_argument("appending schedule for different machine count");
-  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  reserve(items_.size() + other.items_.size());
+  for (const Assignment& a : other.items_) {
+    if (index_valid_) index_.emplace(a.job, items_.size());
+    if (makespan_valid_) makespan_ = std::max(makespan_, a.end());
+    items_.push_back(a);
+  }
+  peak_valid_ = false;
+}
+
+void Schedule::clear() {
+  items_.clear();
+  index_.clear();
+  index_valid_ = true;
+  makespan_ = -kTimeInfinity;
+  makespan_valid_ = true;
+  peak_ = 0;
+  peak_valid_ = true;
 }
 
 std::string gantt_ascii(const Schedule& s, int width) {

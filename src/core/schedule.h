@@ -5,10 +5,18 @@
 // (src/core/proc_assign.h).  Algorithms produce *abstract* schedules —
 // only processor counts — which is the level at which the paper's packing
 // arguments live; concrete ids are a post-processing step.
+//
+// Lookup and aggregate queries are cached so the hot scheduler loops stay
+// cheap: find()/completion() go through a JobId→index map (O(1) amortized
+// instead of a linear scan), makespan() is maintained incrementally on
+// add/shift/append, and peak_demand() is memoized.  Mutating assignments
+// through the non-const assignments() accessor invalidates the caches;
+// they rebuild lazily on the next query.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/job.h"
@@ -40,20 +48,27 @@ class Schedule {
   void add(JobId job, Time start, int nprocs, Time duration);
 
   const std::vector<Assignment>& assignments() const { return items_; }
-  std::vector<Assignment>& assignments() { return items_; }
+  /// Mutable access; invalidates the lookup/aggregate caches (they are
+  /// rebuilt lazily).  Callers must not interleave mutation through a
+  /// retained reference with queries on this schedule.
+  std::vector<Assignment>& assignments();
   bool empty() const { return items_.empty(); }
   std::size_t size() const { return items_.size(); }
 
-  /// Latest completion time (0 for an empty schedule).
+  /// Pre-size for `n` assignments.
+  void reserve(std::size_t n);
+
+  /// Latest completion time (0 for an empty schedule).  O(1) when the
+  /// cache is warm.
   Time makespan() const;
 
-  /// First assignment of the given job, if any.
+  /// First assignment of the given job, if any.  O(1) amortized.
   const Assignment* find(JobId job) const;
 
   /// Completion time of the given job; throws if the job is absent.
   Time completion(JobId job) const;
 
-  /// Maximum simultaneous processor demand, by sweep over start/end events.
+  /// Maximum simultaneous processor demand (event sweep; memoized).
   int peak_demand() const;
 
   /// Shift every assignment by `delta` (used when concatenating batches).
@@ -62,11 +77,22 @@ class Schedule {
   /// Append all assignments of `other` (same machine count required).
   void append(const Schedule& other);
 
-  void clear() { items_.clear(); }
+  void clear();
 
  private:
+  void rebuild_index() const;
+
   int machines_;
   std::vector<Assignment> items_;
+
+  // Lazily maintained caches; `mutable` so const queries can (re)fill
+  // them.  *_valid_ false means "recompute on next use".
+  mutable std::unordered_map<JobId, std::size_t> index_;  // first occurrence
+  mutable Time makespan_ = -kTimeInfinity;  // raw latest end; clamped on read
+  mutable int peak_ = 0;
+  mutable bool index_valid_ = true;
+  mutable bool makespan_valid_ = true;
+  mutable bool peak_valid_ = true;
 };
 
 /// Render an ASCII Gantt chart (rows = processors after proc assignment,

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <iterator>
-#include <map>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace lgs {
 
@@ -13,28 +13,33 @@ namespace {
 
 void check_capacity(const Schedule& s, const ValidateOptions& opts,
                     std::vector<Violation>& out) {
-  std::map<Time, int> delta;
+  // Flat sorted event sweep (same shape as the Profile skyline) instead of
+  // a std::map of deltas: one sort, then a grouped walk over unique times.
+  std::vector<std::pair<Time, int>> events;
+  events.reserve(s.size() * 2 + opts.reservations.size() * 2);
   for (const Assignment& a : s.assignments()) {
-    delta[a.start] += a.nprocs;
-    delta[a.end()] -= a.nprocs;
+    events.emplace_back(a.start, a.nprocs);
+    events.emplace_back(a.end(), -a.nprocs);
   }
   for (const Reservation& r : opts.reservations) {
-    delta[r.start] += r.procs;
-    delta[r.end] -= r.procs;
+    events.emplace_back(r.start, r.procs);
+    events.emplace_back(r.end, -r.procs);
   }
+  std::sort(events.begin(), events.end());
   int cur = 0;
-  for (auto it = delta.begin(); it != delta.end(); ++it) {
-    cur += it->second;
+  for (std::size_t i = 0; i < events.size();) {
+    const Time t = events[i].first;
+    for (; i < events.size() && events[i].first == t; ++i)
+      cur += events[i].second;
     if (cur > s.machines()) {
       // Ignore sub-tolerance slivers: a job ending at t+1e-13 while the
       // next starts at t is a floating-point artifact, not an overlap.
-      auto next = std::next(it);
       const Time span =
-          next == delta.end() ? kTimeInfinity : next->first - it->first;
-      if (span <= kTimeEps * (1.0 + std::abs(it->first))) continue;
+          i == events.size() ? kTimeInfinity : events[i].first - t;
+      if (span <= kTimeEps * (1.0 + std::abs(t))) continue;
       std::ostringstream msg;
       msg << "demand " << cur << " exceeds " << s.machines()
-          << " machines at t=" << it->first;
+          << " machines at t=" << t;
       out.push_back({kInvalidJob, msg.str()});
       return;  // one capacity report is enough
     }

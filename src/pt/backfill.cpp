@@ -1,6 +1,7 @@
 #include "pt/backfill.h"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
@@ -33,12 +34,14 @@ Schedule conservative_backfill(const JobSet& jobs, int m,
   check_jobset(jobs, m);
 
   Profile profile(m);
+  profile.reserve(2 * (jobs.size() + reservations.size()));
   for (const Reservation& r : reservations) {
     if (r.procs > m) throw std::invalid_argument("reservation too large");
     profile.commit(r.start, r.end - r.start, r.procs);
   }
 
   Schedule s(m);
+  s.reserve(jobs.size());
   for (std::size_t i : fcfs_order(jobs)) {
     const Job& j = jobs[i];
     const Time dur = j.time(j.min_procs);
@@ -58,22 +61,22 @@ Schedule easy_backfill(const JobSet& jobs, int m) {
   const std::vector<std::size_t> order = fcfs_order(jobs);
   std::vector<bool> started(jobs.size(), false);
 
-  struct Running {
-    Time finish;
-    int procs;
-  };
-  std::vector<Running> running;
-  int free = m;
+  // Started jobs (past and running) live in the availability profile; the
+  // heap of pending finish times drives the event clock.
+  Profile profile(m);
+  profile.reserve(2 * jobs.size());
+  std::priority_queue<Time, std::vector<Time>, std::greater<Time>> finishes;
   Time now = 0.0;
   Schedule s(m);
+  s.reserve(jobs.size());
   std::size_t remaining = jobs.size();
 
   const auto start_job = [&](std::size_t i) {
     const Job& j = jobs[i];
     const Time dur = j.time(j.min_procs);
     s.add(j.id, now, j.min_procs, dur);
-    running.push_back({now + dur, j.min_procs});
-    free -= j.min_procs;
+    profile.commit(now, dur, j.min_procs);
+    finishes.push(now + dur);
     started[i] = true;
     --remaining;
   };
@@ -87,7 +90,7 @@ Schedule easy_backfill(const JobSet& jobs, int m) {
         if (started[i]) continue;
         const Job& j = jobs[i];
         if (j.release > now + kTimeEps) continue;  // not yet in the queue
-        if (j.min_procs <= free) {
+        if (j.min_procs <= profile.free_at(now)) {
           start_job(i);
           moved = true;
         }
@@ -105,56 +108,43 @@ Schedule easy_backfill(const JobSet& jobs, int m) {
     }
 
     if (head != jobs.size()) {
-      // Compute the head's shadow time: when enough processors free up.
-      std::vector<Running> sorted = running;
-      std::sort(sorted.begin(), sorted.end(),
-                [](const Running& a, const Running& b) {
-                  return a.finish < b.finish;
-                });
-      int avail = free;
-      Time shadow = now;
-      int surplus = free - jobs[head].min_procs;
-      for (const Running& r : sorted) {
-        if (avail >= jobs[head].min_procs) break;
-        avail += r.procs;
-        shadow = r.finish;
-        surplus = avail - jobs[head].min_procs;
-      }
-      // 3. Backfill: later queued jobs may start now if they fit and do not
-      // delay the head's reservation.
+      // 3. Reserve the head at its shadow time — usage is non-increasing
+      // after `now` (only completions ahead), so earliest_fit is exactly
+      // "when enough processors free up" — then backfill any released job
+      // that fits around the reservation.  The profile query subsumes both
+      // classic conditions (ends before the shadow / fits in the surplus).
+      const Time head_dur = jobs[head].time(jobs[head].min_procs);
+      const Time shadow =
+          profile.earliest_fit(now, head_dur, jobs[head].min_procs);
+      profile.commit(shadow, head_dur, jobs[head].min_procs);
       for (std::size_t i : order) {
         if (started[i] || i == head) continue;
         const Job& j = jobs[i];
         if (j.release > now + kTimeEps) continue;
-        if (j.min_procs > free) continue;
         const Time dur = j.time(j.min_procs);
-        const bool fits_before_shadow = now + dur <= shadow + kTimeEps;
-        const bool fits_beside = j.min_procs <= surplus;
-        if (fits_before_shadow || fits_beside) {
-          start_job(i);
-          if (fits_beside && !fits_before_shadow) surplus -= j.min_procs;
-        }
+        if (profile.fits(now, dur, j.min_procs)) start_job(i);
       }
+      profile.release(shadow, head_dur, jobs[head].min_procs);
     }
     if (remaining == 0) break;
 
     // 4. Advance to the next completion or release.
     Time next = kTimeInfinity;
-    for (const Running& r : running) next = std::min(next, r.finish);
+    if (!finishes.empty()) next = finishes.top();
     for (std::size_t i : order)
       if (!started[i] && jobs[i].release > now + kTimeEps)
         next = std::min(next, jobs[i].release);
     if (next == kTimeInfinity)
       throw std::logic_error("EASY backfilling stalled");
+    // Snap the clock to the latest finish within tolerance: used_at is
+    // exact (right-continuous), so a job whose finish lands a few ulps
+    // after `next` would otherwise be counted as running forever while
+    // its wake-up event is already consumed.
     now = next;
-    std::vector<Running> still;
-    for (const Running& r : running) {
-      if (r.finish <= now + kTimeEps)
-        free += r.procs;
-      else
-        still.push_back(r);
+    while (!finishes.empty() && finishes.top() <= now + kTimeEps) {
+      now = std::max(now, finishes.top());
+      finishes.pop();
     }
-    running = std::move(still);
   }
   return s;
 }

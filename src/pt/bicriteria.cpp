@@ -44,6 +44,7 @@ class BatchPacker {
 
   /// Emit the batch-relative schedule (shelves stacked from 0).
   void emit(Time offset, Schedule* out) const {
+    out->reserve(out->size() + items_.size());
     std::vector<Time> base(shelves_.size(), 0.0);
     Time acc = 0.0;
     for (std::size_t si = 0; si < shelves_.size(); ++si) {
@@ -83,6 +84,7 @@ BicriteriaResult bicriteria_schedule(const JobSet& jobs, int m,
   if (opts.factor <= 1.0)
     throw std::invalid_argument("growth factor must exceed 1");
   BicriteriaResult res{Schedule(m), 0};
+  res.schedule.reserve(jobs.size());
   if (jobs.empty()) return res;
 
   Time d0 = opts.first_deadline;

@@ -51,6 +51,7 @@ Schedule shelf_schedule_rigid(const JobSet& jobs, int m, ShelfPolicy policy) {
   check_jobset(jobs, m);
   const std::vector<Shelf> shelves = build_shelves(jobs, m, policy);
   Schedule s(m);
+  s.reserve(jobs.size());
   Time base = 0.0;
   for (const Shelf& sh : shelves) {
     for (std::size_t i : sh.items) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/profile.h"
+
 namespace lgs {
 
 OnlineCluster::OnlineCluster(Simulator& sim, const Cluster& desc, Options opts)
@@ -207,34 +209,41 @@ void OnlineCluster::dispatch() {
     }
     if (!opts_.easy_backfill) break;
 
-    // Head is stuck: compute its shadow time from running *local* jobs.
-    std::vector<RunningLocal> sorted = running_;
-    std::sort(sorted.begin(), sorted.end(),
-              [](const RunningLocal& a, const RunningLocal& b) {
-                return a.finish < b.finish;
-              });
-    int freed = avail;
-    Time shadow = sim_.now();
-    int surplus = avail - head_procs;
-    for (const RunningLocal& r : sorted) {
-      if (freed >= head_procs) break;
-      freed += r.procs;
-      shadow = r.finish;
-      surplus = freed - head_procs;
+    // Head is stuck: build an availability profile of the running *local*
+    // jobs (best-effort runs are killable, hence transparent), reserve the
+    // head at its shadow — usage only decreases ahead of now, so
+    // earliest_fit is exactly "when enough processors free up" — and let
+    // any queued job that fits around the reservation start.  The profile
+    // query subsumes both classic EASY conditions (ends before the shadow
+    // / fits in the surplus).
+    const Time now = sim_.now();
+    Profile prof(capacity_);
+    prof.reserve(2 * (running_.size() + 1));
+    for (const RunningLocal& r : running_)
+      if (r.finish > now + kTimeEps) prof.commit(now, r.finish - now, r.procs);
+    const Time head_dur = queue_.front().job.time(head_procs) / desc_.speed;
+    // A head wider than the volatility-shrunk capacity cannot be reserved
+    // at all — it waits for capacity to return.  Backfilling is then only
+    // allowed up to the last running completion (the pre-profile logic's
+    // exhausted-shadow case), so the head is not pushed back further.
+    const bool reservable = head_procs <= capacity_;
+    Time shadow = now;
+    if (reservable) {
+      shadow = prof.earliest_fit(now, head_dur, head_procs);
+      prof.commit(shadow, head_dur, head_procs);
+    } else {
+      for (const RunningLocal& r : running_)
+        shadow = std::max(shadow, r.finish);
     }
     for (std::size_t qi = 1; qi < queue_.size(); ++qi) {
       const int k = records_[queue_[qi].record].procs;
       if (k > free_ + killable_procs()) continue;
-      const Time dur =
-          queue_[qi].job.time(k) / desc_.speed;
-      const bool before_shadow = sim_.now() + dur <= shadow + kTimeEps;
-      const bool beside = k <= surplus;
-      if (before_shadow || beside) {
-        if (beside && !before_shadow) surplus -= k;
-        start_local(qi);
-        progress = true;
-        break;  // indices shifted; restart the scan
-      }
+      const Time dur = queue_[qi].job.time(k) / desc_.speed;
+      if (!prof.fits(now, dur, k)) continue;
+      if (!reservable && now + dur > shadow + kTimeEps) continue;
+      start_local(qi);
+      progress = true;
+      break;  // indices shifted; restart the scan
     }
   }
 

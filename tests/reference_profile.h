@@ -1,0 +1,114 @@
+// Test-only reference implementation of the availability profile.
+//
+// This is the original std::map<Time,int> delta representation that
+// src/core/profile.{h,cpp} used before the flat skyline rework, kept as an
+// executable specification: the differential tests (test_profile.cpp) and
+// the throughput benchmark (bench/bench_profile.cpp) pit the production
+// Profile against this one.  Hot paths are intentionally left quadratic
+// (`earliest_fit` re-scans the map per candidate) — do NOT use outside
+// tests/bench.
+//
+// The one deliberate difference from the historical code is the epsilon
+// fix in fits(): the old version skipped breakpoints in
+// (start, start + kTimeEps], so a usage increase there was counted neither
+// by used_at(start) (events <= start) nor by the inner loop, and fits()
+// could approve an interval that exceeds capacity.  The reference applies
+// the corrected boundary rule so both implementations agree.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lgs {
+
+class ReferenceProfile {
+ public:
+  explicit ReferenceProfile(int machines) : machines_(machines) {
+    if (machines < 1) throw std::invalid_argument("machine count must be >= 1");
+  }
+
+  int machines() const { return machines_; }
+
+  int used_at(Time t) const {
+    int used = 0;
+    for (const auto& [when, d] : delta_) {
+      if (when > t) break;
+      used += d;
+    }
+    return used;
+  }
+
+  int free_at(Time t) const { return machines_ - used_at(t); }
+
+  bool fits(Time start, Time duration, int procs) const {
+    if (procs > machines_) return false;
+    const Time end = start + duration;
+    if (used_at(start) + procs > machines_) return false;
+    int used = 0;
+    for (const auto& [when, d] : delta_) {
+      used += d;
+      if (when <= start) continue;  // already counted by used_at(start)
+      if (when >= end - kTimeEps) break;
+      if (used + procs > machines_) return false;
+    }
+    return true;
+  }
+
+  Time earliest_fit(Time from, Time duration, int procs) const {
+    if (procs > machines_)
+      throw std::invalid_argument("request exceeds machine size");
+    if (fits(from, duration, procs)) return from;
+    for (const auto& [when, d] : delta_) {
+      (void)d;
+      if (when <= from) continue;
+      if (fits(when, duration, procs)) return when;
+    }
+    return delta_.empty() ? from : std::max(from, delta_.rbegin()->first);
+  }
+
+  void commit(Time start, Time duration, int procs) {
+    if (!fits(start, duration, procs))
+      throw std::logic_error("commit would exceed profile capacity");
+    delta_[start] += procs;
+    delta_[start + duration] -= procs;
+  }
+
+  void release(Time start, Time duration, int procs) {
+    delta_[start] -= procs;
+    delta_[start + duration] += procs;
+    for (auto it = delta_.begin(); it != delta_.end();) {
+      if (it->second == 0)
+        it = delta_.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  /// Insert a block without the fits() capacity check — bench-only bulk
+  /// construction (building a 100k-breakpoint profile through commit()
+  /// would itself be quadratic and drown the measured phase).
+  void load_unchecked(Time start, Time duration, int procs) {
+    delta_[start] += procs;
+    delta_[start + duration] -= procs;
+  }
+
+  std::vector<Time> breakpoints() const {
+    std::vector<Time> out;
+    out.reserve(delta_.size());
+    for (const auto& [when, d] : delta_) {
+      (void)d;
+      out.push_back(when);
+    }
+    return out;
+  }
+
+ private:
+  int machines_;
+  std::map<Time, int> delta_;
+};
+
+}  // namespace lgs

@@ -87,6 +87,20 @@ TEST(Easy, BackfillsBesideHeadUsingSurplus) {
   EXPECT_DOUBLE_EQ(s.find(1)->start, 10.0);
 }
 
+// Regression: two running jobs whose finish times differ by sub-kTimeEps
+// float noise (0.1*3 vs 0.3) must both count as finished when the clock
+// reaches them — the profile-backed rewrite initially popped the wake-up
+// events but kept counting the epsilon-later job as running, stalling.
+TEST(Easy, SubEpsilonFinishSkewDoesNotStall) {
+  JobSet jobs;
+  jobs.push_back(Job::rigid(0, 1, 0.1 * 3));  // 0.30000000000000004
+  jobs.push_back(Job::rigid(1, 1, 0.3));
+  jobs.push_back(Job::rigid(2, 2, 1.0));  // needs both procs
+  const Schedule s = easy_backfill(jobs, 2);
+  EXPECT_TRUE(is_valid(jobs, s));
+  EXPECT_NEAR(s.find(2)->start, 0.3, 1e-6);
+}
+
 TEST(Backfill, RejectMoldable) {
   JobSet jobs = {Job::moldable(0, ExecModel::power_law(8, 1.0), 1, 8)};
   EXPECT_THROW(conservative_backfill(jobs, 8), std::invalid_argument);

@@ -99,7 +99,9 @@ TEST_P(MonotonyTest, UsefulLimitIsArgmin) {
   ASSERT_GE(lim, 1);
   ASSERT_LE(lim, 256);
   EXPECT_NEAR(m.time(lim), m.time(256), 1e-12);
-  if (lim > 1) EXPECT_GT(m.time(lim - 1), m.time(256) - 1e-12);
+  if (lim > 1) {
+    EXPECT_GT(m.time(lim - 1), m.time(256) - 1e-12);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -56,7 +56,9 @@ TEST(Malleable, RigidJobsKeepFixedWidth) {
   EXPECT_TRUE(validate_malleable(jobs, 8, s).empty());
   for (const MalleablePhase& ph : s.phases) {
     const auto it = ph.allotment.find(0);
-    if (it != ph.allotment.end()) EXPECT_EQ(it->second, 4);
+    if (it != ph.allotment.end()) {
+      EXPECT_EQ(it->second, 4);
+    }
   }
 }
 

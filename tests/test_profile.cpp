@@ -1,7 +1,11 @@
 // Tests for the availability profile (core/profile.h).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/profile.h"
+#include "core/rng.h"
+#include "reference_profile.h"
 
 namespace lgs {
 namespace {
@@ -81,6 +85,114 @@ TEST(Profile, BreakpointsSorted) {
 TEST(Profile, RejectsBadMachineCount) {
   EXPECT_THROW(Profile(0), std::invalid_argument);
 }
+
+// Regression: a usage increase at a breakpoint w with
+// start < w <= start + kTimeEps used to be counted neither by
+// used_at(start) (events <= start) nor by the old inner loop (which
+// skipped events <= start + kTimeEps), so fits() approved intervals that
+// exceed capacity and commit() happily overcommitted.
+TEST(Profile, FitsSeesIncreaseJustAfterStart) {
+  Profile p(8);
+  const Time w = kTimeEps / 2;  // 0 < w <= 0 + kTimeEps
+  p.commit(w, 1.0, 5);
+  EXPECT_EQ(p.used_at(0.0), 0);
+  EXPECT_FALSE(p.fits(0.0, 1.0, 4));  // 5 + 4 > 8 on [w, 1)
+  EXPECT_THROW(p.commit(0.0, 1.0, 4), std::logic_error);
+  EXPECT_TRUE(p.fits(0.0, 1.0, 3));
+  p.commit(0.0, 1.0, 3);  // 5 + 3 == 8: exactly full
+  EXPECT_EQ(p.used_at(w), 8);
+}
+
+// Increases at (or within eps of) the interval *end* still cannot
+// conflict: a job ending there has already left.
+TEST(Profile, FitsIgnoresIncreaseAtEnd) {
+  Profile p(4);
+  p.commit(5.0, 2.0, 4);
+  EXPECT_TRUE(p.fits(0.0, 5.0, 4));
+  EXPECT_TRUE(p.fits(0.0, 5.0 - kTimeEps / 2, 4));
+}
+
+// Release must compact only the touched boundary breakpoints — and after
+// arbitrary interleavings the breakpoint list stays minimal (no
+// zero-width or redundant steps survive).
+TEST(Profile, InterleavedCommitReleaseKeepsBreakpointsMinimal) {
+  Profile p(8);
+  p.commit(0.0, 5.0, 3);
+  p.commit(5.0, 5.0, 3);  // seamless continuation: only {0, 10} remain
+  EXPECT_EQ(p.breakpoints(), (std::vector<Time>{0.0, 10.0}));
+
+  p.release(0.0, 5.0, 3);  // usage is now 3 on [5, 10) only
+  EXPECT_EQ(p.breakpoints(), (std::vector<Time>{5.0, 10.0}));
+  EXPECT_EQ(p.used_at(2.0), 0);
+  EXPECT_EQ(p.used_at(7.0), 3);
+
+  p.commit(2.0, 3.0, 2);  // abuts the remaining block
+  EXPECT_EQ(p.breakpoints(), (std::vector<Time>{2.0, 5.0, 10.0}));
+  p.release(2.0, 3.0, 2);
+  p.release(5.0, 5.0, 3);
+  EXPECT_TRUE(p.breakpoints().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: the flat skyline Profile against the historical
+// map-based implementation (tests/reference_profile.h) over fuzzed
+// commit/release/query sequences.
+// ---------------------------------------------------------------------------
+
+class ProfileDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileDifferential, MatchesMapReference) {
+  Rng rng(GetParam());
+  const int m = 1 + static_cast<int>(rng.uniform_int(1, 32));
+  Profile sky(m);
+  ReferenceProfile ref(m);
+
+  struct Block {
+    Time start, dur;
+    int procs;
+  };
+  std::vector<Block> live;
+
+  for (int step = 0; step < 400; ++step) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.5) {
+      // Fuzzed commit at the earliest fit (keeps both in capacity).
+      const int procs = 1 + static_cast<int>(rng.uniform_int(0, m - 1));
+      const Time dur = rng.uniform(0.1, 20.0);
+      const Time from = rng.uniform(0.0, 50.0);
+      const Time at_sky = sky.earliest_fit(from, dur, procs);
+      const Time at_ref = ref.earliest_fit(from, dur, procs);
+      ASSERT_DOUBLE_EQ(at_sky, at_ref) << "step " << step;
+      sky.commit(at_sky, dur, procs);
+      ref.commit(at_ref, dur, procs);
+      live.push_back({at_sky, dur, procs});
+    } else if (roll < 0.75 && !live.empty()) {
+      const std::size_t i = rng.uniform_int(0, live.size() - 1);
+      sky.release(live[i].start, live[i].dur, live[i].procs);
+      ref.release(live[i].start, live[i].dur, live[i].procs);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      // Pure queries, including boundary-hugging ones.
+      const Time t = rng.uniform(-1.0, 80.0);
+      ASSERT_EQ(sky.used_at(t), ref.used_at(t)) << "step " << step;
+      const int procs = 1 + static_cast<int>(rng.uniform_int(0, m - 1));
+      const Time dur = rng.uniform(0.0, 30.0);
+      ASSERT_EQ(sky.fits(t, dur, procs), ref.fits(t, dur, procs))
+          << "step " << step << " t=" << t << " dur=" << dur;
+      ASSERT_DOUBLE_EQ(sky.earliest_fit(std::max(0.0, t), dur, procs),
+                       ref.earliest_fit(std::max(0.0, t), dur, procs))
+          << "step " << step;
+    }
+    // Levels agree at every breakpoint and just around it.
+    for (Time bp : sky.breakpoints()) {
+      ASSERT_EQ(sky.used_at(bp), ref.used_at(bp));
+      ASSERT_EQ(sky.used_at(bp - 1e-7), ref.used_at(bp - 1e-7));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileDifferential,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
 
 // Property: a sequence of earliest_fit + commit never violates capacity.
 TEST(Profile, GreedyFillNeverOverflows) {

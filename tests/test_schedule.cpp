@@ -60,6 +60,66 @@ TEST(Schedule, AppendRequiresSameMachines) {
   EXPECT_THROW(a.append(c), std::invalid_argument);
 }
 
+// The JobId→index map and the cached makespan must stay correct through
+// shift/append (the batch-concatenation path used by pt/mix and pt/batch).
+TEST(Schedule, CompletionStaysCorrectAfterShiftAndAppend) {
+  Schedule a(4);
+  a.add(0, 0.0, 2, 5.0);
+  a.add(1, 1.0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(a.completion(0), 5.0);  // warm the caches
+
+  a.shift(10.0);
+  EXPECT_DOUBLE_EQ(a.completion(0), 15.0);
+  EXPECT_DOUBLE_EQ(a.completion(1), 13.0);
+  EXPECT_DOUBLE_EQ(a.makespan(), 15.0);
+
+  Schedule b(4);
+  b.add(2, 0.0, 4, 1.0);
+  b.shift(a.makespan());
+  a.append(b);
+  EXPECT_DOUBLE_EQ(a.completion(2), 16.0);
+  EXPECT_DOUBLE_EQ(a.makespan(), 16.0);
+  EXPECT_EQ(a.peak_demand(), 4);
+  // Duplicate ids resolve to the first occurrence, as before.
+  Schedule c(4);
+  c.add(0, 100.0, 1, 1.0);
+  a.append(c);
+  EXPECT_DOUBLE_EQ(a.find(0)->start, 10.0);
+}
+
+// The incrementally-shifted makespan cache must agree with a cold
+// recompute even through negative time (makespan floors at 0 either way).
+TEST(Schedule, NegativeShiftKeepsMakespanConsistent) {
+  Schedule s(2);
+  s.add(0, 5.0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 7.0);  // warm the cache
+  s.shift(-20.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);  // warm cache, clamped
+  s.assignments();                      // invalidate -> cold recompute
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+  s.shift(20.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 7.0);  // exact through the round trip
+}
+
+TEST(Schedule, CachesRebuildAfterMutableAccess) {
+  Schedule s(4);
+  s.add(0, 0.0, 2, 5.0);
+  s.add(1, 5.0, 4, 1.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+  EXPECT_EQ(s.peak_demand(), 4);
+
+  s.assignments()[1].start = 2.0;   // now overlaps job 0
+  s.assignments()[1].duration = 2.0;
+  EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+  EXPECT_EQ(s.peak_demand(), 6);
+  EXPECT_DOUBLE_EQ(s.completion(1), 4.0);
+
+  s.clear();
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+  EXPECT_EQ(s.peak_demand(), 0);
+  EXPECT_EQ(s.find(0), nullptr);
+}
+
 TEST(Schedule, GanttAsciiRendersDemandProfile) {
   Schedule s(2);
   s.add(0, 0.0, 2, 1.0);

@@ -32,6 +32,27 @@ TEST(Volatility, ShrinkPreemptsAndRestartsLocalJob) {
   EXPECT_DOUBLE_EQ(cluster.volatility_stats().local_wasted, 4 * 3.0);
 }
 
+// Regression: with EASY backfilling on, a capacity shrink below the queue
+// head's width used to crash dispatch() — the shadow reservation asked the
+// availability profile (sized by current capacity) for more processors
+// than it has.  The head must instead wait for capacity to return.
+TEST(Volatility, ShrinkBelowHeadWidthWithEasyBackfill) {
+  Simulator sim;
+  OnlineCluster::Options opts;
+  opts.easy_backfill = true;
+  OnlineCluster cluster(sim, small_cluster(4), opts);
+  cluster.submit_local(Job::rigid(0, 4, 10.0));  // running, full machine
+  cluster.submit_local(Job::rigid(1, 4, 5.0));   // queued head, full width
+  cluster.submit_local(Job::sequential(2, 2.0)); // narrow candidate
+  sim.at(3.0, [&] { cluster.set_capacity(2); });
+  sim.at(6.0, [&] { cluster.set_capacity(4); });
+  sim.run();
+  const auto& recs = cluster.local_records();
+  ASSERT_EQ(recs.size(), 3u);
+  for (const LocalJobRecord& r : recs) EXPECT_GT(r.finish, 0.0);
+  EXPECT_EQ(cluster.volatility_stats().local_preemptions, 1);
+}
+
 TEST(Volatility, BestEffortEvictedBeforeLocalJobs) {
   Simulator sim;
   OnlineCluster cluster(sim, small_cluster(4));
