@@ -4,6 +4,9 @@
 // matters.)
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
+
 #include "core/proc_assign.h"
 #include "core/rng.h"
 #include "criteria/lower_bounds.h"
@@ -140,6 +143,32 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(100000);
+
+// Guard for the Simulator::run pop path: callbacks whose captures exceed
+// the std::function small-buffer force a heap allocation per *copy* —
+// run() must move the callback out of queue_.top(), not copy it, or this
+// benchmark regresses by one allocation + capture copy per event.
+void BM_SimulatorHeavyCallbackDrain(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  // 256 bytes of capture: far past any SBO, cheap to fill.
+  struct BigCapture {
+    std::array<std::uint64_t, 32> payload{};
+  };
+  for (auto _ : state) {
+    Simulator sim;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < events; ++i) {
+      BigCapture big;
+      big.payload[0] = static_cast<std::uint64_t>(i);
+      sim.at(static_cast<Time>(i % 97),
+             [big, &sum] { sum += big.payload[0]; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorHeavyCallbackDrain)->Arg(1000)->Arg(100000);
 
 void BM_LowerBounds(benchmark::State& state) {
   const JobSet jobs = moldable_jobs(static_cast<int>(state.range(0)), 32);

@@ -1,25 +1,69 @@
 // E-POL — the title question: which policy for which application?
 //
-// Runs every scheduling policy of the library on every application class
-// the paper motivates, scores them on the §3 criteria, and prints the
-// recommendation per (class, criterion).  This is the quantitative version
-// of the paper's qualitative conclusion that no single policy dominates.
+// Runs the full policy × application sweep on the parallel experiment
+// engine (src/exp/sweep.h), prints the recommendation per (class,
+// criterion) for the first replicate, and reports the engine's speedup
+// over the serial oracle.  Exits non-zero if any cell's schedule fails
+// core/validate — the CI sweep smoke job relies on that.
+//
+// Usage: bench_policy_matrix [--quick] [--threads N] [--seeds K]
+//                            [--json PATH] [--compare-serial]
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "core/report.h"
+#include "exp/report_sink.h"
+#include "exp/sweep.h"
 #include "policy/policy.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lgs;
+
+  bool quick = false;
+  bool compare_serial = false;
+  int threads = 0;
+  int seeds = -1;  // -1 = not given on the command line
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--compare-serial") == 0) {
+      compare_serial = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_policy_matrix [--quick] [--threads N] "
+                   "[--seeds K] [--json PATH] [--compare-serial]\n";
+      return 2;
+    }
+  }
+
   // Contention matters: with too few jobs per processor every policy
   // degenerates to "start everything now" and FCFS trivially wins.
-  const int m = 32;
-  const int jobs = 150;
+  SweepSpec spec;
+  spec.machine_sizes = {32};
+  spec.jobs_per_class = quick ? 40 : 150;
+  spec.base_seed = 2004;
+  // An explicit --seeds wins; otherwise 2 replicates in quick mode, 4 full.
+  spec.replicates = seeds >= 0 ? seeds : (quick ? 2 : 4);
+  spec.threads = threads;
 
-  std::cout << "=== E-POL: policy x application matrix (m = " << m << ", "
-            << jobs << " jobs per class) ===\n\n";
+  std::cout << "=== E-POL: policy x application sweep (m = "
+            << spec.machine_sizes.front() << ", " << spec.jobs_per_class
+            << " jobs per class, " << spec.replicates << " seeds) ===\n\n";
 
-  const auto matrix = evaluate_policy_matrix(m, jobs, /*seed=*/2004);
+  const SweepResult result = run_sweep(spec);
+  std::cout << spec.cell_count() << " cells on " << result.threads_used
+            << " threads in " << fmt(result.wall_ms, 1) << " ms\n\n";
+
+  const std::uint64_t first_seed = spec.replicate_seeds().front();
+  const auto matrix = matrix_from_sweep(spec, result, 32, first_seed);
   for (const MatrixRow& row : matrix) {
     std::cout << "--- application class: " << to_string(row.app) << " ---\n";
     TextTable table({"policy", "Cmax ratio", "SumWC ratio", "mean flow",
@@ -36,13 +80,45 @@ int main() {
               << "\n\n";
   }
 
-  std::cout << "=== recommendation summary ===\n";
+  std::cout << "=== recommendation summary (seed " << first_seed
+            << ") ===\n";
   TextTable rec({"application", "Cmax", "SumWC", "max flow"});
   for (const MatrixRow& row : matrix)
     rec.add_row({to_string(row.app), to_string(row.best_for_cmax),
                  to_string(row.best_for_sum_wc),
                  to_string(row.best_for_max_flow)});
   std::cout << rec.to_string() << "\n";
-  std::cout << paper_guidance();
+  std::cout << paper_guidance() << "\n";
+
+  if (compare_serial) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t seed : spec.replicate_seeds())
+      (void)evaluate_policy_matrix_serial(32, spec.jobs_per_class, seed);
+    const double serial_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+    std::cout << "serial oracle: " << fmt(serial_ms, 1) << " ms; engine: "
+              << fmt(result.wall_ms, 1) << " ms on " << result.threads_used
+              << " threads -> speedup " << fmt(serial_ms / result.wall_ms, 2)
+              << "x\n";
+  }
+
+  if (!json_path.empty()) {
+    write_sweep_report(json_path, spec, result);
+    std::cerr << "wrote " << json_path << "\n";
+  }
+
+  if (result.violation_count > 0) {
+    std::cerr << "VALIDATION FAILURES: " << result.violation_count
+              << " violation(s) across the sweep\n";
+    for (const CellResult& c : result.cells)
+      for (const std::string& v : c.violations)
+        std::cerr << "  " << to_string(c.cell.policy) << " on "
+                  << to_string(c.cell.app) << " (m=" << c.cell.machines
+                  << ", seed=" << c.cell.seed << "): " << v << "\n";
+    return 1;
+  }
+  std::cout << "all " << spec.cell_count()
+            << " cell schedules passed validate()\n";
   return 0;
 }

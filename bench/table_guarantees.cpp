@@ -6,6 +6,12 @@
 // and prints it next to the paper's guarantee.  Measured ratios must stay
 // below the quoted guarantee (they are typically far below: guarantees are
 // worst-case, the sweep is average-case).
+// The instance sweep itself runs on the experiment engine's thread pool
+// (exp/sweep.h): each (machines, size, seed) cell measures its ratios
+// independently into a pre-assigned slot, and the reduction into the
+// accumulators below walks the slots in grid order — so the printed
+// worst/mean figures are bit-identical to the historical serial loop at
+// any thread count.
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -14,6 +20,7 @@
 #include "core/rng.h"
 #include "criteria/lower_bounds.h"
 #include "criteria/metrics.h"
+#include "exp/sweep.h"
 #include "pt/batch.h"
 #include "pt/bicriteria.h"
 #include "pt/localsearch.h"
@@ -50,56 +57,85 @@ JobSet moldable_instance(int n, int m, std::uint64_t seed, Time window) {
 
 }  // namespace
 
+/// Ratios measured by one (machines, size, seed) cell of the sweep.
+struct CellRatios {
+  double mrt = 0.0;
+  double batch = 0.0;
+  double smart_uw = 0.0;
+  double smart_w = 0.0;
+  double bicrit_cmax = 0.0;
+  double bicrit_wc = 0.0;
+};
+
+CellRatios measure_cell(int m, int n, std::uint64_t seed) {
+  CellRatios out;
+  // R-MRT: off-line moldable makespan (3/2 + ε).
+  {
+    const JobSet jobs = moldable_instance(n, m, seed, 0.0);
+    const MrtResult r = mrt_schedule(jobs, m);
+    out.mrt = r.schedule.makespan() / cmax_lower_bound(jobs, m);
+  }
+  // R-BATCH: on-line batches around MRT (3 + ε).
+  {
+    const JobSet jobs = moldable_instance(n, m, seed + 100, 50.0);
+    const BatchResult r = online_moldable_schedule(jobs, m);
+    out.batch = r.schedule.makespan() / cmax_lower_bound(jobs, m);
+  }
+  // R-SMART: rigid Σ wᵢCᵢ shelves (8 / 8.53).
+  {
+    Rng rng(seed + 200);
+    RigidWorkloadSpec spec;
+    spec.count = n;
+    spec.max_procs = std::max(2, m / 2);
+    const JobSet uw = make_rigid_workload(spec, rng);
+    const Metrics mu = compute_metrics(uw, smart_schedule(uw, m));
+    out.smart_uw =
+        mu.sum_weighted / sum_weighted_completion_lower_bound(uw, m);
+    spec.w_min = 1.0;
+    spec.w_max = 10.0;
+    const JobSet w = make_rigid_workload(spec, rng);
+    const Metrics mw = compute_metrics(w, smart_schedule(w, m));
+    out.smart_w = mw.sum_weighted / sum_weighted_completion_lower_bound(w, m);
+  }
+  // R-BICRIT: simultaneous Cmax and Σ wᵢCᵢ (4ρ each).
+  {
+    const JobSet jobs = moldable_instance(n, m, seed + 300, 20.0);
+    const Schedule s = bicriteria_schedule(jobs, m).schedule;
+    const Metrics metrics = compute_metrics(jobs, s);
+    out.bicrit_cmax = metrics.cmax / cmax_lower_bound(jobs, m);
+    out.bicrit_wc =
+        metrics.sum_weighted / sum_weighted_completion_lower_bound(jobs, m);
+  }
+  return out;
+}
+
 int main() {
   const std::vector<int> machines = {16, 64, 128};
   const std::vector<int> sizes = {20, 80, 200};
   const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
 
-  Sweep mrt, batch, smart_unweighted, smart_weighted, bicrit_cmax, bicrit_wc;
+  struct Cell {
+    int m, n;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (int m : machines)
+    for (int n : sizes)
+      for (std::uint64_t seed : seeds) cells.push_back({m, n, seed});
 
-  for (int m : machines) {
-    for (int n : sizes) {
-      for (std::uint64_t seed : seeds) {
-        // R-MRT: off-line moldable makespan (3/2 + ε).
-        {
-          const JobSet jobs = moldable_instance(n, m, seed, 0.0);
-          const MrtResult r = mrt_schedule(jobs, m);
-          mrt.add(r.schedule.makespan() / cmax_lower_bound(jobs, m));
-        }
-        // R-BATCH: on-line batches around MRT (3 + ε).
-        {
-          const JobSet jobs = moldable_instance(n, m, seed + 100, 50.0);
-          const BatchResult r = online_moldable_schedule(jobs, m);
-          batch.add(r.schedule.makespan() / cmax_lower_bound(jobs, m));
-        }
-        // R-SMART: rigid Σ wᵢCᵢ shelves (8 / 8.53).
-        {
-          Rng rng(seed + 200);
-          RigidWorkloadSpec spec;
-          spec.count = n;
-          spec.max_procs = std::max(2, m / 2);
-          const JobSet uw = make_rigid_workload(spec, rng);
-          const Metrics mu = compute_metrics(uw, smart_schedule(uw, m));
-          smart_unweighted.add(mu.sum_weighted /
-                               sum_weighted_completion_lower_bound(uw, m));
-          spec.w_min = 1.0;
-          spec.w_max = 10.0;
-          const JobSet w = make_rigid_workload(spec, rng);
-          const Metrics mw = compute_metrics(w, smart_schedule(w, m));
-          smart_weighted.add(mw.sum_weighted /
-                             sum_weighted_completion_lower_bound(w, m));
-        }
-        // R-BICRIT: simultaneous Cmax and Σ wᵢCᵢ (4ρ each).
-        {
-          const JobSet jobs = moldable_instance(n, m, seed + 300, 20.0);
-          const Schedule s = bicriteria_schedule(jobs, m).schedule;
-          const Metrics metrics = compute_metrics(jobs, s);
-          bicrit_cmax.add(metrics.cmax / cmax_lower_bound(jobs, m));
-          bicrit_wc.add(metrics.sum_weighted /
-                        sum_weighted_completion_lower_bound(jobs, m));
-        }
-      }
-    }
+  std::vector<CellRatios> measured(cells.size());
+  parallel_for_index(cells.size(), /*threads=*/0, [&](std::size_t i) {
+    measured[i] = measure_cell(cells[i].m, cells[i].n, cells[i].seed);
+  });
+
+  Sweep mrt, batch, smart_unweighted, smart_weighted, bicrit_cmax, bicrit_wc;
+  for (const CellRatios& r : measured) {
+    mrt.add(r.mrt);
+    batch.add(r.batch);
+    smart_unweighted.add(r.smart_uw);
+    smart_weighted.add(r.smart_w);
+    bicrit_cmax.add(r.bicrit_cmax);
+    bicrit_wc.add(r.bicrit_wc);
   }
 
   std::cout << "=== §4 guarantees: paper vs measured (ratios to lower "
@@ -146,14 +182,17 @@ int main() {
   // search over allotments overestimates it — so MRT's true distance to
   // OPT lies between ratio-to-LS and ratio-to-LB.
   {
-    Sweep vs_ls;
-    for (std::uint64_t seed : seeds) {
+    std::vector<double> ratios(seeds.size());
+    parallel_for_index(seeds.size(), /*threads=*/0, [&](std::size_t i) {
+      const std::uint64_t seed = seeds[i];
       const JobSet jobs = moldable_instance(60, 32, seed + 900, 0.0);
       const Time mrt_ms = mrt_schedule(jobs, 32).schedule.makespan();
       const Time ls_ms = local_search_moldable(jobs, 32, {2000, seed, 0.02})
                              .schedule.makespan();
-      vs_ls.add(mrt_ms / ls_ms);
-    }
+      ratios[i] = mrt_ms / ls_ms;
+    });
+    Sweep vs_ls;
+    for (double r : ratios) vs_ls.add(r);
     std::cout << "\nOPT sandwich (n=60, m=32): MRT / local-search-estimate "
               << "worst " << fmt(vs_ls.worst, 3) << ", mean "
               << fmt(vs_ls.avg(), 3)

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -116,6 +118,146 @@ void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open " + path);
   out << content;
+  out.flush();
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_item();
+  out_ += "{";
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (has_items_.empty()) throw std::logic_error("end_object with no object");
+  const bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) {
+    out_ += "\n";
+    indent();
+  }
+  out_ += "}";
+  if (has_items_.empty()) out_ += "\n";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_item();
+  out_ += "[";
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (has_items_.empty()) throw std::logic_error("end_array with no array");
+  const bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) {
+    out_ += "\n";
+    indent();
+  }
+  out_ += "]";
+  if (has_items_.empty()) out_ += "\n";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  before_item();
+  out_ += "\"" + json_escape(k) + "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_item();
+  out_ += "\"" + json_escape(v) + "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_item();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << v;
+  out_ += s.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  before_item();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_item();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_item();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() const { return out_; }
+
+void JsonWriter::before_item() {
+  if (pending_key_) {
+    // The key() call already positioned us; this item is its value.
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.empty()) return;
+  if (has_items_.back()) out_ += ",";
+  out_ += "\n";
+  has_items_.back() = true;
+  indent();
+}
+
+void JsonWriter::indent() {
+  out_.append(2 * has_items_.size(), ' ');
 }
 
 std::string fmt(double v, int precision) {

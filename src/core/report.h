@@ -3,6 +3,7 @@
 // figures in a headless environment.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,5 +43,54 @@ void write_file(const std::string& path, const std::string& content);
 
 /// Format a double compactly (fixed, trimmed trailing zeros).
 std::string fmt(double v, int precision = 3);
+
+/// Escape a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// Minimal streaming JSON builder shared by the bench harnesses and the
+/// experiment report sink (src/exp/report_sink.h).  Emits pretty-printed
+/// JSON with two-space indentation; commas and quoting are handled so
+/// callers only state structure:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("cells").begin_array();
+///   w.begin_object().key("m").value(32).end_object();
+///   w.end_array().end_object();
+///   write_file("report.json", w.str());
+///
+/// Doubles are serialized with enough digits to round-trip exactly
+/// (max_digits10), because sweep reports feed differential tests that
+/// compare results bit-for-bit.  Non-finite doubles become null.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit "key": — must be followed by a value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(int v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// The document built so far (with a trailing newline once all
+  /// containers are closed).
+  std::string str() const;
+
+ private:
+  void before_item();
+  void indent();
+
+  std::string out_;
+  std::vector<bool> has_items_;  // per open container
+  bool pending_key_ = false;
+};
 
 }  // namespace lgs

@@ -11,7 +11,10 @@
 // instead of a linear scan), makespan() is maintained incrementally on
 // add/shift/append, and peak_demand() is memoized.  Mutating assignments
 // through the non-const assignments() accessor invalidates the caches;
-// they rebuild lazily on the next query.
+// they rebuild lazily on the next query.  Because const queries may fill
+// the caches, they are NOT safe to call concurrently on a shared
+// Schedule — parallel code (src/exp) must give each thread its own
+// instance, as the sweep engine's per-cell schedules do.
 #pragma once
 
 #include <optional>

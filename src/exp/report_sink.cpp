@@ -1,0 +1,86 @@
+#include "exp/report_sink.h"
+
+#include "core/report.h"
+
+namespace lgs {
+
+std::string sweep_report_json(const SweepSpec& spec,
+                              const SweepResult& result) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("spec").begin_object();
+  w.key("jobs_per_class").value(spec.jobs_per_class);
+  w.key("threads").value(spec.threads);
+  w.key("machine_sizes").begin_array();
+  for (int m : spec.machine_sizes) w.value(m);
+  w.end_array();
+  w.key("seeds").begin_array();
+  for (std::uint64_t s : spec.replicate_seeds()) w.value(s);
+  w.end_array();
+  w.key("policies").begin_array();
+  for (PolicyKind p : spec.policies) w.value(to_string(p));
+  w.end_array();
+  w.key("apps").begin_array();
+  for (ApplicationClass a : spec.apps) w.value(to_string(a));
+  w.end_array();
+  w.end_object();
+
+  w.key("threads_used").value(result.threads_used);
+  w.key("wall_ms").value(result.wall_ms);
+  w.key("violation_count").value(
+      static_cast<std::uint64_t>(result.violation_count));
+
+  w.key("cells").begin_array();
+  for (const CellResult& c : result.cells) {
+    w.begin_object();
+    w.key("app").value(to_string(c.cell.app));
+    w.key("policy").value(to_string(c.cell.policy));
+    w.key("m").value(c.cell.machines);
+    w.key("seed").value(c.cell.seed);
+    w.key("cmax").value(c.cmax);
+    w.key("sum_weighted").value(c.sum_weighted);
+    w.key("cmax_ratio").value(c.score.cmax_ratio);
+    w.key("sum_wc_ratio").value(c.score.sum_wc_ratio);
+    w.key("mean_flow").value(c.score.mean_flow);
+    w.key("max_flow").value(c.score.max_flow);
+    w.key("utilization").value(c.score.utilization);
+    w.key("wall_ms").value(c.wall_ms);
+    w.key("violations").begin_array();
+    for (const std::string& v : c.violations) w.value(v);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("matrix").begin_array();
+  for (std::uint64_t seed : spec.replicate_seeds()) {
+    for (int m : spec.machine_sizes) {
+      w.begin_object();
+      w.key("m").value(m);
+      w.key("seed").value(seed);
+      w.key("rows").begin_array();
+      for (const MatrixRow& row : matrix_from_sweep(spec, result, m, seed)) {
+        w.begin_object();
+        w.key("app").value(to_string(row.app));
+        w.key("best_for_cmax").value(to_string(row.best_for_cmax));
+        w.key("best_for_sum_wc").value(to_string(row.best_for_sum_wc));
+        w.key("best_for_max_flow").value(to_string(row.best_for_max_flow));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+void write_sweep_report(const std::string& path, const SweepSpec& spec,
+                        const SweepResult& result) {
+  write_file(path, sweep_report_json(spec, result));
+}
+
+}  // namespace lgs

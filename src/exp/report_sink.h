@@ -1,0 +1,38 @@
+// JSON report sink for experiment sweeps.
+//
+// Serializes a (SweepSpec, SweepResult) pair into a single JSON document
+// (built on core/report's JsonWriter): the spec echo, every cell with
+// its scores, raw criteria, per-cell wall-clock timing and validator
+// violations, and the aggregated recommendation matrix per
+// (machine size, seed) replicate.  Schema (see README "Running
+// experiment sweeps"):
+//
+//   {
+//     "spec": { jobs_per_class, threads, machine_sizes, seeds,
+//               policies, apps },
+//     "threads_used": N, "wall_ms": T, "violation_count": V,
+//     "cells": [ { app, policy, m, seed, cmax, sum_weighted,
+//                  cmax_ratio, sum_wc_ratio, mean_flow, max_flow,
+//                  utilization, wall_ms, violations: [..] } ],
+//     "matrix": [ { m, seed, rows: [ { app, best_for_cmax,
+//                  best_for_sum_wc, best_for_max_flow } ] } ]
+//   }
+//
+// Doubles round-trip exactly (max_digits10) so a report can serve as a
+// golden file for the determinism tests.
+#pragma once
+
+#include <string>
+
+#include "exp/sweep.h"
+
+namespace lgs {
+
+/// Render the full report document.
+std::string sweep_report_json(const SweepSpec& spec, const SweepResult& result);
+
+/// Render and write to `path` (throws std::runtime_error on I/O failure).
+void write_sweep_report(const std::string& path, const SweepSpec& spec,
+                        const SweepResult& result);
+
+}  // namespace lgs

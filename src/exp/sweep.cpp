@@ -1,0 +1,264 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/validate.h"
+#include "criteria/lower_bounds.h"
+#include "criteria/metrics.h"
+
+namespace lgs {
+
+std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                               std::uint64_t cell_index) {
+  // splitmix64 finalizer over the combined key.  The golden-ratio stride
+  // separates consecutive indices before mixing.
+  std::uint64_t z = base_seed + cell_index * 0x9e3779b97f4a7c15ull;
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::uint64_t> SweepSpec::replicate_seeds() const {
+  if (!seeds.empty()) return seeds;
+  std::vector<std::uint64_t> derived;
+  derived.reserve(static_cast<std::size_t>(std::max(0, replicates)));
+  for (int r = 0; r < replicates; ++r)
+    derived.push_back(derive_cell_seed(base_seed, static_cast<std::uint64_t>(r)));
+  return derived;
+}
+
+std::size_t SweepSpec::cell_count() const {
+  return replicate_seeds().size() * machine_sizes.size() * apps.size() *
+         policies.size();
+}
+
+std::vector<SweepCell> expand_cells(const SweepSpec& spec) {
+  std::vector<SweepCell> cells;
+  cells.reserve(spec.cell_count());
+  std::size_t index = 0;
+  for (std::uint64_t seed : spec.replicate_seeds())
+    for (int m : spec.machine_sizes)
+      for (ApplicationClass app : spec.apps)
+        for (PolicyKind policy : spec.policies)
+          cells.push_back(SweepCell{index++, policy, app, seed, m});
+  return cells;
+}
+
+void parallel_for_index(std::size_t n, int threads,
+                        const std::function<void(std::size_t)>& fn) {
+  int workers = threads > 0
+                    ? threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(workers), n));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the remaining indices so sibling workers stop promptly.
+        next.store(n, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(work);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+/// Workload context shared by every policy cell of one
+/// (seed, machines, app) row: the JobSet and the §3 lower bounds are
+/// functions of the row coordinates only, so computing them once per row
+/// instead of once per cell removes a |policies|-fold redundancy.
+struct RowContext {
+  JobSet jobs;
+  Time cmax_lb = 0.0;
+  double wc_lb = 0.0;
+};
+
+RowContext make_row_context(const SweepSpec& spec, ApplicationClass app,
+                            int machines, std::uint64_t seed) {
+  RowContext ctx;
+  ctx.jobs =
+      make_application_workload(app, spec.jobs_per_class, machines, seed);
+  ctx.cmax_lb = cmax_lower_bound(ctx.jobs, machines);
+  ctx.wc_lb = sum_weighted_completion_lower_bound(ctx.jobs, machines);
+  return ctx;
+}
+
+CellResult evaluate_cell_with_context(const SweepSpec& spec,
+                                      const SweepCell& cell,
+                                      const RowContext& ctx) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CellResult result;
+  result.cell = cell;
+
+  const Schedule s = run_policy(cell.policy, ctx.jobs, cell.machines);
+
+  if (spec.validate_schedules) {
+    for (const Violation& v : validate(ctx.jobs, s)) {
+      result.violations.push_back(
+          (v.job == kInvalidJob ? std::string("global")
+                                : "job " + std::to_string(v.job)) +
+          ": " + v.what);
+    }
+  }
+
+  const Metrics metrics = compute_metrics(ctx.jobs, s);
+  result.cmax = metrics.cmax;
+  result.sum_weighted = metrics.sum_weighted;
+  result.score.policy = cell.policy;
+  result.score.cmax_ratio = metrics.cmax / std::max(ctx.cmax_lb, kTimeEps);
+  result.score.sum_wc_ratio =
+      metrics.sum_weighted / std::max(ctx.wc_lb, kTimeEps);
+  result.score.mean_flow = metrics.mean_flow;
+  result.score.max_flow = metrics.max_flow;
+  result.score.utilization = metrics.utilization;
+
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+}  // namespace
+
+CellResult evaluate_cell(const SweepSpec& spec, const SweepCell& cell) {
+  // Standalone entry point: rebuild the row context from the cell's own
+  // coordinates.  Bit-identical to the pooled path in run_sweep, which
+  // shares one context across the row's cells — the context is a pure
+  // function of (spec, cell) either way.
+  const RowContext ctx =
+      make_row_context(spec, cell.app, cell.machines, cell.seed);
+  return evaluate_cell_with_context(spec, cell, ctx);
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SweepCell> cells = expand_cells(spec);
+  const std::size_t per_row = spec.policies.size();
+  const std::size_t n_rows = per_row ? cells.size() / per_row : 0;
+
+  SweepResult result;
+  result.cells.resize(cells.size());
+  int workers = spec.threads > 0
+                    ? spec.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  result.threads_used = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(workers),
+                            std::max<std::size_t>(cells.size(), 1)));
+
+  // Phase 1: one workload + lower-bound context per row, in parallel.
+  // Grid order puts a row's cells at [r*per_row, (r+1)*per_row), so the
+  // row's coordinates are those of its first cell.
+  std::vector<RowContext> contexts(n_rows);
+  parallel_for_index(n_rows, spec.threads, [&](std::size_t r) {
+    const SweepCell& first = cells[r * per_row];
+    contexts[r] =
+        make_row_context(spec, first.app, first.machines, first.seed);
+  });
+
+  // Phase 2: every cell, against its row's shared (read-only) context.
+  parallel_for_index(cells.size(), spec.threads, [&](std::size_t i) {
+    result.cells[i] =
+        evaluate_cell_with_context(spec, cells[i], contexts[i / per_row]);
+  });
+
+  for (const CellResult& c : result.cells)
+    result.violation_count += c.violations.size();
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+std::vector<MatrixRow> evaluate_policy_matrix(int m, int jobs_per_class,
+                                              std::uint64_t seed) {
+  SweepSpec spec;
+  spec.machine_sizes = {m};
+  spec.seeds = {seed};
+  spec.jobs_per_class = jobs_per_class;
+  // The matrix is the user-facing artifact: always validated.
+  spec.validate_schedules = true;
+  const SweepResult result = run_sweep(spec);
+  return matrix_from_sweep(spec, result, m, seed);
+}
+
+std::vector<MatrixRow> matrix_from_sweep(const SweepSpec& spec,
+                                         const SweepResult& result,
+                                         int machines, std::uint64_t seed) {
+  const std::vector<std::uint64_t> seeds = spec.replicate_seeds();
+  const auto seed_it = std::find(seeds.begin(), seeds.end(), seed);
+  const auto m_it = std::find(spec.machine_sizes.begin(),
+                              spec.machine_sizes.end(), machines);
+  if (seed_it == seeds.end() || m_it == spec.machine_sizes.end())
+    throw std::invalid_argument("matrix_from_sweep: replicate not in spec");
+  const std::size_t seed_pos =
+      static_cast<std::size_t>(seed_it - seeds.begin());
+  const std::size_t m_pos =
+      static_cast<std::size_t>(m_it - spec.machine_sizes.begin());
+
+  const std::size_t per_app = spec.policies.size();
+  const std::size_t per_m = spec.apps.size() * per_app;
+  const std::size_t per_seed = spec.machine_sizes.size() * per_m;
+
+  std::vector<MatrixRow> rows;
+  rows.reserve(spec.apps.size());
+  for (std::size_t a = 0; a < spec.apps.size(); ++a) {
+    MatrixRow row;
+    row.app = spec.apps[a];
+    double best_cmax = kTimeInfinity, best_wc = kTimeInfinity,
+           best_maxflow = kTimeInfinity;
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      const CellResult& cell =
+          result.cells[seed_pos * per_seed + m_pos * per_m + a * per_app + p];
+      row.scores.push_back(cell.score);
+      // Same strict-< / first-wins tie-breaking over the same raw
+      // criteria as the serial oracle.
+      if (cell.cmax < best_cmax) {
+        best_cmax = cell.cmax;
+        row.best_for_cmax = cell.cell.policy;
+      }
+      if (cell.sum_weighted < best_wc) {
+        best_wc = cell.sum_weighted;
+        row.best_for_sum_wc = cell.cell.policy;
+      }
+      if (cell.score.max_flow < best_maxflow) {
+        best_maxflow = cell.score.max_flow;
+        row.best_for_max_flow = cell.cell.policy;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace lgs

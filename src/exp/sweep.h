@@ -1,0 +1,114 @@
+// Parallel experiment engine: the machinery behind the recommendation
+// matrix at scale.
+//
+// The paper's central artifact is a policy × application matrix; growing
+// it (more seeds, more machine sizes, more policies) multiplies the cell
+// count, and each cell — generate a workload, run a scheduler, validate,
+// score — is embarrassingly parallel.  `SweepSpec` describes the grid,
+// `run_sweep` expands it into independent cells executed on a
+// std::thread pool, and the result is **bit-identical regardless of
+// thread count or scheduling order**: every cell derives its inputs
+// purely from its own grid coordinates (cell-index-keyed seeding, no
+// shared Rng whose split() order would depend on execution order), and
+// results land in pre-assigned slots of a grid-ordered vector.
+//
+// The old serial path survives as `evaluate_policy_matrix_serial`
+// (policy/policy.h) and is the oracle of the differential test in
+// tests/test_sweep.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace lgs {
+
+/// Mix a base seed with a cell index into an independent stream seed
+/// (splitmix64 finalizer).  Keyed purely on (base, index): two cells
+/// never share a generator, and the derivation does not depend on the
+/// order cells happen to execute in — unlike chained `Rng::split()`.
+std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                               std::uint64_t cell_index);
+
+/// A policy × application-class × seed × machine-size grid.
+struct SweepSpec {
+  std::vector<PolicyKind> policies = all_policies();
+  std::vector<ApplicationClass> apps = all_application_classes();
+  /// Workload replicate seeds.  Empty = derive `replicates` seeds from
+  /// `base_seed` via derive_cell_seed(base_seed, replicate_index).
+  std::vector<std::uint64_t> seeds;
+  std::uint64_t base_seed = 2004;
+  int replicates = 1;
+  std::vector<int> machine_sizes = {32};
+  int jobs_per_class = 150;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Run core/validate on every cell's schedule and record violations.
+  bool validate_schedules = true;
+
+  /// The replicate seeds actually used (explicit list or derived).
+  std::vector<std::uint64_t> replicate_seeds() const;
+
+  std::size_t cell_count() const;
+};
+
+/// One grid point, identified by its coordinates.
+struct SweepCell {
+  std::size_t index = 0;  ///< linear index in grid order
+  PolicyKind policy{};
+  ApplicationClass app{};
+  std::uint64_t seed = 0;  ///< workload replicate seed
+  int machines = 0;
+};
+
+/// Outcome of one cell: the §3 scores plus the raw criteria the
+/// recommendation argmins run on, wall-clock cost, and any validator
+/// violations (empty when the schedule is clean).
+struct CellResult {
+  SweepCell cell;
+  PolicyScore score;
+  Time cmax = 0.0;            ///< raw makespan (argmin for best_for_cmax)
+  double sum_weighted = 0.0;  ///< raw Σ wᵢCᵢ (argmin for best_for_sum_wc)
+  double wall_ms = 0.0;
+  std::vector<std::string> violations;
+};
+
+struct SweepResult {
+  /// One entry per cell, in grid order (seed-major, then machine size,
+  /// application class, policy) — independent of thread interleaving.
+  std::vector<CellResult> cells;
+  double wall_ms = 0.0;
+  int threads_used = 1;
+  std::size_t violation_count = 0;
+};
+
+/// Expand the grid into cells, in the deterministic grid order the
+/// result vector uses.
+std::vector<SweepCell> expand_cells(const SweepSpec& spec);
+
+/// Run fn(i) for every i in [0, n) on a pool of `threads` std::threads
+/// (0 = hardware_concurrency, clamped to n).  Work is handed out by an
+/// atomic counter; callers write results into slot i, so output order
+/// never depends on scheduling.  The first exception thrown by fn is
+/// rethrown on the calling thread after the pool joins.
+void parallel_for_index(std::size_t n, int threads,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Evaluate one cell: generate the workload from the cell's coordinates,
+/// run the policy, validate, score.  Pure in (spec, cell).
+CellResult evaluate_cell(const SweepSpec& spec, const SweepCell& cell);
+
+/// Run the whole grid on the thread pool.
+SweepResult run_sweep(const SweepSpec& spec);
+
+/// Assemble the recommendation rows for one (machines, seed) replicate
+/// from a sweep result — same scores and argmin tie-breaking as the
+/// serial oracle, so the two are comparable field-for-field.
+std::vector<MatrixRow> matrix_from_sweep(const SweepSpec& spec,
+                                         const SweepResult& result,
+                                         int machines, std::uint64_t seed);
+
+}  // namespace lgs

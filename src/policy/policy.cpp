@@ -169,8 +169,8 @@ JobSet make_application_workload(ApplicationClass app, int jobs, int m,
   throw std::logic_error("unknown application class");
 }
 
-std::vector<MatrixRow> evaluate_policy_matrix(int m, int jobs_per_class,
-                                              std::uint64_t seed) {
+std::vector<MatrixRow> evaluate_policy_matrix_serial(int m, int jobs_per_class,
+                                                     std::uint64_t seed) {
   std::vector<MatrixRow> rows;
   for (ApplicationClass app : all_application_classes()) {
     MatrixRow row;

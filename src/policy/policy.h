@@ -71,8 +71,17 @@ JobSet make_application_workload(ApplicationClass app, int jobs, int m,
                                  std::uint64_t seed);
 
 /// The full matrix: every class × every policy on an m-processor cluster.
+/// Cells run in parallel on the experiment engine (src/exp/sweep.h, where
+/// this is defined); the result is bit-identical to the serial oracle
+/// below at any thread count.
 std::vector<MatrixRow> evaluate_policy_matrix(int m, int jobs_per_class,
                                               std::uint64_t seed);
+
+/// Single-threaded reference implementation — the differential-test
+/// oracle the parallel engine is checked against (tests/test_sweep.cpp)
+/// and the timing baseline of bench/bench_policy_matrix.cpp.
+std::vector<MatrixRow> evaluate_policy_matrix_serial(int m, int jobs_per_class,
+                                                     std::uint64_t seed);
 
 /// The paper's qualitative guidance (§2): which *model* fits which
 /// application — rendered as text for the bench output.

@@ -14,14 +14,23 @@ EventId Simulator::at(Time t, Callback cb, int priority) {
 
 void Simulator::run(Time horizon) {
   while (!queue_.empty()) {
-    Ev ev = queue_.top();
-    if (ev.t > horizon) break;
+    if (queue_.top().t > horizon) break;
+    // Move the event out instead of copying: the std::function callback
+    // may own an arbitrarily large capture, and top() is the only
+    // remaining reference to it once we pop.  priority_queue only
+    // exposes a const ref, but mutating the element is safe here
+    // because pop() runs before any further heap access.
+    Ev ev = std::move(const_cast<Ev&>(queue_.top()));
     queue_.pop();
     if (cancelled_.erase(ev.id) > 0) continue;
     now_ = ev.t;
     ++executed_;
     ev.cb();
   }
+  // A drained queue means every surviving cancellation targets an event
+  // that already fired (or never existed): flush them so cancel-after-
+  // fire cannot grow the set across run() calls.
+  if (queue_.empty()) cancelled_.clear();
   if (now_ < horizon && horizon != kTimeInfinity) now_ = horizon;
 }
 

@@ -44,6 +44,13 @@ class Simulator {
   /// Number of events executed so far (for the micro bench).
   std::uint64_t executed() const { return executed_; }
 
+  /// Cancellations not yet matched against a popped event.  Bounded:
+  /// ids are erased when their event pops, and the set is flushed
+  /// whenever the queue drains (any survivors reference fired or
+  /// never-existing events) — so repeated cancel/run cycles cannot
+  /// grow it without bound.
+  std::size_t pending_cancellations() const { return cancelled_.size(); }
+
  private:
   struct Ev {
     Time t;

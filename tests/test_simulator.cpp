@@ -55,6 +55,67 @@ TEST(Simulator, CancelAfterFireIsNoop) {
   sim.run();
   sim.cancel(id);  // must not crash or corrupt
   EXPECT_TRUE(fired);
+  // The stale cancellation must not suppress later events either.
+  bool later = false;
+  sim.at(2.0, [&] { later = true; });
+  sim.run();
+  EXPECT_TRUE(later);
+}
+
+TEST(Simulator, CancelledIdsErasedWhenPopped) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(sim.at(static_cast<Time>(i),
+                         [] { FAIL() << "cancelled event fired"; }));
+  for (EventId id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.pending_cancellations(), 100u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 0u);
+  EXPECT_EQ(sim.pending_cancellations(), 0u) << "cancelled_ leaked";
+}
+
+TEST(Simulator, StaleCancellationsDoNotAccumulateAcrossRuns) {
+  // Cancelling already-fired events over and over (a natural pattern in
+  // the online-cluster engine: kill the completion event of a job that
+  // may have completed) must not grow internal state without bound.
+  Simulator sim;
+  for (int round = 0; round < 50; ++round) {
+    const EventId id = sim.after(1.0, [] {});
+    sim.run();
+    sim.cancel(id);  // already fired: a no-op...
+    sim.run();       // ...flushed once the queue drains
+    EXPECT_EQ(sim.pending_cancellations(), 0u) << "round " << round;
+  }
+}
+
+TEST(Simulator, CancellationSurvivesHorizonPause) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(10.0, [&] { fired = true; });
+  sim.at(1.0, [] {});
+  sim.cancel(id);
+  sim.run(5.0);  // queue still holds the cancelled event...
+  EXPECT_EQ(sim.pending_cancellations(), 1u);
+  sim.run();  // ...which must stay cancelled when the run resumes
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_cancellations(), 0u);
+}
+
+TEST(Simulator, CancelPreservesEqualTimePriorityOrdering) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] { order.push_back(0); }, /*priority=*/5);
+  const EventId mid = sim.at(1.0, [&] { order.push_back(1); },
+                             /*priority=*/0);
+  sim.at(1.0, [&] { order.push_back(2); }, /*priority=*/-3);
+  sim.at(1.0, [&] { order.push_back(3); }, /*priority=*/5);
+  sim.cancel(mid);
+  sim.run();
+  // Priority order (-3, then 5s by insertion) unchanged by the erased
+  // middle event.
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 3}));
+  EXPECT_EQ(sim.executed(), 3u);
 }
 
 TEST(Simulator, HorizonStopsEarly) {

@@ -1,0 +1,219 @@
+// Tests for the parallel experiment engine (exp/sweep.h): the
+// determinism-proving harness.  The engine's contract is *bit-identical*
+// results regardless of thread count or scheduling order, checked here
+// differentially against the serial oracle and across 1/2/N threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "exp/report_sink.h"
+#include "exp/sweep.h"
+
+namespace lgs {
+namespace {
+
+// Exact (bitwise) equality of scores: the engine promises determinism,
+// not approximate agreement — EXPECT_EQ on doubles is deliberate.
+void expect_scores_identical(const PolicyScore& a, const PolicyScore& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.cmax_ratio, b.cmax_ratio);
+  EXPECT_EQ(a.sum_wc_ratio, b.sum_wc_ratio);
+  EXPECT_EQ(a.mean_flow, b.mean_flow);
+  EXPECT_EQ(a.max_flow, b.max_flow);
+  EXPECT_EQ(a.utilization, b.utilization);
+}
+
+void expect_matrices_identical(const std::vector<MatrixRow>& a,
+                               const std::vector<MatrixRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r].app, b[r].app);
+    EXPECT_EQ(a[r].best_for_cmax, b[r].best_for_cmax);
+    EXPECT_EQ(a[r].best_for_sum_wc, b[r].best_for_sum_wc);
+    EXPECT_EQ(a[r].best_for_max_flow, b[r].best_for_max_flow);
+    ASSERT_EQ(a[r].scores.size(), b[r].scores.size());
+    for (std::size_t p = 0; p < a[r].scores.size(); ++p)
+      expect_scores_identical(a[r].scores[p], b[r].scores[p]);
+  }
+}
+
+TEST(Sweep, ParallelMatrixBitIdenticalToSerialOracle) {
+  const int m = 16;
+  const int jobs = 30;
+  const std::uint64_t seed = 7;
+  const auto oracle = evaluate_policy_matrix_serial(m, jobs, seed);
+  const auto engine = evaluate_policy_matrix(m, jobs, seed);
+  expect_matrices_identical(oracle, engine);
+}
+
+TEST(Sweep, BitIdenticalAcrossOneTwoAndNThreads) {
+  SweepSpec spec;
+  spec.machine_sizes = {8, 16};
+  spec.seeds = {3, 11};
+  spec.jobs_per_class = 20;
+
+  std::vector<SweepResult> runs;
+  for (int threads : {1, 2, 0}) {  // 0 = hardware_concurrency
+    spec.threads = threads;
+    runs.push_back(run_sweep(spec));
+  }
+
+  ASSERT_EQ(runs[0].cells.size(), spec.cell_count());
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].cells.size(), runs[0].cells.size());
+    for (std::size_t i = 0; i < runs[0].cells.size(); ++i) {
+      const CellResult& a = runs[0].cells[i];
+      const CellResult& b = runs[r].cells[i];
+      EXPECT_EQ(a.cell.index, b.cell.index);
+      EXPECT_EQ(a.cell.policy, b.cell.policy);
+      EXPECT_EQ(a.cell.app, b.cell.app);
+      EXPECT_EQ(a.cell.seed, b.cell.seed);
+      EXPECT_EQ(a.cell.machines, b.cell.machines);
+      EXPECT_EQ(a.cmax, b.cmax);
+      EXPECT_EQ(a.sum_weighted, b.sum_weighted);
+      expect_scores_identical(a.score, b.score);
+      EXPECT_EQ(a.violations, b.violations);
+    }
+  }
+}
+
+TEST(Sweep, EveryCellScheduleValidates) {
+  SweepSpec spec;
+  spec.machine_sizes = {16};
+  spec.seeds = {5};
+  spec.jobs_per_class = 25;
+  const SweepResult result = run_sweep(spec);
+  EXPECT_EQ(result.violation_count, 0u);
+  for (const CellResult& c : result.cells)
+    EXPECT_TRUE(c.violations.empty())
+        << to_string(c.cell.policy) << " on " << to_string(c.cell.app);
+}
+
+TEST(Sweep, GridExpansionCoversEveryCoordinateOnce) {
+  SweepSpec spec;
+  spec.machine_sizes = {8, 32};
+  spec.seeds = {1, 2, 3};
+  const auto cells = expand_cells(spec);
+  ASSERT_EQ(cells.size(), spec.cell_count());
+  ASSERT_EQ(cells.size(),
+            spec.policies.size() * spec.apps.size() * 3u * 2u);
+  std::set<std::tuple<int, int, std::uint64_t, int>> seen;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    seen.insert({static_cast<int>(cells[i].policy),
+                 static_cast<int>(cells[i].app), cells[i].seed,
+                 cells[i].machines});
+  }
+  EXPECT_EQ(seen.size(), cells.size()) << "duplicate grid coordinates";
+}
+
+TEST(Sweep, DerivedCellSeedsAreStableAndDistinct) {
+  // Pinned values: the derivation is part of the reproducibility
+  // contract — changing it silently would invalidate archived reports.
+  EXPECT_EQ(derive_cell_seed(2004, 0), derive_cell_seed(2004, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    seen.insert(derive_cell_seed(2004, i));
+  EXPECT_EQ(seen.size(), 1000u) << "derived seeds collide";
+  EXPECT_NE(derive_cell_seed(1, 0), derive_cell_seed(2, 0));
+
+  SweepSpec derived;
+  derived.base_seed = 42;
+  derived.replicates = 3;
+  const auto seeds = derived.replicate_seeds();
+  ASSERT_EQ(seeds.size(), 3u);
+  for (int r = 0; r < 3; ++r)
+    EXPECT_EQ(seeds[static_cast<std::size_t>(r)],
+              derive_cell_seed(42, static_cast<std::uint64_t>(r)));
+}
+
+TEST(Sweep, ParallelForIndexVisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  for (auto& v : visits) v.store(0);
+  parallel_for_index(n, 4, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+
+  // Degenerate sizes.
+  parallel_for_index(0, 4, [&](std::size_t) { FAIL() << "n = 0 ran"; });
+  int single = 0;
+  parallel_for_index(1, 8, [&](std::size_t) { ++single; });
+  EXPECT_EQ(single, 1);
+}
+
+TEST(Sweep, ParallelForIndexPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_index(100, 4,
+                         [](std::size_t i) {
+                           if (i == 37) throw std::runtime_error("cell 37");
+                         }),
+      std::runtime_error);
+}
+
+TEST(Sweep, ReportJsonContainsCellsAndMatrix) {
+  SweepSpec spec;
+  spec.machine_sizes = {8};
+  spec.seeds = {9};
+  spec.jobs_per_class = 10;
+  const SweepResult result = run_sweep(spec);
+  const std::string json = sweep_report_json(spec, result);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.find("\"matrix\""), std::string::npos);
+  EXPECT_NE(json.find("\"violation_count\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"best_for_cmax\""), std::string::npos);
+  // One record per cell.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"cmax_ratio\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, spec.cell_count());
+}
+
+TEST(Sweep, ReportJsonIsDeterministic) {
+  SweepSpec spec;
+  spec.machine_sizes = {8};
+  spec.seeds = {13};
+  spec.jobs_per_class = 10;
+  spec.threads = 1;
+  std::string first = sweep_report_json(spec, run_sweep(spec));
+  spec.threads = 3;
+  std::string second = sweep_report_json(spec, run_sweep(spec));
+  // Timing and thread fields legitimately differ; scores must not.
+  // Compare the documents with wall_ms / threads lines stripped.
+  const auto strip = [](const std::string& doc) {
+    std::string out;
+    std::size_t start = 0;
+    while (start < doc.size()) {
+      std::size_t end = doc.find('\n', start);
+      if (end == std::string::npos) end = doc.size();
+      const std::string line = doc.substr(start, end - start);
+      if (line.find("wall_ms") == std::string::npos &&
+          line.find("threads") == std::string::npos)
+        out += line + "\n";
+      start = end + 1;
+    }
+    return out;
+  };
+  EXPECT_EQ(strip(first), strip(second));
+}
+
+TEST(Sweep, MatrixFromSweepRejectsUnknownReplicate) {
+  SweepSpec spec;
+  spec.machine_sizes = {8};
+  spec.seeds = {1};
+  spec.jobs_per_class = 5;
+  const SweepResult result = run_sweep(spec);
+  EXPECT_THROW(matrix_from_sweep(spec, result, 999, 1),
+               std::invalid_argument);
+  EXPECT_THROW(matrix_from_sweep(spec, result, 8, 999),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lgs

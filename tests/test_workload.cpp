@@ -128,6 +128,115 @@ TEST(Workload, CommunityNames) {
   EXPECT_STREQ(to_string(Community::kMedicalResearch), "medical-research");
 }
 
+// --- property / metamorphic tests -----------------------------------
+
+// Full-field equality, not just spot checks: two generators seeded
+// identically must agree on every observable of every job.
+void expect_jobsets_identical(const JobSet& a, const JobSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].release, b[i].release);
+    EXPECT_EQ(a[i].weight, b[i].weight);
+    EXPECT_EQ(a[i].due, b[i].due);
+    EXPECT_EQ(a[i].min_procs, b[i].min_procs);
+    EXPECT_EQ(a[i].max_procs, b[i].max_procs);
+    EXPECT_EQ(a[i].community, b[i].community);
+    for (int k = a[i].min_procs; k <= a[i].max_procs;
+         k = k < 4 ? k + 1 : k * 2)
+      EXPECT_EQ(a[i].model.time(k), b[i].model.time(k));
+  }
+}
+
+TEST(WorkloadProperty, SameSeedIdenticalJobSetAllGenerators) {
+  MoldableWorkloadSpec mspec;
+  mspec.count = 60;
+  mspec.arrival_window = 40.0;
+  mspec.w_min = 1.0;
+  mspec.w_max = 5.0;
+  mspec.sequential_fraction = 0.3;
+  {
+    Rng a(99), b(99);
+    expect_jobsets_identical(make_moldable_workload(mspec, a),
+                             make_moldable_workload(mspec, b));
+  }
+  RigidWorkloadSpec rspec;
+  rspec.count = 60;
+  rspec.arrival_window = 40.0;
+  {
+    Rng a(99), b(99);
+    expect_jobsets_identical(make_rigid_workload(rspec, a),
+                             make_rigid_workload(rspec, b));
+  }
+  for (Community c :
+       {Community::kNumericalPhysics, Community::kAstrophysics,
+        Community::kMedicalResearch, Community::kComputerScience}) {
+    Rng a(99), b(99);
+    expect_jobsets_identical(make_community_workload(c, 40, a, 0, 1.0, 25.0),
+                             make_community_workload(c, 40, b, 0, 1.0, 25.0));
+  }
+}
+
+TEST(WorkloadProperty, AppendRenumbersIdsContiguously) {
+  Rng rng(5);
+  MoldableWorkloadSpec spec;
+  spec.count = 10;
+  JobSet base = make_moldable_workload(spec, rng);
+  // Chain several appends: ids must stay one dense contiguous range.
+  for (int round = 0; round < 3; ++round) {
+    spec.count = 7 + round;
+    append_workload(base, make_moldable_workload(spec, rng));
+  }
+  ASSERT_EQ(base.size(), 10u + 7u + 8u + 9u);
+  for (std::size_t i = 0; i < base.size(); ++i)
+    EXPECT_EQ(base[i].id, static_cast<JobId>(i));
+}
+
+TEST(WorkloadProperty, AppendContinuesAfterSparseBaseIds) {
+  JobSet base = {Job::sequential(4, 1.0), Job::sequential(17, 1.0)};
+  append_workload(base, {Job::sequential(0, 2.0), Job::sequential(1, 2.0)});
+  ASSERT_EQ(base.size(), 4u);
+  EXPECT_EQ(base[2].id, 18u);  // max existing id + 1, ...
+  EXPECT_EQ(base[3].id, 19u);  // ... then contiguous
+}
+
+TEST(WorkloadProperty, TimeScaleScalesAllTimesProportionally) {
+  const double scale = 2.5;
+  for (Community c :
+       {Community::kNumericalPhysics, Community::kAstrophysics,
+        Community::kMedicalResearch, Community::kComputerScience}) {
+    Rng a(31), b(31);
+    const JobSet unit = make_community_workload(c, 40, a, 0, 1.0, 30.0);
+    const JobSet scaled = make_community_workload(c, 40, b, 0, scale, 30.0);
+    ASSERT_EQ(unit.size(), scaled.size());
+    for (std::size_t i = 0; i < unit.size(); ++i) {
+      // Only execution times scale; the shape of the workload (procs,
+      // releases, structure) is untouched.
+      EXPECT_DOUBLE_EQ(scaled[i].model.time(1), scale * unit[i].model.time(1))
+          << to_string(c) << " job " << i;
+      EXPECT_EQ(scaled[i].max_procs, unit[i].max_procs);
+      EXPECT_EQ(scaled[i].kind, unit[i].kind);
+      EXPECT_EQ(scaled[i].release, unit[i].release);
+    }
+  }
+}
+
+TEST(WorkloadProperty, SequentialFractionOneMakesEveryJobRigidOnOneProc) {
+  MoldableWorkloadSpec spec;
+  spec.count = 80;
+  spec.sequential_fraction = 1.0;
+  spec.arrival_window = 20.0;
+  Rng rng(12);
+  const JobSet jobs = make_moldable_workload(spec, rng);
+  ASSERT_EQ(jobs.size(), 80u);
+  for (const Job& j : jobs) {
+    EXPECT_EQ(j.kind, JobKind::kRigid);
+    EXPECT_EQ(j.min_procs, 1);
+    EXPECT_EQ(j.max_procs, 1);
+  }
+}
+
 TEST(Workload, NegativeCountsRejected) {
   MoldableWorkloadSpec spec;
   spec.count = -1;
