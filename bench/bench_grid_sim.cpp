@@ -1,0 +1,104 @@
+// E-GRID — the multi-cluster grid engine across its sweep axes: cluster
+// count × heterogeneity skew × routing policy.
+//
+// Every cell is one full GridSim run (local community workloads per
+// cluster, a best-effort campaign trickling into the holes, node
+// volatility) executed on the parallel experiment engine; every cell's
+// outcome passes validate_grid_result.  Exits non-zero on any violation
+// — the CI grid smoke job relies on that and uploads BENCH_grid.json.
+//
+// Usage: bench_grid_sim [--quick] [--threads N] [--seeds K] [--json PATH]
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/report.h"
+#include "exp/grid_sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace lgs;
+
+  bool quick = false;
+  int threads = 0;
+  int seeds = -1;  // -1 = not given on the command line
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_grid_sim [--quick] [--threads N] "
+                   "[--seeds K] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  GridSweepSpec spec;
+  spec.cluster_counts = quick ? std::vector<int>{2} : std::vector<int>{2, 4, 6};
+  spec.skews = quick ? std::vector<double>{1.0, 2.0}
+                     : std::vector<double>{1.0, 2.0, 4.0};
+  spec.base_seed = 2004;
+  spec.replicates = seeds >= 0 ? seeds : (quick ? 1 : 3);
+  spec.jobs_per_cluster = quick ? 20 : 40;
+  spec.besteffort_runs = quick ? 600 : 2500;
+  spec.volatility.events = 3;
+  spec.volatility.window = 30.0;
+  spec.threads = threads;
+
+  std::cout << "=== E-GRID: multi-cluster grid sweep ("
+            << spec.cluster_counts.size() << " cluster counts x "
+            << spec.skews.size() << " skews x " << spec.routings.size()
+            << " routings x " << spec.replicate_seeds().size()
+            << " seeds) ===\n\n";
+
+  const GridSweepResult result = run_grid_sweep(spec);
+  std::cout << spec.cell_count() << " cells on " << result.threads_used
+            << " threads in " << fmt(result.wall_ms, 1) << " ms\n\n";
+
+  // --seeds 0 is a legal (empty) sweep: nothing to tabulate.
+  const std::vector<std::uint64_t> seeds_used = spec.replicate_seeds();
+  const std::uint64_t first_seed = seeds_used.empty() ? 0 : seeds_used.front();
+  for (int n : seeds_used.empty() ? std::vector<int>{} : spec.cluster_counts) {
+    for (double skew : spec.skews) {
+      std::cout << "--- " << n << " clusters, skew " << fmt(skew, 1)
+                << " (seed " << first_seed << ") ---\n";
+      TextTable table({"routing", "mean flow", "mean wait", "global util",
+                       "migrations", "BE kills", "preempted"});
+      for (const GridCellResult& c : result.cells) {
+        if (c.cell.seed != first_seed || c.cell.clusters != n ||
+            c.cell.skew != skew)
+          continue;
+        table.add_row({to_string(c.cell.routing), fmt(c.mean_flow, 3),
+                       fmt(c.mean_wait, 3), fmt(c.global_utilization, 3),
+                       fmt(c.migrations), fmt(c.be_kills),
+                       fmt(c.local_preemptions)});
+      }
+      std::cout << table.to_string() << "\n";
+    }
+  }
+
+  if (!json_path.empty()) {
+    write_grid_report(json_path, spec, result);
+    std::cerr << "wrote " << json_path << "\n";
+  }
+
+  if (result.violation_count > 0) {
+    std::cerr << "VALIDATION FAILURES: " << result.violation_count
+              << " violation(s) across the grid sweep\n";
+    for (const GridCellResult& c : result.cells)
+      for (const std::string& v : c.violations)
+        std::cerr << "  " << to_string(c.cell.routing) << " on "
+                  << c.cell.clusters << " clusters (skew "
+                  << fmt(c.cell.skew, 1) << ", seed " << c.cell.seed
+                  << "): " << v << "\n";
+    return 1;
+  }
+  std::cout << "all " << spec.cell_count()
+            << " grid cells passed validate_grid_result()\n";
+  return 0;
+}

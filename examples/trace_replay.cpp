@@ -1,7 +1,8 @@
 // Example: replay a Standard Workload Format trace through the paper's
-// schedulers and export the result as SWF + SVG.
+// schedulers — offline on one cluster, then online across a whole light
+// grid (sim/grid_sim) with the trace split by community.
 //
-//   $ ./trace_replay [trace.swf] [machines]
+//   $ ./example_trace_replay [trace.swf] [machines]
 //
 // Without arguments a small synthetic trace is generated, so the example
 // runs self-contained; point it at any Parallel Workloads Archive trace
@@ -17,6 +18,7 @@
 #include "criteria/metrics.h"
 #include "pt/backfill.h"
 #include "pt/rigid_list.h"
+#include "sim/grid_sim.h"
 #include "workload/generators.h"
 #include "workload/swf.h"
 
@@ -25,12 +27,14 @@ int main(int argc, char** argv) {
 
   int m = argc > 2 ? std::atoi(argv[2]) : 64;
   JobSet jobs;
+  SwfParseStats stats;
   if (argc > 1) {
     SwfOptions opts;
     opts.max_jobs = 500;  // keep the replay snappy
-    jobs = load_swf_file(argv[1], opts);
+    jobs = load_swf_file(argv[1], opts, &stats);
     std::cout << "loaded " << jobs.size() << " jobs from " << argv[1]
-              << "\n";
+              << " (" << stats.dropped_invalid
+              << " invalid lines dropped)\n";
   } else {
     // Synthesize a trace, write it out, read it back — demonstrating the
     // round trip a real archive trace would take.
@@ -39,12 +43,17 @@ int main(int argc, char** argv) {
     spec.count = 200;
     spec.max_procs = 16;
     spec.arrival_window = 120.0;
-    const JobSet synthetic = make_rigid_workload(spec, rng);
+    JobSet synthetic = make_rigid_workload(spec, rng);
+    // Scatter the jobs over a few user communities so the grid replay
+    // below has something to split on.
+    for (Job& j : synthetic)
+      j.community = static_cast<int>(j.id % 4);
     const std::string path = "/tmp/lgs_synthetic.swf";
     write_file(path, to_swf(synthetic, nullptr, "synthetic lgs trace"));
-    jobs = load_swf_file(path);
+    jobs = load_swf_file(path, {}, &stats);
     std::cout << "synthesized " << jobs.size() << " jobs (round-tripped "
-              << "through " << path << ")\n";
+              << "through " << path << ", " << stats.dropped_invalid
+              << " dropped)\n";
   }
   for (const Job& j : jobs)
     if (j.min_procs > m) m = j.min_procs;  // widen for oversized trace jobs
@@ -67,9 +76,32 @@ int main(int argc, char** argv) {
         list_schedule_rigid(jobs, m, {ListOrder::kSubmission, true}));
   score("EASY backfilling", easy_backfill(jobs, m));
   score("conservative bf", conservative_backfill(jobs, m));
-  std::cout << "\nreplay on " << m << " processors (Cmax lower bound "
-            << fmt(lb, 1) << "):\n"
+  std::cout << "\noffline replay on " << m
+            << " processors (Cmax lower bound " << fmt(lb, 1) << "):\n"
             << table.to_string() << "\n";
+
+  // Online grid replay: split the trace across a 3-cluster heterogeneous
+  // grid by community (each user community keeps its home cluster) and
+  // compare the routing policies on the multi-cluster engine.
+  const LightGrid grid = make_skewed_grid(3, m, 2.0);
+  std::cout << "grid replay on " << grid.clusters.size()
+            << " clusters (skew 2.0, " << grid.total_processors()
+            << " processors total), trace split by community:\n";
+  TextTable gtable({"routing", "mean flow", "mean wait", "migrations",
+                    "global util"});
+  for (GridRouting r :
+       {GridRouting::kIsolated, GridRouting::kEconomic,
+        GridRouting::kGlobalPlan}) {
+    GridSimOptions opts;
+    opts.routing = r;
+    GridSim sim(grid, opts);
+    sim.submit_workloads(split_by_community(jobs, grid.clusters.size()));
+    const GridSimResult res = sim.run();
+    gtable.add_row({to_string(r), fmt(res.mean_flow, 2),
+                    fmt(res.mean_wait, 2), fmt(res.migrations),
+                    fmt(res.global_utilization, 3)});
+  }
+  std::cout << gtable.to_string() << "\n";
 
   // Export the conservative schedule for inspection.
   Schedule best = conservative_backfill(jobs, m);

@@ -11,6 +11,20 @@
 
 namespace lgs {
 
+/// Mix a base seed with a stream index into an independent seed
+/// (splitmix64 finalizer over the combined key).  Keyed purely on
+/// (base, index): derived streams never depend on the order they are
+/// created in, which is what makes parallel sweeps and multi-cluster
+/// simulations bit-identical at any thread count — see
+/// docs/ARCHITECTURE.md, "The determinism contract".
+inline std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + index * 0x9e3779b97f4a7c15ull;
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Thin deterministic wrapper over std::mt19937_64 with convenience draws.
 class Rng {
  public:

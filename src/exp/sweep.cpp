@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/rng.h"
 #include "core/validate.h"
 #include "criteria/lower_bounds.h"
 #include "criteria/metrics.h"
@@ -16,13 +17,10 @@ namespace lgs {
 
 std::uint64_t derive_cell_seed(std::uint64_t base_seed,
                                std::uint64_t cell_index) {
-  // splitmix64 finalizer over the combined key.  The golden-ratio stride
-  // separates consecutive indices before mixing.
-  std::uint64_t z = base_seed + cell_index * 0x9e3779b97f4a7c15ull;
-  z += 0x9e3779b97f4a7c15ull;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+  // The shared splitmix64 mixer (core/rng.h) — also used by the grid
+  // engine for per-cluster workload and volatility streams, so every
+  // layer derives independent streams the same order-free way.
+  return mix_seed(base_seed, cell_index);
 }
 
 std::vector<std::uint64_t> SweepSpec::replicate_seeds() const {
@@ -51,14 +49,18 @@ std::vector<SweepCell> expand_cells(const SweepSpec& spec) {
   return cells;
 }
 
-void parallel_for_index(std::size_t n, int threads,
-                        const std::function<void(std::size_t)>& fn) {
+int resolved_worker_count(std::size_t n, int threads) {
   int workers = threads > 0
                     ? threads
                     : static_cast<int>(std::thread::hardware_concurrency());
   if (workers < 1) workers = 1;
-  workers = static_cast<int>(
+  return static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(workers), n));
+}
+
+void parallel_for_index(std::size_t n, int threads,
+                        const std::function<void(std::size_t)>& fn) {
+  const int workers = resolved_worker_count(n, threads);
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -168,13 +170,8 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
   SweepResult result;
   result.cells.resize(cells.size());
-  int workers = spec.threads > 0
-                    ? spec.threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  if (workers < 1) workers = 1;
-  result.threads_used = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(workers),
-                            std::max<std::size_t>(cells.size(), 1)));
+  result.threads_used = resolved_worker_count(
+      std::max<std::size_t>(cells.size(), 1), spec.threads);
 
   // Phase 1: one workload + lower-bound context per row, in parallel.
   // Grid order puts a row's cells at [r*per_row, (r+1)*per_row), so the

@@ -89,6 +89,12 @@ struct SweepResult {
 /// result vector uses.
 std::vector<SweepCell> expand_cells(const SweepSpec& spec);
 
+/// Workers a pool will actually use for `n` items: `threads` if
+/// positive, else hardware_concurrency, at least 1, clamped to n.
+/// Shared by parallel_for_index and the sweep engines' threads_used
+/// reporting, so the two can never drift apart.
+int resolved_worker_count(std::size_t n, int threads);
+
 /// Run fn(i) for every i in [0, n) on a pool of `threads` std::threads
 /// (0 = hardware_concurrency, clamped to n).  Work is handed out by an
 /// atomic counter; callers write results into slot i, so output order

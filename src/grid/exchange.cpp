@@ -1,9 +1,8 @@
 #include "grid/exchange.h"
 
 #include <algorithm>
-#include <map>
-#include <memory>
-#include <stdexcept>
+
+#include "sim/grid_sim.h"
 
 namespace lgs {
 
@@ -31,93 +30,73 @@ double bid(const OnlineCluster& c, const Job& j) {
 
 }  // namespace
 
+std::size_t exchange_target(
+    const std::vector<std::unique_ptr<OnlineCluster>>& clusters,
+    std::size_t home, const Job& j, const ExchangeOptions& opts) {
+  std::size_t target = home;
+  switch (opts.policy) {
+    case ExchangePolicy::kIsolated:
+      break;
+    case ExchangePolicy::kThreshold: {
+      const double home_wait = clusters[home]->expected_wait();
+      if (home_wait > opts.wait_threshold) {
+        double best = home_wait - opts.migration_penalty;
+        for (std::size_t c = 0; c < clusters.size(); ++c) {
+          if (c == home) continue;
+          if (j.min_procs > clusters[c]->processors()) continue;
+          const double w = clusters[c]->expected_wait();
+          if (w < best) {
+            best = w;
+            target = c;
+          }
+        }
+      }
+      break;
+    }
+    case ExchangePolicy::kEconomic: {
+      double best = bid(*clusters[home], j);
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        if (c == home) continue;
+        const double b = bid(*clusters[c], j);
+        if (b < best - kTimeEps) {
+          best = b;
+          target = c;
+        }
+      }
+      break;
+    }
+  }
+  return target;
+}
+
 ExchangeResult run_exchange(const LightGrid& grid,
                             const std::vector<JobSet>& workload_per_cluster,
                             const ExchangeOptions& opts) {
-  if (workload_per_cluster.size() > grid.clusters.size())
-    throw std::invalid_argument("more workloads than clusters");
+  GridSimOptions gopts;
+  switch (opts.policy) {
+    case ExchangePolicy::kIsolated:
+      gopts.routing = GridRouting::kIsolated;
+      break;
+    case ExchangePolicy::kThreshold:
+      gopts.routing = GridRouting::kThreshold;
+      break;
+    case ExchangePolicy::kEconomic:
+      gopts.routing = GridRouting::kEconomic;
+      break;
+  }
+  gopts.wait_threshold = opts.wait_threshold;
+  gopts.migration_penalty = opts.migration_penalty;
 
-  Simulator sim;
-  std::vector<std::unique_ptr<OnlineCluster>> clusters;
-  for (const Cluster& c : grid.clusters)
-    clusters.push_back(std::make_unique<OnlineCluster>(sim, c));
+  GridSim sim(grid, gopts);
+  sim.submit_workloads(workload_per_cluster);
+  const GridSimResult r = sim.run();
 
   ExchangeResult res;
-
-  // Route each job at its release date.
-  for (std::size_t home = 0; home < workload_per_cluster.size(); ++home) {
-    for (const Job& job : workload_per_cluster[home]) {
-      sim.at(job.release, [&, home, job] {
-        Job j = job;
-        j.release = 0.0;  // submit_local runs at the release instant
-        std::size_t target = home;
-        switch (opts.policy) {
-          case ExchangePolicy::kIsolated:
-            break;
-          case ExchangePolicy::kThreshold: {
-            const double home_wait = clusters[home]->expected_wait();
-            if (home_wait > opts.wait_threshold) {
-              double best = home_wait - opts.migration_penalty;
-              for (std::size_t c = 0; c < clusters.size(); ++c) {
-                if (c == home) continue;
-                if (j.min_procs > clusters[c]->processors()) continue;
-                const double w = clusters[c]->expected_wait();
-                if (w < best) {
-                  best = w;
-                  target = c;
-                }
-              }
-            }
-            break;
-          }
-          case ExchangePolicy::kEconomic: {
-            double best = bid(*clusters[home], j);
-            for (std::size_t c = 0; c < clusters.size(); ++c) {
-              if (c == home) continue;
-              const double b = bid(*clusters[c], j);
-              if (b < best - kTimeEps) {
-                best = b;
-                target = c;
-              }
-            }
-            break;
-          }
-        }
-        if (target != home) ++res.migrations;
-        clusters[target]->submit_local(j);
-      });
-    }
-  }
-  sim.run();
-
-  res.horizon = sim.now();
-  double busy = 0.0;
-  double capacity = 0.0;
-  std::map<int, CommunityOutcome> by_community;
-  double flow_sum = 0.0;
-  long jobs_total = 0;
-  for (const auto& c : clusters) {
-    busy += c->busy_integral();
-    capacity += static_cast<double>(c->processors()) * res.horizon;
-    for (const LocalJobRecord& r : c->local_records()) {
-      CommunityOutcome& out = by_community[r.community];
-      out.community = r.community;
-      ++out.jobs;
-      out.mean_wait += r.wait();
-      out.mean_slowdown += r.slowdown();
-      out.mean_flow += r.flow();
-      flow_sum += r.flow();
-      ++jobs_total;
-    }
-  }
-  for (auto& [id, out] : by_community) {
-    out.mean_wait /= std::max(1, out.jobs);
-    out.mean_slowdown /= std::max(1, out.jobs);
-    out.mean_flow /= std::max(1, out.jobs);
-    res.communities.push_back(out);
-  }
-  res.global_utilization = capacity > 0 ? busy / capacity : 0.0;
-  res.mean_flow = jobs_total > 0 ? flow_sum / jobs_total : 0.0;
+  res.horizon = r.horizon;
+  res.global_utilization = r.global_utilization;
+  res.migrations = r.migrations;
+  res.communities = r.communities;
+  res.mean_flow = r.mean_flow;
   return res;
 }
 

@@ -13,6 +13,7 @@
 //                     the cheapest bidder (each job optimizes for itself).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/job.h"
@@ -52,8 +53,17 @@ struct ExchangeResult {
   double mean_flow = 0.0;
 };
 
-/// Simulate the grid under the given policy.  `home_of[i]` gives the home
-/// cluster index of workload `workloads[i]`; jobs carry their community.
+/// The routing decision itself, shared by run_exchange and the
+/// multi-cluster engine (sim/grid_sim): the cluster index that `j` —
+/// arriving now at `home` — should be submitted to under `opts.policy`.
+/// Pure in the clusters' current load signals (expected_wait).
+std::size_t exchange_target(
+    const std::vector<std::unique_ptr<OnlineCluster>>& clusters,
+    std::size_t home, const Job& j, const ExchangeOptions& opts);
+
+/// Simulate the grid under the given policy: workload `i` is the local
+/// workload of cluster `i`; jobs carry their community.  A thin wrapper
+/// over sim/grid_sim's GridSim (no best-effort layer, no volatility).
 ExchangeResult run_exchange(const LightGrid& grid,
                             const std::vector<JobSet>& workload_per_cluster,
                             const ExchangeOptions& opts = {});

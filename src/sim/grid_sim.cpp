@@ -1,0 +1,320 @@
+#include "sim/grid_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/rng.h"
+#include "grid/global.h"
+
+namespace lgs {
+
+const char* to_string(GridRouting r) {
+  switch (r) {
+    case GridRouting::kIsolated:
+      return "isolated";
+    case GridRouting::kThreshold:
+      return "threshold";
+    case GridRouting::kEconomic:
+      return "economic";
+    case GridRouting::kGlobalPlan:
+      return "global-plan";
+  }
+  return "?";
+}
+
+ExchangePolicy to_exchange_policy(GridRouting r) {
+  switch (r) {
+    case GridRouting::kIsolated:
+      return ExchangePolicy::kIsolated;
+    case GridRouting::kThreshold:
+      return ExchangePolicy::kThreshold;
+    case GridRouting::kEconomic:
+      return ExchangePolicy::kEconomic;
+    case GridRouting::kGlobalPlan:
+      break;
+  }
+  throw std::invalid_argument("global-plan has no exchange policy");
+}
+
+LightGrid make_skewed_grid(int n, int base_procs, double skew) {
+  if (n < 1) throw std::invalid_argument("grid needs at least one cluster");
+  if (base_procs < 1) throw std::invalid_argument("base_procs must be >= 1");
+  if (skew < 1.0) throw std::invalid_argument("skew must be >= 1");
+  static const Interconnect kNets[] = {Interconnect::kMyrinet,
+                                       Interconnect::kGigabitEthernet,
+                                       Interconnect::kFastEthernet};
+  LightGrid g;
+  g.name = "skewed-" + std::to_string(n) + "x" + std::to_string(base_procs);
+  for (int i = 0; i < n; ++i) {
+    const double frac = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+    Cluster c;
+    c.id = static_cast<ClusterId>(i);
+    c.name = "cluster-" + std::to_string(i);
+    c.nodes = std::max(
+        1, static_cast<int>(std::lround(base_procs * std::pow(skew, -frac))));
+    c.cpus_per_node = 1;
+    c.speed = std::pow(skew, frac / 2.0);
+    c.net = kNets[i % 3];
+    c.owner_community = i % 4;
+    g.clusters.push_back(std::move(c));
+  }
+  return g;
+}
+
+std::vector<JobSet> split_by_community(const JobSet& jobs, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("cannot split across 0 clusters");
+  std::vector<JobSet> out(n);
+  for (const Job& j : jobs) {
+    const std::size_t home =
+        static_cast<std::size_t>(j.community < 0 ? 0 : j.community) % n;
+    out[home].push_back(j);
+  }
+  return out;
+}
+
+GridSim::GridSim(const LightGrid& grid, const GridSimOptions& opts)
+    : grid_(grid), opts_(opts) {
+  if (grid_.clusters.empty())
+    throw std::invalid_argument("grid without clusters");
+  for (const Cluster& c : grid_.clusters)
+    clusters_.push_back(std::make_unique<OnlineCluster>(sim_, c, opts_.cluster));
+  if (!opts_.bags.empty()) {
+    server_ = std::make_unique<CentralServer>(opts_.bags);
+    for (auto& c : clusters_)
+      c->set_besteffort_source(server_->make_source());
+  }
+}
+
+void GridSim::submit(std::size_t home, const Job& j) {
+  if (ran_) throw std::logic_error("submit after run()");
+  if (home >= clusters_.size())
+    throw std::invalid_argument("home cluster out of range");
+  pending_.push_back(Pending{home, j});
+}
+
+void GridSim::submit_workloads(const std::vector<JobSet>& per_cluster) {
+  if (per_cluster.size() > clusters_.size())
+    throw std::invalid_argument("more workloads than clusters");
+  for (std::size_t i = 0; i < per_cluster.size(); ++i)
+    for (const Job& j : per_cluster[i]) submit(i, j);
+}
+
+std::size_t GridSim::fallback_target(std::size_t target, const Job& j) const {
+  if (j.min_procs <= clusters_[target]->processors()) return target;
+  for (std::size_t c = 0; c < clusters_.size(); ++c)
+    if (j.min_procs <= clusters_[c]->processors()) return c;
+  throw std::invalid_argument("job wider than every cluster in the grid");
+}
+
+void GridSim::schedule_volatility() {
+  const VolatilityProfile& vol = opts_.volatility;
+  if (vol.events <= 0 || vol.window <= 0.0) return;
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    // One independent stream per cluster, keyed on the cluster index —
+    // adding a cluster never perturbs the churn of the others.
+    Rng rng(mix_seed(opts_.volatility_seed, c));
+    OnlineCluster* cl = clusters_[c].get();
+    const int total = cl->processors();
+    const int floor =
+        std::max(1, static_cast<int>(std::ceil(vol.floor_fraction * total)));
+    struct Outage {
+      Time down, up;
+      int cap;
+    };
+    std::vector<Outage> outages;
+    outages.reserve(static_cast<std::size_t>(vol.events));
+    std::vector<Time> boundaries;
+    for (int e = 0; e < vol.events; ++e) {
+      Outage o;
+      o.down = rng.uniform(0.0, vol.window);
+      o.cap =
+          static_cast<int>(rng.uniform_int(std::min(floor, total), total));
+      o.up = o.down + rng.uniform(vol.outage_min, vol.outage_max);
+      boundaries.push_back(o.down);
+      boundaries.push_back(o.up);
+      outages.push_back(o);
+    }
+    // Outages may overlap; the usable capacity at any instant is the
+    // minimum over the active ones (a restore must not cancel another
+    // outage still in progress).  Walk the boundary times and emit one
+    // set_capacity per actual level change.
+    std::sort(boundaries.begin(), boundaries.end());
+    int prev = total;
+    for (const Time t : boundaries) {
+      int cap = total;
+      for (const Outage& o : outages)
+        if (o.down <= t && t < o.up) cap = std::min(cap, o.cap);
+      if (cap == prev) continue;
+      prev = cap;
+      sim_.at(t, [cl, cap] { cl->set_capacity(cap); });
+    }
+  }
+}
+
+void GridSim::route(std::size_t pending_index) {
+  const Pending& p = pending_[pending_index];
+  Job j = p.job;
+  j.release = 0.0;  // routing runs at the release instant
+  std::size_t target = p.home;
+  switch (opts_.routing) {
+    case GridRouting::kIsolated:
+      break;
+    case GridRouting::kThreshold:
+    case GridRouting::kEconomic: {
+      ExchangeOptions ex;
+      ex.policy = to_exchange_policy(opts_.routing);
+      ex.wait_threshold = opts_.wait_threshold;
+      ex.migration_penalty = opts_.migration_penalty;
+      target = exchange_target(clusters_, p.home, j, ex);
+      break;
+    }
+    case GridRouting::kGlobalPlan:
+      target = plan_[pending_index];
+      break;
+  }
+  target = fallback_target(target, j);
+  if (target != p.home) ++migrations_;
+  clusters_[target]->submit_local(j);
+}
+
+GridSimResult GridSim::run(Time horizon) {
+  if (ran_) throw std::logic_error("run() called twice");
+  ran_ = true;
+
+  // Omniscient baseline: place every submission with the heterogeneous
+  // ECT list scheduler of grid/global, then follow that plan online.
+  if (opts_.routing == GridRouting::kGlobalPlan) {
+    JobSet combined;
+    combined.reserve(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      Job j = pending_[i].job;
+      j.id = static_cast<JobId>(i);  // plan ids = pending indices
+      combined.push_back(std::move(j));
+    }
+    const GlobalSchedule plan = global_ect_schedule(grid_, combined);
+    std::map<ClusterId, std::size_t> index_of;
+    for (std::size_t c = 0; c < grid_.clusters.size(); ++c)
+      index_of[grid_.clusters[c].id] = c;
+    plan_.resize(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const GlobalAssignment* a = plan.find(static_cast<JobId>(i));
+      plan_[i] = a != nullptr ? index_of.at(a->cluster) : pending_[i].home;
+    }
+  }
+
+  for (std::size_t i = 0; i < pending_.size(); ++i)
+    sim_.at(std::max(0.0, pending_[i].job.release), [this, i] { route(i); });
+  schedule_volatility();
+  sim_.run(horizon);
+
+  GridSimResult res;
+  res.horizon = sim_.now();
+  res.migrations = migrations_;
+  if (server_ != nullptr) {
+    res.grid_runs_total = server_->total_runs();
+    res.grid_runs_completed = server_->completed();
+    res.grid_resubmissions = server_->resubmissions();
+  }
+
+  double busy = 0.0, capacity = 0.0;
+  double flow_sum = 0.0, wait_sum = 0.0, slow_sum = 0.0;
+  long jobs_total = 0;
+  std::map<int, CommunityOutcome> by_community;
+  for (const auto& c : clusters_) {
+    GridClusterOutcome out;
+    out.id = c->id();
+    out.processors = c->processors();
+    out.local_jobs = static_cast<long>(c->local_records().size());
+    out.be = c->besteffort_stats();
+    out.volatility = c->volatility_stats();
+    double wait = 0.0, slow = 0.0;
+    for (const LocalJobRecord& r : c->local_records()) {
+      wait += r.wait();
+      slow += r.slowdown();
+      CommunityOutcome& com = by_community[r.community];
+      com.community = r.community;
+      ++com.jobs;
+      com.mean_wait += r.wait();
+      com.mean_slowdown += r.slowdown();
+      com.mean_flow += r.flow();
+      flow_sum += r.flow();
+      wait_sum += r.wait();
+      slow_sum += r.slowdown();
+      ++jobs_total;
+    }
+    const double n = std::max<double>(1.0, out.local_jobs);
+    out.local_mean_wait = wait / n;
+    out.local_mean_slowdown = slow / n;
+    const double denom = c->processors() * std::max(res.horizon, kTimeEps);
+    out.utilization_local = c->local_busy_integral() / denom;
+    out.utilization_total = c->busy_integral() / denom;
+    busy += c->busy_integral();
+    capacity += static_cast<double>(c->processors()) * res.horizon;
+    res.clusters.push_back(std::move(out));
+  }
+  for (auto& [id, com] : by_community) {
+    com.mean_wait /= std::max(1, com.jobs);
+    com.mean_slowdown /= std::max(1, com.jobs);
+    com.mean_flow /= std::max(1, com.jobs);
+    res.communities.push_back(com);
+  }
+  res.jobs_completed = jobs_total;
+  res.global_utilization = capacity > 0 ? busy / capacity : 0.0;
+  res.mean_flow = jobs_total > 0 ? flow_sum / jobs_total : 0.0;
+  res.mean_wait = jobs_total > 0 ? wait_sum / jobs_total : 0.0;
+  res.mean_slowdown = jobs_total > 0 ? slow_sum / jobs_total : 0.0;
+  return res;
+}
+
+std::vector<std::string> validate_grid_result(const GridSim& sim,
+                                              const GridSimResult& result) {
+  std::vector<std::string> violations;
+  const auto flag = [&](const std::string& what) {
+    violations.push_back(what);
+  };
+  long records_total = 0;
+  for (std::size_t i = 0; i < sim.cluster_count(); ++i) {
+    const OnlineCluster& c = sim.cluster(i);
+    const std::string tag = "cluster " + std::to_string(i) + ": ";
+    if (c.queued_jobs() != 0)
+      flag(tag + std::to_string(c.queued_jobs()) + " jobs still queued");
+    if (c.running_local_jobs() != 0)
+      flag(tag + std::to_string(c.running_local_jobs()) +
+           " local jobs still running");
+    if (c.running_besteffort_jobs() != 0)
+      flag(tag + std::to_string(c.running_besteffort_jobs()) +
+           " best-effort runs still running");
+    for (const LocalJobRecord& r : c.local_records()) {
+      if (r.start + kTimeEps < r.submit)
+        flag(tag + "job " + std::to_string(r.id) + " started before submit");
+      if (r.finish + kTimeEps < r.start)
+        flag(tag + "job " + std::to_string(r.id) + " finished before start");
+      if (r.finish > result.horizon + kTimeEps)
+        flag(tag + "job " + std::to_string(r.id) + " finished past horizon");
+    }
+    records_total += static_cast<long>(c.local_records().size());
+    const BestEffortStats& be = c.besteffort_stats();
+    if (be.started != be.completed + be.killed)
+      flag(tag + "best-effort accounting leak (started != done + killed)");
+  }
+  for (const GridClusterOutcome& out : result.clusters) {
+    if (out.utilization_total > 1.0 + 1e-6)
+      flag("cluster " + std::to_string(out.id) + ": utilization " +
+           std::to_string(out.utilization_total) + " > 1");
+    if (out.utilization_local > out.utilization_total + 1e-6)
+      flag("cluster " + std::to_string(out.id) +
+           ": local utilization above total");
+  }
+  if (records_total != result.jobs_completed)
+    flag("record count does not match jobs_completed");
+  if (result.grid_runs_completed != result.grid_runs_total)
+    flag("grid campaign incomplete: " +
+         std::to_string(result.grid_runs_completed) + "/" +
+         std::to_string(result.grid_runs_total) + " runs");
+  return violations;
+}
+
+}  // namespace lgs

@@ -1,0 +1,172 @@
+// Multi-cluster grid simulation engine (§5, the paper's headline
+// scenario).
+//
+// Instantiates N `OnlineCluster`s on ONE shared DES `Simulator` and runs
+// the whole light grid online: local jobs arrive at their home cluster
+// and are routed by a grid policy (grid/exchange for the decentralized
+// protocols, grid/global for the omniscient plan), while killable
+// best-effort runs from a central server (grid/besteffort) fill the idle
+// holes — a kill notifies the source so the run is resubmitted
+// (§1.2/§5.2).  Heterogeneous cluster sizes/speeds and per-cluster node
+// volatility are first-class: `make_skewed_grid` builds geometric
+// size/speed ladders for the sweep axes in exp/grid_sweep, and
+// `VolatilityProfile` drives capacity churn from an order-free seeded
+// stream (core/rng.h `mix_seed`), so a whole grid simulation is a pure
+// function of its inputs — the determinism contract of
+// docs/ARCHITECTURE.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/job.h"
+#include "grid/besteffort.h"
+#include "grid/exchange.h"
+#include "platform/platform.h"
+#include "sim/online_cluster.h"
+#include "sim/simulator.h"
+#include "workload/generators.h"
+
+namespace lgs {
+
+/// How an arriving local job is routed to a cluster (the §5.2 exchange
+/// alternatives plus the "big global optimization" baseline).
+enum class GridRouting {
+  kIsolated,    ///< stay at the home cluster (fairness baseline)
+  kThreshold,   ///< migrate when the home queue is over a wait threshold
+  kEconomic,    ///< every cluster bids its expected completion time
+  kGlobalPlan,  ///< omniscient ECT plan over all submissions (grid/global)
+};
+
+const char* to_string(GridRouting r);
+
+/// The three decentralized routings map onto grid/exchange policies;
+/// kGlobalPlan has no exchange equivalent (throws std::invalid_argument).
+ExchangePolicy to_exchange_policy(GridRouting r);
+
+/// Node-volatility scenario applied to every cluster (§1: "some nodes can
+/// appear or disappear").  Each cluster draws its own event stream from
+/// `mix_seed(volatility_seed, cluster_index)`: `events` capacity drops at
+/// uniform times in [0, window], each to a uniform level not below
+/// `floor_fraction` of the cluster, restored after a uniform outage in
+/// [outage_min, outage_max].  Overlapping outages compose: the usable
+/// capacity at any instant is the minimum over the active ones, so a
+/// restore never cancels another outage still in progress.
+struct VolatilityProfile {
+  int events = 0;  ///< 0 = no churn
+  Time window = 0.0;
+  double floor_fraction = 0.5;
+  Time outage_min = 0.5;
+  Time outage_max = 3.0;
+};
+
+struct GridSimOptions {
+  GridRouting routing = GridRouting::kIsolated;
+  /// kThreshold parameters (see ExchangeOptions).
+  double wait_threshold = 10.0;
+  double migration_penalty = 1.0;
+  /// Per-cluster submission system (EASY backfilling, kill policy).
+  OnlineCluster::Options cluster;
+  /// Grid campaigns served best-effort by a central server (empty = no
+  /// best-effort layer).
+  std::vector<ParametricBag> bags;
+  /// Capacity churn, applied per cluster with independent seeded streams.
+  VolatilityProfile volatility;
+  std::uint64_t volatility_seed = 0;
+};
+
+/// Per-cluster outcome of one grid simulation.
+struct GridClusterOutcome {
+  ClusterId id = 0;
+  int processors = 0;
+  long local_jobs = 0;
+  double local_mean_wait = 0.0;
+  double local_mean_slowdown = 0.0;
+  double utilization_local = 0.0;  ///< local work only
+  double utilization_total = 0.0;  ///< local + best-effort
+  BestEffortStats be;
+  VolatilityStats volatility;
+};
+
+struct GridSimResult {
+  Time horizon = 0.0;
+  long jobs_completed = 0;
+  long migrations = 0;  ///< jobs routed away from their home cluster
+  double global_utilization = 0.0;
+  double mean_flow = 0.0;
+  double mean_wait = 0.0;
+  double mean_slowdown = 0.0;
+  std::vector<CommunityOutcome> communities;
+  std::vector<GridClusterOutcome> clusters;
+  long grid_runs_total = 0;
+  long grid_runs_completed = 0;
+  long grid_resubmissions = 0;
+};
+
+/// The engine.  Usage: construct, `submit` / `submit_workloads`, `run()`
+/// once; the clusters stay inspectable afterwards (local records, stats).
+class GridSim {
+ public:
+  GridSim(const LightGrid& grid, const GridSimOptions& opts);
+
+  /// Register `j` with home cluster index `home`.  Routing happens at
+  /// j.release simulated time, inside `run()`.
+  void submit(std::size_t home, const Job& j);
+
+  /// Register `per_cluster[i]` as the local workload of cluster i.
+  void submit_workloads(const std::vector<JobSet>& per_cluster);
+
+  /// Route every submission, drive the event queue until it drains (or
+  /// `horizon`), and aggregate the outcome.  Callable once.
+  GridSimResult run(Time horizon = kTimeInfinity);
+
+  std::size_t cluster_count() const { return clusters_.size(); }
+  const OnlineCluster& cluster(std::size_t i) const { return *clusters_[i]; }
+  const LightGrid& grid() const { return grid_; }
+  Simulator& simulator() { return sim_; }
+
+ private:
+  struct Pending {
+    std::size_t home;
+    Job job;
+  };
+
+  /// Clusters too small for `target`'s pick fall back to the first
+  /// cluster wide enough (throws when none is).
+  std::size_t fallback_target(std::size_t target, const Job& j) const;
+  void schedule_volatility();
+  void route(std::size_t pending_index);
+
+  LightGrid grid_;
+  GridSimOptions opts_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<OnlineCluster>> clusters_;
+  std::unique_ptr<CentralServer> server_;
+  std::vector<Pending> pending_;
+  std::vector<std::size_t> plan_;  ///< kGlobalPlan: pending index -> target
+  long migrations_ = 0;
+  bool ran_ = false;
+};
+
+/// Split a workload across `n` home clusters by community
+/// (community % n) — how an SWF trace (workload/swf) is replayed on a
+/// grid: each user community keeps submitting to "its" cluster.
+std::vector<JobSet> split_by_community(const JobSet& jobs, std::size_t n);
+
+/// Heterogeneous grid for the sweep axes: `n` clusters, cluster i with
+/// round(base_procs * skew^(-i/(n-1))) unit processors and speed
+/// skew^(i/(2(n-1))) — a geometric ladder from the big slow cluster 0 to
+/// the small fast cluster n-1.  skew = 1 is homogeneous; interconnects
+/// cycle through the Fig. 3 kinds and owner communities through the §5.2
+/// four.
+LightGrid make_skewed_grid(int n, int base_procs, double skew);
+
+/// Internal-consistency check of a finished (fully drained) simulation:
+/// nothing left queued or running, per-record time sanity, utilization
+/// and best-effort accounting invariants, every grid run completed.
+/// Returns human-readable violations (empty = clean).
+std::vector<std::string> validate_grid_result(const GridSim& sim,
+                                              const GridSimResult& result);
+
+}  // namespace lgs

@@ -106,6 +106,12 @@ class OnlineCluster {
   const std::vector<LocalJobRecord>& local_records() const { return records_; }
   const BestEffortStats& besteffort_stats() const { return be_stats_; }
 
+  /// Introspection for the grid-level validator (sim/grid_sim.h): a
+  /// drained simulation must leave nothing queued or running.
+  std::size_t queued_jobs() const { return queue_.size(); }
+  std::size_t running_local_jobs() const { return running_.size(); }
+  std::size_t running_besteffort_jobs() const { return be_running_.size(); }
+
   /// Integral of busy processors (local + best-effort) for utilization,
   /// accrued up to the current simulated time.
   double busy_integral() const;

@@ -1,6 +1,7 @@
 #include "workload/swf.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -46,17 +47,31 @@ bool parse_line(const std::string& line, SwfLine* out) {
 
 }  // namespace
 
-JobSet parse_swf(const std::string& text, const SwfOptions& opts) {
+JobSet parse_swf(const std::string& text, const SwfOptions& opts,
+                 SwfParseStats* stats) {
   JobSet jobs;
+  SwfParseStats local;
   std::istringstream in(text);
   std::string line;
   JobId next_id = 0;
   while (std::getline(in, line)) {
-    // Header/comment lines start with ';'.
-    const std::size_t first = line.find_first_not_of(" \t\r");
+    // CRLF tolerance: getline leaves the '\r' of a CRLF ending in place.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Header/comment lines start with ';'.  Separators may be any mix of
+    // spaces and tabs (parse_line extracts with operator>>).
+    const std::size_t first = line.find_first_not_of(" \t");
     if (first == std::string::npos || line[first] == ';') continue;
+    ++local.data_lines;
     SwfLine rec;
-    if (!parse_line(line, &rec)) continue;
+    if (!parse_line(line, &rec)) {
+      // Content but no leading numeric field (e.g. a header line that
+      // lost its ';'): malformed, counted — never silently skipped.
+      if (opts.skip_invalid) {
+        ++local.dropped_invalid;
+        continue;
+      }
+      throw std::invalid_argument("SWF line without numeric fields: " + line);
+    }
 
     long procs = opts.prefer_requested_procs && rec.procs_req > 0
                      ? rec.procs_req
@@ -64,7 +79,10 @@ JobSet parse_swf(const std::string& text, const SwfOptions& opts) {
     if (procs <= 0) procs = rec.procs_req;  // fall back either way
     const double run = rec.run;
     if (procs <= 0 || run <= 0) {
-      if (opts.skip_invalid) continue;
+      if (opts.skip_invalid) {
+        ++local.dropped_invalid;
+        continue;
+      }
       throw std::invalid_argument("SWF job without processors or run time");
     }
     Job j = Job::rigid(next_id, static_cast<int>(procs),
@@ -73,24 +91,30 @@ JobSet parse_swf(const std::string& text, const SwfOptions& opts) {
     j.community = rec.user > 0 ? static_cast<int>(rec.user) : 0;
     jobs.push_back(std::move(j));
     ++next_id;
+    ++local.parsed;
     if (opts.max_jobs > 0 &&
         static_cast<int>(jobs.size()) >= opts.max_jobs)
       break;
   }
+  if (stats != nullptr) *stats = local;
   return jobs;
 }
 
-JobSet load_swf_file(const std::string& path, const SwfOptions& opts) {
+JobSet load_swf_file(const std::string& path, const SwfOptions& opts,
+                     SwfParseStats* stats) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open SWF trace: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_swf(buf.str(), opts);
+  return parse_swf(buf.str(), opts, stats);
 }
 
 std::string to_swf(const JobSet& jobs, const Schedule* s,
                    const std::string& header_comment) {
   std::ostringstream out;
+  // Enough digits for doubles to survive a write -> parse round trip
+  // bit-for-bit (same rationale as core/report's JsonWriter).
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "; " << header_comment << "\n";
   out << "; Fields: id submit wait run procs -1 -1 req_procs -1 -1 status "
          "user -1 -1 -1 -1 -1 -1\n";

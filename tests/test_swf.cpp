@@ -4,8 +4,10 @@
 #include <cstdio>
 
 #include "core/report.h"
+#include "core/rng.h"
 #include "core/validate.h"
 #include "pt/backfill.h"
+#include "workload/generators.h"
 #include "workload/swf.h"
 
 namespace lgs {
@@ -68,6 +70,129 @@ TEST(Swf, RequestedProcsPreference) {
 TEST(Swf, RejectsMalformedLine) {
   EXPECT_THROW(parse_swf("1 2 3\n"), std::invalid_argument);
   EXPECT_TRUE(parse_swf("; only comments\n\n").empty());
+}
+
+TEST(Swf, ToleratesCrlfAndTabSeparators) {
+  // The same trace as kSample, saved by a Windows tool: CRLF endings and
+  // tab-separated fields (both occur in archive traces).
+  std::string crlf;
+  for (const char* p = kSample; *p != '\0'; ++p) {
+    if (*p == '\n')
+      crlf += "\r\n";
+    else if (*p == ' ')
+      crlf += '\t';
+    else
+      crlf += *p;
+  }
+  const JobSet plain = parse_swf(kSample);
+  const JobSet windows = parse_swf(crlf);
+  ASSERT_EQ(windows.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(windows[i].min_procs, plain[i].min_procs);
+    EXPECT_DOUBLE_EQ(windows[i].release, plain[i].release);
+    EXPECT_DOUBLE_EQ(windows[i].time(windows[i].min_procs),
+                     plain[i].time(plain[i].min_procs));
+    EXPECT_EQ(windows[i].community, plain[i].community);
+  }
+  // A lone CR line and a comment ending in CR are both skipped.
+  EXPECT_TRUE(parse_swf("\r\n; comment\r\n").empty());
+}
+
+TEST(Swf, ReportsDroppedJobCounts) {
+  const std::string text =
+      "1 0 -1 -1 4 -1 -1 4 -1 -1 0 1 1 -1 1 -1 -1 -1\n"    // no run time
+      "2 0 -1 50 -1 -1 -1 -1 -1 -1 1 1 1 -1 1 -1 -1 -1\n"  // no procs
+      "; a comment, not a data line\n"
+      "UnixStartTime: 0\n"  // a header line that lost its ';'
+      "3 0 -1 50 2 -1 -1 2 -1 -1 1 1 1 -1 1 -1 -1 -1\n";
+  SwfParseStats stats;
+  const JobSet jobs = parse_swf(text, {}, &stats);
+  EXPECT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(stats.data_lines, 4);
+  EXPECT_EQ(stats.parsed, 1);
+  EXPECT_EQ(stats.dropped_invalid, 3);
+  // In strict mode the malformed header line throws instead.
+  SwfOptions strict;
+  strict.skip_invalid = false;
+  EXPECT_THROW(parse_swf("NoSemicolonHeader 1\nx y z\n", strict),
+               std::invalid_argument);
+  // A clean trace drops nothing.
+  SwfParseStats clean;
+  parse_swf(kSample, {}, &clean);
+  EXPECT_EQ(clean.dropped_invalid, 0);
+  EXPECT_EQ(clean.parsed, 3);
+  // The file path fills stats too.
+  const std::string path = "/tmp/lgs_swf_stats.swf";
+  write_file(path, text);
+  SwfParseStats from_file;
+  load_swf_file(path, {}, &from_file);
+  EXPECT_EQ(from_file.dropped_invalid, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Swf, GeneratedWorkloadRoundTripIdentity) {
+  // parse_swf -> to_swf -> parse_swf must be the identity on a generated
+  // rigid workload: with max_digits10 serialization every time survives
+  // bit-for-bit, so EXPECT_EQ (not NEAR) on the doubles is deliberate.
+  Rng rng(2004);
+  RigidWorkloadSpec spec;
+  spec.count = 120;
+  spec.max_procs = 32;
+  spec.arrival_window = 500.0;
+  JobSet jobs = make_rigid_workload(spec, rng);
+  for (Job& j : jobs) j.community = static_cast<int>(j.id % 7) + 1;
+
+  const JobSet once = parse_swf(to_swf(jobs));
+  ASSERT_EQ(once.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(once[i].release, jobs[i].release);
+    EXPECT_EQ(once[i].min_procs, jobs[i].min_procs);
+    EXPECT_EQ(once[i].time(once[i].min_procs),
+              jobs[i].time(jobs[i].min_procs));
+    EXPECT_EQ(once[i].community, jobs[i].community);
+  }
+  // And the full cycle is a fixed point: serializing the reparse
+  // reproduces the exact same bytes.
+  EXPECT_EQ(to_swf(once), to_swf(jobs));
+}
+
+TEST(Swf, RoundTripIdentityThroughTimeScale) {
+  Rng rng(7);
+  RigidWorkloadSpec spec;
+  spec.count = 40;
+  spec.arrival_window = 100.0;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const std::string text = to_swf(jobs);
+  SwfOptions scaled;
+  scaled.time_scale = 1.0 / 3600.0;  // seconds -> hours
+  const JobSet hours = parse_swf(text, scaled);
+  ASSERT_EQ(hours.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(hours[i].release, jobs[i].release * scaled.time_scale);
+    EXPECT_EQ(hours[i].time(hours[i].min_procs),
+              jobs[i].time(jobs[i].min_procs) * scaled.time_scale);
+  }
+}
+
+TEST(Swf, RoundTripIdentityThroughRequestedProcs) {
+  // to_swf writes min_procs as allocated (field 5) and max_procs as
+  // requested (field 8); for rigid jobs the two agree, so both parser
+  // paths reconstruct the same workload.
+  Rng rng(13);
+  RigidWorkloadSpec spec;
+  spec.count = 30;
+  const JobSet jobs = make_rigid_workload(spec, rng);
+  const std::string text = to_swf(jobs);
+  SwfOptions requested;
+  requested.prefer_requested_procs = true;
+  const JobSet via_requested = parse_swf(text, requested);
+  const JobSet via_allocated = parse_swf(text);
+  ASSERT_EQ(via_requested.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(via_requested[i].min_procs, jobs[i].min_procs);
+    EXPECT_EQ(via_requested[i].min_procs, via_allocated[i].min_procs);
+  }
+  EXPECT_EQ(to_swf(via_requested), to_swf(via_allocated));
 }
 
 TEST(Swf, RoundTripThroughWriter) {
