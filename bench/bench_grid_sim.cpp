@@ -42,6 +42,12 @@ int main(int argc, char** argv) {
   spec.cluster_counts = quick ? std::vector<int>{2} : std::vector<int>{2, 4, 6};
   spec.skews = quick ? std::vector<double>{1.0, 2.0}
                      : std::vector<double>{1.0, 2.0, 4.0};
+  // Queue-policy axis (policy registry names): the classical submission
+  // systems plus conservative backfilling running on-line.
+  spec.policies = quick
+                      ? std::vector<std::string>{"fcfs-list", "conservative-bf"}
+                      : std::vector<std::string>{"fcfs-list", "easy-backfill",
+                                                 "conservative-bf"};
   spec.base_seed = 2004;
   spec.replicates = seeds >= 0 ? seeds : (quick ? 1 : 3);
   spec.jobs_per_cluster = quick ? 20 : 40;
@@ -53,8 +59,8 @@ int main(int argc, char** argv) {
   std::cout << "=== E-GRID: multi-cluster grid sweep ("
             << spec.cluster_counts.size() << " cluster counts x "
             << spec.skews.size() << " skews x " << spec.routings.size()
-            << " routings x " << spec.replicate_seeds().size()
-            << " seeds) ===\n\n";
+            << " routings x " << spec.policies.size() << " policies x "
+            << spec.replicate_seeds().size() << " seeds) ===\n\n";
 
   const GridSweepResult result = run_grid_sweep(spec);
   std::cout << spec.cell_count() << " cells on " << result.threads_used
@@ -67,16 +73,16 @@ int main(int argc, char** argv) {
     for (double skew : spec.skews) {
       std::cout << "--- " << n << " clusters, skew " << fmt(skew, 1)
                 << " (seed " << first_seed << ") ---\n";
-      TextTable table({"routing", "mean flow", "mean wait", "global util",
-                       "migrations", "BE kills", "preempted"});
+      TextTable table({"routing", "policy", "mean flow", "mean wait",
+                       "global util", "migrations", "BE kills", "preempted"});
       for (const GridCellResult& c : result.cells) {
         if (c.cell.seed != first_seed || c.cell.clusters != n ||
             c.cell.skew != skew)
           continue;
-        table.add_row({to_string(c.cell.routing), fmt(c.mean_flow, 3),
-                       fmt(c.mean_wait, 3), fmt(c.global_utilization, 3),
-                       fmt(c.migrations), fmt(c.be_kills),
-                       fmt(c.local_preemptions)});
+        table.add_row({to_string(c.cell.routing), c.cell.policy,
+                       fmt(c.mean_flow, 3), fmt(c.mean_wait, 3),
+                       fmt(c.global_utilization, 3), fmt(c.migrations),
+                       fmt(c.be_kills), fmt(c.local_preemptions)});
       }
       std::cout << table.to_string() << "\n";
     }
@@ -92,10 +98,10 @@ int main(int argc, char** argv) {
               << " violation(s) across the grid sweep\n";
     for (const GridCellResult& c : result.cells)
       for (const std::string& v : c.violations)
-        std::cerr << "  " << to_string(c.cell.routing) << " on "
-                  << c.cell.clusters << " clusters (skew "
-                  << fmt(c.cell.skew, 1) << ", seed " << c.cell.seed
-                  << "): " << v << "\n";
+        std::cerr << "  " << to_string(c.cell.routing) << " / "
+                  << c.cell.policy << " on " << c.cell.clusters
+                  << " clusters (skew " << fmt(c.cell.skew, 1) << ", seed "
+                  << c.cell.seed << "): " << v << "\n";
     return 1;
   }
   std::cout << "all " << spec.cell_count()

@@ -69,14 +69,14 @@ int main(int argc, char** argv) {
     TextTable table({"policy", "Cmax ratio", "SumWC ratio", "mean flow",
                      "max flow", "utilization"});
     for (const PolicyScore& s : row.scores) {
-      table.add_row({to_string(s.policy), fmt(s.cmax_ratio, 3),
+      table.add_row({s.policy, fmt(s.cmax_ratio, 3),
                      fmt(s.sum_wc_ratio, 3), fmt(s.mean_flow, 2),
                      fmt(s.max_flow, 2), fmt(s.utilization, 3)});
     }
     std::cout << table.to_string();
-    std::cout << "best for Cmax: " << to_string(row.best_for_cmax)
-              << " | best for SumWC: " << to_string(row.best_for_sum_wc)
-              << " | best for max flow: " << to_string(row.best_for_max_flow)
+    std::cout << "best for Cmax: " << row.best_for_cmax
+              << " | best for SumWC: " << row.best_for_sum_wc
+              << " | best for max flow: " << row.best_for_max_flow
               << "\n\n";
   }
 
@@ -84,9 +84,8 @@ int main(int argc, char** argv) {
             << ") ===\n";
   TextTable rec({"application", "Cmax", "SumWC", "max flow"});
   for (const MatrixRow& row : matrix)
-    rec.add_row({to_string(row.app), to_string(row.best_for_cmax),
-                 to_string(row.best_for_sum_wc),
-                 to_string(row.best_for_max_flow)});
+    rec.add_row({to_string(row.app), row.best_for_cmax, row.best_for_sum_wc,
+                 row.best_for_max_flow});
   std::cout << rec.to_string() << "\n";
   std::cout << paper_guidance() << "\n";
 
@@ -113,7 +112,7 @@ int main(int argc, char** argv) {
               << " violation(s) across the sweep\n";
     for (const CellResult& c : result.cells)
       for (const std::string& v : c.violations)
-        std::cerr << "  " << to_string(c.cell.policy) << " on "
+        std::cerr << "  " << c.cell.policy << " on "
                   << to_string(c.cell.app) << " (m=" << c.cell.machines
                   << ", seed=" << c.cell.seed << "): " << v << "\n";
     return 1;

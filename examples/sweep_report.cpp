@@ -14,8 +14,9 @@ int main() {
   using namespace lgs;
 
   SweepSpec spec;
-  spec.policies = {PolicyKind::kFcfsList, PolicyKind::kEasyBackfill,
-                   PolicyKind::kMrtBatches, PolicyKind::kBicriteria};
+  // Policies by registry name — any registered policy can join the axis.
+  spec.policies = {"fcfs-list", "easy-backfill", "mrt-batches",
+                   "bi-criteria"};
   spec.apps = {ApplicationClass::kRigidParallel,
                ApplicationClass::kMoldableParallel,
                ApplicationClass::kMixedCampus};
@@ -34,16 +35,15 @@ int main() {
   const std::uint64_t seed = spec.replicate_seeds().front();
   TextTable rec({"application", "Cmax", "SumWC", "max flow"});
   for (const MatrixRow& row : matrix_from_sweep(spec, result, 64, seed))
-    rec.add_row({to_string(row.app), to_string(row.best_for_cmax),
-                 to_string(row.best_for_sum_wc),
-                 to_string(row.best_for_max_flow)});
+    rec.add_row({to_string(row.app), row.best_for_cmax, row.best_for_sum_wc,
+                 row.best_for_max_flow});
   std::cout << rec.to_string() << "\n";
 
   // Slowest cells: where does the sweep spend its time?
   const CellResult* slowest = &result.cells.front();
   for (const CellResult& c : result.cells)
     if (c.wall_ms > slowest->wall_ms) slowest = &c;
-  std::cout << "slowest cell: " << to_string(slowest->cell.policy) << " on "
+  std::cout << "slowest cell: " << slowest->cell.policy << " on "
             << to_string(slowest->cell.app) << " (m=" << slowest->cell.machines
             << ") at " << fmt(slowest->wall_ms, 2) << " ms\n";
 

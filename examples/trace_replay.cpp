@@ -82,24 +82,28 @@ int main(int argc, char** argv) {
 
   // Online grid replay: split the trace across a 3-cluster heterogeneous
   // grid by community (each user community keeps its home cluster) and
-  // compare the routing policies on the multi-cluster engine.
+  // compare routing × queue policy on the multi-cluster engine — the
+  // queue policy is any registry name, the same roster as offline.
   const LightGrid grid = make_skewed_grid(3, m, 2.0);
   std::cout << "grid replay on " << grid.clusters.size()
             << " clusters (skew 2.0, " << grid.total_processors()
             << " processors total), trace split by community:\n";
-  TextTable gtable({"routing", "mean flow", "mean wait", "migrations",
-                    "global util"});
+  TextTable gtable({"routing", "queue policy", "mean flow", "mean wait",
+                    "migrations", "global util"});
   for (GridRouting r :
        {GridRouting::kIsolated, GridRouting::kEconomic,
         GridRouting::kGlobalPlan}) {
-    GridSimOptions opts;
-    opts.routing = r;
-    GridSim sim(grid, opts);
-    sim.submit_workloads(split_by_community(jobs, grid.clusters.size()));
-    const GridSimResult res = sim.run();
-    gtable.add_row({to_string(r), fmt(res.mean_flow, 2),
-                    fmt(res.mean_wait, 2), fmt(res.migrations),
-                    fmt(res.global_utilization, 3)});
+    for (const char* policy : {"fcfs-list", "easy-backfill"}) {
+      GridSimOptions opts;
+      opts.routing = r;
+      opts.cluster.policy = policy;
+      GridSim sim(grid, opts);
+      sim.submit_workloads(split_by_community(jobs, grid.clusters.size()));
+      const GridSimResult res = sim.run();
+      gtable.add_row({to_string(r), policy, fmt(res.mean_flow, 2),
+                      fmt(res.mean_wait, 2), fmt(res.migrations),
+                      fmt(res.global_utilization, 3)});
+    }
   }
   std::cout << gtable.to_string() << "\n";
 

@@ -18,9 +18,14 @@ std::vector<std::uint64_t> GridSweepSpec::replicate_seeds() const {
   return derived;
 }
 
+std::vector<std::string> GridSweepSpec::effective_policies() const {
+  if (!policies.empty()) return policies;
+  return {cluster.policy};
+}
+
 std::size_t GridSweepSpec::cell_count() const {
   return replicate_seeds().size() * cluster_counts.size() * skews.size() *
-         routings.size();
+         routings.size() * effective_policies().size();
 }
 
 std::vector<GridCell> expand_grid_cells(const GridSweepSpec& spec) {
@@ -31,7 +36,8 @@ std::vector<GridCell> expand_grid_cells(const GridSweepSpec& spec) {
     for (int n : spec.cluster_counts)
       for (double skew : spec.skews)
         for (GridRouting routing : spec.routings)
-          cells.push_back(GridCell{index++, n, skew, routing, seed});
+          for (const std::string& policy : spec.effective_policies())
+            cells.push_back(GridCell{index++, n, skew, routing, policy, seed});
   return cells;
 }
 
@@ -62,6 +68,7 @@ GridCellResult evaluate_grid_cell(const GridSweepSpec& spec,
   opts.wait_threshold = spec.wait_threshold;
   opts.migration_penalty = spec.migration_penalty;
   opts.cluster = spec.cluster;
+  opts.cluster.policy = cell.policy;
   if (spec.besteffort_runs > 0)
     opts.bags.push_back(ParametricBag{"grid-campaign", spec.besteffort_runs,
                                       spec.besteffort_run_time, 2, 1.0});
@@ -135,6 +142,9 @@ std::string grid_report_json(const GridSweepSpec& spec,
   w.key("routings").begin_array();
   for (GridRouting r : spec.routings) w.value(to_string(r));
   w.end_array();
+  w.key("policies").begin_array();
+  for (const std::string& p : spec.effective_policies()) w.value(p);
+  w.end_array();
   w.key("seeds").begin_array();
   for (std::uint64_t s : spec.replicate_seeds()) w.value(s);
   w.end_array();
@@ -151,6 +161,7 @@ std::string grid_report_json(const GridSweepSpec& spec,
     w.key("clusters").value(c.cell.clusters);
     w.key("skew").value(c.cell.skew);
     w.key("routing").value(to_string(c.cell.routing));
+    w.key("policy").value(c.cell.policy);
     w.key("seed").value(c.cell.seed);
     w.key("horizon").value(c.horizon);
     w.key("jobs").value(static_cast<std::uint64_t>(c.jobs));

@@ -19,7 +19,7 @@
 
 namespace lgs {
 
-/// The cluster-count × skew × routing × seed grid.
+/// The cluster-count × skew × routing × queue-policy × seed grid.
 struct GridSweepSpec {
   std::vector<int> cluster_counts = {2, 4};
   std::vector<double> skews = {1.0, 2.0};
@@ -27,6 +27,12 @@ struct GridSweepSpec {
                                        GridRouting::kThreshold,
                                        GridRouting::kEconomic,
                                        GridRouting::kGlobalPlan};
+  /// Per-cluster queue policies, by registry name (policy/registry.h):
+  /// any registered policy — classical submission systems or batch
+  /// policies through the §4.2 adapter — becomes a sweep axis.  Empty
+  /// (the default) = a single-point axis of `cluster.policy`, so setting
+  /// only the base submission system never gets silently overridden.
+  std::vector<std::string> policies;
   /// Replicate seeds.  Empty = derive `replicates` seeds from
   /// `base_seed` via mix_seed(base_seed, replicate_index).
   std::vector<std::uint64_t> seeds;
@@ -48,7 +54,8 @@ struct GridSweepSpec {
   /// Capacity churn per cluster (events = 0 -> stable nodes).
   VolatilityProfile volatility;
 
-  /// Per-cluster submission system (EASY backfilling, kill policy).
+  /// Per-cluster submission system defaults: kill policy, and the queue
+  /// policy used when the `policies` axis above is left empty.
   OnlineCluster::Options cluster;
   /// kThreshold routing parameters.
   double wait_threshold = 2.0;
@@ -59,6 +66,9 @@ struct GridSweepSpec {
 
   /// The replicate seeds actually used (explicit list or derived).
   std::vector<std::uint64_t> replicate_seeds() const;
+  /// The queue-policy axis actually swept (explicit list, or the
+  /// single-point `cluster.policy` when `policies` is empty).
+  std::vector<std::string> effective_policies() const;
   std::size_t cell_count() const;
 };
 
@@ -68,6 +78,7 @@ struct GridCell {
   int clusters = 0;
   double skew = 1.0;
   GridRouting routing{};
+  std::string policy;  ///< queue-policy registry name
   std::uint64_t seed = 0;
 };
 
@@ -92,7 +103,7 @@ struct GridCellResult {
 
 struct GridSweepResult {
   /// One entry per cell, in grid order (seed-major, then cluster count,
-  /// skew, routing) — independent of thread interleaving.
+  /// skew, routing, policy) — independent of thread interleaving.
   std::vector<GridCellResult> cells;
   double wall_ms = 0.0;
   int threads_used = 1;
@@ -118,8 +129,9 @@ GridCellResult evaluate_grid_cell(const GridSweepSpec& spec,
 GridSweepResult run_grid_sweep(const GridSweepSpec& spec);
 
 /// JSON report (schema in README, "Multi-cluster grid simulation";
-/// doubles round-trip exactly, so reports can serve as golden files for
-/// the determinism tests).
+/// doubles round-trip exactly, so — after stripping the wall-clock
+/// `wall_ms`/`threads` lines, the only nondeterministic fields — reports
+/// can serve as golden files for the determinism tests).
 std::string grid_report_json(const GridSweepSpec& spec,
                              const GridSweepResult& result);
 

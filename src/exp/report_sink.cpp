@@ -19,7 +19,7 @@ std::string sweep_report_json(const SweepSpec& spec,
   for (std::uint64_t s : spec.replicate_seeds()) w.value(s);
   w.end_array();
   w.key("policies").begin_array();
-  for (PolicyKind p : spec.policies) w.value(to_string(p));
+  for (const std::string& p : spec.policies) w.value(p);
   w.end_array();
   w.key("apps").begin_array();
   for (ApplicationClass a : spec.apps) w.value(to_string(a));
@@ -35,7 +35,7 @@ std::string sweep_report_json(const SweepSpec& spec,
   for (const CellResult& c : result.cells) {
     w.begin_object();
     w.key("app").value(to_string(c.cell.app));
-    w.key("policy").value(to_string(c.cell.policy));
+    w.key("policy").value(c.cell.policy);
     w.key("m").value(c.cell.machines);
     w.key("seed").value(c.cell.seed);
     w.key("cmax").value(c.cmax);
@@ -63,9 +63,9 @@ std::string sweep_report_json(const SweepSpec& spec,
       for (const MatrixRow& row : matrix_from_sweep(spec, result, m, seed)) {
         w.begin_object();
         w.key("app").value(to_string(row.app));
-        w.key("best_for_cmax").value(to_string(row.best_for_cmax));
-        w.key("best_for_sum_wc").value(to_string(row.best_for_sum_wc));
-        w.key("best_for_max_flow").value(to_string(row.best_for_max_flow));
+        w.key("best_for_cmax").value(row.best_for_cmax);
+        w.key("best_for_sum_wc").value(row.best_for_sum_wc);
+        w.key("best_for_max_flow").value(row.best_for_max_flow);
         w.end_object();
       }
       w.end_array();

@@ -44,7 +44,7 @@ std::vector<SweepCell> expand_cells(const SweepSpec& spec) {
   for (std::uint64_t seed : spec.replicate_seeds())
     for (int m : spec.machine_sizes)
       for (ApplicationClass app : spec.apps)
-        for (PolicyKind policy : spec.policies)
+        for (const std::string& policy : spec.policies)
           cells.push_back(SweepCell{index++, policy, app, seed, m});
   return cells;
 }

@@ -33,9 +33,11 @@ namespace lgs {
 std::uint64_t derive_cell_seed(std::uint64_t base_seed,
                                std::uint64_t cell_index);
 
-/// A policy × application-class × seed × machine-size grid.
+/// A policy × application-class × seed × machine-size grid.  Policies
+/// are addressed by registry name (policy/registry.h), so the axis is
+/// user-extensible: register a policy and put its name here.
 struct SweepSpec {
-  std::vector<PolicyKind> policies = all_policies();
+  std::vector<std::string> policies = all_policy_names();
   std::vector<ApplicationClass> apps = all_application_classes();
   /// Workload replicate seeds.  Empty = derive `replicates` seeds from
   /// `base_seed` via derive_cell_seed(base_seed, replicate_index).
@@ -58,7 +60,7 @@ struct SweepSpec {
 /// One grid point, identified by its coordinates.
 struct SweepCell {
   std::size_t index = 0;  ///< linear index in grid order
-  PolicyKind policy{};
+  std::string policy;     ///< registry name
   ApplicationClass app{};
   std::uint64_t seed = 0;  ///< workload replicate seed
   int machines = 0;

@@ -20,12 +20,13 @@ const char* to_string(ExchangePolicy p) {
 
 namespace {
 
-/// Expected completion of `j` on cluster `c`: queue wait plus the job's
-/// own speed-adjusted execution time.  Jobs wider than the cluster bid
-/// infinity.
+/// Expected completion of `j` on cluster `c`: the width-aware queue wait
+/// for the job's minimal allotment plus the job's own speed-adjusted
+/// execution time.  Jobs wider than the cluster bid infinity.
 double bid(const OnlineCluster& c, const Job& j) {
   if (j.min_procs > c.processors()) return kTimeInfinity;
-  return c.expected_wait() + j.best_time(c.processors()) / c.speed();
+  return c.expected_wait(j.min_procs) +
+         j.best_time(c.processors()) / c.speed();
 }
 
 }  // namespace
@@ -38,13 +39,13 @@ std::size_t exchange_target(
     case ExchangePolicy::kIsolated:
       break;
     case ExchangePolicy::kThreshold: {
-      const double home_wait = clusters[home]->expected_wait();
+      const double home_wait = clusters[home]->expected_wait(j.min_procs);
       if (home_wait > opts.wait_threshold) {
         double best = home_wait - opts.migration_penalty;
         for (std::size_t c = 0; c < clusters.size(); ++c) {
           if (c == home) continue;
           if (j.min_procs > clusters[c]->processors()) continue;
-          const double w = clusters[c]->expected_wait();
+          const double w = clusters[c]->expected_wait(j.min_procs);
           if (w < best) {
             best = w;
             target = c;

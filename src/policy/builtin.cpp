@@ -1,0 +1,289 @@
+// Built-in policy registrations: every pt/ algorithm, both facets.
+//
+// Off-line facets are the bodies the old `run_policy` enum switch
+// dispatched to (policy/policy.h keeps the enum as a thin shim over this
+// registry).  On-line facets plug into OnlineCluster::dispatch():
+//   * fcfs-list       -> strict FCFS head-of-queue dispatch,
+//   * easy-backfill   -> EASY on the shared dispatch-context skyline,
+//   * conservative-bf -> a reservation chain over the same skyline,
+//   * every batch/shelf policy -> the §4.2 batch transformation adapter
+//     (collect the queue while the previous batch drains, plan the batch
+//     with the off-line algorithm, release the plan in start order).
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "criteria/lower_bounds.h"
+#include "policy/registry.h"
+#include "pt/allotment.h"
+#include "pt/backfill.h"
+#include "pt/batch.h"
+#include "pt/bicriteria.h"
+#include "pt/mrt.h"
+#include "pt/rigid_list.h"
+#include "pt/shelves.h"
+#include "pt/smart.h"
+
+namespace lgs {
+namespace {
+
+/// Fix moldable allotments for rigid-only policies: canonical allotment at
+/// the area lower bound, the a-priori strategy of §5.1.
+JobSet rigidize(const JobSet& jobs, int m) {
+  return fix_canonical(jobs, cmax_lower_bound(jobs, m), m);
+}
+
+// --------------------------------------------------------------------------
+// On-line facets.
+// --------------------------------------------------------------------------
+
+/// Strict FCFS: the head starts as soon as it fits; nothing ever jumps
+/// it.  Decides on the O(1) head_procs scalar alone — the job views are
+/// never materialized, keeping the engine's historical fast path.
+class FcfsQueue : public QueuePolicy {
+ public:
+  std::size_t pick_next(const DispatchContext& ctx) override {
+    return ctx.head_procs <= ctx.available() ? 0 : kNoPick;
+  }
+};
+
+/// EASY backfilling: reserve the stuck head at its shadow on the shared
+/// skyline, let any queued job that fits around the reservation start.
+/// Best-effort runs are killable, hence transparent: the head fits
+/// whenever free + killable >= procs, and the skyline covers local jobs
+/// only.  The profile query subsumes both classic EASY conditions (ends
+/// before the shadow / fits in the surplus).
+class EasyQueue : public QueuePolicy {
+ public:
+  std::size_t pick_next(const DispatchContext& ctx) override {
+    if (ctx.head_procs <= ctx.available()) return 0;
+
+    const std::vector<QueuedJobView>& queue = ctx.queue();
+    const Time now = ctx.now;
+    // Copy: the head's shadow reservation is this policy's scratch state.
+    Profile prof = ctx.local_profile();
+    const int head_procs = queue.front().procs;
+    const Time head_dur = queue.front().duration;
+    // A head wider than the volatility-shrunk capacity cannot be reserved
+    // at all — it waits for capacity to return.  Backfilling is then only
+    // allowed up to the last running completion, so the head is not
+    // pushed back further.
+    const bool reservable = head_procs <= ctx.capacity;
+    Time shadow = now;
+    if (reservable) {
+      shadow = prof.earliest_fit(now, head_dur, head_procs);
+      prof.commit(shadow, head_dur, head_procs);
+    } else {
+      for (const RunningJobView& r : ctx.running())
+        shadow = std::max(shadow, r.finish);
+    }
+    for (std::size_t qi = 1; qi < queue.size(); ++qi) {
+      const QueuedJobView& q = queue[qi];
+      if (q.procs > ctx.available()) continue;
+      if (!prof.fits(now, q.duration, q.procs)) continue;
+      if (!reservable && now + q.duration > shadow + kTimeEps) continue;
+      return qi;
+    }
+    return kNoPick;
+  }
+};
+
+/// Conservative backfilling, on-line: walk the queue in order, give every
+/// job a reservation on a copy of the shared skyline, and start the first
+/// job whose reservation is now — later jobs slide into holes only when
+/// they delay nobody ahead of them.
+class ConservativeQueue : public QueuePolicy {
+ public:
+  std::size_t pick_next(const DispatchContext& ctx) override {
+    const std::vector<QueuedJobView>& queue = ctx.queue();
+    Profile prof = ctx.local_profile();  // copy: reservations are scratch
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const QueuedJobView& q = queue[qi];
+      // Unreservable under the volatility-shrunk capacity: everything
+      // behind it waits too (no leapfrogging an unplannable job).
+      if (q.procs > ctx.capacity) return kNoPick;
+      const Time start = prof.earliest_fit(ctx.now, q.duration, q.procs);
+      if (start <= ctx.now + kTimeEps && q.procs <= ctx.available())
+        return qi;
+      prof.commit(start, q.duration, q.procs);
+    }
+    return kNoPick;
+  }
+};
+
+/// The §4.2 batch transformation, on-line: when the previous batch has
+/// fully drained, plan everything queued with the off-line algorithm
+/// (over the jobs' fixed allotments) and release the plan in planned
+/// start order.  Jobs arriving mid-batch wait for the next one — the
+/// construction behind the 2ρ competitiveness argument.
+class BatchQueue : public QueuePolicy {
+ public:
+  explicit BatchQueue(OfflineAlgo offline) : offline_(std::move(offline)) {}
+
+  std::size_t pick_next(const DispatchContext& ctx) override {
+    if (plan_.empty() && ctx.running().empty()) form_batch(ctx);
+    const std::vector<QueuedJobView>& queue = ctx.queue();
+    while (!plan_.empty()) {
+      const std::size_t record = plan_.front();
+      std::size_t qi = kNoPick;
+      for (std::size_t i = 0; i < queue.size(); ++i)
+        if (queue[i].record == record) {
+          qi = i;
+          break;
+        }
+      if (qi == kNoPick) {
+        // Planned job no longer queued (volatility preemption recycled
+        // it): drop the stale entry, it re-enters with the next batch.
+        plan_.pop_front();
+        continue;
+      }
+      if (queue[qi].procs > ctx.available()) return kNoPick;
+      plan_.pop_front();  // the engine starts a returned pick immediately
+      return qi;
+    }
+    return kNoPick;
+  }
+
+ private:
+  void form_batch(const DispatchContext& ctx) {
+    JobSet batch;
+    batch.reserve(ctx.queue().size());
+    for (const QueuedJobView& q : ctx.queue()) {
+      // Allotments are fixed by the cluster; jobs wider than the current
+      // capacity wait for the capacity (and the next batch) to return.
+      if (q.procs > ctx.capacity) continue;
+      batch.push_back(Job::rigid(static_cast<JobId>(q.record), q.procs,
+                                 q.duration));
+    }
+    if (batch.empty()) return;
+    const Schedule plan = offline_(batch, ctx.capacity);
+    std::vector<const Assignment*> order;
+    order.reserve(plan.size());
+    for (const Assignment& a : plan.assignments()) order.push_back(&a);
+    std::sort(order.begin(), order.end(),
+              [](const Assignment* a, const Assignment* b) {
+                if (a->start != b->start) return a->start < b->start;
+                return a->job < b->job;
+              });
+    for (const Assignment* a : order)
+      plan_.push_back(static_cast<std::size_t>(a->job));
+  }
+
+  OfflineAlgo offline_;
+  std::deque<std::size_t> plan_;  ///< record keys, planned start order
+};
+
+// --------------------------------------------------------------------------
+// The policy wrapper and the registrations.
+// --------------------------------------------------------------------------
+
+class BuiltinPolicy : public SchedulingPolicy {
+ public:
+  using QueueFactory = std::function<std::unique_ptr<QueuePolicy>()>;
+
+  BuiltinPolicy(std::string name, OfflineAlgo offline, QueueFactory queue)
+      : name_(std::move(name)),
+        offline_(std::move(offline)),
+        queue_(std::move(queue)) {}
+
+  const std::string& name() const override { return name_; }
+
+  Schedule schedule(const JobSet& jobs, int m) const override {
+    return offline_(jobs, m);
+  }
+
+  std::unique_ptr<QueuePolicy> make_queue_policy() const override {
+    return queue_();
+  }
+
+ private:
+  std::string name_;
+  OfflineAlgo offline_;
+  QueueFactory queue_;
+};
+
+void add(const std::string& name, OfflineAlgo offline,
+         BuiltinPolicy::QueueFactory queue) {
+  register_policy(name, [name, offline = std::move(offline),
+                         queue = std::move(queue)] {
+    return std::make_unique<BuiltinPolicy>(name, offline, queue);
+  });
+}
+
+/// A batch policy: the same off-line body serves both facets — directly
+/// off-line (wrapped in batch_schedule for release dates), and as the
+/// per-batch planner of the on-line adapter.
+void add_batched(const std::string& name, const OfflineAlgo& offline) {
+  add(name,
+      [offline](const JobSet& jobs, int m) {
+        return batch_schedule(jobs, m, offline).schedule;
+      },
+      [offline] { return std::make_unique<BatchQueue>(offline); });
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_builtin_policies() {
+  // Presentation order of the paper's policy roster (policy/policy.h's
+  // PolicyKind mirrors this list — the enum round-trip test pins it).
+  add(
+      "fcfs-list",
+      [](const JobSet& jobs, int m) {
+        // Strict FCFS: no queue jumping at all — the baseline every
+        // backfilling study compares against.
+        return list_schedule_rigid(rigidize(jobs, m), m,
+                                   {ListOrder::kSubmission, true});
+      },
+      [] { return std::make_unique<FcfsQueue>(); });
+  add(
+      "easy-backfill",
+      [](const JobSet& jobs, int m) {
+        return easy_backfill(rigidize(jobs, m), m);
+      },
+      [] { return std::make_unique<EasyQueue>(); });
+  add(
+      "conservative-bf",
+      [](const JobSet& jobs, int m) {
+        return conservative_backfill(rigidize(jobs, m), m);
+      },
+      [] { return std::make_unique<ConservativeQueue>(); });
+  add_batched("ffdh-shelves", [](const JobSet& batch, int machines) {
+    return shelf_schedule_rigid(rigidize(batch, machines), machines,
+                                ShelfPolicy::kFirstFitDecreasing);
+  });
+  add(
+      "mrt-batches",
+      [](const JobSet& jobs, int m) {
+        return online_moldable_schedule(jobs, m).schedule;
+      },
+      [] {
+        // Same ε as online_moldable_schedule's default, so both facets
+        // plan a batch identically.
+        MrtOptions opts;
+        opts.eps = 0.02;
+        return std::make_unique<BatchQueue>(
+            [opts](const JobSet& batch, int machines) {
+              return mrt_schedule(batch, machines, opts).schedule;
+            });
+      });
+  add_batched("smart-shelves", [](const JobSet& batch, int machines) {
+    return smart_schedule(rigidize(batch, machines), machines);
+  });
+  add(
+      "bi-criteria",
+      [](const JobSet& jobs, int m) {
+        return bicriteria_schedule(jobs, m).schedule;
+      },
+      [] {
+        return std::make_unique<BatchQueue>(
+            [](const JobSet& batch, int machines) {
+              return bicriteria_schedule(batch, machines).schedule;
+            });
+      });
+}
+
+}  // namespace detail
+}  // namespace lgs

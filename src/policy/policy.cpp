@@ -5,14 +5,7 @@
 
 #include "criteria/lower_bounds.h"
 #include "criteria/metrics.h"
-#include "pt/allotment.h"
-#include "pt/backfill.h"
-#include "pt/batch.h"
-#include "pt/bicriteria.h"
-#include "pt/mrt.h"
-#include "pt/rigid_list.h"
-#include "pt/shelves.h"
-#include "pt/smart.h"
+#include "policy/registry.h"
 #include "workload/generators.h"
 
 namespace lgs {
@@ -53,11 +46,27 @@ const char* to_string(PolicyKind policy) {
   return "?";
 }
 
+PolicyKind policy_kind_from_string(const std::string& name) {
+  for (PolicyKind p : all_policies())
+    if (name == to_string(p)) return p;
+  throw std::invalid_argument("unknown policy name '" + name + "'");
+}
+
+ApplicationClass application_class_from_string(const std::string& name) {
+  for (ApplicationClass a : all_application_classes())
+    if (name == to_string(a)) return a;
+  throw std::invalid_argument("unknown application class '" + name + "'");
+}
+
 std::vector<PolicyKind> all_policies() {
   return {PolicyKind::kFcfsList,      PolicyKind::kEasyBackfill,
           PolicyKind::kConservativeBackfill, PolicyKind::kFfdhShelves,
           PolicyKind::kMrtBatches,    PolicyKind::kSmartShelves,
           PolicyKind::kBicriteria};
+}
+
+std::vector<std::string> all_policy_names() {
+  return registered_policy_names();
 }
 
 std::vector<ApplicationClass> all_application_classes() {
@@ -68,48 +77,12 @@ std::vector<ApplicationClass> all_application_classes() {
           ApplicationClass::kMixedCampus};
 }
 
-namespace {
-
-/// Fix moldable allotments for rigid-only policies: canonical allotment at
-/// the area lower bound, the a-priori strategy of §5.1.
-JobSet rigidize(const JobSet& jobs, int m) {
-  return fix_canonical(jobs, cmax_lower_bound(jobs, m), m);
+Schedule run_policy(const std::string& policy, const JobSet& jobs, int m) {
+  return make_policy(policy)->schedule(jobs, m);
 }
 
-}  // namespace
-
 Schedule run_policy(PolicyKind policy, const JobSet& jobs, int m) {
-  switch (policy) {
-    case PolicyKind::kFcfsList:
-      // Strict FCFS: no queue jumping at all — the baseline every
-      // backfilling study compares against.
-      return list_schedule_rigid(rigidize(jobs, m), m,
-                                 {ListOrder::kSubmission, true});
-    case PolicyKind::kEasyBackfill:
-      return easy_backfill(rigidize(jobs, m), m);
-    case PolicyKind::kConservativeBackfill:
-      return conservative_backfill(rigidize(jobs, m), m);
-    case PolicyKind::kFfdhShelves:
-      return batch_schedule(jobs, m,
-                            [](const JobSet& batch, int machines) {
-                              return shelf_schedule_rigid(
-                                  rigidize(batch, machines), machines,
-                                  ShelfPolicy::kFirstFitDecreasing);
-                            })
-          .schedule;
-    case PolicyKind::kMrtBatches:
-      return online_moldable_schedule(jobs, m).schedule;
-    case PolicyKind::kSmartShelves:
-      return batch_schedule(jobs, m,
-                            [](const JobSet& batch, int machines) {
-                              return smart_schedule(rigidize(batch, machines),
-                                                    machines);
-                            })
-          .schedule;
-    case PolicyKind::kBicriteria:
-      return bicriteria_schedule(jobs, m).schedule;
-  }
-  throw std::logic_error("unknown policy");
+  return run_policy(std::string(to_string(policy)), jobs, m);
 }
 
 JobSet make_application_workload(ApplicationClass app, int jobs, int m,
@@ -181,7 +154,7 @@ std::vector<MatrixRow> evaluate_policy_matrix_serial(int m, int jobs_per_class,
 
     double best_cmax = kTimeInfinity, best_wc = kTimeInfinity,
            best_maxflow = kTimeInfinity;
-    for (PolicyKind policy : all_policies()) {
+    for (const std::string& policy : all_policy_names()) {
       const Schedule s = run_policy(policy, jobs, m);
       const Metrics metrics = compute_metrics(jobs, s);
       PolicyScore score;

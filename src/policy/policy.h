@@ -27,7 +27,13 @@ enum class ApplicationClass {
 
 const char* to_string(ApplicationClass app);
 
-/// Scheduling policies assembled from src/pt.
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+ApplicationClass application_class_from_string(const std::string& name);
+
+/// The classical policy roster, kept as an enum shim for callers that
+/// enumerate the paper's presentation order.  The source of truth is the
+/// string-keyed registry (policy/registry.h): `to_string(PolicyKind)` is
+/// a registry name, and `run_policy` dispatches through `make_policy`.
 enum class PolicyKind {
   kFcfsList,              ///< greedy list scheduling, submission order
   kEasyBackfill,          ///< EASY backfilling
@@ -40,17 +46,28 @@ enum class PolicyKind {
 
 const char* to_string(PolicyKind policy);
 
-/// All policies, in presentation order.
+/// Inverse of to_string; throws std::invalid_argument on unknown names
+/// (a registered policy outside the classical roster has no PolicyKind).
+PolicyKind policy_kind_from_string(const std::string& name);
+
+/// The classical policies, in presentation order.
 std::vector<PolicyKind> all_policies();
+
+/// Every *registered* policy name (built-ins in presentation order, then
+/// user extensions) — the default sweep axis.
+std::vector<std::string> all_policy_names();
+
 std::vector<ApplicationClass> all_application_classes();
 
 /// Run one policy on a workload (release dates honored by every policy —
 /// off-line algorithms are wrapped in the §4.2 batch transformation).
+/// Thin shim over make_policy(name)->schedule(jobs, m).
+Schedule run_policy(const std::string& policy, const JobSet& jobs, int m);
 Schedule run_policy(PolicyKind policy, const JobSet& jobs, int m);
 
 /// Scores of one policy on one application class.
 struct PolicyScore {
-  PolicyKind policy{};
+  std::string policy;         ///< registry name
   double cmax_ratio = 0.0;    ///< Cmax / lower bound
   double sum_wc_ratio = 0.0;  ///< Σ wᵢCᵢ / lower bound
   double mean_flow = 0.0;
@@ -61,9 +78,9 @@ struct PolicyScore {
 struct MatrixRow {
   ApplicationClass app{};
   std::vector<PolicyScore> scores;
-  PolicyKind best_for_cmax{};
-  PolicyKind best_for_sum_wc{};
-  PolicyKind best_for_max_flow{};
+  std::string best_for_cmax;
+  std::string best_for_sum_wc;
+  std::string best_for_max_flow;
 };
 
 /// Generate the workload of one application class (deterministic in seed).

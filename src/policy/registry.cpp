@@ -1,0 +1,197 @@
+#include "policy/registry.h"
+
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace lgs {
+
+void DispatchContext::materialize() const {
+  if (views_built_) return;
+  queue_.clear();
+  running_.clear();
+  fill_(queue_, running_);
+  views_built_ = true;
+}
+
+const std::vector<QueuedJobView>& DispatchContext::queue() const {
+  materialize();
+  return queue_;
+}
+
+const std::vector<RunningJobView>& DispatchContext::running() const {
+  materialize();
+  return running_;
+}
+
+const Profile& DispatchContext::local_profile() const {
+  if (!profile_) {
+    const std::vector<RunningJobView>& run = running();
+    profile_ = std::make_unique<Profile>(capacity);
+    profile_->reserve(2 * (run.size() + 1));
+    for (const RunningJobView& r : run)
+      if (r.finish > now + kTimeEps)
+        profile_->commit(now, r.finish - now, r.procs);
+  }
+  return *profile_;
+}
+
+void DispatchContext::on_started(const QueuedJobView& started) {
+  views_built_ = false;  // re-materialized from the engine on demand
+  if (profile_ && started.duration > kTimeEps)
+    profile_->commit(now, started.duration, started.procs);
+}
+
+namespace {
+
+struct Registry {
+  struct Entry {
+    std::string name;
+    bool builtin = false;
+  };
+  std::mutex mutex;
+  bool builtin_phase = false;  ///< true while register_builtin_policies runs
+  std::vector<Entry> order;
+  std::unordered_map<std::string, PolicyFactory> factories;
+  /// Deferred failures (static-init registrations, built-in collisions):
+  /// reported by every accessor instead of aborting before main().
+  std::vector<std::string> errors;
+};
+
+Registry& registry() {
+  // Meyers singleton: constructed on first use, so registrations from
+  // other translation units' static initializers are always safe.
+  static Registry r;
+  return r;
+}
+
+void ensure_builtins() {
+  // One attempt, never retried.  If a user's static registration grabbed
+  // a built-in name, the first accessor would otherwise leave the static
+  // initializer half-done and every later call would re-run registration
+  // into a misleading duplicate error — instead, remember the failure
+  // and report the same clear diagnosis on every access.
+  struct Boot {
+    Boot() {
+      {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.builtin_phase = true;
+      }
+      try {
+        detail::register_builtin_policies();
+      } catch (const std::exception& e) {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.errors.push_back(e.what());
+      }
+      Registry& r = registry();
+      std::lock_guard<std::mutex> lock(r.mutex);
+      r.builtin_phase = false;
+    }
+  };
+  static const Boot boot;
+  (void)boot;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (!r.errors.empty()) {
+    std::string all;
+    for (const std::string& e : r.errors)
+      all += (all.empty() ? "" : "; ") + e;
+    throw std::logic_error("policy registry unusable: " + all);
+  }
+}
+
+}  // namespace
+
+bool register_policy(const std::string& name, PolicyFactory factory) {
+  if (name.empty())
+    throw std::invalid_argument("cannot register a policy without a name");
+  if (!factory)
+    throw std::invalid_argument("cannot register policy '" + name +
+                                "' without a factory");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (!r.factories.emplace(name, std::move(factory)).second) {
+    if (r.builtin_phase)
+      throw std::invalid_argument(
+          "the built-in policy '" + name +
+          "' collides with an earlier user registration of the same name");
+    throw std::invalid_argument("policy '" + name + "' already registered");
+  }
+  r.order.push_back(Registry::Entry{name, r.builtin_phase});
+  return true;
+}
+
+bool register_policy_or_defer(const std::string& name,
+                              PolicyFactory factory) noexcept {
+  try {
+    return register_policy(name, std::move(factory));
+  } catch (const std::exception& e) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.errors.push_back(e.what());
+  } catch (...) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.errors.push_back("registration of policy '" + name +
+                       "' failed with an unknown error");
+  }
+  return false;
+}
+
+bool is_registered_policy(const std::string& name) {
+  ensure_builtins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.factories.count(name) != 0;
+}
+
+std::vector<std::string> registered_policy_names() {
+  ensure_builtins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  // Built-ins first (presentation order), then user extensions in their
+  // registration order — static LGS_REGISTER_POLICY initializers may run
+  // before the lazy built-in registration, so raw order is not enough.
+  std::vector<std::string> names;
+  names.reserve(r.order.size());
+  for (const Registry::Entry& e : r.order)
+    if (e.builtin) names.push_back(e.name);
+  for (const Registry::Entry& e : r.order)
+    if (!e.builtin) names.push_back(e.name);
+  return names;
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(const std::string& name) {
+  ensure_builtins();
+  Registry& r = registry();
+  PolicyFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.factories.find(name);
+    if (it != r.factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& n : registered_policy_names())
+      known += (known.empty() ? "" : ", ") + n;
+    throw std::invalid_argument("unknown policy '" + name +
+                                "' (registered: " + known + ")");
+  }
+  std::unique_ptr<SchedulingPolicy> policy = factory();
+  if (!policy)
+    throw std::logic_error("factory for policy '" + name +
+                           "' returned nullptr");
+  return policy;
+}
+
+std::unique_ptr<QueuePolicy> make_queue_policy(const std::string& name) {
+  std::unique_ptr<QueuePolicy> q = make_policy(name)->make_queue_policy();
+  if (!q)
+    throw std::logic_error("policy '" + name + "' has no on-line facet");
+  return q;
+}
+
+}  // namespace lgs

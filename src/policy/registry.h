@@ -1,0 +1,189 @@
+// Pluggable scheduling-policy registry: ONE polymorphic interface from
+// the off-line pt/ algorithms to the on-line grid.
+//
+// The paper's central question — which policy for which application? —
+// needs every policy runnable in every setting.  `SchedulingPolicy`
+// carries both facets of a policy: the off-line `schedule(JobSet, m)`
+// entry point the recommendation matrix scores, and an on-line
+// `QueuePolicy` factory the submission system (sim/online_cluster)
+// injects into its dispatch loop.  Policies are addressed by string
+// through a process-wide registry, so sweep axes (exp/sweep,
+// exp/grid_sweep) are user-extensible: register a policy under a new
+// name and every engine — matrix, OnlineCluster, GridSim, grid sweep —
+// can run it without touching an enum.
+//
+// Layering: this header depends only on src/core.  The built-in
+// registrations (policy/builtin.cpp) pull in src/pt; the on-line engine
+// (src/sim) includes only this header, never policy/policy.h.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/profile.h"
+#include "core/schedule.h"
+
+namespace lgs {
+
+/// A queued local job as the on-line dispatcher sees it: the allotment is
+/// already fixed (sim/online_cluster's a-priori strategy) and the
+/// duration is speed-adjusted wall time on this cluster.
+struct QueuedJobView {
+  JobId id = kInvalidJob;
+  std::size_t record = 0;  ///< stable per-submission key (record index)
+  int procs = 1;           ///< fixed allotment on this cluster
+  Time duration = 0.0;     ///< speed-adjusted execution time
+  Time submit = 0.0;
+  int priority = 0;        ///< §1.2 priority file (queue is ordered by it)
+};
+
+/// A running local job (best-effort runs are killable and therefore
+/// transparent to queue policies — they never appear here).
+struct RunningJobView {
+  std::size_t record = 0;
+  int procs = 1;
+  Time finish = 0.0;
+};
+
+/// pick_next() sentinel: nothing can start now.
+constexpr std::size_t kNoPick = static_cast<std::size_t>(-1);
+
+/// The dispatch state handed to a QueuePolicy: free processors, the
+/// killable best-effort width, the priority-ordered queue, the running
+/// local jobs, and a *shared* availability skyline.  The engine keeps
+/// one context alive across all picks of a dispatch cycle.  Everything
+/// beyond the scalar counters is lazy: the queue/running views
+/// materialize on first access (FCFS, which only needs `head_procs`,
+/// never pays for them), and the skyline is built at most once per
+/// cycle and updated incrementally as picks start — policies never
+/// rebuild a `Profile` from scratch per event.
+class DispatchContext {
+ public:
+  /// Engine callback that fills the job views from its current state.
+  using ViewFiller = std::function<void(std::vector<QueuedJobView>&,
+                                        std::vector<RunningJobView>&)>;
+
+  explicit DispatchContext(ViewFiller fill) : fill_(std::move(fill)) {}
+
+  Time now = 0.0;
+  int free_procs = 0;      ///< truly idle processors
+  int killable_procs = 0;  ///< processors held by killable best-effort runs
+  int capacity = 0;        ///< usable processors right now (volatility)
+  int total_procs = 0;     ///< the cluster's full size
+  double speed = 1.0;
+  int head_procs = 0;  ///< width of the queue head — O(1), always valid
+
+  /// Processors a local job can claim immediately (idle + killable).
+  int available() const { return free_procs + killable_procs; }
+
+  /// The queue (priority order, FCFS within a level) and the running
+  /// local jobs, materialized from the engine on first access.
+  const std::vector<QueuedJobView>& queue() const;
+  const std::vector<RunningJobView>& running() const;
+
+  /// Skyline of the running local jobs over `capacity` processors from
+  /// `now` on, built lazily on first access and then kept in sync by
+  /// `on_started`.  Shared across picks: policies that commit
+  /// reservations (EASY's shadow, conservative's chain) must copy it.
+  const Profile& local_profile() const;
+
+  /// Engine-side maintenance after a pick started: drops the view
+  /// caches (they re-materialize lazily from the engine's updated
+  /// state) and commits the started job into the cached skyline, so
+  /// the profile survives the whole cycle.  The engine refreshes the
+  /// scalar counters itself.
+  void on_started(const QueuedJobView& started);
+
+ private:
+  void materialize() const;
+
+  ViewFiller fill_;
+  mutable bool views_built_ = false;
+  mutable std::vector<QueuedJobView> queue_;
+  mutable std::vector<RunningJobView> running_;
+  mutable std::unique_ptr<Profile> profile_;
+};
+
+/// On-line facet of a policy: the brain of OnlineCluster::dispatch().
+/// The engine calls pick_next() in a loop; a returned index is started
+/// immediately (so stateful policies may commit internal bookkeeping —
+/// e.g. pop a batch plan entry — before returning it).
+class QueuePolicy {
+ public:
+  virtual ~QueuePolicy() = default;
+
+  /// A job entered the queue (fresh submission or volatility resubmit).
+  virtual void on_submit(const QueuedJobView& job) { (void)job; }
+
+  /// A running local job completed (or was preempted by volatility).
+  virtual void on_completion(std::size_t record) { (void)record; }
+
+  /// Index into ctx.queue of a job to start *now* (its procs must fit
+  /// ctx.available()), or kNoPick when nothing may start yet.
+  virtual std::size_t pick_next(const DispatchContext& ctx) = 0;
+};
+
+/// One scheduling policy, both facets.  Stateless and reusable off-line;
+/// make_queue_policy() returns a fresh per-cluster on-line instance.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// The registry name (also the report/JSON label).
+  virtual const std::string& name() const = 0;
+
+  /// Off-line facet: schedule `jobs` (release dates honored — off-line
+  /// algorithms are wrapped in the §4.2 batch transformation) on m
+  /// processors.
+  virtual Schedule schedule(const JobSet& jobs, int m) const = 0;
+
+  /// On-line facet: a fresh queue policy driving one cluster's dispatch.
+  virtual std::unique_ptr<QueuePolicy> make_queue_policy() const = 0;
+};
+
+using PolicyFactory = std::function<std::unique_ptr<SchedulingPolicy>()>;
+
+/// Register a policy under `name`.  Returns true; throws
+/// std::invalid_argument on a duplicate or empty name.  Thread-safe.
+bool register_policy(const std::string& name, PolicyFactory factory);
+
+/// Static-initializer-safe variant (what LGS_REGISTER_POLICY expands
+/// to): instead of throwing — which before main() means an opaque
+/// std::terminate — a failed registration is recorded, and every later
+/// registry accessor throws one clear diagnosis naming the policy.
+bool register_policy_or_defer(const std::string& name,
+                              PolicyFactory factory) noexcept;
+
+bool is_registered_policy(const std::string& name);
+
+/// Every registered name, in registration order (built-ins first, in the
+/// paper's presentation order, then user extensions).
+std::vector<std::string> registered_policy_names();
+
+/// Instantiate a policy by name; throws std::invalid_argument with the
+/// known names when `name` is not registered.
+std::unique_ptr<SchedulingPolicy> make_policy(const std::string& name);
+
+/// Shorthand for make_policy(name)->make_queue_policy().
+std::unique_ptr<QueuePolicy> make_queue_policy(const std::string& name);
+
+namespace detail {
+/// Defined in policy/builtin.cpp; called once by the registry accessors.
+/// The explicit call forces the linker to keep builtin.cpp even though
+/// it is only reachable through static registration.
+void register_builtin_policies();
+}  // namespace detail
+
+/// Self-registration for user extensions (place at namespace scope in a
+/// .cpp of the final binary; object files in static libraries are only
+/// linked when referenced, which is why the built-ins register through
+/// detail::register_builtin_policies instead).
+#define LGS_REGISTER_POLICY(ident, name, ...)                 \
+  [[maybe_unused]] static const bool lgs_policy_reg_##ident = \
+      ::lgs::register_policy_or_defer((name), __VA_ARGS__)
+
+}  // namespace lgs

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/profile.h"
-
 namespace lgs {
 
 OnlineCluster::OnlineCluster(Simulator& sim, const Cluster& desc, Options opts)
-    : sim_(sim), desc_(desc), opts_(opts), procs_total_(desc.processors()) {
+    : sim_(sim),
+      desc_(desc),
+      opts_(std::move(opts)),
+      qpolicy_(make_queue_policy(opts_.policy)),
+      procs_total_(desc.processors()) {
   if (procs_total_ < 1)
     throw std::invalid_argument("cluster without processors");
   capacity_ = procs_total_;
@@ -49,6 +51,8 @@ void OnlineCluster::set_capacity(int procs) {
         (sim_.now() - records_[evicted.record].start);
     // Resubmit at the head of the queue; progress is lost (restart).
     Queued q{submitted_[evicted.record], sim_.now(), evicted.record, 0};
+    qpolicy_->on_completion(evicted.record);  // the run is gone
+    qpolicy_->on_submit(view_of(q));
     queue_.insert(queue_.begin(), std::move(q));
   }
   dispatch();
@@ -93,8 +97,43 @@ void OnlineCluster::submit_local(const Job& j, int queue_priority) {
       break;
     }
   }
+  qpolicy_->on_submit(view_of(entry));
   queue_.insert(pos, std::move(entry));
   dispatch();
+}
+
+QueuedJobView OnlineCluster::view_of(const Queued& q) const {
+  QueuedJobView view;
+  view.id = q.job.id;
+  view.record = q.record;
+  view.procs = records_[q.record].procs;
+  view.duration = q.job.time(view.procs) / desc_.speed;
+  view.submit = q.submit;
+  view.priority = q.priority;
+  return view;
+}
+
+DispatchContext OnlineCluster::make_dispatch_context() const {
+  // Views materialize lazily from the *current* engine state, so the
+  // filler is re-invoked after every pick without the engine having to
+  // maintain a parallel copy.
+  DispatchContext ctx([this](std::vector<QueuedJobView>& queue,
+                             std::vector<RunningJobView>& running) {
+    queue.reserve(queue_.size());
+    for (const Queued& q : queue_) queue.push_back(view_of(q));
+    running.reserve(running_.size());
+    for (const RunningLocal& r : running_)
+      running.push_back(RunningJobView{r.record, r.procs, r.finish});
+  });
+  ctx.now = sim_.now();
+  ctx.free_procs = free_;
+  ctx.killable_procs = killable_procs();
+  ctx.capacity = capacity_;
+  ctx.total_procs = procs_total_;
+  ctx.speed = desc_.speed;
+  ctx.head_procs =
+      queue_.empty() ? 0 : records_[queue_.front().record].procs;
+  return ctx;
 }
 
 void OnlineCluster::account(int delta_local, int delta_be) {
@@ -119,7 +158,13 @@ double OnlineCluster::local_busy_integral() const {
   return local_busy_integral_ + span * local_busy_now_;
 }
 
-double OnlineCluster::expected_wait() const {
+double OnlineCluster::expected_wait(int procs) const {
+  if (procs < 1)
+    throw std::invalid_argument("expected_wait needs procs >= 1");
+  // Wider than the volatility-shrunk capacity: the wait is unbounded
+  // until nodes return — signal infinity so no exchange policy routes a
+  // wide job into a crippled cluster (mirrors the too-small-cluster bid).
+  if (procs > capacity_) return kTimeInfinity;
   double work = 0.0;  // processor-seconds of wall time still owed
   for (const Queued& q : queue_)
     work += static_cast<double>(records_[q.record].procs) *
@@ -127,7 +172,27 @@ double OnlineCluster::expected_wait() const {
   for (const RunningLocal& r : running_)
     work += static_cast<double>(r.procs) *
             std::max(0.0, r.finish - sim_.now());
-  return work / procs_total_;
+  const double backlog = work / capacity_;
+  if (procs <= free_ + killable_procs()) return backlog;
+  // Width term: a `procs`-wide job must wait for enough running local
+  // jobs to finish before that many processors are simultaneously free
+  // (best-effort runs are killable and therefore free on demand).  Walk
+  // the completions in finish order.
+  std::vector<const RunningLocal*> by_finish;
+  by_finish.reserve(running_.size());
+  for (const RunningLocal& r : running_) by_finish.push_back(&r);
+  std::sort(by_finish.begin(), by_finish.end(),
+            [](const RunningLocal* a, const RunningLocal* b) {
+              return a->finish < b->finish;
+            });
+  double width_wait = 0.0;
+  int avail = free_ + killable_procs();
+  for (const RunningLocal* r : by_finish) {
+    avail += r->procs;
+    width_wait = std::max(0.0, r->finish - sim_.now());
+    if (avail >= procs) break;
+  }
+  return std::max(backlog, width_wait);
 }
 
 void OnlineCluster::kill_best_effort(int count) {
@@ -189,61 +254,35 @@ void OnlineCluster::finish_local(std::size_t record_index) {
     throw std::logic_error("completion for unknown local job");
   free_ += it->procs;
   account(-it->procs, 0);
+  qpolicy_->on_completion(record_index);
   running_.erase(it);
   dispatch();
 }
 
 void OnlineCluster::dispatch() {
-  // Phase 1: local jobs, FCFS with optional EASY backfilling.  Best-effort
-  // runs never block a local job — they are killable, so the head fits
-  // whenever free + killable >= procs.
-  bool progress = true;
-  while (progress && !queue_.empty()) {
-    progress = false;
-    const int head_procs = records_[queue_.front().record].procs;
-    const int avail = free_ + killable_procs();
-    if (head_procs <= avail) {
-      start_local(0);
-      progress = true;
-      continue;
-    }
-    if (!opts_.easy_backfill) break;
-
-    // Head is stuck: build an availability profile of the running *local*
-    // jobs (best-effort runs are killable, hence transparent), reserve the
-    // head at its shadow — usage only decreases ahead of now, so
-    // earliest_fit is exactly "when enough processors free up" — and let
-    // any queued job that fits around the reservation start.  The profile
-    // query subsumes both classic EASY conditions (ends before the shadow
-    // / fits in the surplus).
-    const Time now = sim_.now();
-    Profile prof(capacity_);
-    prof.reserve(2 * (running_.size() + 1));
-    for (const RunningLocal& r : running_)
-      if (r.finish > now + kTimeEps) prof.commit(now, r.finish - now, r.procs);
-    const Time head_dur = queue_.front().job.time(head_procs) / desc_.speed;
-    // A head wider than the volatility-shrunk capacity cannot be reserved
-    // at all — it waits for capacity to return.  Backfilling is then only
-    // allowed up to the last running completion (the pre-profile logic's
-    // exhausted-shadow case), so the head is not pushed back further.
-    const bool reservable = head_procs <= capacity_;
-    Time shadow = now;
-    if (reservable) {
-      shadow = prof.earliest_fit(now, head_dur, head_procs);
-      prof.commit(shadow, head_dur, head_procs);
-    } else {
-      for (const RunningLocal& r : running_)
-        shadow = std::max(shadow, r.finish);
-    }
-    for (std::size_t qi = 1; qi < queue_.size(); ++qi) {
-      const int k = records_[queue_[qi].record].procs;
-      if (k > free_ + killable_procs()) continue;
-      const Time dur = queue_[qi].job.time(k) / desc_.speed;
-      if (!prof.fits(now, dur, k)) continue;
-      if (!reservable && now + dur > shadow + kTimeEps) continue;
-      start_local(qi);
-      progress = true;
-      break;  // indices shifted; restart the scan
+  // Phase 1: local jobs, ordered by the injected queue policy.
+  // Best-effort runs never block a local job — they are killable, so a
+  // pick fits whenever free + killable >= procs.  One context serves
+  // every pick of the cycle; on_started keeps it (and its lazily built
+  // skyline) in sync, so policies never rebuild a Profile per event.
+  if (!queue_.empty()) {
+    DispatchContext ctx = make_dispatch_context();
+    while (!queue_.empty()) {
+      const std::size_t pick = qpolicy_->pick_next(ctx);
+      if (pick == kNoPick) break;
+      if (pick >= queue_.size())
+        throw std::logic_error("queue policy picked outside the queue");
+      const QueuedJobView started = view_of(queue_[pick]);
+      if (started.procs > free_ + killable_procs())
+        throw std::logic_error("queue policy picked a job that does not fit");
+      start_local(pick);
+      // Keep the shared context current: profile updated incrementally,
+      // views re-materialized on demand, scalars refreshed here.
+      ctx.on_started(started);
+      ctx.free_procs = free_;
+      ctx.killable_procs = killable_procs();
+      ctx.head_procs =
+          queue_.empty() ? 0 : records_[queue_.front().record].procs;
     }
   }
 

@@ -1,18 +1,23 @@
 // On-line single-cluster engine on top of the DES kernel.
 //
 // Models one cluster of a light grid under the paper's submission rules
-// (§1.2): local jobs arrive in a priority file (FCFS queue, optional EASY
-// backfilling) and — for the centralized grid of §5.2 — idle processors
-// are filled with killable *best-effort* runs drawn from an external
-// source.  A local job that needs processors currently held by best-effort
-// runs kills them; the source is notified so it can resubmit.
+// (§1.2): local jobs arrive in a priority file and are dispatched by a
+// pluggable *queue policy* (policy/registry.h) — FCFS, EASY backfilling,
+// conservative backfilling, or any batch policy through the §4.2 batch
+// transformation adapter.  For the centralized grid of §5.2, idle
+// processors are filled with killable *best-effort* runs drawn from an
+// external source.  A local job that needs processors currently held by
+// best-effort runs kills them; the source is notified so it can resubmit.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/job.h"
 #include "platform/platform.h"
+#include "policy/registry.h"
 #include "sim/simulator.h"
 
 namespace lgs {
@@ -66,7 +71,11 @@ class OnlineCluster {
   enum class KillPolicy { kYoungestFirst, kOldestFirst, kLongestRemaining };
 
   struct Options {
-    bool easy_backfill = false;  ///< backfill local jobs past a stuck head
+    /// Registry name (policy/registry.h) of the queue policy driving
+    /// dispatch.  Any registered policy runs on-line: "fcfs-list" and
+    /// "easy-backfill" are the classical submission systems; batch and
+    /// shelf policies run through the §4.2 batch adapter.
+    std::string policy = "fcfs-list";
     KillPolicy kill_policy = KillPolicy::kYoungestFirst;
   };
 
@@ -94,10 +103,14 @@ class OnlineCluster {
 
   const VolatilityStats& volatility_stats() const { return volatility_; }
 
-  /// Estimated wait for a new `procs`-wide job: queued+running local work
-  /// divided by capacity — the load signal used by the decentralized
-  /// exchange policies.
-  double expected_wait() const;
+  /// Estimated wait for a new `procs`-wide job — the load signal used by
+  /// the decentralized exchange policies.  Combines the backlog
+  /// (queued+running local work divided by the usable capacity) with a
+  /// width term: a wide job additionally waits until `procs` processors
+  /// can be simultaneously free (best-effort runs are killable and do
+  /// not count as occupancy).  A job wider than the current
+  /// volatility-shrunk capacity waits for nodes to return: infinity.
+  double expected_wait(int procs = 1) const;
 
   int processors() const { return procs_total_; }
   double speed() const { return desc_.speed; }
@@ -141,6 +154,10 @@ class OnlineCluster {
   void start_local(std::size_t queue_index);
   void finish_local(std::size_t record_index);
   int allotment_for(const Job& j) const;
+  QueuedJobView view_of(const Queued& q) const;
+  /// Snapshot of the current dispatch state for the queue policy; kept
+  /// in sync across the picks of one dispatch cycle via on_started().
+  DispatchContext make_dispatch_context() const;
   /// Accrue busy integrals up to now, then apply counter deltas.
   void account(int delta_local, int delta_be);
   int killable_procs() const { return static_cast<int>(be_running_.size()); }
@@ -149,6 +166,7 @@ class OnlineCluster {
   Simulator& sim_;
   Cluster desc_;
   Options opts_;
+  std::unique_ptr<QueuePolicy> qpolicy_;
   int procs_total_;
   int capacity_ = 0;  ///< currently usable processors (volatility)
   int free_ = 0;

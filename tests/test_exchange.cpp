@@ -1,6 +1,9 @@
 // Tests for decentralized load exchange (grid/exchange.h), §5.2.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
+
 #include "grid/exchange.h"
 
 namespace lgs {
@@ -89,6 +92,62 @@ TEST(Exchange, WideJobStaysWhereItFits) {
   const ExchangeResult res =
       run_exchange(g, w, {ExchangePolicy::kEconomic, 10.0, 1.0});
   EXPECT_GT(res.mean_flow, 0.0);  // completed without throwing
+}
+
+Cluster four_proc_cluster(ClusterId id) {
+  return {id, "ew", 4, 1, 1.0, Interconnect::kGigabitEthernet, "Linux", 0};
+}
+
+TEST(Exchange, ExpectedWaitIsWidthAware) {
+  Simulator sim;
+  OnlineCluster cluster(sim, four_proc_cluster(0));
+  cluster.submit_local(Job::rigid(0, 2, 10.0));  // 2 procs until t=10
+  cluster.submit_local(Job::rigid(1, 1, 4.0));   // 1 proc until t=4
+  // Backlog: (2*10 + 1*4) / 4 = 6 processor-seconds per processor.
+  EXPECT_NEAR(cluster.expected_wait(1), 6.0, 1e-9);
+  // A 2-wide job frees up at t=4 (the 1-wide completion) — still below
+  // the backlog, so the signal stays 6.
+  EXPECT_NEAR(cluster.expected_wait(2), 6.0, 1e-9);
+  // A full-width job cannot start before the last completion at t=10:
+  // the width term dominates the backlog.
+  EXPECT_NEAR(cluster.expected_wait(4), 10.0, 1e-9);
+  sim.run();
+  // Drained cluster: no wait at any width.
+  EXPECT_DOUBLE_EQ(cluster.expected_wait(1), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.expected_wait(4), 0.0);
+  EXPECT_THROW(cluster.expected_wait(0), std::invalid_argument);
+}
+
+TEST(Exchange, ExpectedWaitIsInfiniteBeyondShrunkCapacity) {
+  Simulator sim;
+  OnlineCluster cluster(sim, four_proc_cluster(0));
+  cluster.set_capacity(2);  // volatility took half the nodes
+  // Wider than the usable capacity: unbounded until nodes return — the
+  // signal must repel routing instead of reporting a tiny backlog.
+  EXPECT_EQ(cluster.expected_wait(3), kTimeInfinity);
+  EXPECT_EQ(cluster.expected_wait(4), kTimeInfinity);
+  // Within the shrunk capacity the signal stays finite.
+  EXPECT_DOUBLE_EQ(cluster.expected_wait(2), 0.0);
+  cluster.set_capacity(4);
+  EXPECT_DOUBLE_EQ(cluster.expected_wait(4), 0.0);
+  sim.run();
+}
+
+TEST(Exchange, ThresholdRoutingSeesWidthPressure) {
+  Simulator sim;
+  std::vector<std::unique_ptr<OnlineCluster>> clusters;
+  clusters.push_back(
+      std::make_unique<OnlineCluster>(sim, four_proc_cluster(0)));
+  clusters.push_back(
+      std::make_unique<OnlineCluster>(sim, four_proc_cluster(1)));
+  clusters[0]->submit_local(Job::sequential(0, 12.0));  // 1 proc until 12
+  const ExchangeOptions opts{ExchangePolicy::kThreshold, 5.0, 1.0};
+  // A narrow job sees only the backlog (12/4 = 3 < threshold): stays home.
+  EXPECT_EQ(exchange_target(clusters, 0, Job::rigid(1, 1, 1.0), opts), 0u);
+  // A full-width job must wait 12 s for the running job — over the
+  // threshold, and the idle cluster 1 wins by more than the penalty.
+  EXPECT_EQ(exchange_target(clusters, 0, Job::rigid(2, 4, 1.0), opts), 1u);
+  sim.run();
 }
 
 TEST(Exchange, PolicyNames) {

@@ -36,6 +36,7 @@ void expect_cells_identical(const GridCellResult& a, const GridCellResult& b) {
   EXPECT_EQ(a.cell.clusters, b.cell.clusters);
   EXPECT_EQ(a.cell.skew, b.cell.skew);
   EXPECT_EQ(a.cell.routing, b.cell.routing);
+  EXPECT_EQ(a.cell.policy, b.cell.policy);
   EXPECT_EQ(a.cell.seed, b.cell.seed);
   EXPECT_EQ(a.horizon, b.horizon);
   EXPECT_EQ(a.jobs, b.jobs);
@@ -80,11 +81,12 @@ TEST(GridSweep, ExpansionCoversEveryCoordinateOnce) {
   const auto cells = expand_grid_cells(spec);
   ASSERT_EQ(cells.size(), spec.cell_count());
   ASSERT_EQ(cells.size(), 2u * 2u * spec.routings.size() * 2u);
-  std::set<std::tuple<int, double, int, std::uint64_t>> seen;
+  std::set<std::tuple<int, double, int, std::string, std::uint64_t>> seen;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     EXPECT_EQ(cells[i].index, i);
     seen.insert({cells[i].clusters, cells[i].skew,
-                 static_cast<int>(cells[i].routing), cells[i].seed});
+                 static_cast<int>(cells[i].routing), cells[i].policy,
+                 cells[i].seed});
   }
   EXPECT_EQ(seen.size(), cells.size()) << "duplicate grid coordinates";
 }
@@ -99,10 +101,63 @@ TEST(GridSweep, EveryCellValidates) {
         << " clusters, skew " << c.cell.skew;
 }
 
+// The registry unlock: conservative backfilling and a batch policy (via
+// the §4.2 adapter) running *online* inside full grid simulations — with
+// best-effort campaign and node volatility on — every cell clean under
+// validate_grid_result.
+TEST(GridSweep, PolicyAxisRunsConservativeAndBatchPoliciesOnline) {
+  GridSweepSpec spec = small_spec();
+  spec.cluster_counts = {2};
+  spec.skews = {2.0};
+  spec.seeds = {5};
+  spec.routings = {GridRouting::kIsolated, GridRouting::kEconomic};
+  spec.policies = {"conservative-bf", "smart-shelves"};
+  const GridSweepResult result = run_grid_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.violation_count, 0u);
+  for (const GridCellResult& c : result.cells) {
+    EXPECT_TRUE(c.violations.empty())
+        << c.cell.policy << " under " << to_string(c.cell.routing) << ": "
+        << (c.violations.empty() ? "" : c.violations.front());
+    EXPECT_GT(c.jobs, 0) << c.cell.policy;
+    EXPECT_GT(c.grid_runs_completed, 0) << c.cell.policy;
+  }
+}
+
+// An empty policies axis falls back to the base submission system: a
+// caller who only sets cluster.policy is never silently overridden.
+TEST(GridSweep, EmptyPolicyAxisUsesClusterPolicy) {
+  GridSweepSpec spec = small_spec();
+  spec.cluster.policy = "easy-backfill";
+  ASSERT_TRUE(spec.policies.empty());
+  const auto effective = spec.effective_policies();
+  ASSERT_EQ(effective.size(), 1u);
+  EXPECT_EQ(effective.front(), "easy-backfill");
+  for (const GridCell& c : expand_grid_cells(spec))
+    EXPECT_EQ(c.policy, "easy-backfill");
+}
+
+// Different queue policies must actually produce different grid dynamics
+// (the axis is live, not cosmetic).
+TEST(GridSweep, PolicyAxisChangesTheOutcome) {
+  GridSweepSpec spec = small_spec();
+  spec.cluster_counts = {2};
+  spec.skews = {1.0};
+  spec.seeds = {5};
+  spec.routings = {GridRouting::kIsolated};
+  spec.policies = {"fcfs-list", "smart-shelves"};
+  spec.volatility.events = 0;  // isolate the policy effect
+  const GridSweepResult result = run_grid_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.violation_count, 0u);
+  EXPECT_NE(result.cells[0].mean_wait, result.cells[1].mean_wait)
+      << "fcfs-list and smart-shelves agreed on every start time";
+}
+
 TEST(GridSweep, WorkloadsAreKeyedOnClusterIndex) {
   const GridSweepSpec spec = small_spec();
-  GridCell two{0, 2, 1.0, GridRouting::kIsolated, 5};
-  GridCell three{0, 3, 1.0, GridRouting::kIsolated, 5};
+  GridCell two{0, 2, 1.0, GridRouting::kIsolated, "fcfs-list", 5};
+  GridCell three{0, 3, 1.0, GridRouting::kIsolated, "fcfs-list", 5};
   const auto w2 = make_grid_workloads(spec, two);
   const auto w3 = make_grid_workloads(spec, three);
   ASSERT_EQ(w2.size(), 2u);

@@ -58,7 +58,7 @@ TEST(OnlineCluster, MoldableJobsGetBestAllotment) {
 TEST(OnlineCluster, EasyBackfillOption) {
   Simulator sim;
   OnlineCluster::Options opts;
-  opts.easy_backfill = true;
+  opts.policy = "easy-backfill";
   OnlineCluster cluster(sim, small_cluster(4), opts);
   cluster.submit_local(Job::rigid(0, 3, 10.0));
   cluster.submit_local(Job::rigid(1, 4, 5.0, 1.0));     // stuck head
@@ -142,6 +142,51 @@ TEST(OnlineCluster, KillPolicyChoosesVictim) {
     sim.run();
     EXPECT_EQ(source.kills, 1) << "policy " << static_cast<int>(policy);
     EXPECT_EQ(source.done, 2);
+  }
+}
+
+// Ablation over the three kill policies (DESIGN.md ✧6) on one fixed
+// scenario with distinguishable victims: three best-effort runs — 50s and
+// 100s both started at t=0, a 10s run started at t=2 — and a 1-wide local
+// job arriving at t=5 that kills exactly one of them.
+//   * youngest-first kills the t=2 run (wasted 5-2 = 3s);
+//   * oldest-first kills the 50s run, first of the t=0 pair (wasted 5s);
+//   * longest-remaining kills the 100s run, pushing the horizon to 106
+//     (resubmitted at t=6 after the local job frees the processor).
+TEST(OnlineCluster, KillPolicyAblationOrderAndAccounting) {
+  struct Case {
+    OnlineCluster::KillPolicy policy;
+    double wasted;
+    double horizon;
+  };
+  const Case cases[] = {
+      {OnlineCluster::KillPolicy::kYoungestFirst, 3.0, 100.0},
+      {OnlineCluster::KillPolicy::kOldestFirst, 5.0, 100.0},
+      {OnlineCluster::KillPolicy::kLongestRemaining, 5.0, 106.0},
+  };
+  for (const Case& c : cases) {
+    Simulator sim;
+    OnlineCluster::Options opts;
+    opts.kill_policy = c.policy;
+    OnlineCluster cluster(sim, small_cluster(3), opts);
+    TestSource source;
+    source.bag = {50.0, 100.0, 10.0};
+    cluster.submit_local(Job::rigid(0, 1, 2.0));  // holds a proc until t=2
+    cluster.set_besteffort_source(source.make());
+    cluster.submit_local(Job::rigid(1, 1, 1.0, 5.0));  // kills one run at 5
+    sim.run();
+    const int tag = static_cast<int>(c.policy);
+    EXPECT_EQ(source.kills, 1) << "policy " << tag;
+    EXPECT_EQ(source.done, 3) << "policy " << tag;
+    const BestEffortStats& be = cluster.besteffort_stats();
+    EXPECT_EQ(be.started, 4) << "3 first starts + 1 resubmission";
+    EXPECT_EQ(be.completed, 3) << "policy " << tag;
+    EXPECT_EQ(be.killed, 1) << "policy " << tag;
+    EXPECT_DOUBLE_EQ(be.wasted_time, c.wasted) << "policy " << tag;
+    // Every run eventually completes; total useful wall time is the same
+    // whichever victim died (50 + 100 + 10).
+    EXPECT_DOUBLE_EQ(be.completed_time, 160.0) << "policy " << tag;
+    EXPECT_DOUBLE_EQ(sim.now(), c.horizon) << "policy " << tag;
   }
 }
 

@@ -13,6 +13,12 @@ TEST(Policy, EnumerationsComplete) {
   for (PolicyKind p : all_policies()) EXPECT_STRNE(to_string(p), "?");
   for (ApplicationClass a : all_application_classes())
     EXPECT_STRNE(to_string(a), "?");
+  // With no extensions registered, the registry roster IS the classical
+  // enum roster, in the same presentation order.
+  const std::vector<std::string> names = all_policy_names();
+  ASSERT_EQ(names.size(), all_policies().size());
+  for (std::size_t i = 0; i < names.size(); ++i)
+    EXPECT_EQ(names[i], to_string(all_policies()[i]));
 }
 
 TEST(Policy, WorkloadsMatchClassShape) {
@@ -80,7 +86,7 @@ TEST(Policy, MatrixHasAllRowsAndSaneRatios) {
     ASSERT_EQ(row.scores.size(), all_policies().size());
     for (const PolicyScore& score : row.scores) {
       EXPECT_GE(score.cmax_ratio, 1.0 - 1e-6)
-          << to_string(score.policy) << " on " << to_string(row.app);
+          << score.policy << " on " << to_string(row.app);
       EXPECT_GE(score.sum_wc_ratio, 1.0 - 1e-6);
       EXPECT_GT(score.utilization, 0.0);
       EXPECT_LE(score.utilization, 1.0 + 1e-9);
@@ -90,16 +96,16 @@ TEST(Policy, MatrixHasAllRowsAndSaneRatios) {
 
 TEST(Policy, RecommendationsAreFromTheScoreSet) {
   const auto matrix = evaluate_policy_matrix(16, 25, 5);
-  const auto policies = all_policies();
-  const auto member = [&](PolicyKind p) {
-    for (PolicyKind q : policies)
+  const auto policies = all_policy_names();
+  const auto member = [&](const std::string& p) {
+    for (const std::string& q : policies)
       if (q == p) return true;
     return false;
   };
   for (const MatrixRow& row : matrix) {
-    EXPECT_TRUE(member(row.best_for_cmax));
-    EXPECT_TRUE(member(row.best_for_sum_wc));
-    EXPECT_TRUE(member(row.best_for_max_flow));
+    EXPECT_TRUE(member(row.best_for_cmax)) << row.best_for_cmax;
+    EXPECT_TRUE(member(row.best_for_sum_wc)) << row.best_for_sum_wc;
+    EXPECT_TRUE(member(row.best_for_max_flow)) << row.best_for_max_flow;
   }
 }
 

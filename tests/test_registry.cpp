@@ -1,0 +1,360 @@
+// Tests for the scheduling-policy registry (policy/registry.h): the
+// string-keyed factory behind run_policy, OnlineCluster dispatch and the
+// sweep axes.
+//
+// The acceptance gate is differential: every registered built-in must
+// produce output bit-identical to the pre-registry `run_policy` enum
+// switch, whose bodies are reproduced here verbatim as the oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "core/validate.h"
+#include "criteria/lower_bounds.h"
+#include "exp/sweep.h"
+#include "policy/policy.h"
+#include "policy/registry.h"
+#include "pt/allotment.h"
+#include "pt/backfill.h"
+#include "pt/batch.h"
+#include "pt/bicriteria.h"
+#include "pt/mrt.h"
+#include "pt/rigid_list.h"
+#include "pt/shelves.h"
+#include "pt/smart.h"
+#include "sim/grid_sim.h"
+#include "sim/online_cluster.h"
+
+namespace lgs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The pre-registry `run_policy` switch, kept verbatim as the differential
+// oracle: the registry path must reproduce it bit for bit.
+// ---------------------------------------------------------------------------
+
+JobSet rigidize(const JobSet& jobs, int m) {
+  return fix_canonical(jobs, cmax_lower_bound(jobs, m), m);
+}
+
+Schedule reference_run_policy(PolicyKind policy, const JobSet& jobs, int m) {
+  switch (policy) {
+    case PolicyKind::kFcfsList:
+      return list_schedule_rigid(rigidize(jobs, m), m,
+                                 {ListOrder::kSubmission, true});
+    case PolicyKind::kEasyBackfill:
+      return easy_backfill(rigidize(jobs, m), m);
+    case PolicyKind::kConservativeBackfill:
+      return conservative_backfill(rigidize(jobs, m), m);
+    case PolicyKind::kFfdhShelves:
+      return batch_schedule(jobs, m,
+                            [](const JobSet& batch, int machines) {
+                              return shelf_schedule_rigid(
+                                  rigidize(batch, machines), machines,
+                                  ShelfPolicy::kFirstFitDecreasing);
+                            })
+          .schedule;
+    case PolicyKind::kMrtBatches:
+      return online_moldable_schedule(jobs, m).schedule;
+    case PolicyKind::kSmartShelves:
+      return batch_schedule(jobs, m,
+                            [](const JobSet& batch, int machines) {
+                              return smart_schedule(rigidize(batch, machines),
+                                                    machines);
+                            })
+          .schedule;
+    case PolicyKind::kBicriteria:
+      return bicriteria_schedule(jobs, m).schedule;
+  }
+  throw std::logic_error("unknown policy");
+}
+
+void expect_schedules_identical(const Schedule& a, const Schedule& b,
+                                const std::string& label) {
+  ASSERT_EQ(a.machines(), b.machines()) << label;
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Assignment& x = a.assignments()[i];
+    const Assignment& y = b.assignments()[i];
+    EXPECT_EQ(x.job, y.job) << label << " assignment " << i;
+    EXPECT_EQ(x.start, y.start) << label << " job " << x.job;
+    EXPECT_EQ(x.nprocs, y.nprocs) << label << " job " << x.job;
+    EXPECT_EQ(x.duration, y.duration) << label << " job " << x.job;
+  }
+}
+
+TEST(Registry, EveryBuiltinBitIdenticalToEnumPath) {
+  const int m = 24;
+  for (ApplicationClass app : all_application_classes()) {
+    const JobSet jobs = make_application_workload(app, 40, m, 11);
+    for (PolicyKind kind : all_policies()) {
+      const std::string name = to_string(kind);
+      const Schedule oracle = reference_run_policy(kind, jobs, m);
+      const std::string label = name + " on " + to_string(app);
+      // Enum shim, string shim, and direct registry instantiation must
+      // all reproduce the old switch exactly.
+      expect_schedules_identical(oracle, run_policy(kind, jobs, m), label);
+      expect_schedules_identical(oracle, run_policy(name, jobs, m), label);
+      expect_schedules_identical(oracle, make_policy(name)->schedule(jobs, m),
+                                 label);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Enum <-> string round trips: a policy added to the registry but missing
+// a name (or vice versa) must fail here instead of printing garbage.
+// ---------------------------------------------------------------------------
+
+TEST(Registry, PolicyKindRoundTripsThroughStrings) {
+  for (PolicyKind p : all_policies()) {
+    const std::string name = to_string(p);
+    EXPECT_NE(name, "?");
+    EXPECT_EQ(policy_kind_from_string(name), p);
+    EXPECT_TRUE(is_registered_policy(name)) << name;
+    EXPECT_EQ(make_policy(name)->name(), name);
+  }
+  EXPECT_THROW(policy_kind_from_string("no-such-policy"),
+               std::invalid_argument);
+  EXPECT_THROW(policy_kind_from_string(""), std::invalid_argument);
+}
+
+TEST(Registry, ApplicationClassRoundTripsThroughStrings) {
+  for (ApplicationClass a : all_application_classes()) {
+    const std::string name = to_string(a);
+    EXPECT_NE(name, "?");
+    EXPECT_EQ(application_class_from_string(name), a);
+  }
+  EXPECT_THROW(application_class_from_string("no-such-class"),
+               std::invalid_argument);
+}
+
+TEST(Registry, RegisteredNamesAreUniqueAndResolvable) {
+  const std::vector<std::string> names = registered_policy_names();
+  EXPECT_GE(names.size(), all_policies().size());
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size()) << "duplicate registry names";
+  for (const std::string& name : names) {
+    const auto policy = make_policy(name);
+    EXPECT_EQ(policy->name(), name);
+    EXPECT_NE(policy->make_queue_policy(), nullptr) << name;
+  }
+}
+
+TEST(Registry, UnknownAndInvalidRegistrationsRejected) {
+  EXPECT_THROW(make_policy("no-such-policy"), std::invalid_argument);
+  EXPECT_THROW(make_queue_policy("no-such-policy"), std::invalid_argument);
+  EXPECT_THROW(register_policy("", [] {
+                 return std::unique_ptr<SchedulingPolicy>();
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(register_policy("fcfs-list",
+                               [] { return std::unique_ptr<SchedulingPolicy>(); }),
+               std::invalid_argument)
+      << "duplicate registration must be rejected";
+}
+
+// ---------------------------------------------------------------------------
+// Every registered policy must run ON-LINE: on one OnlineCluster and
+// inside a GridSim, draining a workload completely.
+// ---------------------------------------------------------------------------
+
+Cluster small_cluster(int nodes) {
+  return {0, "reg", nodes, 1, 1.0, Interconnect::kGigabitEthernet, "Linux", 0};
+}
+
+TEST(Registry, EveryPolicyDrainsAnOnlineCluster) {
+  for (const std::string& name : registered_policy_names()) {
+    Simulator sim;
+    OnlineCluster::Options opts;
+    opts.policy = name;
+    OnlineCluster cluster(sim, small_cluster(4), opts);
+    // Staggered arrivals with a mix of widths: head-blocking for FCFS,
+    // backfillable holes for the backfillers, several batches for the
+    // §4.2 adapters.
+    cluster.submit_local(Job::rigid(0, 3, 4.0));
+    cluster.submit_local(Job::rigid(1, 4, 2.0, 0.5));
+    cluster.submit_local(Job::sequential(2, 1.0, 0.5));
+    cluster.submit_local(Job::rigid(3, 2, 3.0, 5.0));
+    cluster.submit_local(Job::sequential(4, 2.0, 6.0, 2.0));
+    sim.run();
+    EXPECT_EQ(cluster.queued_jobs(), 0u) << name;
+    EXPECT_EQ(cluster.running_local_jobs(), 0u) << name;
+    const auto& recs = cluster.local_records();
+    ASSERT_EQ(recs.size(), 5u) << name;
+    for (const LocalJobRecord& r : recs) {
+      EXPECT_GE(r.start + kTimeEps, r.submit) << name << " job " << r.id;
+      EXPECT_GT(r.finish, r.start) << name << " job " << r.id;
+    }
+  }
+}
+
+TEST(Registry, EveryPolicyRunsInsideGridSim) {
+  for (const std::string& name : registered_policy_names()) {
+    const LightGrid grid = make_skewed_grid(2, 8, 2.0);
+    GridSimOptions opts;
+    opts.cluster.policy = name;
+    opts.bags.push_back(ParametricBag{"campaign", 40, 0.1, 2, 1.0});
+    GridSim sim(grid, opts);
+    std::vector<JobSet> locals(2);
+    for (int i = 0; i < 8; ++i) {
+      Job j = Job::rigid(i, 1 + i % 3, 1.0 + 0.5 * (i % 4), 0.3 * i);
+      j.community = i % 2;
+      locals[static_cast<std::size_t>(i % 2)].push_back(j);
+    }
+    sim.submit_workloads(locals);
+    const GridSimResult res = sim.run();
+    const auto violations = validate_grid_result(sim, res);
+    EXPECT_TRUE(violations.empty()) << name << ": " << violations.size()
+                                    << " violations, first: "
+                                    << (violations.empty() ? ""
+                                                           : violations[0]);
+    EXPECT_EQ(res.jobs_completed, 8) << name;
+  }
+}
+
+// The FCFS and EASY queue policies must reproduce the engine's historical
+// dispatch semantics exactly (these pin the refactor's behavior).
+TEST(Registry, FcfsQueueKeepsStrictOrder) {
+  Simulator sim;
+  OnlineCluster cluster(sim, small_cluster(2));  // default fcfs-list
+  cluster.submit_local(Job::rigid(0, 2, 5.0));
+  cluster.submit_local(Job::rigid(1, 2, 3.0));
+  cluster.submit_local(Job::sequential(2, 0.5));  // could backfill; must not
+  sim.run();
+  const auto& recs = cluster.local_records();
+  EXPECT_DOUBLE_EQ(recs[1].start, 5.0);
+  EXPECT_DOUBLE_EQ(recs[2].start, 8.0) << "FCFS must not backfill";
+}
+
+TEST(Registry, ConservativeQueueBackfillsWithoutDelayingAnyone) {
+  Simulator sim;
+  OnlineCluster::Options opts;
+  opts.policy = "conservative-bf";
+  OnlineCluster cluster(sim, small_cluster(4), opts);
+  cluster.submit_local(Job::rigid(0, 3, 10.0));        // runs at 0
+  cluster.submit_local(Job::rigid(1, 4, 5.0, 1.0));    // stuck head, res @10
+  cluster.submit_local(Job::sequential(2, 2.0, 1.0));  // hole until 10: OK
+  cluster.submit_local(Job::rigid(3, 2, 12.0, 1.5));   // would delay 1: wait
+  sim.run();
+  const auto& recs = cluster.local_records();
+  EXPECT_DOUBLE_EQ(recs[2].start, 1.0) << "harmless backfill must start";
+  EXPECT_DOUBLE_EQ(recs[1].start, 10.0) << "head must not be delayed";
+  EXPECT_GE(recs[3].start, 15.0 - kTimeEps)
+      << "a job that would delay the reservation chain must wait";
+}
+
+TEST(Registry, BatchQueueClosesBatchesLikeShmoysWeinWilliamson) {
+  Simulator sim;
+  OnlineCluster::Options opts;
+  opts.policy = "bi-criteria";
+  OnlineCluster cluster(sim, small_cluster(2), opts);
+  cluster.submit_local(Job::sequential(0, 4.0));
+  // Arrives while batch 1 runs: must wait for batch 1 to drain even
+  // though a processor is idle (the §4.2 transformation's structure).
+  cluster.submit_local(Job::sequential(1, 1.0, 1.0));
+  sim.run();
+  const auto& recs = cluster.local_records();
+  EXPECT_DOUBLE_EQ(recs[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(recs[1].start, 4.0)
+      << "mid-batch arrival must wait for the next batch";
+}
+
+// ---------------------------------------------------------------------------
+// User extension: register a policy under a new name and run it through
+// every engine — offline by name, online, and as a sweep axis.
+// ---------------------------------------------------------------------------
+
+/// Shortest-processing-time queue: always starts the shortest fitting job.
+class SptQueue : public QueuePolicy {
+ public:
+  std::size_t pick_next(const DispatchContext& ctx) override {
+    const std::vector<QueuedJobView>& queue = ctx.queue();
+    std::size_t best = kNoPick;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i].procs > ctx.available()) continue;
+      if (best == kNoPick || queue[i].duration < queue[best].duration)
+        best = i;
+    }
+    return best;
+  }
+};
+
+class SptPolicy : public SchedulingPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "test-spt";
+    return n;
+  }
+  Schedule schedule(const JobSet& jobs, int m) const override {
+    return list_schedule_rigid(rigidize(jobs, m), m,
+                               {ListOrder::kShortestFirst, false});
+  }
+  std::unique_ptr<QueuePolicy> make_queue_policy() const override {
+    return std::make_unique<SptQueue>();
+  }
+};
+
+LGS_REGISTER_POLICY(spt, "test-spt",
+                    [] { return std::make_unique<SptPolicy>(); });
+
+TEST(Registry, CustomPolicyJoinsTheRoster) {
+  EXPECT_TRUE(is_registered_policy("test-spt"));
+  const auto names = registered_policy_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-spt"), names.end());
+  // Outside the classical enum roster: no PolicyKind round trip.
+  EXPECT_THROW(policy_kind_from_string("test-spt"), std::invalid_argument);
+}
+
+TEST(Registry, BuiltinsComeBeforeExtensions) {
+  // "test-spt" registered in a static initializer — *before* the lazy
+  // built-in registration ran — yet the roster must lead with the
+  // built-ins in presentation order.
+  const auto names = registered_policy_names();
+  const auto builtins = all_policies();
+  ASSERT_GE(names.size(), builtins.size() + 1);
+  for (std::size_t i = 0; i < builtins.size(); ++i)
+    EXPECT_EQ(names[i], to_string(builtins[i])) << "position " << i;
+  EXPECT_EQ(names[builtins.size()], "test-spt");
+}
+
+TEST(Registry, CustomPolicyRunsOffline) {
+  const JobSet jobs = make_application_workload(
+      ApplicationClass::kMoldableParallel, 30, 16, 3);
+  const Schedule s = run_policy("test-spt", jobs, 16);
+  EXPECT_TRUE(validate(jobs, s).empty());
+}
+
+TEST(Registry, CustomPolicyRunsOnline) {
+  Simulator sim;
+  OnlineCluster::Options opts;
+  opts.policy = "test-spt";
+  OnlineCluster cluster(sim, small_cluster(1), opts);
+  cluster.submit_local(Job::sequential(0, 5.0));  // starts immediately
+  cluster.submit_local(Job::sequential(1, 3.0));
+  cluster.submit_local(Job::sequential(2, 1.0));
+  sim.run();
+  const auto& recs = cluster.local_records();
+  EXPECT_DOUBLE_EQ(recs[2].start, 5.0) << "SPT runs the shortest job first";
+  EXPECT_DOUBLE_EQ(recs[1].start, 6.0);
+}
+
+TEST(Registry, CustomPolicyIsASweepAxis) {
+  SweepSpec spec;
+  spec.policies = {"fcfs-list", "test-spt"};
+  spec.apps = {ApplicationClass::kRigidParallel};
+  spec.machine_sizes = {16};
+  spec.seeds = {9};
+  spec.jobs_per_class = 20;
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.violation_count, 0u);
+  EXPECT_EQ(result.cells[1].cell.policy, "test-spt");
+  EXPECT_GT(result.cells[1].cmax, 0.0);
+}
+
+}  // namespace
+}  // namespace lgs

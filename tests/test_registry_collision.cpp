@@ -1,0 +1,67 @@
+// A user registration that grabs a built-in policy name must not leave
+// the registry half-poisoned (policy/registry.h).  This binary's static
+// initializer registers "fcfs-list" before the lazy built-in
+// registration can run; every registry accessor must then report the
+// same clear diagnosis — not a misleading duplicate error from a
+// re-run, half-finished built-in registration.
+//
+// Deliberately a separate test binary: the collision is process-wide by
+// design, so it cannot share a process with the working-registry tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "policy/registry.h"
+
+namespace lgs {
+namespace {
+
+class Imposter : public SchedulingPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "fcfs-list";
+    return n;
+  }
+  Schedule schedule(const JobSet&, int m) const override {
+    return Schedule(m);
+  }
+  std::unique_ptr<QueuePolicy> make_queue_policy() const override {
+    return nullptr;
+  }
+};
+
+LGS_REGISTER_POLICY(imposter, "fcfs-list",
+                    [] { return std::make_unique<Imposter>(); });
+
+// A user-vs-user duplicate must not std::terminate before main() either:
+// the second registration defers its error to the same diagnosis.
+LGS_REGISTER_POLICY(dup_a, "dup-policy",
+                    [] { return std::make_unique<Imposter>(); });
+LGS_REGISTER_POLICY(dup_b, "dup-policy",
+                    [] { return std::make_unique<Imposter>(); });
+
+TEST(RegistryCollision, BuiltinNameCollisionIsDiagnosedOnEveryAccess) {
+  // Repeated access must yield the same diagnosis (no retry, no
+  // "policy 'fcfs-list' already registered" from a half-done re-run).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      registered_policy_names();
+      FAIL() << "the built-in name collision must surface";
+    } catch (const std::logic_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("fcfs-list"), std::string::npos) << what;
+      EXPECT_NE(what.find("built-in"), std::string::npos) << what;
+      EXPECT_NE(what.find("user registration"), std::string::npos) << what;
+      // The user-vs-user duplicate is part of the same diagnosis.
+      EXPECT_NE(what.find("dup-policy"), std::string::npos) << what;
+    }
+  }
+  EXPECT_THROW(make_policy("easy-backfill"), std::logic_error);
+  EXPECT_THROW(make_queue_policy("mrt-batches"), std::logic_error);
+  EXPECT_THROW(is_registered_policy("fcfs-list"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lgs

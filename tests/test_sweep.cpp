@@ -91,7 +91,7 @@ TEST(Sweep, EveryCellScheduleValidates) {
   EXPECT_EQ(result.violation_count, 0u);
   for (const CellResult& c : result.cells)
     EXPECT_TRUE(c.violations.empty())
-        << to_string(c.cell.policy) << " on " << to_string(c.cell.app);
+        << c.cell.policy << " on " << to_string(c.cell.app);
 }
 
 TEST(Sweep, GridExpansionCoversEveryCoordinateOnce) {
@@ -102,12 +102,11 @@ TEST(Sweep, GridExpansionCoversEveryCoordinateOnce) {
   ASSERT_EQ(cells.size(), spec.cell_count());
   ASSERT_EQ(cells.size(),
             spec.policies.size() * spec.apps.size() * 3u * 2u);
-  std::set<std::tuple<int, int, std::uint64_t, int>> seen;
+  std::set<std::tuple<std::string, int, std::uint64_t, int>> seen;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     EXPECT_EQ(cells[i].index, i);
-    seen.insert({static_cast<int>(cells[i].policy),
-                 static_cast<int>(cells[i].app), cells[i].seed,
-                 cells[i].machines});
+    seen.insert({cells[i].policy, static_cast<int>(cells[i].app),
+                 cells[i].seed, cells[i].machines});
   }
   EXPECT_EQ(seen.size(), cells.size()) << "duplicate grid coordinates";
 }

@@ -39,7 +39,7 @@ TEST(Volatility, ShrinkPreemptsAndRestartsLocalJob) {
 TEST(Volatility, ShrinkBelowHeadWidthWithEasyBackfill) {
   Simulator sim;
   OnlineCluster::Options opts;
-  opts.easy_backfill = true;
+  opts.policy = "easy-backfill";
   OnlineCluster cluster(sim, small_cluster(4), opts);
   cluster.submit_local(Job::rigid(0, 4, 10.0));  // running, full machine
   cluster.submit_local(Job::rigid(1, 4, 5.0));   // queued head, full width
