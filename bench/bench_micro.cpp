@@ -144,10 +144,10 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(100000);
 
-// Guard for the Simulator::run pop path: callbacks whose captures exceed
-// the std::function small-buffer force a heap allocation per *copy* —
-// run() must move the callback out of queue_.top(), not copy it, or this
-// benchmark regresses by one allocation + capture copy per event.
+// Guard for the Simulator overflow path: captures past kInlineCallback
+// bytes live in pooled overflow blocks recycled through a free list —
+// per-event heap allocation (the old std::function behavior) regresses
+// this benchmark by an allocation + capture copy per event.
 void BM_SimulatorHeavyCallbackDrain(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));
   // 256 bytes of capture: far past any SBO, cheap to fill.

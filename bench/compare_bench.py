@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against a checked-in baseline.
+
+The CI perf-regression gate: walks both JSON documents in parallel and
+checks every *gated* numeric leaf against the baseline with a relative
+tolerance (default 25%):
+
+  - keys ending in ``_per_sec`` and keys starting with ``speedup``
+    are throughput metrics - FAIL when fresh < baseline * (1 - tol);
+  - ``peak_rss_mb`` is a footprint metric - FAIL when
+    fresh > baseline * (1 + tol);
+  - every other leaf (wall times, counts, labels) is informational.
+
+A gated metric present in the baseline but missing from the fresh run is
+a failure too (a silently dropped phase must not pass the gate).
+
+Refreshing baselines: run the bench on the reference runner class (the
+CI runner - numbers from other machines are not comparable) and commit
+the JSON, e.g.
+  ./build/bench_scale --quick --json bench/baselines/BENCH_scale.json
+
+Usage:
+  compare_bench.py --baseline bench/baselines/BENCH_scale.json \
+                   --fresh BENCH_scale.json [--tolerance 0.25]
+
+Exit codes: 0 ok, 1 regression, 2 bad invocation/structure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def gate_kind(key):
+    """'higher', 'lower', or None (not gated)."""
+    if key.endswith("_per_sec") or key.startswith("speedup"):
+        return "higher"
+    if key == "peak_rss_mb":
+        return "lower"
+    return None
+
+
+def walk(baseline, fresh, path, out):
+    """Collect (path, key, base, fresh_or_None) for every gated leaf."""
+    if isinstance(baseline, dict):
+        for key, base_value in baseline.items():
+            here = f"{path}.{key}" if path else key
+            fresh_value = fresh.get(key) if isinstance(fresh, dict) else None
+            kind = gate_kind(key)
+            if is_number(base_value) and kind:
+                out.append((here, kind, base_value,
+                            fresh_value if is_number(fresh_value) else None))
+            elif isinstance(base_value, (dict, list)):
+                walk(base_value, fresh_value, here, out)
+    elif isinstance(baseline, list):
+        for i, base_value in enumerate(baseline):
+            fresh_value = (fresh[i] if isinstance(fresh, list)
+                           and i < len(fresh) else None)
+            walk(base_value, fresh_value, f"{path}[{i}]", out)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="bench JSON perf-regression gate")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (default 0.25)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    gated = []
+    walk(baseline, fresh, "", gated)
+    if not gated:
+        print("error: baseline contains no gated metrics", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path, kind, base, new in gated:
+        if new is None:
+            print(f"FAIL {path}: missing from fresh run (baseline {base:g})")
+            failures += 1
+            continue
+        ratio = new / base if base else float("inf")
+        if kind == "higher":
+            ok = new >= base * (1.0 - args.tolerance)
+            verdict = "ok" if ok else "REGRESSION"
+        else:
+            ok = new <= base * (1.0 + args.tolerance)
+            verdict = "ok" if ok else "REGRESSION"
+        print(f"{verdict:>10}  {path}: baseline {base:g} -> fresh {new:g} "
+              f"(x{ratio:.3f}, {kind} is better)")
+        if not ok:
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} gated metric(s) regressed beyond "
+              f"{args.tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print(f"\nall {len(gated)} gated metrics within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

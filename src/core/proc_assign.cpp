@@ -1,110 +1,85 @@
 #include "core/proc_assign.h"
 
 #include <algorithm>
-#include <set>
 #include <vector>
+
+#include "core/proc_interval.h"
 
 namespace lgs {
 
-bool assign_processors(Schedule& s) {
-  struct Ev {
-    Time t;
-    bool is_start;
-    std::size_t idx;  // index into assignments
-  };
-  auto& items = s.assignments();
+namespace {
+
+struct Ev {
+  Time t;
+  bool is_start;
+  std::size_t idx;  // index into assignments
+};
+
+// Ends strictly before starts at equal times so shelves can be stacked
+// back-to-back; ties broken by job id for determinism.
+std::vector<Ev> sorted_events(const std::vector<Assignment>& items) {
   std::vector<Ev> events;
   events.reserve(items.size() * 2);
   for (std::size_t i = 0; i < items.size(); ++i) {
     events.push_back({items[i].start, true, i});
     events.push_back({items[i].end(), false, i});
   }
-  // Ends strictly before starts at equal times so shelves can be stacked
-  // back-to-back; ties broken by job id for determinism.
   std::sort(events.begin(), events.end(), [&](const Ev& a, const Ev& b) {
     if (!almost_equal(a.t, b.t)) return a.t < b.t;
     if (a.is_start != b.is_start) return !a.is_start;
     return items[a.idx].job < items[b.idx].job;
   });
+  return events;
+}
 
-  std::set<ProcId> free;
-  for (ProcId p = 0; p < s.machines(); ++p) free.insert(p);
+// Expand each job's acquired runs into its ascending id list.  Done only
+// after the sweep succeeded, so a failed sweep leaves `s` untouched.
+void write_assignments(std::vector<Assignment>& items,
+                       const std::vector<std::vector<ProcRun>>& chosen) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].procs.clear();
+    items[i].procs.reserve(static_cast<std::size_t>(items[i].nprocs));
+    expand_runs(chosen[i], items[i].procs);
+  }
+}
 
-  std::vector<std::vector<ProcId>> chosen(items.size());
+}  // namespace
+
+bool assign_processors(Schedule& s) {
+  auto& items = s.assignments();
+  const std::vector<Ev> events = sorted_events(items);
+
+  ProcIntervalSet free(s.machines());
+  std::vector<std::vector<ProcRun>> chosen(items.size());
   for (const Ev& ev : events) {
-    Assignment& a = items[ev.idx];
+    const Assignment& a = items[ev.idx];
     if (ev.is_start) {
-      if (static_cast<int>(free.size()) < a.nprocs) return false;
-      auto it = free.begin();
-      for (int k = 0; k < a.nprocs; ++k) {
-        chosen[ev.idx].push_back(*it);
-        it = free.erase(it);
-      }
+      if (!free.acquire_lowest(a.nprocs, chosen[ev.idx])) return false;
     } else {
-      for (ProcId p : chosen[ev.idx]) free.insert(p);
+      free.release_all(chosen[ev.idx]);
     }
   }
-  for (std::size_t i = 0; i < items.size(); ++i)
-    items[i].procs = std::move(chosen[i]);
+  write_assignments(items, chosen);
   return true;
 }
 
 bool assign_processors_contiguous(Schedule& s) {
-  struct Ev {
-    Time t;
-    bool is_start;
-    std::size_t idx;
-  };
   auto& items = s.assignments();
-  std::vector<Ev> events;
-  events.reserve(items.size() * 2);
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    events.push_back({items[i].start, true, i});
-    events.push_back({items[i].end(), false, i});
-  }
-  std::sort(events.begin(), events.end(), [&](const Ev& a, const Ev& b) {
-    if (!almost_equal(a.t, b.t)) return a.t < b.t;
-    if (a.is_start != b.is_start) return !a.is_start;
-    return items[a.idx].job < items[b.idx].job;
-  });
+  const std::vector<Ev> events = sorted_events(items);
 
-  // Free set as ordered processor ids; a contiguous run is found by a
-  // linear scan (m is small relative to event counts).
-  std::set<ProcId> free;
-  for (ProcId p = 0; p < s.machines(); ++p) free.insert(p);
-
-  std::vector<std::vector<ProcId>> chosen(items.size());
+  ProcIntervalSet free(s.machines());
+  std::vector<std::vector<ProcRun>> chosen(items.size());
   for (const Ev& ev : events) {
-    Assignment& a = items[ev.idx];
+    const Assignment& a = items[ev.idx];
     if (!ev.is_start) {
-      for (ProcId p : chosen[ev.idx]) free.insert(p);
+      free.release_all(chosen[ev.idx]);
       continue;
     }
-    // First fit: lowest base of a free run of length nprocs.
-    ProcId base = -1;
-    int run = 0;
-    ProcId prev = -2;
-    for (ProcId p : free) {
-      if (p == prev + 1) {
-        ++run;
-      } else {
-        base = p;
-        run = 1;
-      }
-      prev = p;
-      if (run == a.nprocs) {
-        base = p - a.nprocs + 1;
-        break;
-      }
-    }
-    if (run < a.nprocs) return false;  // fragmented (or overcommitted)
-    for (ProcId p = base; p < base + a.nprocs; ++p) {
-      chosen[ev.idx].push_back(p);
-      free.erase(p);
-    }
+    const ProcId base = free.acquire_contiguous(a.nprocs);
+    if (base < 0) return false;  // fragmented (or overcommitted)
+    chosen[ev.idx].push_back(ProcRun{base, base + a.nprocs});
   }
-  for (std::size_t i = 0; i < items.size(); ++i)
-    items[i].procs = std::move(chosen[i]);
+  write_assignments(items, chosen);
   return true;
 }
 

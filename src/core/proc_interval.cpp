@@ -1,0 +1,94 @@
+#include "core/proc_interval.h"
+
+#include <stdexcept>
+
+namespace lgs {
+
+ProcIntervalSet::ProcIntervalSet(int nprocs) {
+  if (nprocs < 0)
+    throw std::invalid_argument("negative processor count");
+  if (nprocs > 0) runs_.emplace(0, nprocs);
+  free_count_ = nprocs;
+}
+
+bool ProcIntervalSet::acquire_lowest(int n, std::vector<ProcRun>& out) {
+  if (n < 0) throw std::invalid_argument("negative acquisition");
+  if (n > free_count_) return false;
+  free_count_ -= n;
+  auto it = runs_.begin();
+  while (n > 0) {
+    const int len = it->second - it->first;
+    if (len <= n) {
+      out.push_back(ProcRun{it->first, it->second});
+      n -= len;
+      it = runs_.erase(it);
+    } else {
+      // Take the low prefix; the remainder keeps its hi with a new lo.
+      const ProcId taken_hi = it->first + n;
+      const ProcId hi = it->second;
+      out.push_back(ProcRun{it->first, taken_hi});
+      it = runs_.erase(it);
+      runs_.emplace_hint(it, taken_hi, hi);
+      n = 0;
+    }
+  }
+  return true;
+}
+
+ProcId ProcIntervalSet::acquire_contiguous(int n) {
+  if (n <= 0) throw std::invalid_argument("non-positive acquisition");
+  for (auto it = runs_.begin(); it != runs_.end(); ++it) {
+    if (it->second - it->first < n) continue;
+    const ProcId base = it->first;
+    const ProcId hi = it->second;
+    const auto next = runs_.erase(it);
+    if (base + n < hi) runs_.emplace_hint(next, base + n, hi);
+    free_count_ -= n;
+    return base;
+  }
+  return -1;
+}
+
+void ProcIntervalSet::release(ProcRun run) {
+  if (run.lo >= run.hi) throw std::invalid_argument("empty release");
+  ProcId lo = run.lo;
+  ProcId hi = run.hi;
+  auto next = runs_.upper_bound(lo);  // first run with key > lo
+  if (next != runs_.begin()) {
+    const auto prev = std::prev(next);
+    if (prev->second > lo)
+      throw std::logic_error("releasing processors that are already free");
+    if (prev->second == lo) {  // adjacent on the left: merge
+      lo = prev->first;
+      runs_.erase(prev);
+    }
+  }
+  if (next != runs_.end()) {
+    if (next->first < hi)
+      throw std::logic_error("releasing processors that are already free");
+    if (next->first == hi) {  // adjacent on the right: merge
+      hi = next->second;
+      next = runs_.erase(next);
+    }
+  }
+  runs_.emplace_hint(next, lo, hi);
+  free_count_ += run.length();
+}
+
+void ProcIntervalSet::release_all(const std::vector<ProcRun>& runs) {
+  for (const ProcRun& r : runs) release(r);
+}
+
+std::vector<ProcRun> ProcIntervalSet::runs() const {
+  std::vector<ProcRun> out;
+  out.reserve(runs_.size());
+  for (const auto& [lo, hi] : runs_) out.push_back(ProcRun{lo, hi});
+  return out;
+}
+
+void expand_runs(const std::vector<ProcRun>& runs, std::vector<ProcId>& out) {
+  for (const ProcRun& r : runs)
+    for (ProcId p = r.lo; p < r.hi; ++p) out.push_back(p);
+}
+
+}  // namespace lgs

@@ -43,6 +43,13 @@ void DispatchContext::on_started(const QueuedJobView& started) {
     profile_->commit(now, started.duration, started.procs);
 }
 
+void DispatchContext::reset() {
+  views_built_ = false;
+  queue_.clear();    // keeps capacity for the next materialization
+  running_.clear();
+  profile_.reset();  // rebuilt lazily from the new cycle's running set
+}
+
 namespace {
 
 struct Registry {

@@ -98,6 +98,14 @@ class DispatchContext {
   /// scalar counters itself.
   void on_started(const QueuedJobView& started);
 
+  /// Engine-side reset at the start of a dispatch cycle: drops the view
+  /// caches (keeping their vector capacity, so one context is reused
+  /// across every cycle of a cluster's lifetime) and the skyline.  The
+  /// skyline is rebuilt lazily per cycle — only policies that consult
+  /// local_profile() (EASY, conservative) pay that allocation; FCFS
+  /// cycles allocate nothing here.
+  void reset();
+
  private:
   void materialize() const;
 

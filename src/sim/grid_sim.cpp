@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
@@ -98,8 +98,15 @@ void GridSim::submit(std::size_t home, const Job& j) {
 void GridSim::submit_workloads(const std::vector<JobSet>& per_cluster) {
   if (per_cluster.size() > clusters_.size())
     throw std::invalid_argument("more workloads than clusters");
-  for (std::size_t i = 0; i < per_cluster.size(); ++i)
+  std::size_t total = 0;
+  for (const JobSet& jobs : per_cluster) total += jobs.size();
+  pending_.reserve(pending_.size() + total);
+  for (std::size_t i = 0; i < per_cluster.size(); ++i) {
+    // Routing may migrate jobs elsewhere, but the home counts are the
+    // right order of magnitude to pre-size each cluster's bookkeeping.
+    clusters_[i]->reserve_submissions(per_cluster[i].size());
     for (const Job& j : per_cluster[i]) submit(i, j);
+  }
 }
 
 std::size_t GridSim::fallback_target(std::size_t target, const Job& j) const {
@@ -154,6 +161,36 @@ void GridSim::schedule_volatility() {
   }
 }
 
+namespace {
+// The per-job route events this pump replaced were all scheduled before
+// run() fired anything, so their insertion ids won every same-time tie
+// against the priority-0 events created during the run (completions,
+// volatility) and their priority won against the +1 best-effort
+// bootstrap.  Priority -2 reproduces exactly that: ahead of all of
+// those at the same instant.  (OnlineCluster's -1 release timers never
+// arise inside GridSim — route() zeroes j.release — but note -2 would
+// fire before them, where an old priority-0 route event fired after; if
+// grid jobs ever keep deferred releases, revisit this ordering and the
+// golden digests together.)
+constexpr int kArrivalPriority = -2;
+
+Time effective_release(const Job& j) { return std::max(0.0, j.release); }
+}  // namespace
+
+void GridSim::schedule_next_arrival() {
+  if (route_cursor_ >= route_order_.size()) return;
+  const Time t = effective_release(pending_[route_order_[route_cursor_]].job);
+  sim_.at(t, [this] { pump_arrivals(); }, kArrivalPriority);
+}
+
+void GridSim::pump_arrivals() {
+  const Time now = sim_.now();
+  while (route_cursor_ < route_order_.size() &&
+         effective_release(pending_[route_order_[route_cursor_]].job) <= now)
+    route(route_order_[route_cursor_++]);
+  schedule_next_arrival();
+}
+
 void GridSim::route(std::size_t pending_index) {
   const Pending& p = pending_[pending_index];
   Job j = p.job;
@@ -195,18 +232,28 @@ GridSimResult GridSim::run(Time horizon) {
       combined.push_back(std::move(j));
     }
     const GlobalSchedule plan = global_ect_schedule(grid_, combined);
-    std::map<ClusterId, std::size_t> index_of;
-    for (std::size_t c = 0; c < grid_.clusters.size(); ++c)
-      index_of[grid_.clusters[c].id] = c;
+    const auto cluster_index = [this](ClusterId id) {
+      for (std::size_t c = 0; c < grid_.clusters.size(); ++c)
+        if (grid_.clusters[c].id == id) return c;
+      throw std::logic_error("global plan placed a job on an unknown cluster");
+    };
     plan_.resize(pending_.size());
     for (std::size_t i = 0; i < pending_.size(); ++i) {
       const GlobalAssignment* a = plan.find(static_cast<JobId>(i));
-      plan_[i] = a != nullptr ? index_of.at(a->cluster) : pending_[i].home;
+      plan_[i] = a != nullptr ? cluster_index(a->cluster) : pending_[i].home;
     }
   }
 
-  for (std::size_t i = 0; i < pending_.size(); ++i)
-    sim_.at(std::max(0.0, pending_[i].job.release), [this, i] { route(i); });
+  // Stable sort: equal release times route in submission order, exactly
+  // as the replaced per-job events did (their ids broke the tie).
+  route_order_.resize(pending_.size());
+  std::iota(route_order_.begin(), route_order_.end(), std::size_t{0});
+  std::stable_sort(route_order_.begin(), route_order_.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return effective_release(pending_[a].job) <
+                            effective_release(pending_[b].job);
+                   });
+  schedule_next_arrival();
   schedule_volatility();
   sim_.run(horizon);
 
@@ -222,7 +269,17 @@ GridSimResult GridSim::run(Time horizon) {
   double busy = 0.0, capacity = 0.0;
   double flow_sum = 0.0, wait_sum = 0.0, slow_sum = 0.0;
   long jobs_total = 0;
-  std::map<int, CommunityOutcome> by_community;
+  // Communities are a handful of small ids: a flat vector with a linear
+  // probe beats a node-based map across millions of records.
+  std::vector<CommunityOutcome> by_community;
+  const auto community_slot = [&by_community](int id) -> CommunityOutcome& {
+    for (CommunityOutcome& com : by_community)
+      if (com.community == id) return com;
+    by_community.emplace_back();
+    by_community.back().community = id;
+    return by_community.back();
+  };
+  res.clusters.reserve(clusters_.size());
   for (const auto& c : clusters_) {
     GridClusterOutcome out;
     out.id = c->id();
@@ -234,8 +291,7 @@ GridSimResult GridSim::run(Time horizon) {
     for (const LocalJobRecord& r : c->local_records()) {
       wait += r.wait();
       slow += r.slowdown();
-      CommunityOutcome& com = by_community[r.community];
-      com.community = r.community;
+      CommunityOutcome& com = community_slot(r.community);
       ++com.jobs;
       com.mean_wait += r.wait();
       com.mean_slowdown += r.slowdown();
@@ -255,12 +311,17 @@ GridSimResult GridSim::run(Time horizon) {
     capacity += static_cast<double>(c->processors()) * res.horizon;
     res.clusters.push_back(std::move(out));
   }
-  for (auto& [id, com] : by_community) {
+  // Ascending community id, as the map-based aggregation reported.
+  std::sort(by_community.begin(), by_community.end(),
+            [](const CommunityOutcome& a, const CommunityOutcome& b) {
+              return a.community < b.community;
+            });
+  for (CommunityOutcome& com : by_community) {
     com.mean_wait /= std::max(1, com.jobs);
     com.mean_slowdown /= std::max(1, com.jobs);
     com.mean_flow /= std::max(1, com.jobs);
-    res.communities.push_back(com);
   }
+  res.communities = std::move(by_community);
   res.jobs_completed = jobs_total;
   res.global_utilization = capacity > 0 ? busy / capacity : 0.0;
   res.mean_flow = jobs_total > 0 ? flow_sum / jobs_total : 0.0;

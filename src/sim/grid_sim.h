@@ -137,6 +137,14 @@ class GridSim {
   std::size_t fallback_target(std::size_t target, const Job& j) const;
   void schedule_volatility();
   void route(std::size_t pending_index);
+  /// Arrival pump: ONE pending simulator event walks the submissions in
+  /// release order, instead of one pre-scheduled event per job (which
+  /// made the event queue — and its memory — scale with the whole trace
+  /// before the first event fired).  Fires at kArrivalPriority so
+  /// same-instant ordering against completions/volatility/best-effort
+  /// events matches the per-job scheduling it replaced.
+  void pump_arrivals();
+  void schedule_next_arrival();
 
   LightGrid grid_;
   GridSimOptions opts_;
@@ -145,6 +153,8 @@ class GridSim {
   std::unique_ptr<CentralServer> server_;
   std::vector<Pending> pending_;
   std::vector<std::size_t> plan_;  ///< kGlobalPlan: pending index -> target
+  std::vector<std::size_t> route_order_;  ///< pending indices by release
+  std::size_t route_cursor_ = 0;
   long migrations_ = 0;
   bool ran_ = false;
 };

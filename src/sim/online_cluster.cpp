@@ -10,11 +10,20 @@ OnlineCluster::OnlineCluster(Simulator& sim, const Cluster& desc, Options opts)
       desc_(desc),
       opts_(std::move(opts)),
       qpolicy_(make_queue_policy(opts_.policy)),
-      procs_total_(desc.processors()) {
+      procs_total_(desc.processors()),
+      dispatch_ctx_([this](std::vector<QueuedJobView>& queue,
+                           std::vector<RunningJobView>& running) {
+        fill_views(queue, running);
+      }) {
   if (procs_total_ < 1)
     throw std::invalid_argument("cluster without processors");
   capacity_ = procs_total_;
   free_ = procs_total_;
+}
+
+void OnlineCluster::reserve_submissions(std::size_t n) {
+  records_.reserve(records_.size() + n);
+  submitted_.reserve(submitted_.size() + n);
 }
 
 void OnlineCluster::set_capacity(int procs) {
@@ -50,10 +59,11 @@ void OnlineCluster::set_capacity(int procs) {
         static_cast<double>(evicted.procs) *
         (sim_.now() - records_[evicted.record].start);
     // Resubmit at the head of the queue; progress is lost (restart).
-    Queued q{submitted_[evicted.record], sim_.now(), evicted.record, 0};
+    Queued q{evicted.record, sim_.now(), 0};
     qpolicy_->on_completion(evicted.record);  // the run is gone
     qpolicy_->on_submit(view_of(q));
-    queue_.insert(queue_.begin(), std::move(q));
+    queue_.push_front(q);
+    queue_min_priority_ = std::min(queue_min_priority_, q.priority);
   }
   dispatch();
 }
@@ -89,42 +99,55 @@ void OnlineCluster::submit_local(const Job& j, int queue_priority) {
   submitted_.push_back(j);
   // Insert behind every queued job of equal or higher priority (the §1.2
   // priority files: strict priority between files, FCFS inside one).
-  Queued entry{j, sim_.now(), records_.size() - 1, queue_priority};
-  auto pos = queue_.end();
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->priority < queue_priority) {
-      pos = it;
-      break;
-    }
-  }
+  // Fast path: when no queued entry can have a lower priority than the
+  // submission, the insertion point is provably the end — the scan (and
+  // its O(queue) cost per submit) only runs for genuine multi-priority
+  // interleavings.
+  Queued entry{records_.size() - 1, sim_.now(), queue_priority};
   qpolicy_->on_submit(view_of(entry));
-  queue_.insert(pos, std::move(entry));
+  if (queue_.empty() || queue_priority <= queue_min_priority_) {
+    queue_.push_back(entry);
+  } else {
+    auto pos = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->priority < queue_priority) {
+        pos = it;
+        break;
+      }
+    }
+    queue_.insert(pos, entry);
+  }
+  queue_min_priority_ = std::min(queue_min_priority_, queue_priority);
   dispatch();
 }
 
 QueuedJobView OnlineCluster::view_of(const Queued& q) const {
+  const Job& job = submitted_[q.record];
   QueuedJobView view;
-  view.id = q.job.id;
+  view.id = job.id;
   view.record = q.record;
   view.procs = records_[q.record].procs;
-  view.duration = q.job.time(view.procs) / desc_.speed;
+  view.duration = job.time(view.procs) / desc_.speed;
   view.submit = q.submit;
   view.priority = q.priority;
   return view;
 }
 
-DispatchContext OnlineCluster::make_dispatch_context() const {
+void OnlineCluster::fill_views(std::vector<QueuedJobView>& queue,
+                               std::vector<RunningJobView>& running) const {
   // Views materialize lazily from the *current* engine state, so the
   // filler is re-invoked after every pick without the engine having to
   // maintain a parallel copy.
-  DispatchContext ctx([this](std::vector<QueuedJobView>& queue,
-                             std::vector<RunningJobView>& running) {
-    queue.reserve(queue_.size());
-    for (const Queued& q : queue_) queue.push_back(view_of(q));
-    running.reserve(running_.size());
-    for (const RunningLocal& r : running_)
-      running.push_back(RunningJobView{r.record, r.procs, r.finish});
-  });
+  queue.reserve(queue_.size());
+  for (const Queued& q : queue_) queue.push_back(view_of(q));
+  running.reserve(running_.size());
+  for (const RunningLocal& r : running_)
+    running.push_back(RunningJobView{r.record, r.procs, r.finish});
+}
+
+void OnlineCluster::refresh_dispatch_context() {
+  DispatchContext& ctx = dispatch_ctx_;
+  ctx.reset();
   ctx.now = sim_.now();
   ctx.free_procs = free_;
   ctx.killable_procs = killable_procs();
@@ -133,7 +156,6 @@ DispatchContext OnlineCluster::make_dispatch_context() const {
   ctx.speed = desc_.speed;
   ctx.head_procs =
       queue_.empty() ? 0 : records_[queue_.front().record].procs;
-  return ctx;
 }
 
 void OnlineCluster::account(int delta_local, int delta_be) {
@@ -168,7 +190,7 @@ double OnlineCluster::expected_wait(int procs) const {
   double work = 0.0;  // processor-seconds of wall time still owed
   for (const Queued& q : queue_)
     work += static_cast<double>(records_[q.record].procs) *
-            q.job.best_time(procs_total_) / desc_.speed;
+            submitted_[q.record].best_time(procs_total_) / desc_.speed;
   for (const RunningLocal& r : running_)
     work += static_cast<double>(r.procs) *
             std::max(0.0, r.finish - sim_.now());
@@ -177,8 +199,10 @@ double OnlineCluster::expected_wait(int procs) const {
   // Width term: a `procs`-wide job must wait for enough running local
   // jobs to finish before that many processors are simultaneously free
   // (best-effort runs are killable and therefore free on demand).  Walk
-  // the completions in finish order.
-  std::vector<const RunningLocal*> by_finish;
+  // the completions in finish order (reused scratch: the exchange
+  // policies call this per routed job).
+  std::vector<const RunningLocal*>& by_finish = wait_scratch_;
+  by_finish.clear();
   by_finish.reserve(running_.size());
   for (const RunningLocal& r : running_) by_finish.push_back(&r);
   std::sort(by_finish.begin(), by_finish.end(),
@@ -229,12 +253,13 @@ void OnlineCluster::kill_best_effort(int count) {
 void OnlineCluster::start_local(std::size_t queue_index) {
   const Queued q = queue_[queue_index];
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(queue_index));
+  if (queue_.empty()) queue_min_priority_ = std::numeric_limits<int>::max();
   LocalJobRecord& rec = records_[q.record];
   const int k = rec.procs;
   if (k > free_ + killable_procs())
     throw std::logic_error("start_local without room");
   if (k > free_) kill_best_effort(k - free_);
-  const Time dur = q.job.time(k) / desc_.speed;
+  const Time dur = submitted_[q.record].time(k) / desc_.speed;
   rec.start = sim_.now();
   rec.finish = sim_.now() + dur;
   free_ -= k;
@@ -266,7 +291,8 @@ void OnlineCluster::dispatch() {
   // every pick of the cycle; on_started keeps it (and its lazily built
   // skyline) in sync, so policies never rebuild a Profile per event.
   if (!queue_.empty()) {
-    DispatchContext ctx = make_dispatch_context();
+    refresh_dispatch_context();
+    DispatchContext& ctx = dispatch_ctx_;
     while (!queue_.empty()) {
       const std::size_t pick = qpolicy_->pick_next(ctx);
       if (pick == kNoPick) break;

@@ -10,7 +10,9 @@
 // best-effort runs kills them; the source is notified so it can resubmit.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -82,6 +84,15 @@ class OnlineCluster {
   OnlineCluster(Simulator& sim, const Cluster& desc, Options opts);
   OnlineCluster(Simulator& sim, const Cluster& desc)
       : OnlineCluster(sim, desc, Options{}) {}
+  // The reusable dispatch context and pending simulator events capture
+  // `this`: the engine is pinned in place for its lifetime.
+  OnlineCluster(const OnlineCluster&) = delete;
+  OnlineCluster& operator=(const OnlineCluster&) = delete;
+
+  /// Pre-size the per-submission bookkeeping (records, job copies) for a
+  /// replay of `n` jobs, so million-job traces do not pay growth
+  /// reallocations mid-simulation.  Purely an optimization hint.
+  void reserve_submissions(std::size_t n);
 
   /// Submit a local job at the current simulated time (or at j.release if
   /// later; the release date is honored via a timer).  `queue_priority`
@@ -131,10 +142,12 @@ class OnlineCluster {
   double local_busy_integral() const;
 
  private:
+  /// A queued submission.  Deliberately tiny (no Job copy — the job
+  /// lives in submitted_, keyed by the record index): queue shuffling is
+  /// pure POD movement on the million-job replay hot path.
   struct Queued {
-    Job job;
+    std::size_t record;  // index into records_ and submitted_
     Time submit;
-    std::size_t record;  // index into records_
     int priority = 0;
   };
   struct RunningLocal {
@@ -155,9 +168,13 @@ class OnlineCluster {
   void finish_local(std::size_t record_index);
   int allotment_for(const Job& j) const;
   QueuedJobView view_of(const Queued& q) const;
-  /// Snapshot of the current dispatch state for the queue policy; kept
-  /// in sync across the picks of one dispatch cycle via on_started().
-  DispatchContext make_dispatch_context() const;
+  /// Lazy view materialization for the reusable dispatch_ctx_.
+  void fill_views(std::vector<QueuedJobView>& queue,
+                  std::vector<RunningJobView>& running) const;
+  /// Refresh the reusable dispatch context from the current engine
+  /// state at the start of a dispatch cycle; kept in sync across the
+  /// cycle's picks via on_started().
+  void refresh_dispatch_context();
   /// Accrue busy integrals up to now, then apply counter deltas.
   void account(int delta_local, int delta_be);
   int killable_procs() const { return static_cast<int>(be_running_.size()); }
@@ -171,11 +188,24 @@ class OnlineCluster {
   int capacity_ = 0;  ///< currently usable processors (volatility)
   int free_ = 0;
 
-  std::vector<Queued> queue_;
+  /// Deque, not vector: FCFS pops the head of a potentially deep backlog
+  /// once per start — O(1) here versus shifting the whole queue.
+  std::deque<Queued> queue_;
+  /// Monotone lower bound on the priorities currently queued (reset when
+  /// the queue empties).  A submission with priority <= this bound can
+  /// never precede an existing entry, so the §1.2 insertion scan
+  /// short-circuits to push_back — O(1) for the single-priority replays
+  /// that dominate at scale.  A stale (too small) bound only forces the
+  /// exact scan, never a wrong position.
+  int queue_min_priority_ = std::numeric_limits<int>::max();
   std::vector<RunningLocal> running_;
   std::vector<RunningBe> be_running_;
   std::vector<LocalJobRecord> records_;
   std::vector<Job> submitted_;  ///< aligned with records_, for resubmission
+  /// Reused across dispatch cycles (see DispatchContext::reset).
+  DispatchContext dispatch_ctx_;
+  /// Scratch for expected_wait's finish-order walk (no per-call alloc).
+  mutable std::vector<const RunningLocal*> wait_scratch_;
   BestEffortStats be_stats_;
   VolatilityStats volatility_;
   BestEffortSource be_source_;

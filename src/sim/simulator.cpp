@@ -1,31 +1,84 @@
 #include "sim/simulator.h"
 
-#include <stdexcept>
-
 namespace lgs {
 
-EventId Simulator::at(Time t, Callback cb, int priority) {
-  if (t < now_ - kTimeEps)
-    throw std::invalid_argument("cannot schedule an event in the past");
-  const EventId id = next_id_++;
-  queue_.push(Ev{t, priority, id, std::move(cb)});
-  return id;
+Simulator::~Simulator() {
+  // Destroy the payload of every still-pending event, then the recycled
+  // overflow blocks.
+  while (!queue_.empty()) {
+    release_slot(queue_.top().slot);
+    queue_.pop();
+  }
+  for (void* mem : overflow_free_) ::operator delete(mem);
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  void* payload = slot.ops->inline_stored ? static_cast<void*>(slot.buf)
+                                          : slot.heap;
+  slot.ops->destroy(payload);
+  if (!slot.ops->inline_stored) release_overflow(slot.heap, slot.ops->size);
+  slot.ops = nullptr;
+  slot.heap = nullptr;
+  free_slots_.push_back(index);
+}
+
+void* Simulator::acquire_overflow(std::size_t size) {
+  if (size <= kOverflowBlock) {
+    if (!overflow_free_.empty()) {
+      void* mem = overflow_free_.back();
+      overflow_free_.pop_back();
+      return mem;
+    }
+    ++overflow_blocks_;
+    return ::operator new(kOverflowBlock);
+  }
+  // Oversized capture: plain allocation (no such callback is on a hot
+  // path; the pooled classes cover every engine callback).
+  return ::operator new(size);
+}
+
+void Simulator::release_overflow(void* mem, std::size_t size) {
+  if (size <= kOverflowBlock)
+    overflow_free_.push_back(mem);
+  else
+    ::operator delete(mem);
 }
 
 void Simulator::run(Time horizon) {
   while (!queue_.empty()) {
-    if (queue_.top().t > horizon) break;
-    // Move the event out instead of copying: the std::function callback
-    // may own an arbitrarily large capture, and top() is the only
-    // remaining reference to it once we pop.  priority_queue only
-    // exposes a const ref, but mutating the element is safe here
-    // because pop() runs before any further heap access.
-    Ev ev = std::move(const_cast<Ev&>(queue_.top()));
+    const QEntry top = queue_.top();
+    if (top.t > horizon) break;
     queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) continue;
-    now_ = ev.t;
+    if (cancelled_.erase(top.id) > 0) {
+      release_slot(top.slot);
+      continue;
+    }
+    now_ = top.t;
     ++executed_;
-    ev.cb();
+    // The slot reference stays valid while the callback schedules new
+    // events (slots_ is a deque: growth never relocates).  The payload
+    // is destroyed only after the call returns.
+    Slot& slot = slots_[top.slot];
+    void* payload = slot.ops->inline_stored ? static_cast<void*>(slot.buf)
+                                            : slot.heap;
+    try {
+      slot.ops->invoke(payload);
+    } catch (...) {
+      release_slot(top.slot);
+      throw;
+    }
+    release_slot(top.slot);
   }
   // A drained queue means every surviving cancellation targets an event
   // that already fired (or never existed): flush them so cancel-after-

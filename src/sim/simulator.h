@@ -6,12 +6,28 @@
 // those simulations run on: callbacks at simulated times, deterministic
 // ordering (time, priority, insertion sequence), and event cancellation
 // (needed to kill a best-effort job's completion event).
+//
+// Hot-path representation (the million-job replay bar of BENCH_scale):
+// the priority queue holds trivially-copyable 24-byte entries, and the
+// callback of each pending event lives in a slab of reusable *slots* —
+// captures up to kInlineCallback bytes are stored inline in the slot,
+// larger ones in pooled overflow blocks recycled through a free list.
+// After the first few events warm the slab, at()/run() perform no heap
+// allocation at all (slot count tracks the number of *concurrently*
+// pending events, not the number of events ever scheduled).  The
+// std::function-based kernel this replaces survives as the differential
+// oracle in tests/reference_simulator.h.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <deque>
+#include <new>
 #include <queue>
+#include <stdexcept>
+#include <type_traits>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -22,21 +38,74 @@ using EventId = std::uint64_t;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// Captures up to this many bytes are stored inline in a slot.
+  static constexpr std::size_t kInlineCallback = 48;
+  /// Larger captures (up to this size) use pooled overflow blocks.
+  static constexpr std::size_t kOverflowBlock = 512;
+
+  Simulator() = default;
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
 
-  /// Schedule `cb` at absolute time `t` (>= now).  Events at equal times
-  /// fire by increasing priority, then insertion order.
-  EventId at(Time t, Callback cb, int priority = 0);
-
-  /// Schedule `cb` after a delay.
-  EventId after(Time delay, Callback cb, int priority = 0) {
-    return at(now_ + delay, std::move(cb), priority);
+  /// Schedule `cb` (any void() callable) at absolute time `t` (>= now).
+  /// Events at equal times fire by increasing priority, then insertion
+  /// order.
+  template <class F>
+  EventId at(Time t, F&& cb, int priority = 0) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>,
+                  "Simulator callbacks must be callable as void()");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callback captures are not supported");
+    if (t < now_ - kTimeEps)
+      throw std::invalid_argument("cannot schedule an event in the past");
+    const std::uint32_t slot_index = acquire_slot();
+    Slot& slot = slots_[slot_index];
+    constexpr bool kInline = sizeof(Fn) <= kInlineCallback;
+    try {
+      if constexpr (kInline) {
+        ::new (static_cast<void*>(slot.buf)) Fn(std::forward<F>(cb));
+      } else {
+        void* mem = acquire_overflow(sizeof(Fn));
+        try {
+          ::new (mem) Fn(std::forward<F>(cb));
+        } catch (...) {
+          release_overflow(mem, sizeof(Fn));
+          throw;
+        }
+        slot.heap = mem;
+      }
+    } catch (...) {
+      free_slots_.push_back(slot_index);
+      throw;
+    }
+    slot.ops = &OpsFor<Fn, kInline>::value;
+    const EventId id = next_id_++;
+    try {
+      queue_.push(QEntry{t, id, slot_index, priority});
+    } catch (...) {
+      release_slot(slot_index);  // destroy the payload, recycle the slot
+      throw;
+    }
+    return id;
   }
 
-  /// Cancel a pending event (no-op if it already fired).
-  void cancel(EventId id) { cancelled_.insert(id); }
+  /// Schedule `cb` after a delay.
+  template <class F>
+  EventId after(Time delay, F&& cb, int priority = 0) {
+    return at(now_ + delay, std::forward<F>(cb), priority);
+  }
+
+  /// Cancel a pending event (no-op if it already fired, or if `id` was
+  /// never returned by at()/after() — ids of future events must not be
+  /// pre-cancelled).
+  void cancel(EventId id) {
+    if (id == 0 || id >= next_id_) return;
+    cancelled_.insert(id);
+  }
 
   /// Run until the queue drains (or `horizon` is reached, if finite).
   void run(Time horizon = kTimeInfinity);
@@ -51,26 +120,73 @@ class Simulator {
   /// grow it without bound.
   std::size_t pending_cancellations() const { return cancelled_.size(); }
 
+  /// Callback slots ever created — tracks the peak number of
+  /// *concurrently* pending events, not the events ever scheduled
+  /// (tests/bench assert this stays flat across million-event replays).
+  std::size_t slot_capacity() const { return slots_.size(); }
+
+  /// Pooled overflow blocks ever allocated (captures past
+  /// kInlineCallback bytes); recycled through a free list, so this too
+  /// tracks concurrency, not event count.
+  std::size_t overflow_blocks_allocated() const { return overflow_blocks_; }
+
  private:
-  struct Ev {
-    Time t;
-    int priority;
-    EventId id;
-    Callback cb;
+  /// Per-callback-type dispatch table (static storage, one per type).
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    std::size_t size;     ///< sizeof the stored callable
+    bool inline_stored;   ///< payload lives in Slot::buf, not Slot::heap
   };
+  template <class Fn, bool Inline>
+  struct OpsFor {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops value{&invoke, &destroy, sizeof(Fn), Inline};
+  };
+
+  /// One slab slot: the callback payload of one pending event.  Slots
+  /// live in a deque (stable addresses; grows in chunks) and are
+  /// recycled through free_slots_.
+  struct Slot {
+    const Ops* ops = nullptr;
+    void* heap = nullptr;
+    alignas(std::max_align_t) unsigned char buf[kInlineCallback];
+  };
+
+  /// Priority-queue entry: trivially copyable (heap sift operations
+  /// never touch the callback payload) and packed to 24 bytes — the
+  /// field order avoids alignment padding.
+  struct QEntry {
+    Time t;
+    EventId id;
+    std::uint32_t slot;
+    int priority;
+  };
+  static_assert(sizeof(QEntry) == 24, "QEntry must stay padding-free");
   struct Later {
-    bool operator()(const Ev& a, const Ev& b) const {
+    bool operator()(const QEntry& a, const QEntry& b) const {
       if (a.t != b.t) return a.t > b.t;
       if (a.priority != b.priority) return a.priority > b.priority;
       return a.id > b.id;
     }
   };
 
+  std::uint32_t acquire_slot();
+  /// Destroy the payload of `index` and recycle slot + overflow block.
+  void release_slot(std::uint32_t index);
+  void* acquire_overflow(std::size_t size);
+  void release_overflow(void* mem, std::size_t size);
+
   Time now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  std::priority_queue<QEntry, std::vector<QEntry>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
+  std::deque<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<void*> overflow_free_;
+  std::size_t overflow_blocks_ = 0;
 };
 
 }  // namespace lgs

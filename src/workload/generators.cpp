@@ -156,6 +156,75 @@ JobSet expand_bag(const ParametricBag& bag, JobId first_id, Time release) {
   return jobs;
 }
 
+JobSet make_large_trace(std::size_t n, std::uint64_t seed,
+                        const LargeTraceSpec& spec) {
+  if (spec.max_procs < 1)
+    throw std::invalid_argument("max_procs must be >= 1");
+  if (spec.communities < 1)
+    throw std::invalid_argument("communities must be >= 1");
+  if (spec.target_capacity < 1)
+    throw std::invalid_argument("target_capacity must be >= 1");
+  if (spec.load <= 0.0)
+    throw std::invalid_argument("load must be positive");
+  if (spec.burst_intensity < 1.0)
+    throw std::invalid_argument("burst_intensity must be >= 1");
+  if (spec.mean_burst_jobs < 1.0)
+    throw std::invalid_argument("mean_burst_jobs must be >= 1");
+
+  Rng rng(seed);
+  int width_exponents = 0;
+  while ((2LL << width_exponents) <= spec.max_procs) ++width_exponents;
+
+  // Pass 1: job shapes.  Widths are powers of two (the classical rigid
+  // trace bias), runtimes log-normal with a per-community flavor: long
+  // sequential physics tails down to short bursty debug jobs.
+  JobSet jobs;
+  jobs.reserve(n);
+  double total_work = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int community =
+        static_cast<int>(rng.uniform_int(0, spec.communities - 1));
+    int procs = 1;
+    if (!rng.flip(0.35))  // 35% strictly sequential
+      procs = 1 << rng.uniform_int(0, width_exponents);
+    // Flavor by community class (mod 4, echoing the §5.2 four).
+    static constexpr double kMu[4] = {3.6, 2.8, 1.2, 0.2};
+    static constexpr double kSigma[4] = {1.1, 0.9, 0.6, 1.0};
+    const Time duration =
+        rng.lognormal(kMu[community % 4], kSigma[community % 4]);
+    Job j = Job::rigid(static_cast<JobId>(i), procs, duration);
+    j.community = community;
+    total_work += j.work(procs);
+    jobs.push_back(std::move(j));
+  }
+
+  // Pass 2: arrivals.  The window is sized so the trace offers
+  // spec.load on spec.target_capacity; inside a burst the gap shrinks
+  // by burst_intensity, and the following lull stretches so that one
+  // burst+lull cycle preserves the average gap.
+  const double window =
+      total_work / (spec.load * static_cast<double>(spec.target_capacity));
+  const double mean_gap = n > 0 ? window / static_cast<double>(n) : 0.0;
+  const double burst_gap = mean_gap / spec.burst_intensity;
+  const double lull_gap = 2.0 * mean_gap - burst_gap;
+  Time clock = 0.0;
+  bool in_burst = true;
+  std::size_t phase_left =
+      1 + static_cast<std::size_t>(rng.exponential(1.0 / spec.mean_burst_jobs));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (phase_left == 0) {
+      in_burst = !in_burst;
+      phase_left = 1 + static_cast<std::size_t>(
+                           rng.exponential(1.0 / spec.mean_burst_jobs));
+    }
+    const double gap = in_burst ? burst_gap : lull_gap;
+    if (gap > 0.0) clock += rng.exponential(1.0 / gap);
+    jobs[i].release = clock;
+    --phase_left;
+  }
+  return jobs;
+}
+
 void append_workload(JobSet& base, JobSet extra) {
   JobId next = 0;
   for (const Job& j : base) next = std::max(next, j.id + 1);

@@ -93,6 +93,28 @@ struct ParametricBag {
 /// Expand a bag into individual sequential jobs (ids from `first_id`).
 JobSet expand_bag(const ParametricBag& bag, JobId first_id, Time release = 0.0);
 
+/// Shape of a large synthetic replay trace (see make_large_trace).
+struct LargeTraceSpec {
+  int max_procs = 64;          ///< widest job (powers of two up to this)
+  int communities = 4;         ///< community labels in [0, communities)
+  int target_capacity = 1024;  ///< total processors the load is sized for
+  double load = 0.85;          ///< offered load on target_capacity
+  /// Lublin-style arrival bursts: runs of ~mean_burst_jobs arrivals at
+  /// burst_intensity times the average rate, separated by matching lulls
+  /// (overall rate is preserved, so the offered load stays `load`).
+  double burst_intensity = 8.0;
+  double mean_burst_jobs = 64.0;
+};
+
+/// Large SWF-like trace for the million-job replay bench
+/// (bench/bench_scale.cpp): `n` rigid jobs in arrival order (ids
+/// 0..n-1, releases non-decreasing), power-of-two widths, per-community
+/// log-normal runtimes (long physics tails down to short debug jobs),
+/// and bursty arrivals whose overall rate offers `spec.load` on
+/// `spec.target_capacity` processors.  Deterministic in (n, seed, spec).
+JobSet make_large_trace(std::size_t n, std::uint64_t seed,
+                        const LargeTraceSpec& spec = {});
+
 /// Renumber ids of `extra` to follow `base` and append (convenience when
 /// composing workloads from several generators).
 void append_workload(JobSet& base, JobSet extra);

@@ -1,0 +1,136 @@
+// Golden replay scenarios pinning the dynamic engines bit-identical
+// across hot-path rework (the same role tests/reference_profile.h plays
+// for the availability-profile core).
+//
+// Each scenario runs the full online stack — GridSim routing, per-cluster
+// dispatch, best-effort filling, volatility churn — on a fixed seed and
+// folds every per-job record into one FNV-1a digest.  The digests stored
+// in tests/test_replay_golden.cpp were captured from the implementation
+// BEFORE the million-job hot-path overhaul (std::function events,
+// std::set proc free-list, per-dispatch allocations); any behavioral
+// drift in the optimized engines changes a digest and fails the test.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "sim/grid_sim.h"
+#include "sim/online_cluster.h"
+#include "workload/generators.h"
+
+namespace lgs {
+
+/// FNV-1a over raw bytes — endianness-stable on every platform CI runs.
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_double(std::uint64_t h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return fnv1a(h, &bits, sizeof bits);
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof v);
+}
+
+/// The golden digests depend on libstdc++'s distribution algorithms; a
+/// different standard library draws different workloads (not a bug).
+/// Tests compare this canary first and skip on foreign libraries.
+inline bool rng_matches_reference_library() {
+  Rng rng(12345);
+  return rng.uniform_int(0, 1000000) == 357630;
+}
+
+inline std::uint64_t digest_grid_result(const GridSim& sim,
+                                        const GridSimResult& res) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (std::size_t c = 0; c < sim.cluster_count(); ++c) {
+    const OnlineCluster& cl = sim.cluster(c);
+    for (const LocalJobRecord& r : cl.local_records()) {
+      h = fnv1a_u64(h, r.id);
+      h = fnv1a_u64(h, static_cast<std::uint64_t>(r.community));
+      h = fnv1a_double(h, r.submit);
+      h = fnv1a_double(h, r.start);
+      h = fnv1a_double(h, r.finish);
+      h = fnv1a_u64(h, static_cast<std::uint64_t>(r.procs));
+    }
+    const BestEffortStats& be = cl.besteffort_stats();
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(be.started));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(be.killed));
+    h = fnv1a_double(h, be.wasted_time);
+    h = fnv1a_double(h, be.completed_time);
+    const VolatilityStats& vol = cl.volatility_stats();
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(vol.capacity_changes));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(vol.local_preemptions));
+    h = fnv1a_double(h, vol.local_wasted);
+  }
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(res.migrations));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(res.jobs_completed));
+  h = fnv1a_double(h, res.horizon);
+  h = fnv1a_double(h, res.mean_flow);
+  h = fnv1a_double(h, res.mean_slowdown);
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(res.grid_resubmissions));
+  return h;
+}
+
+struct GoldenScenario {
+  std::string name;
+  GridRouting routing;
+  std::string policy;
+  bool with_bags;
+  int volatility_events;
+};
+
+inline std::vector<GoldenScenario> golden_scenarios() {
+  return {
+      {"isolated-fcfs-bags-vol", GridRouting::kIsolated, "fcfs-list", true, 6},
+      {"threshold-easy-bags", GridRouting::kThreshold, "easy-backfill", true,
+       0},
+      {"economic-fcfs-vol", GridRouting::kEconomic, "fcfs-list", false, 4},
+      {"global-plan-easy", GridRouting::kGlobalPlan, "easy-backfill", false,
+       0},
+  };
+}
+
+/// Run one scenario on a fixed 4-cluster skewed grid with per-community
+/// workloads (release dates spread over an arrival window, so dispatch,
+/// routing, kills and volatility all interleave).
+inline std::uint64_t run_golden_scenario(const GoldenScenario& sc) {
+  const LightGrid grid = make_skewed_grid(4, 24, 2.0);
+
+  GridSimOptions opts;
+  opts.routing = sc.routing;
+  opts.cluster.policy = sc.policy;
+  opts.wait_threshold = 4.0;
+  if (sc.with_bags)
+    opts.bags = {{"golden-bag", 160, 0.5, 2, 1.0}};
+  opts.volatility.events = sc.volatility_events;
+  opts.volatility.window = 40.0;
+  opts.volatility.floor_fraction = 0.6;
+  opts.volatility_seed = 99;
+
+  GridSim sim(grid, opts);
+  JobSet all;
+  for (int c = 0; c < 4; ++c) {
+    Rng rng(mix_seed(7777, static_cast<std::uint64_t>(c)));
+    append_workload(all, make_community_workload(static_cast<Community>(c),
+                                                 40, rng, /*first_id=*/0,
+                                                 /*time_scale=*/0.05,
+                                                 /*arrival_window=*/30.0));
+  }
+  sim.submit_workloads(split_by_community(all, 4));
+  const GridSimResult res = sim.run();
+  return digest_grid_result(sim, res);
+}
+
+}  // namespace lgs

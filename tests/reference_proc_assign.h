@@ -1,0 +1,118 @@
+// The std::set<ProcId>-based processor-assignment sweep the interval-run
+// allocator (core/proc_interval.h) replaced — kept verbatim as the
+// differential-test oracle: tests/test_proc_assign.cpp requires the
+// optimized assign_processors{,_contiguous} to produce bit-identical
+// processor id lists on randomized schedules.
+#pragma once
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace lgs {
+
+inline bool reference_assign_processors(Schedule& s) {
+  struct Ev {
+    Time t;
+    bool is_start;
+    std::size_t idx;  // index into assignments
+  };
+  auto& items = s.assignments();
+  std::vector<Ev> events;
+  events.reserve(items.size() * 2);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    events.push_back({items[i].start, true, i});
+    events.push_back({items[i].end(), false, i});
+  }
+  // Ends strictly before starts at equal times so shelves can be stacked
+  // back-to-back; ties broken by job id for determinism.
+  std::sort(events.begin(), events.end(), [&](const Ev& a, const Ev& b) {
+    if (!almost_equal(a.t, b.t)) return a.t < b.t;
+    if (a.is_start != b.is_start) return !a.is_start;
+    return items[a.idx].job < items[b.idx].job;
+  });
+
+  std::set<ProcId> free;
+  for (ProcId p = 0; p < s.machines(); ++p) free.insert(p);
+
+  std::vector<std::vector<ProcId>> chosen(items.size());
+  for (const Ev& ev : events) {
+    Assignment& a = items[ev.idx];
+    if (ev.is_start) {
+      if (static_cast<int>(free.size()) < a.nprocs) return false;
+      auto it = free.begin();
+      for (int k = 0; k < a.nprocs; ++k) {
+        chosen[ev.idx].push_back(*it);
+        it = free.erase(it);
+      }
+    } else {
+      for (ProcId p : chosen[ev.idx]) free.insert(p);
+    }
+  }
+  for (std::size_t i = 0; i < items.size(); ++i)
+    items[i].procs = std::move(chosen[i]);
+  return true;
+}
+
+inline bool reference_assign_processors_contiguous(Schedule& s) {
+  struct Ev {
+    Time t;
+    bool is_start;
+    std::size_t idx;
+  };
+  auto& items = s.assignments();
+  std::vector<Ev> events;
+  events.reserve(items.size() * 2);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    events.push_back({items[i].start, true, i});
+    events.push_back({items[i].end(), false, i});
+  }
+  std::sort(events.begin(), events.end(), [&](const Ev& a, const Ev& b) {
+    if (!almost_equal(a.t, b.t)) return a.t < b.t;
+    if (a.is_start != b.is_start) return !a.is_start;
+    return items[a.idx].job < items[b.idx].job;
+  });
+
+  // Free set as ordered processor ids; a contiguous run is found by a
+  // linear scan (m is small relative to event counts).
+  std::set<ProcId> free;
+  for (ProcId p = 0; p < s.machines(); ++p) free.insert(p);
+
+  std::vector<std::vector<ProcId>> chosen(items.size());
+  for (const Ev& ev : events) {
+    Assignment& a = items[ev.idx];
+    if (!ev.is_start) {
+      for (ProcId p : chosen[ev.idx]) free.insert(p);
+      continue;
+    }
+    // First fit: lowest base of a free run of length nprocs.
+    ProcId base = -1;
+    int run = 0;
+    ProcId prev = -2;
+    for (ProcId p : free) {
+      if (p == prev + 1) {
+        ++run;
+      } else {
+        base = p;
+        run = 1;
+      }
+      prev = p;
+      if (run == a.nprocs) {
+        base = p - a.nprocs + 1;
+        break;
+      }
+    }
+    if (run < a.nprocs) return false;  // fragmented (or overcommitted)
+    for (ProcId p = base; p < base + a.nprocs; ++p) {
+      chosen[ev.idx].push_back(p);
+      free.erase(p);
+    }
+  }
+  for (std::size_t i = 0; i < items.size(); ++i)
+    items[i].procs = std::move(chosen[i]);
+  return true;
+}
+
+}  // namespace lgs

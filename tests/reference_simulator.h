@@ -1,0 +1,83 @@
+// The std::function-based DES kernel the slab-slot Simulator replaced —
+// kept verbatim as the differential-test oracle (tests/test_simulator.cpp
+// replays randomized event scripts through both kernels and requires
+// identical execution sequences), the same role tests/reference_profile.h
+// plays for the availability-profile core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.h"
+
+namespace lgs {
+
+class ReferenceSimulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  Time now() const { return now_; }
+
+  EventId at(Time t, Callback cb, int priority = 0) {
+    if (t < now_ - kTimeEps)
+      throw std::invalid_argument("cannot schedule an event in the past");
+    const EventId id = next_id_++;
+    queue_.push(Ev{t, priority, id, std::move(cb)});
+    return id;
+  }
+
+  EventId after(Time delay, Callback cb, int priority = 0) {
+    return at(now_ + delay, std::move(cb), priority);
+  }
+
+  void cancel(EventId id) {
+    // Mirrors the production kernel's id validation (never-scheduled and
+    // future ids are rejected; see test CancelOfFutureIdIsRejected).
+    if (id == 0 || id >= next_id_) return;
+    cancelled_.insert(id);
+  }
+
+  void run(Time horizon = kTimeInfinity) {
+    while (!queue_.empty()) {
+      if (queue_.top().t > horizon) break;
+      Ev ev = std::move(const_cast<Ev&>(queue_.top()));
+      queue_.pop();
+      if (cancelled_.erase(ev.id) > 0) continue;
+      now_ = ev.t;
+      ++executed_;
+      ev.cb();
+    }
+    if (queue_.empty()) cancelled_.clear();
+    if (now_ < horizon && horizon != kTimeInfinity) now_ = horizon;
+  }
+
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Ev {
+    Time t;
+    int priority;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace lgs

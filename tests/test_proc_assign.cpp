@@ -5,6 +5,7 @@
 #include "core/rng.h"
 #include "core/validate.h"
 #include "pt/shelves.h"
+#include "reference_proc_assign.h"
 #include "workload/generators.h"
 
 namespace lgs {
@@ -73,6 +74,67 @@ TEST_P(ProcAssignProperty, ShelfSchedulesAlwaysRealizable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProcAssignProperty,
                          ::testing::Values(1, 2, 3, 17, 42, 1234));
+
+// Differential gate for the interval-run allocator: the optimized sweep
+// must produce BIT-identical processor id lists to the std::set-based
+// implementation it replaced (tests/reference_proc_assign.h).
+class ProcAssignDifferential : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  // A capacity-valid schedule from the shelf packer plus a tail of
+  // randomly timed jobs (some of which overcommit at high seeds' draws,
+  // exercising the failure path of both implementations).
+  Schedule build(std::uint64_t seed, int m, bool force_valid) {
+    Rng rng(seed);
+    RigidWorkloadSpec spec;
+    spec.count = 80;
+    spec.max_procs = m / 2;
+    const JobSet jobs = make_rigid_workload(spec, rng);
+    if (force_valid) return shelf_schedule_rigid(jobs, m);
+    Schedule s(m);
+    for (const Job& j : jobs)
+      s.add(j.id, rng.uniform(0.0, 40.0), j.min_procs, j.time(j.min_procs));
+    return s;
+  }
+};
+
+TEST_P(ProcAssignDifferential, LowestFirstMatchesSetOracle) {
+  for (const bool force_valid : {true, false}) {
+    Schedule optimized = build(GetParam(), 32, force_valid);
+    Schedule reference = optimized;
+    const bool got = assign_processors(optimized);
+    const bool want = reference_assign_processors(reference);
+    ASSERT_EQ(got, want);
+    if (!got) continue;
+    for (std::size_t i = 0; i < optimized.size(); ++i)
+      EXPECT_EQ(optimized.assignments()[i].procs,
+                reference.assignments()[i].procs)
+          << "assignment " << i << " diverged";
+  }
+}
+
+TEST_P(ProcAssignDifferential, ContiguousFirstFitMatchesSetOracle) {
+  for (const bool force_valid : {true, false}) {
+    Schedule optimized = build(GetParam(), 32, force_valid);
+    Schedule reference = optimized;
+    const bool got = assign_processors_contiguous(optimized);
+    const bool want = reference_assign_processors_contiguous(reference);
+    ASSERT_EQ(got, want);
+    if (!got) {
+      // Failure must leave the schedule untouched in both.
+      for (const Assignment& a : optimized.assignments())
+        EXPECT_TRUE(a.procs.empty());
+      continue;
+    }
+    for (std::size_t i = 0; i < optimized.size(); ++i)
+      EXPECT_EQ(optimized.assignments()[i].procs,
+                reference.assignments()[i].procs)
+          << "assignment " << i << " diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcAssignDifferential,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
 
 }  // namespace
 }  // namespace lgs

@@ -1,0 +1,176 @@
+// Tests for the interval-run processor free-list (core/proc_interval.h):
+// unit behavior, a randomized churn differential against a std::set
+// oracle (the representation it replaced), and the fragmentation worst
+// case where every other processor is taken.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/proc_interval.h"
+#include "core/rng.h"
+
+namespace lgs {
+namespace {
+
+std::vector<ProcId> expand(const std::vector<ProcRun>& runs) {
+  std::vector<ProcId> out;
+  expand_runs(runs, out);
+  return out;
+}
+
+TEST(ProcIntervalSet, StartsAsOneRun) {
+  ProcIntervalSet s(16);
+  EXPECT_EQ(s.free_count(), 16);
+  EXPECT_EQ(s.fragment_count(), 1u);
+  EXPECT_EQ(s.runs(), (std::vector<ProcRun>{{0, 16}}));
+}
+
+TEST(ProcIntervalSet, AcquireLowestTakesAscendingIds) {
+  ProcIntervalSet s(8);
+  std::vector<ProcRun> a, b;
+  ASSERT_TRUE(s.acquire_lowest(3, a));
+  EXPECT_EQ(expand(a), (std::vector<ProcId>{0, 1, 2}));
+  ASSERT_TRUE(s.acquire_lowest(2, b));
+  EXPECT_EQ(expand(b), (std::vector<ProcId>{3, 4}));
+  EXPECT_EQ(s.free_count(), 3);
+  EXPECT_FALSE(s.acquire_lowest(4, b)) << "overcommit must take nothing";
+  EXPECT_EQ(s.free_count(), 3);
+}
+
+TEST(ProcIntervalSet, AcquireSpansFragments) {
+  ProcIntervalSet s(10);
+  std::vector<ProcRun> low, mid, spanning;
+  ASSERT_TRUE(s.acquire_lowest(2, low));   // holds [0,2)
+  ASSERT_TRUE(s.acquire_lowest(3, mid));   // holds [2,5)
+  s.release_all(low);                      // free: [0,2) and [5,10)
+  EXPECT_EQ(s.fragment_count(), 2u);
+  ASSERT_TRUE(s.acquire_lowest(4, spanning));
+  EXPECT_EQ(expand(spanning), (std::vector<ProcId>{0, 1, 5, 6}));
+  EXPECT_EQ(s.fragment_count(), 1u);
+}
+
+TEST(ProcIntervalSet, ReleaseMergesNeighbors) {
+  ProcIntervalSet s(9);
+  std::vector<ProcRun> a, b, c;
+  ASSERT_TRUE(s.acquire_lowest(3, a));
+  ASSERT_TRUE(s.acquire_lowest(3, b));
+  ASSERT_TRUE(s.acquire_lowest(3, c));
+  EXPECT_EQ(s.free_count(), 0);
+  s.release_all(a);
+  s.release_all(c);
+  EXPECT_EQ(s.fragment_count(), 2u);
+  s.release_all(b);  // merges both neighbors into one full run
+  EXPECT_EQ(s.fragment_count(), 1u);
+  EXPECT_EQ(s.runs(), (std::vector<ProcRun>{{0, 9}}));
+}
+
+TEST(ProcIntervalSet, DoubleReleaseThrows) {
+  ProcIntervalSet s(4);
+  std::vector<ProcRun> a;
+  ASSERT_TRUE(s.acquire_lowest(2, a));
+  s.release_all(a);
+  EXPECT_THROW(s.release_all(a), std::logic_error);
+  EXPECT_THROW(s.release(ProcRun{1, 3}), std::logic_error);
+}
+
+TEST(ProcIntervalSet, ContiguousFirstFit) {
+  ProcIntervalSet s(12);
+  std::vector<ProcRun> held;
+  ASSERT_TRUE(s.acquire_lowest(4, held));  // [0,4) taken
+  EXPECT_EQ(s.acquire_contiguous(3), 4);   // lowest base in [4,12)
+  s.release(ProcRun{0, 4});                // free: [0,4) and [7,12)
+  EXPECT_EQ(s.acquire_contiguous(5), 7) << "first fit skips the short run";
+  EXPECT_EQ(s.acquire_contiguous(5), -1) << "nothing long enough left";
+  EXPECT_EQ(s.acquire_contiguous(4), 0);
+}
+
+// Fragmentation worst case: every other processor held, so k = n/2
+// maximal runs of length 1.  The interval set must track them exactly,
+// refuse any contiguous request wider than 1, and still serve
+// non-contiguous acquisition across all fragments.
+TEST(ProcIntervalSet, AlternatingFragmentationWorstCase) {
+  const int n = 256;
+  ProcIntervalSet s(n);
+  std::vector<std::vector<ProcRun>> singles(n);
+  for (int p = 0; p < n; ++p)
+    ASSERT_TRUE(s.acquire_lowest(1, singles[p]));
+  EXPECT_EQ(s.free_count(), 0);
+  for (int p = 0; p < n; p += 2) s.release_all(singles[p]);  // free evens
+  EXPECT_EQ(s.free_count(), n / 2);
+  EXPECT_EQ(s.fragment_count(), static_cast<std::size_t>(n / 2));
+  EXPECT_EQ(s.acquire_contiguous(2), -1);
+  EXPECT_EQ(s.acquire_contiguous(1), 0);
+  s.release(ProcRun{0, 1});
+  std::vector<ProcRun> all;
+  ASSERT_TRUE(s.acquire_lowest(n / 2, all));
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(n / 2));
+  std::vector<ProcId> ids = expand(all);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    EXPECT_EQ(ids[i], static_cast<ProcId>(2 * i)) << "evens, ascending";
+  EXPECT_EQ(s.fragment_count(), 0u);
+  // Releasing odd singles next to held evens re-merges nothing...
+  for (int p = 1; p < n; p += 2) s.release_all(singles[p]);
+  EXPECT_EQ(s.fragment_count(), static_cast<std::size_t>(n / 2));
+  // ...until the evens come back and the whole machine coalesces.
+  s.release_all(all);
+  EXPECT_EQ(s.fragment_count(), 1u);
+  EXPECT_EQ(s.free_count(), n);
+}
+
+// Randomized churn differential: the interval set must agree with a
+// plain std::set<ProcId> model on every acquire/release/volatility-style
+// interleaving — ids taken, free count, and fragment structure.
+class ProcIntervalChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProcIntervalChurn, MatchesSetOracle) {
+  const int n = 64;
+  ProcIntervalSet fast(n);
+  std::set<ProcId> oracle;
+  for (ProcId p = 0; p < n; ++p) oracle.insert(p);
+
+  Rng rng(GetParam());
+  struct Held {
+    std::vector<ProcRun> runs;
+    std::vector<ProcId> ids;
+  };
+  std::vector<Held> held;
+  for (int step = 0; step < 4000; ++step) {
+    const bool acquire = held.empty() || rng.flip(0.55);
+    if (acquire) {
+      const int want = static_cast<int>(rng.uniform_int(1, 12));
+      Held h;
+      const bool ok = fast.acquire_lowest(want, h.runs);
+      ASSERT_EQ(ok, static_cast<int>(oracle.size()) >= want);
+      if (!ok) continue;
+      for (int k = 0; k < want; ++k) {
+        h.ids.push_back(*oracle.begin());
+        oracle.erase(oracle.begin());
+      }
+      ASSERT_EQ(expand(h.runs), h.ids) << "acquired different ids";
+      held.push_back(std::move(h));
+    } else {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.uniform_int(0, held.size() - 1));
+      fast.release_all(held[victim].runs);
+      for (ProcId p : held[victim].ids) oracle.insert(p);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    ASSERT_EQ(fast.free_count(), static_cast<int>(oracle.size()));
+    // Fragment structure must match the oracle's maximal runs.
+    std::vector<ProcRun> expect;
+    for (ProcId p : oracle) {
+      if (!expect.empty() && expect.back().hi == p)
+        ++expect.back().hi;
+      else
+        expect.push_back(ProcRun{p, p + 1});
+    }
+    ASSERT_EQ(fast.runs(), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcIntervalChurn,
+                         ::testing::Values(1, 2, 3, 17, 42, 20260728));
+
+}  // namespace
+}  // namespace lgs

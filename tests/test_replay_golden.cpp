@@ -1,0 +1,51 @@
+// Differential gate for the million-job hot-path overhaul: full-stack
+// grid replays must stay BIT-identical to the pre-overhaul engines.
+//
+// The expected digests below were captured from the implementation before
+// the Simulator event representation, the proc-assign free-list and the
+// GridSim/OnlineCluster dispatch paths were optimized (see
+// tests/grid_golden_scenarios.h).  They cover every dynamic layer at
+// once: routing (all four GridRouting modes), queue policies (FCFS and
+// EASY), best-effort kills/resubmissions and volatility preemption.
+#include <gtest/gtest.h>
+
+#include "grid_golden_scenarios.h"
+
+namespace lgs {
+namespace {
+
+struct Expected {
+  const char* name;
+  std::uint64_t digest;
+};
+
+// Captured from the pre-overhaul implementation (commit c853b3d) with
+// libstdc++'s distribution algorithms.
+constexpr Expected kExpected[] = {
+    {"isolated-fcfs-bags-vol", 0x2ea19de7c3954cf2ull},
+    {"threshold-easy-bags", 0xb5e4be5273c9e79full},
+    {"economic-fcfs-vol", 0x6e90d7f2490c5b24ull},
+    {"global-plan-easy", 0xf3dff33f17c00882ull},
+};
+
+TEST(ReplayGolden, FullStackDigestsUnchanged) {
+  if (!rng_matches_reference_library())
+    GTEST_SKIP() << "non-reference standard library: golden digests do not "
+                    "apply (they pin libstdc++ distribution draws)";
+  const std::vector<GoldenScenario> scenarios = golden_scenarios();
+  ASSERT_EQ(scenarios.size(), std::size(kExpected));
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    SCOPED_TRACE(scenarios[i].name);
+    EXPECT_EQ(scenarios[i].name, kExpected[i].name);
+    EXPECT_EQ(run_golden_scenario(scenarios[i]), kExpected[i].digest)
+        << "optimized engine diverged from the pre-overhaul implementation";
+  }
+}
+
+TEST(ReplayGolden, DigestIsDeterministicAcrossRuns) {
+  const GoldenScenario sc = golden_scenarios().front();
+  EXPECT_EQ(run_golden_scenario(sc), run_golden_scenario(sc));
+}
+
+}  // namespace
+}  // namespace lgs

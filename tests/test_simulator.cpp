@@ -1,8 +1,12 @@
 // Tests for the DES kernel (sim/simulator.h).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
+#include "core/rng.h"
+#include "reference_simulator.h"
 #include "sim/simulator.h"
 
 namespace lgs {
@@ -136,6 +140,155 @@ TEST(Simulator, RejectsPastEvents) {
     EXPECT_THROW(sim.at(1.0, [] {}), std::invalid_argument);
   });
   sim.run();
+}
+
+TEST(Simulator, CancelOfFutureIdIsRejected) {
+  // A cancellation may only target an id at()/after() actually returned.
+  // Unvalidated insertion used to poison the *next* scheduled event: the
+  // guessed id was stored, the future event received that id, and fired
+  // never happened.
+  Simulator sim;
+  const EventId last = sim.at(1.0, [] {});
+  sim.cancel(last + 1);  // never scheduled: must be a no-op...
+  EXPECT_EQ(sim.pending_cancellations(), 0u);
+  bool fired = false;
+  sim.at(2.0, [&] { fired = true; });  // ...so this event (id last+1) fires
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelOfZeroAndFarFutureIdsIsNoop) {
+  Simulator sim;
+  sim.cancel(0);  // the engines' "no event" sentinel
+  sim.cancel(123456789);
+  EXPECT_EQ(sim.pending_cancellations(), 0u);
+  int count = 0;
+  for (int i = 0; i < 5; ++i) sim.at(1.0 + i, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, SlotSlabStaysFlatAcrossManyEvents) {
+  // The slab recycles callback slots: scheduling/firing 100k events with
+  // bounded concurrency must not grow the slot count past the peak
+  // number of simultaneously pending events.
+  Simulator sim;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 100000; ++i)
+    sim.at(static_cast<Time>(i % 97), [&fired] { ++fired; });
+  // All 100k are pending at once here — that IS the peak.
+  const std::size_t peak = sim.slot_capacity();
+  EXPECT_GE(peak, 100000u);
+  sim.run();
+  EXPECT_EQ(fired, 100000u);
+  // Sequential schedule-fire cycles reuse the freed slots.
+  for (int i = 0; i < 100000; ++i) {
+    sim.after(1.0, [&fired] { ++fired; });
+    sim.run();
+  }
+  EXPECT_EQ(sim.slot_capacity(), peak) << "slots leaked per event";
+  EXPECT_EQ(sim.overflow_blocks_allocated(), 0u)
+      << "small captures must stay inline";
+}
+
+TEST(Simulator, LargeCapturesUseRecycledOverflowBlocks) {
+  Simulator sim;
+  struct Big {
+    std::array<std::uint64_t, 32> payload{};
+  };
+  static_assert(sizeof(Big) > Simulator::kInlineCallback);
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Big big;
+    big.payload[0] = static_cast<std::uint64_t>(i);
+    sim.after(1.0, [big, &sum] { sum += big.payload[0]; });
+    sim.run();
+  }
+  EXPECT_EQ(sum, 999ull * 1000 / 2);
+  EXPECT_EQ(sim.overflow_blocks_allocated(), 1u)
+      << "overflow blocks must recycle through the free list";
+}
+
+TEST(Simulator, NonTrivialCapturesAreDestroyed) {
+  const auto tracker = std::make_shared<int>(42);
+  {
+    Simulator sim;
+    sim.at(1.0, [tracker] {});       // fired: destroyed by run()
+    sim.at(2.0, [tracker] {});       // cancelled: destroyed on pop
+    const EventId id = sim.at(3.0, [tracker] {});
+    sim.cancel(id);
+    sim.at(5.0, [tracker] {});  // never fired (horizon): destroyed by dtor
+    EXPECT_EQ(tracker.use_count(), 5);
+    sim.run(4.0);
+    EXPECT_EQ(tracker.use_count(), 2) << "fired/cancelled captures leaked";
+  }
+  EXPECT_EQ(tracker.use_count(), 1) << "pending capture leaked at dtor";
+}
+
+// Differential oracle: randomized event scripts must execute in exactly
+// the same (time, tag) sequence on the slab-slot kernel and on the
+// std::function kernel it replaced (tests/reference_simulator.h).
+TEST(Simulator, MatchesReferenceKernelOnRandomScripts) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    struct Op {
+      Time t;
+      int priority;
+      int tag;
+      bool cancel_previous;
+      Time nested_delay;  // > 0: the callback schedules a follow-up
+    };
+    std::vector<Op> script;
+    for (int i = 0; i < 400; ++i) {
+      Op op;
+      op.t = rng.uniform(0.0, 50.0);
+      op.priority = static_cast<int>(rng.uniform_int(-2, 2));
+      op.tag = i;
+      op.cancel_previous = rng.flip(0.2);
+      op.nested_delay = rng.flip(0.3) ? rng.uniform(0.1, 5.0) : 0.0;
+      script.push_back(op);
+    }
+
+    const auto replay = [&script](auto& sim) {
+      using Id = std::uint64_t;  // both kernels' EventId
+      std::vector<std::pair<Time, int>> trace;
+      std::vector<Id> ids;
+      for (const Op& op : script) {
+        const Time nested = op.nested_delay;
+        const int tag = op.tag;
+        Id id;
+        if (nested > 0.0) {
+          auto& s = sim;
+          id = sim.at(op.t,
+                      [&s, &trace, tag, nested] {
+                        trace.emplace_back(s.now(), tag);
+                        s.after(nested, [&s, &trace, tag] {
+                          trace.emplace_back(s.now(), ~tag);
+                        });
+                      },
+                      op.priority);
+        } else {
+          auto& s = sim;
+          id = sim.at(op.t,
+                      [&s, &trace, tag] { trace.emplace_back(s.now(), tag); },
+                      op.priority);
+        }
+        if (op.cancel_previous && !ids.empty())
+          sim.cancel(ids[ids.size() / 2]);
+        ids.push_back(id);
+      }
+      sim.run(40.0);  // horizon pause mid-script...
+      sim.run();      // ...then drain
+      return trace;
+    };
+
+    Simulator production;
+    ReferenceSimulator reference;
+    const auto got = replay(production);
+    const auto want = replay(reference);
+    ASSERT_EQ(got, want) << "kernel diverged from oracle at seed " << seed;
+    EXPECT_EQ(production.executed(), reference.executed());
+  }
 }
 
 TEST(Simulator, CascadingEvents) {

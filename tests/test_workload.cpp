@@ -247,5 +247,80 @@ TEST(Workload, NegativeCountsRejected) {
   EXPECT_THROW(expand_bag(bag, 0), std::invalid_argument);
 }
 
+TEST(LargeTrace, DeterministicAndWellFormed) {
+  LargeTraceSpec spec;
+  const JobSet a = make_large_trace(5000, 42, spec);
+  const JobSet b = make_large_trace(5000, 42, spec);
+  const JobSet c = make_large_trace(5000, 43, spec);
+  ASSERT_EQ(a.size(), 5000u);
+  bool differs = false;
+  Time prev_release = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<JobId>(i)) << "dense ids in arrival order";
+    EXPECT_EQ(a[i].kind, JobKind::kRigid);
+    EXPECT_DOUBLE_EQ(a[i].release, b[i].release);
+    EXPECT_DOUBLE_EQ(a[i].time(a[i].min_procs), b[i].time(b[i].min_procs));
+    EXPECT_GE(a[i].release, prev_release) << "releases must be sorted";
+    prev_release = a[i].release;
+    EXPECT_GE(a[i].community, 0);
+    EXPECT_LT(a[i].community, spec.communities);
+    const int procs = a[i].min_procs;
+    EXPECT_GE(procs, 1);
+    EXPECT_LE(procs, spec.max_procs);
+    EXPECT_EQ(procs & (procs - 1), 0) << "widths are powers of two";
+    if (a[i].release != c[i].release) differs = true;
+  }
+  EXPECT_TRUE(differs) << "different seeds must differ";
+}
+
+TEST(LargeTrace, OffersConfiguredLoad) {
+  LargeTraceSpec spec;
+  spec.load = 0.8;
+  const JobSet jobs = make_large_trace(20000, 7, spec);
+  double work = 0.0;
+  for (const Job& j : jobs) work += j.work(j.min_procs);
+  const Time window = jobs.back().release;
+  const double offered =
+      work / (window * static_cast<double>(spec.target_capacity));
+  // Arrival gaps are stochastic: the realized window wobbles around the
+  // sized one, so allow a generous band.
+  EXPECT_GT(offered, 0.6 * spec.load);
+  EXPECT_LT(offered, 1.4 * spec.load);
+}
+
+TEST(LargeTrace, ArrivalsAreBursty) {
+  LargeTraceSpec spec;
+  spec.burst_intensity = 10.0;
+  const JobSet jobs = make_large_trace(20000, 11, spec);
+  // Classify gaps against the overall mean: a Lublin-style process puts
+  // most arrivals inside tight bursts, with rare long lulls carrying
+  // most of the elapsed time — a plain Poisson stream does neither.
+  const double mean_gap = jobs.back().release / (jobs.size() - 1);
+  std::size_t tight = 0;
+  double lull_time = 0.0;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    const double gap = jobs[i].release - jobs[i - 1].release;
+    if (gap < 0.5 * mean_gap) ++tight;
+    if (gap > 2.0 * mean_gap) lull_time += gap;
+  }
+  EXPECT_GT(static_cast<double>(tight) / jobs.size(), 0.6)
+      << "most gaps should be burst-tight";
+  EXPECT_GT(lull_time / jobs.back().release, 0.4)
+      << "lulls should carry much of the window";
+}
+
+TEST(LargeTrace, RejectsBadSpecs) {
+  LargeTraceSpec spec;
+  spec.max_procs = 0;
+  EXPECT_THROW(make_large_trace(10, 1, spec), std::invalid_argument);
+  spec = {};
+  spec.load = 0.0;
+  EXPECT_THROW(make_large_trace(10, 1, spec), std::invalid_argument);
+  spec = {};
+  spec.burst_intensity = 0.5;
+  EXPECT_THROW(make_large_trace(10, 1, spec), std::invalid_argument);
+  EXPECT_TRUE(make_large_trace(0, 1).empty());
+}
+
 }  // namespace
 }  // namespace lgs
