@@ -5,9 +5,17 @@
 // once through a single OnlineCluster the width of the whole machine
 // pool, and once through a 16-cluster GridSim splitting the trace by
 // community.  Each phase reports wall time, simulator events/sec and
-// jobs/sec; each size reports the process peak RSS.  Every replay is
+// jobs/sec; each size reports the process peak RSS plus the replay
+// arena's allocator introspection (bytes reserved/peak, block counts)
+// and the job store's hot/cold slab footprint.  Every replay is
 // validated (nothing left queued/running, record counts match) and the
 // binary exits non-zero on any violation, so CI can gate on it.
+//
+// Memory discipline: the trace is built once into a JobStore (64-byte
+// hot rows, no per-job heap), each replay draws every allocation from
+// ONE Arena that is reset (blocks kept) between repetitions, and the
+// grid phase borrows the store via submit_store — zero job copies on
+// the replay path.
 //
 // The consolidated JSON is the perf-trajectory artifact: CI runs
 // `bench_scale --quick --json BENCH_scale.json` and compares the
@@ -29,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.h"
+#include "core/report.h"
 #include "sim/grid_sim.h"
 #include "sim/online_cluster.h"
 #include "sim/simulator.h"
@@ -57,20 +67,32 @@ struct PhaseResult {
   double jobs_per_sec = 0.0;
 };
 
+/// Allocator introspection for one size point: the replay arena's
+/// counters after the last repetition plus the trace store's slab
+/// footprint.  Exported under "memory" in the JSON; the *_bytes leaves
+/// are upper-bound gated by compare_bench.py.
+struct MemoryResult {
+  std::size_t store_hot_bytes = 0;
+  std::size_t store_cold_bytes = 0;
+  ArenaStats arena;
+};
+
 struct SizeResult {
   std::size_t jobs = 0;
   PhaseResult generate;
   PhaseResult online_cluster;
   PhaseResult grid_sim;
+  MemoryResult memory;
 };
 
 /// Feed arrivals through ONE pending event walking the release-sorted
 /// trace — constant event-queue footprint regardless of trace size (the
-/// same discipline GridSim::run uses internally).
+/// same discipline GridSim::run uses internally).  Submissions are hot
+/// store rows: 64 bytes copied per job, never a fat Job.
 struct ArrivalPump {
   Simulator& sim;
   OnlineCluster& cluster;
-  const JobSet& jobs;
+  const JobStore& jobs;
   std::size_t cursor = 0;
 
   void prime() {
@@ -80,9 +102,9 @@ struct ArrivalPump {
   void fire() {
     const Time now = sim.now();
     while (cursor < jobs.size() && jobs[cursor].release <= now) {
-      Job j = jobs[cursor++];
-      j.release = 0.0;  // submit at the arrival instant, no deferral timer
-      cluster.submit_local(j);
+      HotJob h = jobs[cursor++];
+      h.release = 0.0;  // submit at the arrival instant, no deferral timer
+      cluster.submit_local(h, jobs.tables());
     }
     prime();
   }
@@ -112,25 +134,34 @@ SizeResult run_size(std::size_t n, int clusters, std::uint64_t seed,
   spec.target_capacity = clusters * 64;
   spec.load = 0.85;
 
-  JobSet trace;
+  JobStore trace;
   for (int rep = 0; rep < repeat; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    trace = make_large_trace(n, seed, spec);
+    trace = make_large_trace_store(n, seed, spec);
     PhaseResult phase;
     phase.wall_s = seconds_since(t0);
     phase.jobs_per_sec = static_cast<double>(n) / phase.wall_s;
     keep_best(res.generate, phase);
   }
+  res.memory.store_hot_bytes = trace.hot_bytes();
+  res.memory.store_cold_bytes = trace.cold_bytes();
+
+  // One replay arena for every repetition of both phases: reset()
+  // between reps keeps the blocks, so after the first rep the engines
+  // run with zero allocator traffic.
+  Arena arena;
 
   for (int rep = 0; rep < repeat; ++rep) {
     // Phase: one cluster the width of the whole pool.
-    Simulator sim;
+    arena.reset();
+    Simulator sim{ArenaRef(arena)};
     Cluster desc;
     desc.id = 0;
     desc.name = "pool";
     desc.nodes = spec.target_capacity;
     desc.cpus_per_node = 1;
-    OnlineCluster cluster(sim, desc);
+    OnlineCluster cluster(sim, desc, OnlineCluster::Options{},
+                          ArenaRef(arena));
     cluster.reserve_submissions(n);
     ArrivalPump pump{sim, cluster, trace};
     const auto t0 = std::chrono::steady_clock::now();
@@ -150,12 +181,12 @@ SizeResult run_size(std::size_t n, int clusters, std::uint64_t seed,
   }
 
   for (int rep = 0; rep < repeat; ++rep) {
-    // Phase: 16-cluster grid, trace split by community.
+    // Phase: 16-cluster grid borrowing the store (no split, no copies).
+    arena.reset();
     GridSimOptions opts;  // isolated routing, FCFS — the throughput bar
-    GridSim grid(make_skewed_grid(clusters, 64, /*skew=*/1.0), opts);
+    GridSim grid(make_skewed_grid(clusters, 64, /*skew=*/1.0), opts, &arena);
     const auto t0 = std::chrono::steady_clock::now();
-    grid.submit_workloads(
-        split_by_community(trace, static_cast<std::size_t>(clusters)));
+    grid.submit_store(trace);
     const GridSimResult result = grid.run();
     PhaseResult phase;
     phase.wall_s = seconds_since(t0);
@@ -168,41 +199,66 @@ SizeResult run_size(std::size_t n, int clusters, std::uint64_t seed,
       fail("grid replay lost submissions");
     for (const std::string& v : validate_grid_result(grid, result))
       fail("grid replay: " + v);
+    if (rep + 1 == repeat) res.memory.arena = grid.arena_stats();
   }
 
   return res;
 }
 
-void phase_json(std::ostringstream& out, const char* name,
-                const PhaseResult& p, bool with_events) {
-  out << "      \"" << name << "\": {\"wall_s\": " << p.wall_s;
-  if (with_events)
-    out << ", \"events\": " << p.events
-        << ", \"events_per_sec\": " << p.events_per_sec;
-  out << ", \"jobs_per_sec\": " << p.jobs_per_sec << "}";
+void phase_json(JsonWriter& w, const char* name, const PhaseResult& p,
+                bool with_events) {
+  w.key(name).begin_object();
+  w.key("wall_s").value(p.wall_s);
+  if (with_events) {
+    w.key("events").value(static_cast<std::uint64_t>(p.events));
+    w.key("events_per_sec").value(p.events_per_sec);
+  }
+  w.key("jobs_per_sec").value(p.jobs_per_sec);
+  w.end_object();
 }
 
 std::string to_json(const std::vector<SizeResult>& results, int clusters,
                     bool quick) {
-  std::ostringstream out;
-  out << "{\n  \"bench\": \"scale\",\n  \"quick\": "
-      << (quick ? "true" : "false") << ",\n  \"clusters\": " << clusters
-      << ",\n  \"sizes\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const SizeResult& r = results[i];
-    out << "    {\"jobs\": " << r.jobs << ",\n     \"phases\": {\n";
-    phase_json(out, "generate", r.generate, false);
-    out << ",\n";
-    phase_json(out, "online_cluster", r.online_cluster, true);
-    out << ",\n";
-    phase_json(out, "grid_sim", r.grid_sim, true);
-    out << "\n     }}" << (i + 1 < results.size() ? "," : "") << "\n";
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("scale");
+  w.key("quick").value(quick);
+  w.key("clusters").value(clusters);
+  w.key("sizes").begin_array();
+  for (const SizeResult& r : results) {
+    w.begin_object();
+    w.key("jobs").value(static_cast<std::uint64_t>(r.jobs));
+    w.key("phases").begin_object();
+    phase_json(w, "generate", r.generate, false);
+    phase_json(w, "online_cluster", r.online_cluster, true);
+    phase_json(w, "grid_sim", r.grid_sim, true);
+    w.end_object();
+    // Allocator introspection: the trace store's slabs and the replay
+    // arena's counters after the final grid repetition.  The *_bytes
+    // leaves are deterministic for a given (n, seed, spec), so
+    // compare_bench.py upper-bound gates them like peak_rss_mb.
+    const MemoryResult& m = r.memory;
+    w.key("memory").begin_object();
+    w.key("store_hot_bytes").value(static_cast<std::uint64_t>(m.store_hot_bytes));
+    w.key("store_cold_bytes").value(static_cast<std::uint64_t>(m.store_cold_bytes));
+    w.key("arena_reserved_bytes")
+        .value(static_cast<std::uint64_t>(m.arena.bytes_reserved));
+    w.key("arena_peak_bytes")
+        .value(static_cast<std::uint64_t>(m.arena.bytes_peak));
+    w.key("arena_blocks").value(static_cast<std::uint64_t>(m.arena.blocks));
+    w.key("arena_oversized_blocks")
+        .value(static_cast<std::uint64_t>(m.arena.oversized_blocks));
+    w.key("arena_resets").value(static_cast<std::uint64_t>(m.arena.resets));
+    w.end_object();
+    w.end_object();
   }
+  w.end_array();
   // ru_maxrss is a process-wide high-water mark, so one honest number
   // for the whole run (dominated by the largest size) instead of a
   // misleading monotone per-size column.
-  out << "  ],\n  \"peak_rss_mb\": " << peak_rss_mb() << "\n}\n";
-  return out.str();
+  w.key("peak_rss_mb").value(peak_rss_mb());
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace

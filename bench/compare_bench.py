@@ -7,7 +7,8 @@ tolerance (default 25%):
 
   - keys ending in ``_per_sec`` and keys starting with ``speedup``
     are throughput metrics - FAIL when fresh < baseline * (1 - tol);
-  - ``peak_rss_mb`` is a footprint metric - FAIL when
+  - keys ending in ``_mb`` or ``_bytes`` (``peak_rss_mb``, the arena and
+    job-store introspection counters) are footprint metrics - FAIL when
     fresh > baseline * (1 + tol);
   - every other leaf (wall times, counts, labels) is informational.
 
@@ -39,7 +40,7 @@ def gate_kind(key):
     """'higher', 'lower', or None (not gated)."""
     if key.endswith("_per_sec") or key.startswith("speedup"):
         return "higher"
-    if key == "peak_rss_mb":
+    if key.endswith("_mb") or key.endswith("_bytes"):
         return "lower"
     return None
 

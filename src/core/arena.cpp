@@ -1,0 +1,149 @@
+#include "core/arena.h"
+
+#include <cstdlib>
+
+namespace lgs {
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::BlockHeader* Arena::new_block(std::size_t capacity) {
+  // The payload must be able to serve any alignment request up to the
+  // allocation granularity of malloc itself; over-aligned requests are
+  // handled by bumping inside the payload.
+  void* raw = std::malloc(sizeof(BlockHeader) + capacity);
+  if (raw == nullptr) throw std::bad_alloc();
+  BlockHeader* b = new (raw) BlockHeader;
+  b->capacity = capacity;
+  stats_.bytes_reserved += capacity;
+  LGS_ARENA_POISON(payload(b), capacity);
+  return b;
+}
+
+void* Arena::alloc(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  // Worst case inside a fresh block: alignment slack for an over-aligned
+  // request plus the trailing redzone.  Anything that cannot fit goes to
+  // a dedicated block.
+  if (size + align + kRedzone > block_size_) return alloc_oversized(size, align);
+
+  if (current_ != nullptr) {
+    std::uintptr_t base = reinterpret_cast<std::uintptr_t>(payload(current_));
+    std::uintptr_t at = align_up(base + used_in_current_, align);
+    std::size_t end = (at - base) + size + kRedzone;
+    if (end <= current_->capacity) {
+      stats_.bytes_used += end - used_in_current_;
+      used_in_current_ = end;
+      if (stats_.bytes_used > stats_.bytes_peak)
+        stats_.bytes_peak = stats_.bytes_used;
+      LGS_ARENA_UNPOISON(reinterpret_cast<void*>(at), size);
+      return reinterpret_cast<void*>(at);
+    }
+    if (current_->next != nullptr) {
+      // reset() kept this block; reuse it.
+      stats_.bytes_used += current_->capacity - used_in_current_;
+      current_ = current_->next;
+      used_in_current_ = 0;
+      return alloc(size, align);
+    }
+  }
+
+  BlockHeader* b = new_block(block_size_);
+  ++stats_.blocks;
+  if (current_ != nullptr) {
+    // Account the tail we abandon in the previous block so bytes_used
+    // stays monotone between resets (it measures arena consumption, not
+    // live payload).
+    stats_.bytes_used += current_->capacity - used_in_current_;
+    current_->next = b;
+  } else {
+    head_ = b;
+  }
+  current_ = b;
+  used_in_current_ = 0;
+  return alloc(size, align);
+}
+
+void* Arena::alloc_oversized(std::size_t size, std::size_t align) {
+  // Dedicated block sized for exactly this request (plus alignment
+  // slack); chained LIFO so rewind() can drop the ones taken after a
+  // mark.
+  std::size_t capacity = size + align + kRedzone;
+  BlockHeader* b = new_block(capacity);
+  ++stats_.oversized_blocks;
+  b->next = oversized_head_;
+  oversized_head_ = b;
+  stats_.bytes_used += capacity;
+  if (stats_.bytes_used > stats_.bytes_peak)
+    stats_.bytes_peak = stats_.bytes_used;
+  std::uintptr_t at =
+      align_up(reinterpret_cast<std::uintptr_t>(payload(b)), align);
+  LGS_ARENA_UNPOISON(reinterpret_cast<void*>(at), size);
+  return reinterpret_cast<void*>(at);
+}
+
+void Arena::reset() {
+  for (BlockHeader* b = head_; b != nullptr; b = b->next)
+    LGS_ARENA_POISON(payload(b), b->capacity);
+  while (oversized_head_ != nullptr) {
+    BlockHeader* b = oversized_head_;
+    oversized_head_ = b->next;
+    stats_.bytes_reserved -= b->capacity;
+    --stats_.oversized_blocks;
+    std::free(b);
+  }
+  current_ = head_;
+  used_in_current_ = 0;
+  stats_.bytes_used = 0;
+  ++stats_.resets;
+}
+
+void Arena::rewind(const Mark& m) {
+  if (m.block == nullptr && head_ != nullptr) {
+    // Mark taken before the first allocation: rewind everything but keep
+    // normal blocks (same reclamation policy as reset, without counting
+    // as a whole-lifetime release).
+    for (BlockHeader* b = head_; b != nullptr; b = b->next)
+      LGS_ARENA_POISON(payload(b), b->capacity);
+    current_ = head_;
+    used_in_current_ = 0;
+  } else if (m.block != nullptr) {
+    BlockHeader* mb = static_cast<BlockHeader*>(m.block);
+    LGS_ARENA_POISON(payload(mb) + m.offset, mb->capacity - m.offset);
+    for (BlockHeader* b = mb->next; b != nullptr; b = b->next)
+      LGS_ARENA_POISON(payload(b), b->capacity);
+    current_ = mb;
+    used_in_current_ = m.offset;
+  }
+  while (oversized_head_ != nullptr && oversized_head_ != m.oversized_head) {
+    BlockHeader* b = oversized_head_;
+    oversized_head_ = b->next;
+    stats_.bytes_reserved -= b->capacity;
+    --stats_.oversized_blocks;
+    std::free(b);
+  }
+  stats_.bytes_used = m.used;
+}
+
+void Arena::free_all() {
+  while (head_ != nullptr) {
+    BlockHeader* b = head_;
+    head_ = b->next;
+    LGS_ARENA_UNPOISON(payload(b), b->capacity);
+    std::free(b);
+  }
+  while (oversized_head_ != nullptr) {
+    BlockHeader* b = oversized_head_;
+    oversized_head_ = b->next;
+    LGS_ARENA_UNPOISON(payload(b), b->capacity);
+    std::free(b);
+  }
+  current_ = nullptr;
+  used_in_current_ = 0;
+}
+
+}  // namespace lgs

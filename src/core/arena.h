@@ -1,0 +1,383 @@
+// Arena-backed replay memory: one allocation lifetime per replay.
+//
+// The dynamic engines (sim/, exp/) used to allocate per-replay state —
+// job slabs, queues, dispatch scratch, grid bookkeeping — piecemeal with
+// process-lifetime `new`, so a million-job replay's memory cost scaled
+// with allocator jitter and fragmentation instead of with live data.
+// This module makes a replay ONE contiguous allocation lifetime:
+//
+//   * `Arena`      — a bump allocator over geometrically-growing malloc
+//                    blocks.  alloc() is a pointer bump; the whole
+//                    lifetime is released in O(blocks) (`reset()` keeps
+//                    the blocks for reuse, the destructor returns them).
+//                    Requests larger than a block get a dedicated
+//                    oversized block, so any size works.
+//   * mark/rewind  — a nestable scratch facility: take a `Mark`, allocate
+//                    freely, `rewind()` to drop everything since (see
+//                    `ArenaScratch` for the RAII form).  Rewinds nest.
+//   * `ArenaRef`   — a nullable arena handle: code written against it
+//                    allocates from the referenced arena when one is
+//                    attached and falls back to the global heap when not,
+//                    so arena-aware containers work standalone.
+//   * `ArenaAllocator<T>` — std-compatible allocator over an ArenaRef;
+//                    `ArenaVec<T>` is the vector typedef the engines use.
+//   * `RingVec<T>` — a POD ring deque (push/pop both ends, middle
+//                    insert/erase, random access) whose single buffer
+//                    grows geometrically from the arena — the queue
+//                    representation for OnlineCluster's priority files.
+//
+// ASan integration: when built under AddressSanitizer (the CI sanitize
+// job), arena memory is manually poisoned — a fresh block is poisoned
+// wall to wall, alloc() unpoisons exactly the returned range, and
+// reset()/rewind() re-poison what they reclaim.  Use-after-reset and
+// intra-arena overflows (every allocation keeps a poisoned redzone gap)
+// therefore fault exactly like heap bugs instead of being masked by
+// block reuse.  Define LGS_ARENA_NO_ASAN to opt out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+// Feature detection: manual poisoning is active when ASan compiled the
+// TU (gcc defines __SANITIZE_ADDRESS__, clang exposes __has_feature).
+#if !defined(LGS_ARENA_NO_ASAN)
+#  if defined(__SANITIZE_ADDRESS__)
+#    define LGS_ARENA_ASAN 1
+#  elif defined(__has_feature)
+#    if __has_feature(address_sanitizer)
+#      define LGS_ARENA_ASAN 1
+#    endif
+#  endif
+#endif
+#ifndef LGS_ARENA_ASAN
+#  define LGS_ARENA_ASAN 0
+#endif
+
+#if LGS_ARENA_ASAN
+#  include <sanitizer/asan_interface.h>
+#  define LGS_ARENA_POISON(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#  define LGS_ARENA_UNPOISON(addr, size) ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#  define LGS_ARENA_POISON(addr, size) ((void)(addr), (void)(size))
+#  define LGS_ARENA_UNPOISON(addr, size) ((void)(addr), (void)(size))
+#endif
+
+namespace lgs {
+
+/// Allocator introspection, exported into BENCH_scale.json (the first
+/// slice of the always-on observability roadmap item).  All byte counts
+/// are payload capacity, excluding the block headers.
+struct ArenaStats {
+  std::size_t bytes_reserved = 0;  ///< capacity of all blocks currently held
+  std::size_t bytes_used = 0;      ///< bytes currently bump-allocated
+  std::size_t bytes_peak = 0;      ///< high-water of bytes_used over lifetime
+  std::size_t blocks = 0;          ///< chained normal blocks
+  std::size_t oversized_blocks = 0;  ///< dedicated blocks (> block capacity)
+  std::uint64_t resets = 0;          ///< whole-lifetime releases (reset())
+};
+
+/// Bump arena.  Not thread-safe: one arena per replay / per sweep cell /
+/// per simulator, which is exactly what keeps parallel cells from
+/// contending on the global allocator.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockSize = std::size_t{1} << 20;
+  /// Poisoned gap kept between consecutive allocations under ASan so an
+  /// overflow into the *next* arena object faults (zero otherwise — the
+  /// layout only changes when the sanitizer is watching).
+  static constexpr std::size_t kRedzone = LGS_ARENA_ASAN ? 16 : 0;
+
+  explicit Arena(std::size_t block_size = kDefaultBlockSize)
+      : block_size_(block_size < kMinBlockSize ? kMinBlockSize : block_size) {}
+  ~Arena() { free_all(); }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `size` bytes aligned to `align` (any power of two,
+  /// including over-aligned requests past alignof(max_align_t)).  The
+  /// memory is uninitialized and lives until reset()/rewind()/dtor.
+  void* alloc(std::size_t size, std::size_t align = alignof(std::max_align_t));
+
+  /// Typed array allocation (uninitialized; T must be trivially
+  /// destructible — the arena never runs destructors).
+  template <class T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is released without running destructors");
+    return static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind the whole arena: O(blocks), keeps every block for reuse (the
+  /// reset-churn pattern of repeated replays), drops oversized blocks
+  /// (they were sized for one specific request).  All prior allocations
+  /// become invalid — and poisoned under ASan.
+  void reset();
+
+  /// Nestable scratch: capture the current position...
+  struct Mark {
+    void* block = nullptr;        ///< current block at mark time
+    std::size_t offset = 0;       ///< bump offset inside it
+    std::size_t used = 0;         ///< bytes_used at mark time
+    void* oversized_head = nullptr;  ///< oversized chain at mark time
+  };
+  Mark mark() const {
+    return Mark{current_, current_ ? used_in_current_ : 0, stats_.bytes_used,
+                oversized_head_};
+  }
+
+  /// ...and drop everything allocated since `m` (poisoning it under
+  /// ASan).  Marks must be rewound innermost-first; rewinding an outer
+  /// mark discards inner ones.
+  void rewind(const Mark& m);
+
+  const ArenaStats& stats() const { return stats_; }
+  std::size_t block_size() const { return block_size_; }
+
+ private:
+  static constexpr std::size_t kMinBlockSize = 4096;
+
+  struct BlockHeader {
+    BlockHeader* next = nullptr;  ///< chain of same-kind blocks
+    std::size_t capacity = 0;     ///< payload bytes after the header
+  };
+  static unsigned char* payload(BlockHeader* b) {
+    return reinterpret_cast<unsigned char*>(b + 1);
+  }
+
+  void* alloc_oversized(std::size_t size, std::size_t align);
+  BlockHeader* new_block(std::size_t capacity);
+  void free_all();
+
+  std::size_t block_size_;
+  BlockHeader* head_ = nullptr;     ///< first normal block in chain order
+  BlockHeader* current_ = nullptr;  ///< block being bumped (tail of chain)
+  std::size_t used_in_current_ = 0;
+  BlockHeader* oversized_head_ = nullptr;  ///< LIFO chain of oversized blocks
+  ArenaStats stats_;
+};
+
+/// RAII nested scratch scope: everything allocated from `arena` during
+/// the scope's lifetime is dropped (and poisoned) on exit.
+class ArenaScratch {
+ public:
+  explicit ArenaScratch(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScratch() { arena_.rewind(mark_); }
+  ArenaScratch(const ArenaScratch&) = delete;
+  ArenaScratch& operator=(const ArenaScratch&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// Nullable arena handle: the allocation interface arena-aware code is
+/// written against.  With an arena attached, allocations come from it
+/// (and deallocation is a no-op — the replay lifetime owns the memory);
+/// detached, it falls back to the global heap so the same container
+/// types work outside any replay.
+class ArenaRef {
+ public:
+  ArenaRef() = default;
+  /*implicit*/ ArenaRef(Arena& arena) : arena_(&arena) {}
+  /*implicit*/ ArenaRef(Arena* arena) : arena_(arena) {}
+
+  bool attached() const { return arena_ != nullptr; }
+  Arena* arena() const { return arena_; }
+
+  void* allocate(std::size_t size, std::size_t align) const {
+    if (arena_ != nullptr) return arena_->alloc(size, align);
+    return ::operator new(size, std::align_val_t(align));
+  }
+  void deallocate(void* p, std::size_t size, std::size_t align) const {
+    if (arena_ != nullptr) return;  // whole-lifetime release
+    (void)size;
+    ::operator delete(p, std::align_val_t(align));
+  }
+
+  friend bool operator==(const ArenaRef& a, const ArenaRef& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaRef& a, const ArenaRef& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+/// std-compatible allocator over an ArenaRef.  Stateful; containers
+/// constructed with different refs compare unequal (per-replay arenas
+/// never silently mix).
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  /// The arena outlives every container of a replay by construction;
+  /// keeping the ref on swap/move is both correct and cheapest.
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ArenaAllocator() = default;
+  /*implicit*/ ArenaAllocator(ArenaRef ref) : ref_(ref) {}
+  template <class U>
+  /*implicit*/ ArenaAllocator(const ArenaAllocator<U>& other)
+      : ref_(other.ref()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(ref_.allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ref_.deallocate(p, n * sizeof(T), alignof(T));
+  }
+
+  ArenaRef ref() const { return ref_; }
+
+  template <class U>
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator<U>& b) {
+    return a.ref() == b.ref();
+  }
+  template <class U>
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator<U>& b) {
+    return !(a == b);
+  }
+
+ private:
+  ArenaRef ref_;
+};
+
+/// The vector type of the arena-backed engines: a plain std::vector
+/// whose buffers come from the replay arena (or the heap when the ref is
+/// detached).  Geometric growth abandons old buffers in the arena; they
+/// are reclaimed wholesale at reset, bounding waste at ~2x peak.
+template <class T>
+using ArenaVec = std::vector<T, ArenaAllocator<T>>;
+
+/// POD ring deque on an arena: random access by logical index, O(1)
+/// amortized push at both ends, middle insert/erase by shifting the tail
+/// side (what a replay queue actually needs: FCFS head pops, §1.2
+/// priority-file insertions, policy picks from the middle).  The single
+/// power-of-two buffer grows geometrically; with a bump arena the
+/// abandoned buffers are reclaimed at reset, so total waste is bounded
+/// by ~2x the peak footprint.
+template <class T>
+class RingVec {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "RingVec is for POD entries");
+
+ public:
+  RingVec() = default;
+  explicit RingVec(ArenaRef ref) : ref_(ref) {}
+  RingVec(const RingVec&) = delete;
+  RingVec& operator=(const RingVec&) = delete;
+  ~RingVec() {
+    if (buf_ != nullptr) ref_.deallocate(buf_, cap_ * sizeof(T), alignof(T));
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& operator[](std::size_t i) { return buf_[wrap(head_ + i)]; }
+  const T& operator[](std::size_t i) const { return buf_[wrap(head_ + i)]; }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() { head_ = 0; size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) regrow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) regrow(size_ + 1);
+    buf_[wrap(head_ + size_)] = v;
+    ++size_;
+  }
+
+  void push_front(const T& v) {
+    if (size_ == cap_) regrow(size_ + 1);
+    head_ = cap_ ? wrap(head_ + cap_ - 1) : 0;
+    buf_[head_] = v;
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = wrap(head_ + 1);
+    --size_;
+    if (size_ == 0) head_ = 0;
+  }
+
+  void pop_back() {
+    --size_;
+    if (size_ == 0) head_ = 0;
+  }
+
+  /// Insert before logical index `i` (i == size() appends), shifting
+  /// whichever side of the ring is shorter — O(min(i, size - i)), so
+  /// head- and tail-adjacent insertions are O(1).
+  void insert(std::size_t i, const T& v) {
+    if (size_ == cap_) regrow(size_ + 1);
+    if (i < size_ - i) {
+      // Shift [0, i) one slot toward the front and move the head back.
+      head_ = wrap(head_ + cap_ - 1);
+      ++size_;
+      for (std::size_t j = 0; j < i; ++j)
+        buf_[wrap(head_ + j)] = buf_[wrap(head_ + j + 1)];
+    } else {
+      for (std::size_t j = size_; j > i; --j)
+        buf_[wrap(head_ + j)] = buf_[wrap(head_ + j - 1)];
+      ++size_;
+    }
+    buf_[wrap(head_ + i)] = v;
+  }
+
+  /// Erase logical index `i`, shifting whichever side is shorter —
+  /// O(min(i, size - i - 1)).  In particular erase(0) IS pop_front: the
+  /// O(1) head pop the FCFS replay hot path relies on (an always-tail
+  /// shift here turns a deep-backlog replay quadratic).
+  void erase(std::size_t i) {
+    if (i < size_ - i - 1) {
+      // Shift [0, i) one slot toward the back and advance the head.
+      for (std::size_t j = i; j > 0; --j)
+        buf_[wrap(head_ + j)] = buf_[wrap(head_ + j - 1)];
+      pop_front();
+    } else {
+      for (std::size_t j = i; j + 1 < size_; ++j)
+        buf_[wrap(head_ + j)] = buf_[wrap(head_ + j + 1)];
+      pop_back();
+    }
+  }
+
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  std::size_t wrap(std::size_t i) const { return i & (cap_ - 1); }
+
+  void regrow(std::size_t need) {
+    std::size_t cap = cap_ ? cap_ * 2 : 8;
+    while (cap < need) cap *= 2;
+    T* fresh = static_cast<T*>(ref_.allocate(cap * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < size_; ++i) fresh[i] = (*this)[i];
+    if (buf_ != nullptr) ref_.deallocate(buf_, cap_ * sizeof(T), alignof(T));
+    buf_ = fresh;
+    cap_ = cap;
+    head_ = 0;
+  }
+
+  ArenaRef ref_;
+  T* buf_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lgs

@@ -10,12 +10,16 @@
 // allotment used by the MRT algorithm is always well defined.
 #pragma once
 
+#include <cstdint>
 #include <variant>
 #include <vector>
 
 #include "core/types.h"
 
 namespace lgs {
+
+class TablePool;
+struct ExecRef;
 
 /// Parallel execution-time model: maps a processor count k >= 1 to a time.
 ///
@@ -60,6 +64,16 @@ class ExecModel {
   /// True for the strictly sequential variant.
   bool is_sequential() const;
 
+  /// Compact this model into a 24-byte POD handle for the hot job slab
+  /// (see ExecRef).  Table variants intern their times into `pool`;
+  /// analytic variants carry their parameters inline and leave the pool
+  /// untouched.  The handle evaluates bit-identically to this model.
+  ExecRef compact(TablePool& pool) const;
+
+  /// Rebuild a full ExecModel from a compact handle — the bridge back to
+  /// the offline `pt/` algorithms, which keep consuming fat Jobs.
+  static ExecModel from_ref(const ExecRef& ref, const TablePool& pool);
+
  private:
   struct Seq {
     Time t;
@@ -85,5 +99,84 @@ class ExecModel {
   explicit ExecModel(Rep rep) : rep_(std::move(rep)) {}
   Rep rep_;
 };
+
+// ---------------------------------------------------------------------------
+// Compact exec-model handles: the hot/cold split of the arena refactor.
+//
+// The fat ExecModel embeds a std::vector for the Table variant, which is
+// what made `Job` heap-allocate per job (a rigid job's constant "table"
+// used to be `procs` identical entries).  The replay stack instead stores
+// a 24-byte POD `ExecRef` per job in the hot slab and keeps all table
+// payloads in one shared cold `TablePool`.  Evaluation (`exec_time`,
+// `exec_useful_limit`) reuses the exact arithmetic of ExecModel::time /
+// ::useful_limit, so replays stay bit-identical to the fat path.
+
+/// Discriminator for ExecRef.  kRigidConst is the compact form of a
+/// rigid job's constant one-entry table: time(k) == a for every k,
+/// useful_limit == 1 — no pool entry needed at all.
+enum class ExecKind : std::uint8_t {
+  kSeq,
+  kAmdahl,
+  kPower,
+  kCommPenalty,
+  kTable,
+  kRigidConst,
+};
+
+/// 24-byte POD exec-model handle stored inline in the hot job slab.
+/// Parameter packing mirrors the ExecModel variants:
+///   kSeq         a = t
+///   kAmdahl      a = t1, b = serial fraction f
+///   kPower       a = t1, b = alpha
+///   kCommPenalty a = t1, b = overhead c, c = best_k
+///   kTable       c = TablePool descriptor index
+///   kRigidConst  a = constant duration
+struct ExecRef {
+  double a = 0.0;
+  double b = 0.0;
+  std::uint32_t c = 0;
+  ExecKind kind = ExecKind::kSeq;
+};
+static_assert(sizeof(ExecRef) == 24, "ExecRef is sized for the 64B hot row");
+
+/// Cold slab of tabulated execution times: one contiguous times vector
+/// plus {offset, length} descriptors.  Append-only; owned by a JobStore
+/// and shared by every ExecRef of kind kTable in that store.
+class TablePool {
+ public:
+  /// Intern a (already monotonized) time table; returns the descriptor
+  /// index an ExecRef carries in `c`.
+  std::uint32_t intern(const Time* times, std::size_t n);
+
+  const Time* data(std::uint32_t ref) const {
+    return times_.data() + descs_[ref].off;
+  }
+  std::uint32_t len(std::uint32_t ref) const { return descs_[ref].len; }
+
+  std::size_t tables() const { return descs_.size(); }
+  std::size_t bytes() const {
+    return times_.capacity() * sizeof(Time) + descs_.capacity() * sizeof(Desc);
+  }
+
+ private:
+  struct Desc {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+  std::vector<Desc> descs_;
+  std::vector<Time> times_;
+};
+
+/// Execution time on k >= 1 processors — bit-identical to
+/// ExecModel::time on the model the ref was compacted from.
+Time exec_time(const ExecRef& ref, const TablePool& pool, int k);
+
+/// Smallest processor count achieving the minimum time — bit-identical
+/// to ExecModel::useful_limit.
+int exec_useful_limit(const ExecRef& ref, const TablePool& pool, int limit);
+
+inline bool exec_is_sequential(const ExecRef& ref) {
+  return ref.kind == ExecKind::kSeq;
+}
 
 }  // namespace lgs

@@ -1,9 +1,45 @@
 #include "core/job.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 namespace lgs {
+
+namespace {
+std::atomic<std::uint64_t> g_job_copies{0};
+}  // namespace
+
+Job::Job(const Job& other)
+    : id(other.id),
+      kind(other.kind),
+      release(other.release),
+      weight(other.weight),
+      due(other.due),
+      min_procs(other.min_procs),
+      max_procs(other.max_procs),
+      model(other.model),
+      community(other.community) {
+  g_job_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+Job& Job::operator=(const Job& other) {
+  id = other.id;
+  kind = other.kind;
+  release = other.release;
+  weight = other.weight;
+  due = other.due;
+  min_procs = other.min_procs;
+  max_procs = other.max_procs;
+  model = other.model;
+  community = other.community;
+  g_job_copies.fetch_add(1, std::memory_order_relaxed);
+  return *this;
+}
+
+std::uint64_t job_copy_count() {
+  return g_job_copies.load(std::memory_order_relaxed);
+}
 
 const char* to_string(JobKind kind) {
   switch (kind) {
@@ -39,9 +75,12 @@ Job Job::rigid(JobId id, int procs, Time duration, Time release,
   j.weight = weight;
   j.min_procs = procs;
   j.max_procs = procs;
-  // A rigid job's "model" is constant: it runs for `duration` on exactly
-  // `procs` processors; the table is a single entry queried at k == procs.
-  j.model = ExecModel::table(std::vector<Time>(procs, duration));
+  // A rigid job's "model" is constant: a one-entry table answers
+  // `duration` for every admissible k (table lookup clamps to the last
+  // entry), with useful_limit 1 — behaviorally identical to a
+  // `procs`-entry constant table without the O(procs) heap payload that
+  // used to dominate million-job trace RSS.
+  j.model = ExecModel::table(std::vector<Time>(1, duration));
   return j;
 }
 

@@ -6,6 +6,7 @@
 // library (src/dlt) has its own finer-grain load description.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,8 +15,9 @@
 
 namespace lgs {
 
-/// The three Parallel Task classes of §2.2.
-enum class JobKind { kRigid, kMoldable, kMalleable };
+/// The three Parallel Task classes of §2.2.  One byte wide so the hot
+/// job slab (core/job_store.h) packs a row into a single cache line.
+enum class JobKind : std::uint8_t { kRigid, kMoldable, kMalleable };
 
 const char* to_string(JobKind kind);
 
@@ -35,6 +37,13 @@ struct Job {
   ExecModel model = ExecModel::sequential(1.0);
   /// Which community submitted the job (grid fairness accounting, §5.2).
   int community = 0;
+
+  Job() = default;
+  Job(const Job& other);
+  Job& operator=(const Job& other);
+  Job(Job&&) = default;
+  Job& operator=(Job&&) = default;
+  ~Job() = default;
 
   /// Execution time on k processors.  `k` must lie in [min_procs, max_procs].
   Time time(int k) const;
@@ -78,5 +87,12 @@ Time max_release(const JobSet& jobs);
 /// Validate basic well-formedness (positive times, procs ranges, rigid
 /// consistency).  Throws std::invalid_argument on the first problem.
 void check_jobset(const JobSet& jobs, int machines);
+
+/// Process-wide count of Job copy constructions/assignments (moves are
+/// free and not counted).  Instrumentation for the arena refactor's
+/// no-full-trace-copy regression tests: a grid replay over a borrowed
+/// JobStore must not deep-copy the trace, and the counter proves it.
+/// Relaxed atomic — a coarse tripwire, not a profiler.
+std::uint64_t job_copy_count();
 
 }  // namespace lgs

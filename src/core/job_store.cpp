@@ -1,0 +1,74 @@
+#include "core/job_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lgs {
+
+void JobStore::append(const Job& j) {
+  HotJob h;
+  h.release = j.release;
+  h.weight = j.weight;
+  h.due = j.due;
+  h.id = j.id;
+  h.min_procs = j.min_procs;
+  h.max_procs = j.max_procs;
+  h.community = j.community;
+  h.kind = j.kind;
+  h.set_exec_ref(j.model.compact(pool_));
+  hot_.push_back(h);
+}
+
+void JobStore::append_rigid(JobId id, int procs, Time duration, Time release,
+                            double weight) {
+  // Same validation ExecModel::table applies on the Job::rigid path.
+  if (duration <= 0) throw std::invalid_argument("table times must be positive");
+  if (procs < 1) throw std::invalid_argument("processor count must be >= 1");
+  HotJob h;
+  h.release = release;
+  h.weight = weight;
+  h.id = id;
+  h.min_procs = procs;
+  h.max_procs = procs;
+  h.kind = JobKind::kRigid;
+  h.exec_kind = ExecKind::kRigidConst;
+  h.exec_a = duration;
+  hot_.push_back(h);
+}
+
+Time JobStore::best_time(std::size_t i, int m) const {
+  const HotJob& h = hot_[i];
+  const int k = std::min(h.max_procs, m);
+  return exec_time(h.exec_ref(), pool_, k);
+}
+
+Job JobStore::job(std::size_t i) const {
+  const HotJob& h = hot_[i];
+  Job j;
+  j.id = h.id;
+  j.kind = h.kind;
+  j.release = h.release;
+  j.weight = h.weight;
+  j.due = h.due;
+  j.min_procs = h.min_procs;
+  j.max_procs = h.max_procs;
+  j.community = h.community;
+  j.model = ExecModel::from_ref(h.exec_ref(), pool_);
+  return j;
+}
+
+JobSet JobStore::to_jobset() const {
+  JobSet out;
+  out.reserve(hot_.size());
+  for (std::size_t i = 0; i < hot_.size(); ++i) out.push_back(job(i));
+  return out;
+}
+
+JobStore to_job_store(const JobSet& jobs, ArenaRef arena) {
+  JobStore store(arena);
+  store.reserve(jobs.size());
+  for (const Job& j : jobs) store.append(j);
+  return store;
+}
+
+}  // namespace lgs

@@ -76,10 +76,15 @@ GridCellResult evaluate_grid_cell(const GridSweepSpec& spec,
   // Decorrelated from the workload streams (which use indices 0..n-1).
   opts.volatility_seed = mix_seed(cell.seed, 0x564f4cull);
 
-  GridSim sim(grid, opts);
+  // Per-cell replay arena: every allocation of this cell's replay —
+  // kernel queue, job store, cluster bookkeeping — bumps a private
+  // arena, so parallel cells never contend on the global allocator.
+  Arena arena;
+  GridSim sim(grid, opts, &arena);
   sim.submit_workloads(make_grid_workloads(spec, cell));
   const GridSimResult r = sim.run();
   result.violations = validate_grid_result(sim, r);
+  result.arena_peak_bytes = sim.arena_stats().bytes_peak;
 
   result.horizon = r.horizon;
   result.jobs = r.jobs_completed;
@@ -177,6 +182,8 @@ std::string grid_report_json(const GridSweepSpec& spec,
     w.key("be_kills").value(static_cast<std::uint64_t>(c.be_kills));
     w.key("local_preemptions")
         .value(static_cast<std::uint64_t>(c.local_preemptions));
+    w.key("arena_peak_bytes")
+        .value(static_cast<std::uint64_t>(c.arena_peak_bytes));
     w.key("wall_ms").value(c.wall_ms);
     w.key("violations").begin_array();
     for (const std::string& v : c.violations) w.value(v);

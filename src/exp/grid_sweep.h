@@ -98,6 +98,9 @@ struct GridCellResult {
   long be_kills = 0;
   long local_preemptions = 0;
   double wall_ms = 0.0;
+  /// High-water of the cell's private replay arena (observability; the
+  /// deterministic counterpart of bench_scale's process-wide RSS).
+  std::size_t arena_peak_bytes = 0;
   std::vector<std::string> violations;
 };
 

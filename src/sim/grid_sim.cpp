@@ -64,23 +64,32 @@ LightGrid make_skewed_grid(int n, int base_procs, double skew) {
   return g;
 }
 
-std::vector<JobSet> split_by_community(const JobSet& jobs, std::size_t n) {
+std::vector<JobSet> split_by_community(JobSet jobs, std::size_t n) {
   if (n == 0) throw std::invalid_argument("cannot split across 0 clusters");
   std::vector<JobSet> out(n);
-  for (const Job& j : jobs) {
+  for (Job& j : jobs) {
     const std::size_t home =
         static_cast<std::size_t>(j.community < 0 ? 0 : j.community) % n;
-    out[home].push_back(j);
+    out[home].push_back(std::move(j));
   }
   return out;
 }
 
-GridSim::GridSim(const LightGrid& grid, const GridSimOptions& opts)
-    : grid_(grid), opts_(opts) {
+GridSim::GridSim(const LightGrid& grid, const GridSimOptions& opts,
+                 Arena* arena)
+    : grid_(grid),
+      opts_(opts),
+      arena_(arena != nullptr ? *arena : owned_arena_),
+      sim_(ArenaRef(arena_)),
+      store_(ArenaRef(arena_)),
+      pending_(ArenaAllocator<Pending>(ArenaRef(arena_))),
+      plan_(ArenaAllocator<std::uint32_t>(ArenaRef(arena_))),
+      route_order_(ArenaAllocator<std::uint32_t>(ArenaRef(arena_))) {
   if (grid_.clusters.empty())
     throw std::invalid_argument("grid without clusters");
   for (const Cluster& c : grid_.clusters)
-    clusters_.push_back(std::make_unique<OnlineCluster>(sim_, c, opts_.cluster));
+    clusters_.push_back(std::make_unique<OnlineCluster>(
+        sim_, c, opts_.cluster, ArenaRef(arena_)));
   if (!opts_.bags.empty()) {
     server_ = std::make_unique<CentralServer>(opts_.bags);
     for (auto& c : clusters_)
@@ -90,9 +99,13 @@ GridSim::GridSim(const LightGrid& grid, const GridSimOptions& opts)
 
 void GridSim::submit(std::size_t home, const Job& j) {
   if (ran_) throw std::logic_error("submit after run()");
+  if (borrowed_ != nullptr)
+    throw std::logic_error("cannot mix submit() with submit_store()");
   if (home >= clusters_.size())
     throw std::invalid_argument("home cluster out of range");
-  pending_.push_back(Pending{home, j});
+  store_.append(j);
+  pending_.push_back(Pending{static_cast<std::uint32_t>(home),
+                             static_cast<std::uint32_t>(store_.size() - 1)});
 }
 
 void GridSim::submit_workloads(const std::vector<JobSet>& per_cluster) {
@@ -101,6 +114,7 @@ void GridSim::submit_workloads(const std::vector<JobSet>& per_cluster) {
   std::size_t total = 0;
   for (const JobSet& jobs : per_cluster) total += jobs.size();
   pending_.reserve(pending_.size() + total);
+  store_.reserve(store_.size() + total);
   for (std::size_t i = 0; i < per_cluster.size(); ++i) {
     // Routing may migrate jobs elsewhere, but the home counts are the
     // right order of magnitude to pre-size each cluster's bookkeeping.
@@ -109,10 +123,37 @@ void GridSim::submit_workloads(const std::vector<JobSet>& per_cluster) {
   }
 }
 
-std::size_t GridSim::fallback_target(std::size_t target, const Job& j) const {
-  if (j.min_procs <= clusters_[target]->processors()) return target;
+void GridSim::submit_store(const JobStore& store) {
+  if (ran_) throw std::logic_error("submit after run()");
+  if (borrowed_ != nullptr || !store_.empty())
+    throw std::logic_error("cannot mix submit_store() with prior submissions");
+  borrowed_ = &store;
+  const std::size_t n = clusters_.size();
+  // Group pending entries by home cluster, preserving store order inside
+  // each group — the exact order submit_workloads(split_by_community(...))
+  // produces, so the release-date stable sort breaks ties identically
+  // and replays stay bit-identical to the legacy path.
+  std::vector<std::size_t> offset(n + 1, 0);
+  const auto home_of = [n](const HotJob& h) {
+    return static_cast<std::size_t>(h.community < 0 ? 0 : h.community) % n;
+  };
+  for (std::size_t i = 0; i < store.size(); ++i) ++offset[home_of(store[i]) + 1];
+  for (std::size_t c = 0; c < n; ++c) {
+    clusters_[c]->reserve_submissions(offset[c + 1]);
+    offset[c + 1] += offset[c];
+  }
+  pending_.resize(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const std::size_t home = home_of(store[i]);
+    pending_[offset[home]++] = Pending{static_cast<std::uint32_t>(home),
+                                       static_cast<std::uint32_t>(i)};
+  }
+}
+
+std::size_t GridSim::fallback_target(std::size_t target, int min_procs) const {
+  if (min_procs <= clusters_[target]->processors()) return target;
   for (std::size_t c = 0; c < clusters_.size(); ++c)
-    if (j.min_procs <= clusters_[c]->processors()) return c;
+    if (min_procs <= clusters_[c]->processors()) return c;
   throw std::invalid_argument("job wider than every cluster in the grid");
 }
 
@@ -174,27 +215,29 @@ namespace {
 // golden digests together.)
 constexpr int kArrivalPriority = -2;
 
-Time effective_release(const Job& j) { return std::max(0.0, j.release); }
+Time effective_release(Time release) { return std::max(0.0, release); }
 }  // namespace
 
 void GridSim::schedule_next_arrival() {
   if (route_cursor_ >= route_order_.size()) return;
-  const Time t = effective_release(pending_[route_order_[route_cursor_]].job);
+  const Time t = effective_release(
+      jobs()[pending_[route_order_[route_cursor_]].index].release);
   sim_.at(t, [this] { pump_arrivals(); }, kArrivalPriority);
 }
 
 void GridSim::pump_arrivals() {
   const Time now = sim_.now();
   while (route_cursor_ < route_order_.size() &&
-         effective_release(pending_[route_order_[route_cursor_]].job) <= now)
+         effective_release(
+             jobs()[pending_[route_order_[route_cursor_]].index].release) <=
+             now)
     route(route_order_[route_cursor_++]);
   schedule_next_arrival();
 }
 
 void GridSim::route(std::size_t pending_index) {
   const Pending& p = pending_[pending_index];
-  Job j = p.job;
-  j.release = 0.0;  // routing runs at the release instant
+  const JobStore& js = jobs();
   std::size_t target = p.home;
   switch (opts_.routing) {
     case GridRouting::kIsolated:
@@ -205,6 +248,11 @@ void GridSim::route(std::size_t pending_index) {
       ex.policy = to_exchange_policy(opts_.routing);
       ex.wait_threshold = opts_.wait_threshold;
       ex.migration_penalty = opts_.migration_penalty;
+      // The exchange policies consume the fat interface: materialize a
+      // transient Job (identical field values — from_ref rebuilds the
+      // exact model) for the bidding round only.
+      Job j = js.job(p.index);
+      j.release = 0.0;
       target = exchange_target(clusters_, p.home, j, ex);
       break;
     }
@@ -212,9 +260,14 @@ void GridSim::route(std::size_t pending_index) {
       target = plan_[pending_index];
       break;
   }
-  target = fallback_target(target, j);
+  const HotJob& row = js[p.index];
+  target = fallback_target(target, row.min_procs);
   if (target != p.home) ++migrations_;
-  clusters_[target]->submit_local(j);
+  // Hot 64-byte hand-off, release overridden to "now" (routing runs at
+  // the release instant) — no fat Job on the replay path.
+  HotJob h = row;
+  h.release = 0.0;
+  clusters_[target]->submit_local(h, js.tables());
 }
 
 GridSimResult GridSim::run(Time horizon) {
@@ -223,11 +276,13 @@ GridSimResult GridSim::run(Time horizon) {
 
   // Omniscient baseline: place every submission with the heterogeneous
   // ECT list scheduler of grid/global, then follow that plan online.
+  // The planner consumes the fat offline interface — materialize Jobs
+  // for it (global-plan only; the decentralized routings stay hot).
   if (opts_.routing == GridRouting::kGlobalPlan) {
     JobSet combined;
     combined.reserve(pending_.size());
     for (std::size_t i = 0; i < pending_.size(); ++i) {
-      Job j = pending_[i].job;
+      Job j = jobs().job(pending_[i].index);
       j.id = static_cast<JobId>(i);  // plan ids = pending indices
       combined.push_back(std::move(j));
     }
@@ -240,18 +295,19 @@ GridSimResult GridSim::run(Time horizon) {
     plan_.resize(pending_.size());
     for (std::size_t i = 0; i < pending_.size(); ++i) {
       const GlobalAssignment* a = plan.find(static_cast<JobId>(i));
-      plan_[i] = a != nullptr ? cluster_index(a->cluster) : pending_[i].home;
+      plan_[i] = static_cast<std::uint32_t>(
+          a != nullptr ? cluster_index(a->cluster) : pending_[i].home);
     }
   }
 
   // Stable sort: equal release times route in submission order, exactly
   // as the replaced per-job events did (their ids broke the tie).
   route_order_.resize(pending_.size());
-  std::iota(route_order_.begin(), route_order_.end(), std::size_t{0});
+  std::iota(route_order_.begin(), route_order_.end(), std::uint32_t{0});
   std::stable_sort(route_order_.begin(), route_order_.end(),
-                   [this](std::size_t a, std::size_t b) {
-                     return effective_release(pending_[a].job) <
-                            effective_release(pending_[b].job);
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return effective_release(jobs()[pending_[a].index].release) <
+                            effective_release(jobs()[pending_[b].index].release);
                    });
   schedule_next_arrival();
   schedule_volatility();

@@ -20,7 +20,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/job.h"
+#include "core/job_store.h"
 #include "grid/besteffort.h"
 #include "grid/exchange.h"
 #include "platform/platform.h"
@@ -104,18 +106,37 @@ struct GridSimResult {
   long grid_resubmissions = 0;
 };
 
-/// The engine.  Usage: construct, `submit` / `submit_workloads`, `run()`
-/// once; the clusters stay inspectable afterwards (local records, stats).
+/// The engine.  Usage: construct, `submit` / `submit_workloads` /
+/// `submit_store`, `run()` once; the clusters stay inspectable
+/// afterwards (local records, stats).
+///
+/// Memory: every per-replay allocation — the job store, the pending and
+/// routing tables, the DES kernel's queue and slots, each cluster's
+/// bookkeeping — lives in ONE replay arena.  By default the engine owns
+/// it (released with the engine); pass an external Arena to reuse its
+/// blocks across repeated replays (`arena.reset()` between runs), which
+/// is how bench_scale amortizes warm-up and how each parallel sweep cell
+/// keeps its allocations off the global allocator.
 class GridSim {
  public:
-  GridSim(const LightGrid& grid, const GridSimOptions& opts);
+  GridSim(const LightGrid& grid, const GridSimOptions& opts,
+          Arena* arena = nullptr);
 
   /// Register `j` with home cluster index `home`.  Routing happens at
-  /// j.release simulated time, inside `run()`.
+  /// j.release simulated time, inside `run()`.  The job is compacted
+  /// into the engine's own store — no fat copy is kept.
   void submit(std::size_t home, const Job& j);
 
   /// Register `per_cluster[i]` as the local workload of cluster i.
   void submit_workloads(const std::vector<JobSet>& per_cluster);
+
+  /// Borrow an already-built trace: every job of `store` is registered
+  /// with home cluster `community % cluster_count()`, grouped by home in
+  /// store order — exactly the submission order of
+  /// submit_workloads(split_by_community(jobs, cluster_count())) — with
+  /// zero per-job copies (the regression bar of tests/test_job_store.cpp).
+  /// The caller keeps `store` alive through run().
+  void submit_store(const JobStore& store);
 
   /// Route every submission, drive the event queue until it drains (or
   /// `horizon`), and aggregate the outcome.  Callable once.
@@ -126,15 +147,25 @@ class GridSim {
   const LightGrid& grid() const { return grid_; }
   Simulator& simulator() { return sim_; }
 
+  /// Replay-arena introspection (exported into BENCH_scale.json).
+  const ArenaStats& arena_stats() const { return arena_.stats(); }
+
  private:
+  /// One registered submission: 8 bytes, indexing the job store.
   struct Pending {
-    std::size_t home;
-    Job job;
+    std::uint32_t home;
+    std::uint32_t index;  ///< row in jobs()
   };
 
-  /// Clusters too small for `target`'s pick fall back to the first
-  /// cluster wide enough (throws when none is).
-  std::size_t fallback_target(std::size_t target, const Job& j) const;
+  /// The active trace: borrowed when submit_store was used, else the
+  /// engine-owned store fed by submit().
+  const JobStore& jobs() const {
+    return borrowed_ != nullptr ? *borrowed_ : store_;
+  }
+
+  /// Clusters too small for a `min_procs`-wide job fall back to the
+  /// first cluster wide enough (throws when none is).
+  std::size_t fallback_target(std::size_t target, int min_procs) const;
   void schedule_volatility();
   void route(std::size_t pending_index);
   /// Arrival pump: ONE pending simulator event walks the submissions in
@@ -148,12 +179,16 @@ class GridSim {
 
   LightGrid grid_;
   GridSimOptions opts_;
+  Arena owned_arena_;  ///< unused (empty) when an external arena is given
+  Arena& arena_;       ///< the replay arena; every member below draws on it
   Simulator sim_;
   std::vector<std::unique_ptr<OnlineCluster>> clusters_;
   std::unique_ptr<CentralServer> server_;
-  std::vector<Pending> pending_;
-  std::vector<std::size_t> plan_;  ///< kGlobalPlan: pending index -> target
-  std::vector<std::size_t> route_order_;  ///< pending indices by release
+  JobStore store_;  ///< submissions via submit(); empty when borrowing
+  const JobStore* borrowed_ = nullptr;
+  ArenaVec<Pending> pending_;
+  ArenaVec<std::uint32_t> plan_;  ///< kGlobalPlan: pending index -> target
+  ArenaVec<std::uint32_t> route_order_;  ///< pending indices by release
   std::size_t route_cursor_ = 0;
   long migrations_ = 0;
   bool ran_ = false;
@@ -161,8 +196,12 @@ class GridSim {
 
 /// Split a workload across `n` home clusters by community
 /// (community % n) — how an SWF trace (workload/swf) is replayed on a
-/// grid: each user community keeps submitting to "its" cluster.
-std::vector<JobSet> split_by_community(const JobSet& jobs, std::size_t n);
+/// grid: each user community keeps submitting to "its" cluster.  Takes
+/// the set by value and MOVES each job into its bucket: pass an rvalue
+/// (std::move) and no job is deep-copied at all.  Grid replays over a
+/// JobStore should use GridSim::submit_store instead, which needs no
+/// split at all.
+std::vector<JobSet> split_by_community(JobSet jobs, std::size_t n);
 
 /// Heterogeneous grid for the sweep axes: `n` clusters, cluster i with
 /// round(base_procs * skew^(-i/(n-1))) unit processors and speed

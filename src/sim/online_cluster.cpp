@@ -5,16 +5,23 @@
 
 namespace lgs {
 
-OnlineCluster::OnlineCluster(Simulator& sim, const Cluster& desc, Options opts)
+OnlineCluster::OnlineCluster(Simulator& sim, const Cluster& desc, Options opts,
+                             ArenaRef arena)
     : sim_(sim),
       desc_(desc),
       opts_(std::move(opts)),
       qpolicy_(make_queue_policy(opts_.policy)),
       procs_total_(desc.processors()),
+      queue_(arena),
+      running_(ArenaAllocator<RunningLocal>(arena)),
+      be_running_(ArenaAllocator<RunningBe>(arena)),
+      records_(ArenaAllocator<LocalJobRecord>(arena)),
+      submitted_(ArenaAllocator<HotJob>(arena)),
       dispatch_ctx_([this](std::vector<QueuedJobView>& queue,
                            std::vector<RunningJobView>& running) {
         fill_views(queue, running);
-      }) {
+      }),
+      wait_scratch_(ArenaAllocator<const RunningLocal*>(arena)) {
   if (procs_total_ < 1)
     throw std::invalid_argument("cluster without processors");
   capacity_ = procs_total_;
@@ -74,29 +81,60 @@ void OnlineCluster::set_besteffort_source(BestEffortSource source) {
   sim_.after(0.0, [this] { dispatch(); }, /*priority=*/1);
 }
 
-int OnlineCluster::allotment_for(const Job& j) const {
-  const int hi = std::min(j.max_procs, procs_total_);
-  if (hi < j.min_procs)
+int OnlineCluster::allotment_for(const HotJob& h) const {
+  const int hi = std::min<int>(h.max_procs, procs_total_);
+  if (hi < h.min_procs)
     throw std::invalid_argument("job wider than the cluster");
-  return std::max(j.min_procs, j.model.useful_limit(hi));
+  return std::max<int>(h.min_procs, exec_useful_limit(h.exec_ref(), pool_, hi));
 }
 
 void OnlineCluster::submit_local(const Job& j, int queue_priority) {
-  if (j.release > sim_.now() + kTimeEps) {
-    sim_.at(j.release,
-            [this, j, queue_priority] { submit_local(j, queue_priority); },
+  // Compact the fat job into a 64-byte hot row (tables interned into
+  // this cluster's pool) and run the hot path — the two entry points
+  // are bit-identical by construction.
+  HotJob h;
+  h.release = j.release;
+  h.weight = j.weight;
+  h.due = j.due;
+  h.id = j.id;
+  h.min_procs = j.min_procs;
+  h.max_procs = j.max_procs;
+  h.community = j.community;
+  h.kind = j.kind;
+  h.set_exec_ref(j.model.compact(pool_));
+  submit_hot(h, queue_priority);
+}
+
+void OnlineCluster::submit_local(const HotJob& h, const TablePool& tables,
+                                 int queue_priority) {
+  HotJob local = h;
+  // Re-intern table refs so the engine never dangles into the caller's
+  // store; every other kind carries its parameters inline.
+  if (local.exec_kind == ExecKind::kTable)
+    local.exec_c = pool_.intern(tables.data(h.exec_c), tables.len(h.exec_c));
+  submit_hot(local, queue_priority);
+}
+
+void OnlineCluster::submit_hot(const HotJob& h, int queue_priority) {
+  if (h.release > sim_.now() + kTimeEps) {
+    // 64-byte POD capture — the deferred-release timer no longer copies
+    // a fat Job into the event slot.
+    sim_.at(h.release,
+            [this, h, queue_priority] { submit_hot(h, queue_priority); },
             /*priority=*/-1);
     return;
   }
   LocalJobRecord rec;
-  rec.id = j.id;
-  rec.community = j.community;
+  rec.id = h.id;
+  rec.community = h.community;
   rec.submit = sim_.now();
-  const int k = allotment_for(j);
+  const int k = allotment_for(h);
   rec.procs = k;
-  rec.best_duration = j.best_time(procs_total_) / desc_.speed;
+  rec.best_duration =
+      exec_time(h.exec_ref(), pool_, std::min<int>(h.max_procs, procs_total_)) /
+      desc_.speed;
   records_.push_back(rec);
-  submitted_.push_back(j);
+  submitted_.push_back(h);
   // Insert behind every queued job of equal or higher priority (the §1.2
   // priority files: strict priority between files, FCFS inside one).
   // Fast path: when no queued entry can have a lower priority than the
@@ -108,10 +146,10 @@ void OnlineCluster::submit_local(const Job& j, int queue_priority) {
   if (queue_.empty() || queue_priority <= queue_min_priority_) {
     queue_.push_back(entry);
   } else {
-    auto pos = queue_.end();
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->priority < queue_priority) {
-        pos = it;
+    std::size_t pos = queue_.size();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i].priority < queue_priority) {
+        pos = i;
         break;
       }
     }
@@ -122,12 +160,12 @@ void OnlineCluster::submit_local(const Job& j, int queue_priority) {
 }
 
 QueuedJobView OnlineCluster::view_of(const Queued& q) const {
-  const Job& job = submitted_[q.record];
+  const HotJob& job = submitted_[q.record];
   QueuedJobView view;
   view.id = job.id;
   view.record = q.record;
   view.procs = records_[q.record].procs;
-  view.duration = job.time(view.procs) / desc_.speed;
+  view.duration = exec_time(job.exec_ref(), pool_, view.procs) / desc_.speed;
   view.submit = q.submit;
   view.priority = q.priority;
   return view;
@@ -139,7 +177,8 @@ void OnlineCluster::fill_views(std::vector<QueuedJobView>& queue,
   // filler is re-invoked after every pick without the engine having to
   // maintain a parallel copy.
   queue.reserve(queue_.size());
-  for (const Queued& q : queue_) queue.push_back(view_of(q));
+  for (std::size_t i = 0; i < queue_.size(); ++i)
+    queue.push_back(view_of(queue_[i]));
   running.reserve(running_.size());
   for (const RunningLocal& r : running_)
     running.push_back(RunningJobView{r.record, r.procs, r.finish});
@@ -188,9 +227,14 @@ double OnlineCluster::expected_wait(int procs) const {
   // wide job into a crippled cluster (mirrors the too-small-cluster bid).
   if (procs > capacity_) return kTimeInfinity;
   double work = 0.0;  // processor-seconds of wall time still owed
-  for (const Queued& q : queue_)
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Queued& q = queue_[i];
+    const HotJob& h = submitted_[q.record];
     work += static_cast<double>(records_[q.record].procs) *
-            submitted_[q.record].best_time(procs_total_) / desc_.speed;
+            exec_time(h.exec_ref(), pool_,
+                      std::min<int>(h.max_procs, procs_total_)) /
+            desc_.speed;
+  }
   for (const RunningLocal& r : running_)
     work += static_cast<double>(r.procs) *
             std::max(0.0, r.finish - sim_.now());
@@ -201,7 +245,7 @@ double OnlineCluster::expected_wait(int procs) const {
   // (best-effort runs are killable and therefore free on demand).  Walk
   // the completions in finish order (reused scratch: the exchange
   // policies call this per routed job).
-  std::vector<const RunningLocal*>& by_finish = wait_scratch_;
+  ArenaVec<const RunningLocal*>& by_finish = wait_scratch_;
   by_finish.clear();
   by_finish.reserve(running_.size());
   for (const RunningLocal& r : running_) by_finish.push_back(&r);
@@ -252,14 +296,15 @@ void OnlineCluster::kill_best_effort(int count) {
 
 void OnlineCluster::start_local(std::size_t queue_index) {
   const Queued q = queue_[queue_index];
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(queue_index));
+  queue_.erase(queue_index);
   if (queue_.empty()) queue_min_priority_ = std::numeric_limits<int>::max();
   LocalJobRecord& rec = records_[q.record];
   const int k = rec.procs;
   if (k > free_ + killable_procs())
     throw std::logic_error("start_local without room");
   if (k > free_) kill_best_effort(k - free_);
-  const Time dur = submitted_[q.record].time(k) / desc_.speed;
+  const Time dur =
+      exec_time(submitted_[q.record].exec_ref(), pool_, k) / desc_.speed;
   rec.start = sim_.now();
   rec.finish = sim_.now() + dur;
   free_ -= k;

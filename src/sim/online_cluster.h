@@ -8,16 +8,22 @@
 // processors are filled with killable *best-effort* runs drawn from an
 // external source.  A local job that needs processors currently held by
 // best-effort runs kills them; the source is notified so it can resubmit.
+// Memory: construct with an ArenaRef to place all per-replay growth —
+// the job slab, records, queue, running sets — in a replay arena (see
+// docs/ARCHITECTURE.md "Memory model & allocation lifetimes").  The
+// engine stores submissions as 64-byte HotJob rows with a private
+// TablePool for tabulated models, never as fat Jobs.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/job.h"
+#include "core/job_store.h"
 #include "platform/platform.h"
 #include "policy/registry.h"
 #include "sim/simulator.h"
@@ -81,7 +87,10 @@ class OnlineCluster {
     KillPolicy kill_policy = KillPolicy::kYoungestFirst;
   };
 
-  OnlineCluster(Simulator& sim, const Cluster& desc, Options opts);
+  /// `arena` (optional) hosts every per-replay container; detached, the
+  /// engine allocates from the heap as before.
+  OnlineCluster(Simulator& sim, const Cluster& desc, Options opts,
+                ArenaRef arena = {});
   OnlineCluster(Simulator& sim, const Cluster& desc)
       : OnlineCluster(sim, desc, Options{}) {}
   // The reusable dispatch context and pending simulator events capture
@@ -100,6 +109,14 @@ class OnlineCluster {
   /// dispatched before lower ones, FCFS within a priority level (0 =
   /// default queue).
   void submit_local(const Job& j, int queue_priority = 0);
+
+  /// Submit a hot store row directly — the no-fat-Job path GridSim and
+  /// the benches drive.  `tables` is the pool `h.exec_c` indexes into
+  /// (table refs are re-interned into this cluster's own pool, so the
+  /// source store need not outlive the cluster).  Bit-identical to
+  /// submit_local(store.job(i), ...).
+  void submit_local(const HotJob& h, const TablePool& tables,
+                    int queue_priority = 0);
 
   /// Attach the best-effort source (may be null — no grid jobs).
   void set_besteffort_source(BestEffortSource source);
@@ -127,7 +144,7 @@ class OnlineCluster {
   double speed() const { return desc_.speed; }
   ClusterId id() const { return desc_.id; }
 
-  const std::vector<LocalJobRecord>& local_records() const { return records_; }
+  const ArenaVec<LocalJobRecord>& local_records() const { return records_; }
   const BestEffortStats& besteffort_stats() const { return be_stats_; }
 
   /// Introspection for the grid-level validator (sim/grid_sim.h): a
@@ -166,7 +183,10 @@ class OnlineCluster {
   void dispatch();
   void start_local(std::size_t queue_index);
   void finish_local(std::size_t record_index);
-  int allotment_for(const Job& j) const;
+  /// Submission past the release deferral: `h.exec_c` must already index
+  /// this cluster's own pool_.
+  void submit_hot(const HotJob& h, int queue_priority);
+  int allotment_for(const HotJob& h) const;
   QueuedJobView view_of(const Queued& q) const;
   /// Lazy view materialization for the reusable dispatch_ctx_.
   void fill_views(std::vector<QueuedJobView>& queue,
@@ -188,9 +208,13 @@ class OnlineCluster {
   int capacity_ = 0;  ///< currently usable processors (volatility)
   int free_ = 0;
 
-  /// Deque, not vector: FCFS pops the head of a potentially deep backlog
-  /// once per start — O(1) here versus shifting the whole queue.
-  std::deque<Queued> queue_;
+  /// Cold slab: tabulated execution times of the submitted jobs (rigid
+  /// jobs carry their constant inline in the ExecRef and intern nothing).
+  TablePool pool_;
+  /// Ring deque, not vector: FCFS pops the head of a potentially deep
+  /// backlog once per start — O(1) here versus shifting the whole queue —
+  /// and the single ring buffer grows from the replay arena.
+  RingVec<Queued> queue_;
   /// Monotone lower bound on the priorities currently queued (reset when
   /// the queue empties).  A submission with priority <= this bound can
   /// never precede an existing entry, so the §1.2 insertion scan
@@ -198,14 +222,16 @@ class OnlineCluster {
   /// that dominate at scale.  A stale (too small) bound only forces the
   /// exact scan, never a wrong position.
   int queue_min_priority_ = std::numeric_limits<int>::max();
-  std::vector<RunningLocal> running_;
-  std::vector<RunningBe> be_running_;
-  std::vector<LocalJobRecord> records_;
-  std::vector<Job> submitted_;  ///< aligned with records_, for resubmission
+  ArenaVec<RunningLocal> running_;
+  ArenaVec<RunningBe> be_running_;
+  ArenaVec<LocalJobRecord> records_;
+  /// Aligned with records_, for resubmission: 64-byte hot rows, never
+  /// fat Jobs — one cache line per job on the dispatch hot path.
+  ArenaVec<HotJob> submitted_;
   /// Reused across dispatch cycles (see DispatchContext::reset).
   DispatchContext dispatch_ctx_;
   /// Scratch for expected_wait's finish-order walk (no per-call alloc).
-  mutable std::vector<const RunningLocal*> wait_scratch_;
+  mutable ArenaVec<const RunningLocal*> wait_scratch_;
   BestEffortStats be_stats_;
   VolatilityStats volatility_;
   BestEffortSource be_source_;

@@ -4,12 +4,16 @@ namespace lgs {
 
 Simulator::~Simulator() {
   // Destroy the payload of every still-pending event, then the recycled
-  // overflow blocks.
+  // overflow blocks and the slot chunks (deallocate is a no-op when an
+  // arena owns them — the replay lifetime releases everything at once).
   while (!queue_.empty()) {
     release_slot(queue_.top().slot);
     queue_.pop();
   }
-  for (void* mem : overflow_free_) ::operator delete(mem);
+  for (void* mem : overflow_free_)
+    ref_.deallocate(mem, kOverflowBlock, alignof(std::max_align_t));
+  for (Slot* chunk : slot_chunks_)
+    ref_.deallocate(chunk, kSlotChunk * sizeof(Slot), alignof(Slot));
 }
 
 std::uint32_t Simulator::acquire_slot() {
@@ -18,12 +22,17 @@ std::uint32_t Simulator::acquire_slot() {
     free_slots_.pop_back();
     return index;
   }
-  slots_.emplace_back();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
+  if (slot_count_ == slot_chunks_.size() * kSlotChunk) {
+    Slot* chunk = static_cast<Slot*>(
+        ref_.allocate(kSlotChunk * sizeof(Slot), alignof(Slot)));
+    for (std::size_t i = 0; i < kSlotChunk; ++i) ::new (chunk + i) Slot;
+    slot_chunks_.push_back(chunk);
+  }
+  return static_cast<std::uint32_t>(slot_count_++);
 }
 
 void Simulator::release_slot(std::uint32_t index) {
-  Slot& slot = slots_[index];
+  Slot& slot = slot_at(index);
   void* payload = slot.ops->inline_stored ? static_cast<void*>(slot.buf)
                                           : slot.heap;
   slot.ops->destroy(payload);
@@ -41,10 +50,12 @@ void* Simulator::acquire_overflow(std::size_t size) {
       return mem;
     }
     ++overflow_blocks_;
-    return ::operator new(kOverflowBlock);
+    return ref_.allocate(kOverflowBlock, alignof(std::max_align_t));
   }
-  // Oversized capture: plain allocation (no such callback is on a hot
-  // path; the pooled classes cover every engine callback).
+  // Oversized capture: plain heap allocation even when arena-backed (no
+  // such callback is on a hot path, and an unbounded capture must not
+  // bloat the replay arena; the pooled classes cover every engine
+  // callback).
   return ::operator new(size);
 }
 
@@ -67,9 +78,9 @@ void Simulator::run(Time horizon) {
     now_ = top.t;
     ++executed_;
     // The slot reference stays valid while the callback schedules new
-    // events (slots_ is a deque: growth never relocates).  The payload
-    // is destroyed only after the call returns.
-    Slot& slot = slots_[top.slot];
+    // events (slots live in fixed chunks: growth never relocates).  The
+    // payload is destroyed only after the call returns.
+    Slot& slot = slot_at(top.slot);
     void* payload = slot.ops->inline_stored ? static_cast<void*>(slot.buf)
                                             : slot.heap;
     try {

@@ -17,11 +17,16 @@
 // pending events, not the number of events ever scheduled).  The
 // std::function-based kernel this replaces survives as the differential
 // oracle in tests/reference_simulator.h.
+//
+// Memory: construct with an ArenaRef to place the queue, the slot slab
+// chunks and the pooled overflow blocks in a per-replay arena (the
+// allocation-lifetime contract of docs/ARCHITECTURE.md "Memory model");
+// default-constructed simulators fall back to the heap and behave as
+// before.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <new>
 #include <queue>
 #include <stdexcept>
@@ -30,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/types.h"
 
 namespace lgs {
@@ -44,6 +50,14 @@ class Simulator {
   static constexpr std::size_t kOverflowBlock = 512;
 
   Simulator() = default;
+  /// Arena-backed kernel: event queue, slot slab and overflow pool live
+  /// in `ref`'s arena (released with the replay, not event by event).
+  explicit Simulator(ArenaRef ref)
+      : ref_(ref),
+        queue_(Later{}, ArenaVec<QEntry>(ArenaAllocator<QEntry>(ref))),
+        slot_chunks_(ArenaAllocator<Slot*>(ref)),
+        free_slots_(ArenaAllocator<std::uint32_t>(ref)),
+        overflow_free_(ArenaAllocator<void*>(ref)) {}
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -63,7 +77,7 @@ class Simulator {
     if (t < now_ - kTimeEps)
       throw std::invalid_argument("cannot schedule an event in the past");
     const std::uint32_t slot_index = acquire_slot();
-    Slot& slot = slots_[slot_index];
+    Slot& slot = slot_at(slot_index);
     constexpr bool kInline = sizeof(Fn) <= kInlineCallback;
     try {
       if constexpr (kInline) {
@@ -123,7 +137,7 @@ class Simulator {
   /// Callback slots ever created — tracks the peak number of
   /// *concurrently* pending events, not the events ever scheduled
   /// (tests/bench assert this stays flat across million-event replays).
-  std::size_t slot_capacity() const { return slots_.size(); }
+  std::size_t slot_capacity() const { return slot_count_; }
 
   /// Pooled overflow blocks ever allocated (captures past
   /// kInlineCallback bytes); recycled through a free list, so this too
@@ -146,8 +160,8 @@ class Simulator {
   };
 
   /// One slab slot: the callback payload of one pending event.  Slots
-  /// live in a deque (stable addresses; grows in chunks) and are
-  /// recycled through free_slots_.
+  /// live in fixed-size chunks (stable addresses; grows chunk by chunk
+  /// from ref_) and are recycled through free_slots_.
   struct Slot {
     const Ops* ops = nullptr;
     void* heap = nullptr;
@@ -172,20 +186,28 @@ class Simulator {
     }
   };
 
+  /// Slots per slab chunk.  64 slots x 64 bytes of Slot ≈ 4 KiB chunks.
+  static constexpr std::size_t kSlotChunk = 64;
+
   std::uint32_t acquire_slot();
   /// Destroy the payload of `index` and recycle slot + overflow block.
   void release_slot(std::uint32_t index);
+  Slot& slot_at(std::uint32_t i) {
+    return slot_chunks_[i / kSlotChunk][i % kSlotChunk];
+  }
   void* acquire_overflow(std::size_t size);
   void release_overflow(void* mem, std::size_t size);
 
+  ArenaRef ref_;
   Time now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<QEntry, std::vector<QEntry>, Later> queue_;
+  std::priority_queue<QEntry, ArenaVec<QEntry>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
-  std::deque<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  std::vector<void*> overflow_free_;
+  ArenaVec<Slot*> slot_chunks_;
+  std::size_t slot_count_ = 0;  ///< slots constructed across all chunks
+  ArenaVec<std::uint32_t> free_slots_;
+  ArenaVec<void*> overflow_free_;
   std::size_t overflow_blocks_ = 0;
 };
 

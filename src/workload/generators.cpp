@@ -158,6 +158,14 @@ JobSet expand_bag(const ParametricBag& bag, JobId first_id, Time release) {
 
 JobSet make_large_trace(std::size_t n, std::uint64_t seed,
                         const LargeTraceSpec& spec) {
+  // The store builder is the primary implementation; the ExecRef round
+  // trip through to_jobset() is exact, so this view stays bit-identical
+  // to the historical direct-JobSet construction.
+  return make_large_trace_store(n, seed, spec).to_jobset();
+}
+
+JobStore make_large_trace_store(std::size_t n, std::uint64_t seed,
+                                const LargeTraceSpec& spec, ArenaRef arena) {
   if (spec.max_procs < 1)
     throw std::invalid_argument("max_procs must be >= 1");
   if (spec.communities < 1)
@@ -178,8 +186,8 @@ JobSet make_large_trace(std::size_t n, std::uint64_t seed,
   // Pass 1: job shapes.  Widths are powers of two (the classical rigid
   // trace bias), runtimes log-normal with a per-community flavor: long
   // sequential physics tails down to short bursty debug jobs.
-  JobSet jobs;
-  jobs.reserve(n);
+  JobStore store(arena);
+  store.reserve(n);
   double total_work = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const int community =
@@ -192,10 +200,9 @@ JobSet make_large_trace(std::size_t n, std::uint64_t seed,
     static constexpr double kSigma[4] = {1.1, 0.9, 0.6, 1.0};
     const Time duration =
         rng.lognormal(kMu[community % 4], kSigma[community % 4]);
-    Job j = Job::rigid(static_cast<JobId>(i), procs, duration);
-    j.community = community;
-    total_work += j.work(procs);
-    jobs.push_back(std::move(j));
+    store.append_rigid(static_cast<JobId>(i), procs, duration);
+    store[i].community = community;
+    total_work += static_cast<double>(procs) * duration;
   }
 
   // Pass 2: arrivals.  The window is sized so the trace offers
@@ -219,10 +226,10 @@ JobSet make_large_trace(std::size_t n, std::uint64_t seed,
     }
     const double gap = in_burst ? burst_gap : lull_gap;
     if (gap > 0.0) clock += rng.exponential(1.0 / gap);
-    jobs[i].release = clock;
+    store.set_release(i, clock);
     --phase_left;
   }
-  return jobs;
+  return store;
 }
 
 void append_workload(JobSet& base, JobSet extra) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/job.h"
+#include "core/job_store.h"
 #include "core/rng.h"
 
 namespace lgs {
@@ -114,6 +115,14 @@ struct LargeTraceSpec {
 /// `spec.target_capacity` processors.  Deterministic in (n, seed, spec).
 JobSet make_large_trace(std::size_t n, std::uint64_t seed,
                         const LargeTraceSpec& spec = {});
+
+/// Store-building variant of make_large_trace: same RNG draws, same jobs,
+/// but rows are written straight into a JobStore hot slab (arena-backed
+/// when `arena` is attached) — no per-job ExecModel, no million small
+/// heap allocations.  make_large_trace is a to_jobset() view of this.
+JobStore make_large_trace_store(std::size_t n, std::uint64_t seed,
+                                const LargeTraceSpec& spec = {},
+                                ArenaRef arena = {});
 
 /// Renumber ids of `extra` to follow `base` and append (convenience when
 /// composing workloads from several generators).

@@ -47,9 +47,9 @@ bool parse_line(const std::string& line, SwfLine* out) {
 
 }  // namespace
 
-JobSet parse_swf(const std::string& text, const SwfOptions& opts,
-                 SwfParseStats* stats) {
-  JobSet jobs;
+JobStore parse_swf_store(const std::string& text, const SwfOptions& opts,
+                         SwfParseStats* stats, ArenaRef arena) {
+  JobStore jobs(arena);
   SwfParseStats local;
   std::istringstream in(text);
   std::string line;
@@ -85,11 +85,11 @@ JobSet parse_swf(const std::string& text, const SwfOptions& opts,
       }
       throw std::invalid_argument("SWF job without processors or run time");
     }
-    Job j = Job::rigid(next_id, static_cast<int>(procs),
-                       run * opts.time_scale,
-                       std::max(0.0, rec.submit) * opts.time_scale);
-    j.community = rec.user > 0 ? static_cast<int>(rec.user) : 0;
-    jobs.push_back(std::move(j));
+    jobs.append_rigid(next_id, static_cast<int>(procs),
+                      run * opts.time_scale,
+                      std::max(0.0, rec.submit) * opts.time_scale);
+    jobs[jobs.size() - 1].community =
+        rec.user > 0 ? static_cast<int>(rec.user) : 0;
     ++next_id;
     ++local.parsed;
     if (opts.max_jobs > 0 &&
@@ -98,6 +98,23 @@ JobSet parse_swf(const std::string& text, const SwfOptions& opts,
   }
   if (stats != nullptr) *stats = local;
   return jobs;
+}
+
+JobSet parse_swf(const std::string& text, const SwfOptions& opts,
+                 SwfParseStats* stats) {
+  // The store parser is the primary implementation; the ExecRef round
+  // trip through to_jobset() is exact, so this view stays bit-identical
+  // to the historical direct-JobSet parse.
+  return parse_swf_store(text, opts, stats).to_jobset();
+}
+
+JobStore load_swf_file_store(const std::string& path, const SwfOptions& opts,
+                             SwfParseStats* stats, ArenaRef arena) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open SWF trace: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_swf_store(buf.str(), opts, stats, arena);
 }
 
 JobSet load_swf_file(const std::string& path, const SwfOptions& opts,

@@ -102,12 +102,7 @@ inline std::vector<GoldenScenario> golden_scenarios() {
   };
 }
 
-/// Run one scenario on a fixed 4-cluster skewed grid with per-community
-/// workloads (release dates spread over an arrival window, so dispatch,
-/// routing, kills and volatility all interleave).
-inline std::uint64_t run_golden_scenario(const GoldenScenario& sc) {
-  const LightGrid grid = make_skewed_grid(4, 24, 2.0);
-
+inline GridSimOptions golden_options(const GoldenScenario& sc) {
   GridSimOptions opts;
   opts.routing = sc.routing;
   opts.cluster.policy = sc.policy;
@@ -118,8 +113,10 @@ inline std::uint64_t run_golden_scenario(const GoldenScenario& sc) {
   opts.volatility.window = 40.0;
   opts.volatility.floor_fraction = 0.6;
   opts.volatility_seed = 99;
+  return opts;
+}
 
-  GridSim sim(grid, opts);
+inline JobSet golden_workload() {
   JobSet all;
   for (int c = 0; c < 4; ++c) {
     Rng rng(mix_seed(7777, static_cast<std::uint64_t>(c)));
@@ -128,7 +125,29 @@ inline std::uint64_t run_golden_scenario(const GoldenScenario& sc) {
                                                  /*time_scale=*/0.05,
                                                  /*arrival_window=*/30.0));
   }
-  sim.submit_workloads(split_by_community(all, 4));
+  return all;
+}
+
+/// Run one scenario on a fixed 4-cluster skewed grid with per-community
+/// workloads (release dates spread over an arrival window, so dispatch,
+/// routing, kills and volatility all interleave).
+inline std::uint64_t run_golden_scenario(const GoldenScenario& sc) {
+  GridSim sim(make_skewed_grid(4, 24, 2.0), golden_options(sc));
+  sim.submit_workloads(split_by_community(golden_workload(), 4));
+  const GridSimResult res = sim.run();
+  return digest_grid_result(sim, res);
+}
+
+/// Same scenario through the arena/store path: the workload is compacted
+/// into a borrowed JobStore, the engine draws every allocation from the
+/// caller's arena (reusable across scenarios via reset()), and
+/// submissions go through submit_store — the digest must match
+/// run_golden_scenario bit for bit.
+inline std::uint64_t run_golden_scenario_store(const GoldenScenario& sc,
+                                               Arena& arena) {
+  const JobStore store = to_job_store(golden_workload(), ArenaRef(arena));
+  GridSim sim(make_skewed_grid(4, 24, 2.0), golden_options(sc), &arena);
+  sim.submit_store(store);
   const GridSimResult res = sim.run();
   return digest_grid_result(sim, res);
 }

@@ -1,0 +1,235 @@
+// Arena memory subsystem tests: alignment (incl. over-aligned types),
+// oversized-block fallback, nested scratch rewind, reset-reuse churn,
+// ArenaRef heap fallback, and a differential test driving RingVec
+// against std::deque through random mixed operations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include "core/arena.h"
+
+namespace lgs {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(Arena, AllocRespectsRequestedAlignment) {
+  Arena arena;
+  for (std::size_t align : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                            std::size_t{16}, std::size_t{64}}) {
+    // Deliberately misalign the bump pointer first.
+    arena.alloc(1, 1);
+    void* p = arena.alloc(24, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(aligned_to(p, align)) << "align " << align;
+    std::memset(p, 0xAB, 24);  // must be writable
+  }
+}
+
+TEST(Arena, OverAlignedBeyondMaxAlignT) {
+  Arena arena;
+  constexpr std::size_t kAlign = 256;  // > alignof(std::max_align_t)
+  arena.alloc(3, 1);
+  void* p = arena.alloc(512, kAlign);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(aligned_to(p, kAlign));
+  std::memset(p, 0xCD, 512);
+
+  struct alignas(128) Wide {
+    double d[16];
+  };
+  Wide* w = arena.alloc_array<Wide>(4);
+  ASSERT_NE(w, nullptr);
+  EXPECT_TRUE(aligned_to(w, alignof(Wide)));
+  w[3].d[15] = 42.0;
+  EXPECT_EQ(w[3].d[15], 42.0);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(/*block_size=*/4096);
+  void* small = arena.alloc(64);
+  ASSERT_NE(small, nullptr);
+  EXPECT_EQ(arena.stats().oversized_blocks, 0u);
+
+  // Larger than the block payload: dedicated block, still usable.
+  const std::size_t big_size = 64 * 1024;
+  unsigned char* big = static_cast<unsigned char*>(arena.alloc(big_size));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5A, big_size);
+  EXPECT_EQ(big[0], 0x5A);
+  EXPECT_EQ(big[big_size - 1], 0x5A);
+  EXPECT_EQ(arena.stats().oversized_blocks, 1u);
+  EXPECT_GE(arena.stats().bytes_used, big_size + 64);
+
+  // The bump block keeps working after the oversized detour.
+  void* after = arena.alloc(64);
+  ASSERT_NE(after, nullptr);
+
+  // reset() drops oversized blocks (they were sized for one request)
+  // but keeps normal blocks for reuse.
+  const std::size_t blocks_before = arena.stats().blocks;
+  arena.reset();
+  EXPECT_EQ(arena.stats().oversized_blocks, 0u);
+  EXPECT_EQ(arena.stats().blocks, blocks_before);
+  EXPECT_EQ(arena.stats().bytes_used, 0u);
+}
+
+TEST(Arena, NestedScratchRewindsInnermostFirst) {
+  Arena arena;
+  arena.alloc(100);
+  const std::size_t base = arena.stats().bytes_used;
+
+  const Arena::Mark outer = arena.mark();
+  arena.alloc(1000);
+  const std::size_t after_outer = arena.stats().bytes_used;
+  {
+    ArenaScratch inner(arena);
+    inner.arena().alloc(5000);
+    inner.arena().alloc(7000);
+    EXPECT_GT(arena.stats().bytes_used, after_outer);
+  }
+  // Inner scratch dropped exactly its own allocations.
+  EXPECT_EQ(arena.stats().bytes_used, after_outer);
+
+  arena.rewind(outer);
+  EXPECT_EQ(arena.stats().bytes_used, base);
+
+  // The rewound space is reused: the next alloc lands where the first
+  // post-mark alloc did.
+  void* again = arena.alloc(8);
+  arena.rewind(outer);
+  EXPECT_EQ(arena.alloc(8), again);
+}
+
+TEST(Arena, ScratchRewindDropsOversizedBlocks) {
+  Arena arena(/*block_size=*/4096);
+  const Arena::Mark m = arena.mark();
+  arena.alloc(32 * 1024);  // oversized
+  EXPECT_EQ(arena.stats().oversized_blocks, 1u);
+  arena.rewind(m);
+  EXPECT_EQ(arena.stats().oversized_blocks, 0u);
+  EXPECT_EQ(arena.stats().bytes_used, 0u);
+}
+
+TEST(Arena, ResetReusesBlocksAcrossChurn) {
+  Arena arena(/*block_size=*/4096);
+  std::size_t reserved_after_first = 0;
+  void* first_ptr = nullptr;
+  for (int round = 0; round < 10; ++round) {
+    // ~3 blocks worth of traffic per round.
+    void* p = arena.alloc(64, 64);
+    if (round == 0) first_ptr = p;
+    for (int i = 0; i < 100; ++i) arena.alloc(100);
+    if (round == 0) {
+      reserved_after_first = arena.stats().bytes_reserved;
+      EXPECT_GT(arena.stats().blocks, 1u);
+    } else {
+      // Block churn is warm-up only: later rounds allocate nothing new
+      // and the first allocation returns the same address.
+      EXPECT_EQ(arena.stats().bytes_reserved, reserved_after_first);
+      EXPECT_EQ(p, first_ptr);
+    }
+    arena.reset();
+    EXPECT_EQ(arena.stats().bytes_used, 0u);
+  }
+  EXPECT_EQ(arena.stats().resets, 10u);
+  EXPECT_GE(arena.stats().bytes_peak, 100u * 100u);
+}
+
+TEST(ArenaRef, DetachedFallsBackToHeap) {
+  ArenaRef ref;
+  EXPECT_FALSE(ref.attached());
+  void* p = ref.allocate(128, 64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(aligned_to(p, 64));
+  std::memset(p, 0, 128);
+  ref.deallocate(p, 128, 64);  // must actually free (ASan job checks)
+}
+
+TEST(ArenaRef, AttachedAllocatesFromArenaAndSkipsDeallocate) {
+  Arena arena;
+  ArenaRef ref(arena);
+  EXPECT_TRUE(ref.attached());
+  void* p = ref.allocate(64, 16);
+  const std::size_t used = arena.stats().bytes_used;
+  EXPECT_GE(used, 64u);
+  ref.deallocate(p, 64, 16);  // whole-lifetime release: a no-op
+  EXPECT_EQ(arena.stats().bytes_used, used);
+}
+
+TEST(ArenaVec, GrowsFromArenaAndKeepsValues) {
+  Arena arena;
+  ArenaVec<int> v{ArenaAllocator<int>(ArenaRef(arena))};
+  for (int i = 0; i < 10000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 10000u);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i * 3);
+  EXPECT_GE(arena.stats().bytes_used, 10000u * sizeof(int));
+}
+
+// Differential: RingVec against std::deque under random mixed
+// operations — covers push/pop at both ends plus the shorter-side
+// shifting middle insert/erase the replay queue relies on.
+TEST(RingVec, MatchesDequeUnderRandomOps) {
+  Arena arena;
+  RingVec<std::uint32_t> ring{ArenaRef(arena)};
+  std::deque<std::uint32_t> ref;
+  std::mt19937 rng(20040412u);
+
+  for (int step = 0; step < 20000; ++step) {
+    const unsigned op = rng() % 6;
+    const std::uint32_t val = rng();
+    if (op == 0 || ref.empty()) {
+      ring.push_back(val);
+      ref.push_back(val);
+    } else if (op == 1) {
+      ring.push_front(val);
+      ref.push_front(val);
+    } else if (op == 2) {
+      ring.pop_front();
+      ref.pop_front();
+    } else if (op == 3) {
+      ring.pop_back();
+      ref.pop_back();
+    } else if (op == 4) {
+      const std::size_t i = rng() % (ref.size() + 1);
+      ring.insert(i, val);
+      ref.insert(ref.begin() + static_cast<std::ptrdiff_t>(i), val);
+    } else {
+      const std::size_t i = rng() % ref.size();
+      ring.erase(i);
+      ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_EQ(ring.size(), ref.size()) << "step " << step;
+    if (!ref.empty()) {
+      ASSERT_EQ(ring.front(), ref.front()) << "step " << step;
+      ASSERT_EQ(ring.back(), ref.back()) << "step " << step;
+    }
+    // Full scan every 97 steps (and over a window otherwise) keeps the
+    // test O(n) enough while still pinning every slot.
+    if (step % 97 == 0) {
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(ring[i], ref[i]) << "step " << step << " index " << i;
+    }
+  }
+}
+
+TEST(RingVec, ReserveAndClear) {
+  RingVec<int> ring;  // detached ref: heap fallback
+  ring.reserve(100);
+  EXPECT_GE(ring.capacity(), 100u);
+  for (int i = 0; i < 50; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), 50u);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  ring.push_back(7);
+  EXPECT_EQ(ring.front(), 7);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,208 @@
+// JobStore hot/cold SoA storage tests: differential against the legacy
+// fat-Job path (iteration order, values, execution-time curves must be
+// bit-identical), the store-building workload entry points, and the
+// no-full-trace-copy regression bar for grid replays over a borrowed
+// store.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arena.h"
+#include "core/job.h"
+#include "core/job_store.h"
+#include "sim/grid_sim.h"
+#include "workload/generators.h"
+#include "workload/swf.h"
+
+namespace lgs {
+namespace {
+
+/// One job of every ExecModel variant (plus rigid, whose constant table
+/// compacts to kRigidConst), with non-default scalars everywhere.
+JobSet diverse_jobs() {
+  JobSet jobs;
+  jobs.push_back(Job::sequential(0, 3.5, /*release=*/1.0, /*weight=*/2.0));
+  jobs.push_back(
+      Job::moldable(1, ExecModel::amdahl(10.0, 0.2), 1, 16, 0.5, 1.5));
+  jobs.push_back(
+      Job::moldable(2, ExecModel::power_law(8.0, 0.7), 2, 32, 2.0, 0.5));
+  jobs.push_back(
+      Job::moldable(3, ExecModel::comm_penalty(12.0, 0.3), 1, 64, 0.0, 1.0));
+  jobs.push_back(Job::moldable(
+      4, ExecModel::table({9.0, 5.0, 4.0, 3.75, 3.7}), 1, 8, 4.0, 3.0));
+  jobs.push_back(Job::rigid(5, 4, 2.25, 6.0, 1.25));
+  int c = 0;
+  for (Job& j : jobs) {
+    j.community = c++ % 3;
+    j.due = 10.0 + j.release;
+  }
+  return jobs;
+}
+
+TEST(JobStore, HotRowIsOneCacheLine) {
+  EXPECT_EQ(sizeof(HotJob), 64u);
+}
+
+TEST(JobStore, DifferentialAgainstJobSet) {
+  const JobSet jobs = diverse_jobs();
+  const JobStore store = to_job_store(jobs);
+  ASSERT_EQ(store.size(), jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(i);
+    const Job& j = jobs[i];
+    const HotJob& h = store[i];
+    // Same iteration order, same scalar fields.
+    EXPECT_EQ(h.id, j.id);
+    EXPECT_EQ(h.kind, j.kind);
+    EXPECT_EQ(h.release, j.release);
+    EXPECT_EQ(h.weight, j.weight);
+    EXPECT_EQ(h.due, j.due);
+    EXPECT_EQ(h.min_procs, j.min_procs);
+    EXPECT_EQ(h.max_procs, j.max_procs);
+    EXPECT_EQ(h.community, j.community);
+    // Bit-identical execution-time curve through the compact handle.
+    for (int k = j.min_procs; k <= j.max_procs; ++k) {
+      ASSERT_EQ(store.time(i, k), j.time(k)) << "k=" << k;
+    }
+    EXPECT_EQ(store.best_time(i, 128), j.best_time(128));
+    EXPECT_EQ(store.useful_limit(i, j.max_procs),
+              j.model.useful_limit(j.max_procs));
+  }
+}
+
+TEST(JobStore, RoundTripThroughJobSetIsExact) {
+  const JobSet jobs = diverse_jobs();
+  const JobStore store = to_job_store(jobs);
+  const JobSet back = store.to_jobset();
+  ASSERT_EQ(back.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(back[i].id, jobs[i].id);
+    EXPECT_EQ(back[i].kind, jobs[i].kind);
+    EXPECT_EQ(back[i].release, jobs[i].release);
+    EXPECT_EQ(back[i].weight, jobs[i].weight);
+    EXPECT_EQ(back[i].due, jobs[i].due);
+    EXPECT_EQ(back[i].min_procs, jobs[i].min_procs);
+    EXPECT_EQ(back[i].max_procs, jobs[i].max_procs);
+    EXPECT_EQ(back[i].community, jobs[i].community);
+    for (int k = jobs[i].min_procs; k <= jobs[i].max_procs; ++k)
+      ASSERT_EQ(back[i].time(k), jobs[i].time(k)) << "k=" << k;
+  }
+}
+
+TEST(JobStore, AppendRigidMatchesFatRigid) {
+  JobStore direct;
+  direct.append_rigid(7, 5, 3.25, 1.5, 2.5);
+  JobStore viaFat;
+  viaFat.append(Job::rigid(7, 5, 3.25, 1.5, 2.5));
+  ASSERT_EQ(direct.size(), 1u);
+  ASSERT_EQ(viaFat.size(), 1u);
+  const HotJob& a = direct[0];
+  const HotJob& b = viaFat[0];
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.release, b.release);
+  EXPECT_EQ(a.weight, b.weight);
+  EXPECT_EQ(a.min_procs, b.min_procs);
+  EXPECT_EQ(a.max_procs, b.max_procs);
+  EXPECT_EQ(a.exec_kind, ExecKind::kRigidConst);
+  EXPECT_EQ(b.exec_kind, ExecKind::kRigidConst);
+  EXPECT_EQ(a.exec_a, b.exec_a);
+  // No table pool entry for either: rigid constants live inline.
+  EXPECT_EQ(direct.tables().tables(), 0u);
+  EXPECT_EQ(viaFat.tables().tables(), 0u);
+  EXPECT_THROW(direct.append_rigid(8, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(direct.append_rigid(8, 1, 0.0), std::invalid_argument);
+}
+
+TEST(JobStore, ArenaBackedStoreReadsIdentical) {
+  const JobSet jobs = diverse_jobs();
+  Arena arena;
+  const JobStore store = to_job_store(jobs, ArenaRef(arena));
+  EXPECT_GE(arena.stats().bytes_used, store.size() * sizeof(HotJob));
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    for (int k = jobs[i].min_procs; k <= jobs[i].max_procs; ++k)
+      ASSERT_EQ(store.time(i, k), jobs[i].time(k));
+}
+
+TEST(JobStore, LargeTraceStoreMatchesLegacyGenerator) {
+  const LargeTraceSpec spec;
+  const JobStore store = make_large_trace_store(2000, 424242, spec);
+  const JobSet legacy = make_large_trace(2000, 424242, spec);
+  ASSERT_EQ(store.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    ASSERT_EQ(store[i].id, legacy[i].id);
+    ASSERT_EQ(store[i].release, legacy[i].release);
+    ASSERT_EQ(store[i].community, legacy[i].community);
+    ASSERT_EQ(store[i].min_procs, legacy[i].min_procs);
+    ASSERT_EQ(store[i].max_procs, legacy[i].max_procs);
+    ASSERT_EQ(store.time(i, store[i].min_procs),
+              legacy[i].time(legacy[i].min_procs));
+  }
+  // Rigid-only trace: the cold slab stays empty.
+  EXPECT_EQ(store.tables().tables(), 0u);
+}
+
+TEST(JobStore, SwfStoreMatchesLegacyParse) {
+  const std::string text =
+      "; header comment\n"
+      "1 0 -1 100 4 -1 -1 8 120 -1 1 3 -1 -1 -1 -1 -1 -1\n"
+      "2 50 -1 200 1 -1 -1 1 -1 -1 1 7 -1 -1 -1 -1 -1 -1\n"
+      "3 60 -1 -1 2 -1 -1 2 -1 -1 0 2 -1 -1 -1 -1 -1 -1\n"  // invalid run
+      "4 75.5 -1 10 16 -1 -1 16 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  SwfOptions opts;
+  opts.time_scale = 0.5;
+  SwfParseStats legacy_stats, store_stats;
+  const JobSet legacy = parse_swf(text, opts, &legacy_stats);
+  const JobStore store = parse_swf_store(text, opts, &store_stats);
+  ASSERT_EQ(store.size(), legacy.size());
+  EXPECT_EQ(store_stats.data_lines, legacy_stats.data_lines);
+  EXPECT_EQ(store_stats.parsed, legacy_stats.parsed);
+  EXPECT_EQ(store_stats.dropped_invalid, legacy_stats.dropped_invalid);
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    ASSERT_EQ(store[i].id, legacy[i].id);
+    ASSERT_EQ(store[i].release, legacy[i].release);
+    ASSERT_EQ(store[i].community, legacy[i].community);
+    ASSERT_EQ(store[i].min_procs, legacy[i].min_procs);
+    ASSERT_EQ(store.time(i, store[i].min_procs),
+              legacy[i].time(legacy[i].min_procs));
+  }
+}
+
+// The regression bar of the arena refactor: a grid replay over a
+// borrowed JobStore must not deep-copy a single Job — submissions flow
+// as 64-byte hot rows end to end.  job_copy_count() is a process-wide
+// relaxed counter, so this pins the WHOLE replay path, including any
+// accidental fat-Job materialization inside the engines.
+TEST(JobStore, GridReplayOverStoreCopiesNoJobs) {
+  const JobStore store = make_large_trace_store(500, 7, LargeTraceSpec{});
+  Arena arena;
+  GridSimOptions opts;  // isolated routing, FCFS
+  GridSim sim(make_skewed_grid(4, 64, 1.0), opts, &arena);
+
+  const std::uint64_t copies_before = job_copy_count();
+  sim.submit_store(store);
+  const GridSimResult res = sim.run();
+  const std::uint64_t copies_after = job_copy_count();
+
+  EXPECT_EQ(res.jobs_completed, 500);
+  EXPECT_EQ(copies_after - copies_before, 0u)
+      << "grid replay over a borrowed store deep-copied fat Jobs";
+}
+
+// split_by_community takes the set by value and moves each job into its
+// bucket: an rvalue split is copy-free too.
+TEST(JobStore, SplitByCommunityRvalueCopiesNoJobs) {
+  JobSet jobs = make_large_trace(300, 11);
+  const std::uint64_t before = job_copy_count();
+  const std::vector<JobSet> buckets = split_by_community(std::move(jobs), 4);
+  EXPECT_EQ(job_copy_count() - before, 0u);
+  std::size_t total = 0;
+  for (const JobSet& b : buckets) total += b.size();
+  EXPECT_EQ(total, 300u);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -47,5 +47,25 @@ TEST(ReplayGolden, DigestIsDeterministicAcrossRuns) {
   EXPECT_EQ(run_golden_scenario(sc), run_golden_scenario(sc));
 }
 
+// The arena/store replay path (borrowed JobStore + submit_store + an
+// external reset-reused arena) must reproduce the SAME pinned digests as
+// the fat-Job path: the memory architecture is not allowed to change a
+// single bit of any replay.
+TEST(ReplayGolden, StorePathDigestsUnchanged) {
+  if (!rng_matches_reference_library())
+    GTEST_SKIP() << "non-reference standard library: golden digests do not "
+                    "apply (they pin libstdc++ distribution draws)";
+  const std::vector<GoldenScenario> scenarios = golden_scenarios();
+  ASSERT_EQ(scenarios.size(), std::size(kExpected));
+  Arena arena;  // shared across scenarios: reset-reuse on the real engine
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    SCOPED_TRACE(scenarios[i].name);
+    arena.reset();
+    EXPECT_EQ(run_golden_scenario_store(scenarios[i], arena),
+              kExpected[i].digest)
+        << "arena/store replay diverged from the fat-Job path";
+  }
+}
+
 }  // namespace
 }  // namespace lgs
