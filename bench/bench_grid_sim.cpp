@@ -7,11 +7,17 @@
 // outcome passes validate_grid_result.  Exits non-zero on any violation
 // — the CI grid smoke job relies on that and uploads BENCH_grid.json.
 //
-// Usage: bench_grid_sim [--quick] [--threads N] [--seeds K] [--json PATH]
+// Usage: bench_grid_sim [--quick] [--profile] [--threads N] [--seeds K]
+//                       [--json PATH]
+//
+// --profile prints the embedded profiler's zone/counter summary to
+// stderr.  The JSON report carries the zone tree under "profile"
+// whenever the profiler is compiled in (-DLGS_PROFILING stays ON).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
+#include "core/profiler.h"
 #include "core/report.h"
 #include "exp/grid_sweep.h"
 
@@ -19,12 +25,15 @@ int main(int argc, char** argv) {
   using namespace lgs;
 
   bool quick = false;
+  bool profile = false;
   int threads = 0;
   int seeds = -1;  // -1 = not given on the command line
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
@@ -32,8 +41,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_grid_sim [--quick] [--threads N] "
-                   "[--seeds K] [--json PATH]\n";
+      std::cerr << "usage: bench_grid_sim [--quick] [--profile] "
+                   "[--threads N] [--seeds K] [--json PATH]\n";
       return 2;
     }
   }
@@ -88,8 +97,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // One snapshot serves both the stderr summary and the JSON section:
+  // the sweep is done, so the zone tree is complete and quiescent.
+  const prof::Snapshot prof_snap = prof::snapshot();
+  if (profile) std::cerr << prof::summary(prof_snap);
+
   if (!json_path.empty()) {
-    write_grid_report(json_path, spec, result);
+    write_grid_report(json_path, spec, result,
+                      prof::enabled() ? &prof_snap : nullptr);
     std::cerr << "wrote " << json_path << "\n";
   }
 

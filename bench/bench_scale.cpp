@@ -26,7 +26,12 @@
 // is deterministic, so the fastest repetition is the one least disturbed
 // by scheduler noise — what a regression gate should compare.
 //
-// Usage: bench_scale [--quick] [--json PATH] [--clusters K] [--repeat N]
+// Usage: bench_scale [--quick] [--profile] [--json PATH] [--clusters K]
+//                    [--repeat N]
+//
+// --profile prints the embedded profiler's zone/counter summary to
+// stderr; the JSON always carries the zone tree under "profile" (empty
+// when the build compiled the profiler out with -DLGS_PROFILING=OFF).
 #include <sys/resource.h>
 
 #include <chrono>
@@ -38,6 +43,7 @@
 #include <vector>
 
 #include "core/arena.h"
+#include "core/profiler.h"
 #include "core/report.h"
 #include "sim/grid_sim.h"
 #include "sim/online_cluster.h"
@@ -65,7 +71,21 @@ struct PhaseResult {
   std::uint64_t events = 0;
   double events_per_sec = 0.0;
   double jobs_per_sec = 0.0;
+  /// Profiler counter deltas over the repetition (identical across reps:
+  /// the replay is deterministic), divided by the best wall time to make
+  /// the per-phase *_per_sec gate leaves.  Zero when compiled out.
+  std::uint64_t dispatch_cycles = 0;
+  std::uint64_t routes = 0;
+  std::uint64_t arrival_batches = 0;
 };
+
+/// Counter delta between two profiler snapshots (0 when compiled out —
+/// both snapshots report 0 for every name).
+std::uint64_t counter_delta(const prof::Snapshot& before,
+                            const prof::Snapshot& after,
+                            const char* name) {
+  return after.counter(name) - before.counter(name);
+}
 
 /// Allocator introspection for one size point: the replay arena's
 /// counters after the last repetition plus the trace store's slab
@@ -164,11 +184,14 @@ SizeResult run_size(std::size_t n, int clusters, std::uint64_t seed,
                           ArenaRef(arena));
     cluster.reserve_submissions(n);
     ArrivalPump pump{sim, cluster, trace};
+    const prof::Snapshot before = prof::snapshot();
     const auto t0 = std::chrono::steady_clock::now();
     pump.prime();
     sim.run();
     PhaseResult phase;
     phase.wall_s = seconds_since(t0);
+    phase.dispatch_cycles =
+        counter_delta(before, prof::snapshot(), "cluster.dispatch_cycles");
     phase.events = sim.executed();
     phase.events_per_sec =
         static_cast<double>(sim.executed()) / phase.wall_s;
@@ -185,11 +208,18 @@ SizeResult run_size(std::size_t n, int clusters, std::uint64_t seed,
     arena.reset();
     GridSimOptions opts;  // isolated routing, FCFS — the throughput bar
     GridSim grid(make_skewed_grid(clusters, 64, /*skew=*/1.0), opts, &arena);
+    const prof::Snapshot before = prof::snapshot();
     const auto t0 = std::chrono::steady_clock::now();
     grid.submit_store(trace);
     const GridSimResult result = grid.run();
     PhaseResult phase;
     phase.wall_s = seconds_since(t0);
+    const prof::Snapshot after = prof::snapshot();
+    phase.dispatch_cycles =
+        counter_delta(before, after, "cluster.dispatch_cycles");
+    phase.routes = counter_delta(before, after, "grid.routes");
+    phase.arrival_batches =
+        counter_delta(before, after, "grid.arrival_batches");
     phase.events = grid.simulator().executed();
     phase.events_per_sec =
         static_cast<double>(phase.events) / phase.wall_s;
@@ -214,6 +244,22 @@ void phase_json(JsonWriter& w, const char* name, const PhaseResult& p,
     w.key("events_per_sec").value(p.events_per_sec);
   }
   w.key("jobs_per_sec").value(p.jobs_per_sec);
+  // Per-phase profiler counters, normalized by the best wall time —
+  // finer-grained gate leaves than raw events/sec (a dispatch-path or
+  // routing regression moves these even when the event mix shifts).
+  // Emitted only when the profiler is compiled in, so an OFF build's
+  // JSON cannot silently gate the leaves against a zeroed numerator.
+  if (prof::enabled()) {
+    if (p.dispatch_cycles > 0)
+      w.key("dispatch_cycles_per_sec")
+          .value(static_cast<double>(p.dispatch_cycles) / p.wall_s);
+    if (p.routes > 0)
+      w.key("routes_per_sec")
+          .value(static_cast<double>(p.routes) / p.wall_s);
+    if (p.arrival_batches > 0)
+      w.key("arrival_batches_per_sec")
+          .value(static_cast<double>(p.arrival_batches) / p.wall_s);
+  }
   w.end_object();
 }
 
@@ -257,6 +303,12 @@ std::string to_json(const std::vector<SizeResult>& results, int clusters,
   // for the whole run (dominated by the largest size) instead of a
   // misleading monotone per-size column.
   w.key("peak_rss_mb").value(peak_rss_mb());
+  // Whole-run zone tree + counters.  The keys inside deliberately avoid
+  // the gated *_per_sec / *_bytes / *_mb suffixes: the profile is an
+  // observability artifact, not a gate surface (walls here include every
+  // repetition, not best-of-N).
+  w.key("profile");
+  prof::write_json(w, prof::snapshot());
   w.end_object();
   return w.str();
 }
@@ -265,12 +317,15 @@ std::string to_json(const std::vector<SizeResult>& results, int clusters,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool profile = false;
   int clusters = 16;
   int repeat = 3;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
@@ -286,7 +341,7 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::cerr << "usage: bench_scale [--quick] [--json PATH] "
+      std::cerr << "usage: bench_scale [--quick] [--profile] [--json PATH] "
                    "[--clusters K] [--repeat N]\n";
       return 2;
     }
@@ -309,6 +364,8 @@ int main(int argc, char** argv) {
               << static_cast<long>(r.grid_sim.events_per_sec)
               << " ev/s)  rss " << peak_rss_mb() << " MB\n";
   }
+
+  if (profile) std::cerr << prof::summary(prof::snapshot());
 
   const std::string json = to_json(results, clusters, quick);
   std::cout << json;

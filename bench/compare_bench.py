@@ -9,8 +9,16 @@ tolerance (default 25%):
     are throughput metrics - FAIL when fresh < baseline * (1 - tol);
   - keys ending in ``_mb`` or ``_bytes`` (``peak_rss_mb``, the arena and
     job-store introspection counters) are footprint metrics - FAIL when
-    fresh > baseline * (1 + tol);
+    fresh > max(baseline * (1 + tol), baseline + abs_slack);
   - every other leaf (wall times, counts, labels) is informational.
+
+The absolute-slack floor on footprint metrics exists for zero (or tiny)
+baselines: a relative tolerance alone turns ``store_cold_bytes: 0`` into
+a zero-budget gate where the first byte ever spent fails CI.  The floor
+grants every footprint metric a small absolute allowance (default 1 MiB
+for ``_bytes``, 1 MB for ``_mb`` - override with --abs-slack-bytes /
+--abs-slack-mb) on top of the relative band, which is negligible against
+real footprints but keeps zero baselines honest instead of impossible.
 
 A gated metric present in the baseline but missing from the fresh run is
 a failure too (a silently dropped phase must not pass the gate).
@@ -22,7 +30,8 @@ the JSON, e.g.
 
 Usage:
   compare_bench.py --baseline bench/baselines/BENCH_scale.json \
-                   --fresh BENCH_scale.json [--tolerance 0.25]
+                   --fresh BENCH_scale.json [--tolerance 0.25] \
+                   [--abs-slack-bytes N] [--abs-slack-mb X]
 
 Exit codes: 0 ok, 1 regression, 2 bad invocation/structure.
 """
@@ -46,14 +55,14 @@ def gate_kind(key):
 
 
 def walk(baseline, fresh, path, out):
-    """Collect (path, key, base, fresh_or_None) for every gated leaf."""
+    """Collect (path, key, kind, base, fresh_or_None) per gated leaf."""
     if isinstance(baseline, dict):
         for key, base_value in baseline.items():
             here = f"{path}.{key}" if path else key
             fresh_value = fresh.get(key) if isinstance(fresh, dict) else None
             kind = gate_kind(key)
             if is_number(base_value) and kind:
-                out.append((here, kind, base_value,
+                out.append((here, key, kind, base_value,
                             fresh_value if is_number(fresh_value) else None))
             elif isinstance(base_value, (dict, list)):
                 walk(base_value, fresh_value, here, out)
@@ -71,6 +80,13 @@ def main():
     parser.add_argument("--fresh", required=True)
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative regression (default 0.25)")
+    parser.add_argument("--abs-slack-bytes", type=float, default=1048576,
+                        help="absolute allowance for *_bytes footprint "
+                             "metrics (default 1 MiB; keeps zero baselines "
+                             "from gating at zero budget)")
+    parser.add_argument("--abs-slack-mb", type=float, default=1.0,
+                        help="absolute allowance for *_mb footprint "
+                             "metrics (default 1.0 MB)")
     args = parser.parse_args()
 
     try:
@@ -89,20 +105,26 @@ def main():
         return 2
 
     failures = 0
-    for path, kind, base, new in gated:
+    for path, key, kind, base, new in gated:
         if new is None:
             print(f"FAIL {path}: missing from fresh run (baseline {base:g})")
             failures += 1
             continue
-        ratio = new / base if base else float("inf")
         if kind == "higher":
             ok = new >= base * (1.0 - args.tolerance)
-            verdict = "ok" if ok else "REGRESSION"
         else:
-            ok = new <= base * (1.0 + args.tolerance)
-            verdict = "ok" if ok else "REGRESSION"
+            slack = (args.abs_slack_mb if key.endswith("_mb")
+                     else args.abs_slack_bytes)
+            ok = new <= max(base * (1.0 + args.tolerance), base + slack)
+        verdict = "ok" if ok else "REGRESSION"
+        if base:
+            detail = f"x{new / base:.3f}"
+        else:
+            # A ratio against a zero baseline is meaningless (inf/nan);
+            # report the absolute change instead.
+            detail = f"{new - base:+g} vs zero baseline"
         print(f"{verdict:>10}  {path}: baseline {base:g} -> fresh {new:g} "
-              f"(x{ratio:.3f}, {kind} is better)")
+              f"({detail}, {kind} is better)")
         if not ok:
             failures += 1
 

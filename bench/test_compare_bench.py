@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Self-tests for the perf-regression gate (bench/compare_bench.py).
+
+Pure stdlib, registered as a ctest (``compare_bench_selftest``): the
+gate guards every CI perf run, so its own failure modes — above all the
+zero-baseline trap, where ``store_cold_bytes: 0`` used to mean "the
+first byte ever spent fails CI" — are pinned here.
+
+Each test drives the real script through a subprocess on temp JSON
+files and asserts on the exit code (0 ok, 1 regression, 2 bad input).
+
+Run directly:  python3 bench/test_compare_bench.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_gate(baseline, fresh, *extra_args):
+    """Write both docs to temp files, run the gate, return the result."""
+    with tempfile.TemporaryDirectory() as d:
+        base_path = os.path.join(d, "baseline.json")
+        fresh_path = os.path.join(d, "fresh.json")
+        with open(base_path, "w") as f:
+            json.dump(baseline, f)
+        with open(fresh_path, "w") as f:
+            json.dump(fresh, f)
+        return subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", base_path,
+             "--fresh", fresh_path, *extra_args],
+            capture_output=True, text=True)
+
+
+class ZeroBaselineTest(unittest.TestCase):
+    """The trap this suite exists for: footprint metrics with base 0."""
+
+    def test_small_growth_over_zero_bytes_passes(self):
+        # 0 -> 4 KiB is well inside the 1 MiB absolute slack: the gate
+        # must not fail the first byte ever spent against a 0 baseline.
+        r = run_gate({"store_cold_bytes": 0}, {"store_cold_bytes": 4096})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_large_growth_over_zero_bytes_fails(self):
+        # Past the absolute slack the gate still bites.
+        r = run_gate({"store_cold_bytes": 0},
+                     {"store_cold_bytes": 64 * 1024 * 1024})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_zero_mb_uses_mb_slack(self):
+        r = run_gate({"peak_rss_mb": 0.0}, {"peak_rss_mb": 0.5})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        r = run_gate({"peak_rss_mb": 0.0}, {"peak_rss_mb": 8.0})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_abs_slack_flags_override_defaults(self):
+        r = run_gate({"store_cold_bytes": 0}, {"store_cold_bytes": 4096},
+                     "--abs-slack-bytes", "1024")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        r = run_gate({"peak_rss_mb": 0.0}, {"peak_rss_mb": 8.0},
+                     "--abs-slack-mb", "16")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_zero_baseline_report_has_no_inf_ratio(self):
+        r = run_gate({"store_cold_bytes": 0}, {"store_cold_bytes": 4096})
+        self.assertNotIn("inf", r.stdout)
+        self.assertIn("zero baseline", r.stdout)
+
+    def test_zero_throughput_baseline_passes_and_reports(self):
+        # A "higher is better" metric with base 0 can only improve.
+        r = run_gate({"jobs_per_sec": 0}, {"jobs_per_sec": 1000.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("inf", r.stdout)
+
+
+class SlackFloorTest(unittest.TestCase):
+    """max(base * (1 + tol), base + slack): both bands must hold."""
+
+    def test_relative_band_dominates_large_baselines(self):
+        # 100 MiB baseline: 25% relative beats the 1 MiB slack.
+        base = 100 * 1024 * 1024
+        r = run_gate({"arena_peak_bytes": base},
+                     {"arena_peak_bytes": int(base * 1.20)})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        r = run_gate({"arena_peak_bytes": base},
+                     {"arena_peak_bytes": int(base * 1.30)})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_absolute_band_dominates_tiny_baselines(self):
+        # 1 KiB baseline: +400% but well under 1 MiB absolute — ok.
+        r = run_gate({"store_hot_bytes": 1024}, {"store_hot_bytes": 5120})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+class GateDirectionTest(unittest.TestCase):
+    def test_throughput_regression_fails(self):
+        r = run_gate({"events_per_sec": 1000.0}, {"events_per_sec": 700.0})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_throughput_within_tolerance_passes(self):
+        r = run_gate({"events_per_sec": 1000.0}, {"events_per_sec": 800.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_speedup_prefix_is_gated_higher(self):
+        r = run_gate({"speedup_vs_ref": 4.0}, {"speedup_vs_ref": 1.5})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_footprint_growth_fails(self):
+        r = run_gate({"peak_rss_mb": 100.0}, {"peak_rss_mb": 150.0})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_footprint_shrink_passes(self):
+        r = run_gate({"peak_rss_mb": 100.0}, {"peak_rss_mb": 50.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_ungated_leaves_are_informational(self):
+        r = run_gate({"wall_s": 1.0, "events_per_sec": 100.0},
+                     {"wall_s": 99.0, "events_per_sec": 100.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+class StructureTest(unittest.TestCase):
+    def test_missing_gated_metric_fails(self):
+        r = run_gate({"events_per_sec": 1000.0}, {})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("missing from fresh run", r.stdout)
+
+    def test_nested_lists_are_walked(self):
+        base = {"sizes": [{"phases": {"grid": {"jobs_per_sec": 1000.0}}},
+                          {"phases": {"grid": {"jobs_per_sec": 2000.0}}}]}
+        good = {"sizes": [{"phases": {"grid": {"jobs_per_sec": 990.0}}},
+                          {"phases": {"grid": {"jobs_per_sec": 1990.0}}}]}
+        bad = {"sizes": [{"phases": {"grid": {"jobs_per_sec": 990.0}}},
+                         {"phases": {"grid": {"jobs_per_sec": 100.0}}}]}
+        self.assertEqual(run_gate(base, good).returncode, 0)
+        self.assertEqual(run_gate(base, bad).returncode, 1)
+
+    def test_no_gated_metrics_is_a_structure_error(self):
+        r = run_gate({"wall_s": 1.0}, {"wall_s": 1.0})
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+
+    def test_unreadable_fresh_file_is_a_structure_error(self):
+        with tempfile.TemporaryDirectory() as d:
+            base_path = os.path.join(d, "baseline.json")
+            with open(base_path, "w") as f:
+                json.dump({"events_per_sec": 1.0}, f)
+            r = subprocess.run(
+                [sys.executable, SCRIPT, "--baseline", base_path,
+                 "--fresh", os.path.join(d, "missing.json")],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+
+    def test_tolerance_flag_respected(self):
+        r = run_gate({"events_per_sec": 1000.0}, {"events_per_sec": 950.0},
+                     "--tolerance", "0.01")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+
+class CommittedBaselineTest(unittest.TestCase):
+    """Acceptance check: the real committed baseline must tolerate a
+    fresh run whose store_cold_bytes went from 0 to a small positive
+    value (the exact shape that used to hard-fail the gate)."""
+
+    def test_cold_bytes_growth_passes_against_committed_baseline(self):
+        path = os.path.join(REPO, "bench", "baselines", "BENCH_scale.json")
+        with open(path) as f:
+            baseline = json.load(f)
+        fresh = json.loads(json.dumps(baseline))  # deep copy
+        for size in fresh.get("sizes", []):
+            size["memory"]["store_cold_bytes"] += 64 * 1024
+        with tempfile.TemporaryDirectory() as d:
+            fresh_path = os.path.join(d, "fresh.json")
+            with open(fresh_path, "w") as f:
+                json.dump(fresh, f)
+            r = subprocess.run(
+                [sys.executable, SCRIPT, "--baseline", path,
+                 "--fresh", fresh_path],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,409 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "core/report.h"
+
+namespace lgs::prof {
+
+namespace {
+
+void write_zone_json(JsonWriter& w, const ZoneReport& z) {
+  w.begin_object();
+  w.key("name").value(z.name);
+  w.key("calls").value(z.calls);
+  w.key("wall_s").value(z.wall_s);
+  w.key("self_s").value(z.self_s);
+  if (!z.children.empty()) {
+    w.key("children").begin_array();
+    for (const ZoneReport& c : z.children) write_zone_json(w, c);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void summarize_zone(std::ostringstream& out, const ZoneReport& z,
+                    int depth) {
+  std::string label(static_cast<std::size_t>(2 * depth), ' ');
+  label += z.name;
+  if (label.size() < 44) label.resize(44, ' ');
+  char line[128];
+  std::snprintf(line, sizeof(line), "%s %12llu %11.6f %11.6f\n",
+                label.c_str(), static_cast<unsigned long long>(z.calls),
+                z.wall_s, z.self_s);
+  out << line;
+  for (const ZoneReport& c : z.children) summarize_zone(out, c, depth + 1);
+}
+
+}  // namespace
+
+const ZoneReport* Snapshot::find_zone(const std::string& path) const {
+  const std::vector<ZoneReport>* level = &roots;
+  const ZoneReport* found = nullptr;
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    const std::size_t end = std::min(path.find('/', begin), path.size());
+    const std::string part = path.substr(begin, end - begin);
+    found = nullptr;
+    for (const ZoneReport& z : *level)
+      if (z.name == part) {
+        found = &z;
+        break;
+      }
+    if (found == nullptr) return nullptr;
+    level = &found->children;
+    begin = end + 1;
+  }
+  return found;
+}
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  for (const CounterReport& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+void write_json(JsonWriter& w, const Snapshot& s) {
+  w.begin_object();
+  w.key("enabled").value(s.enabled);
+  w.key("threads_merged").value(s.threads_merged);
+  w.key("zones").begin_array();
+  for (const ZoneReport& z : s.roots) write_zone_json(w, z);
+  w.end_array();
+  w.key("counters").begin_object();
+  for (const CounterReport& c : s.counters) w.key(c.name).value(c.value);
+  w.end_object();
+  w.end_object();
+}
+
+std::string summary(const Snapshot& s) {
+  std::ostringstream out;
+  if (!s.enabled) {
+    out << "profiler compiled out (LGS_PROFILING=OFF)\n";
+    return out.str();
+  }
+  out << "zone                                              "
+         "calls      wall_s      self_s\n";
+  for (const ZoneReport& z : s.roots) summarize_zone(out, z, 0);
+  if (!s.counters.empty()) {
+    out << "counters:\n";
+    for (const CounterReport& c : s.counters)
+      out << "  " << c.name << (c.high_water ? " (high water)" : "") << " = "
+          << c.value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lgs::prof
+
+#if LGS_PROFILING
+
+#include <memory>
+#include <mutex>
+
+namespace lgs::prof {
+
+namespace detail {
+
+namespace {
+
+/// Process-wide site + thread registry.  Mutated only on cold paths
+/// (site registration, thread birth/death, snapshot/reset).
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> zone_names;
+  std::vector<std::string> counter_names;
+  std::vector<bool> counter_high_water;
+  /// Live thread states, owned here (never freed while the thread runs).
+  std::vector<std::unique_ptr<ThreadState>> live;
+  /// Aggregate of exited threads, merged at thread destruction.
+  ThreadState retired;
+  int retired_count = 0;
+  /// Tick-frequency calibration anchor (taken at registry birth).
+  Ticks tick0;
+  std::chrono::steady_clock::time_point time0;
+
+  Registry() : tick0(now_ticks()), time0(std::chrono::steady_clock::now()) {}
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // immortal: threads may outlive main
+  return *r;
+}
+
+/// Merge `src`'s subtree children into the node-owning `dst` state under
+/// `dst_parent` (site-keyed).  Used for thread retirement (tick domain).
+void merge_tree(ThreadState& dst, Node* dst_parent, const Node* src_child) {
+  for (const Node* s = src_child; s != nullptr; s = s->next_sibling) {
+    Node* d = nullptr;
+    for (Node* c = dst_parent->first_child; c != nullptr;
+         c = c->next_sibling)
+      if (c->site == s->site) {
+        d = c;
+        break;
+      }
+    if (d == nullptr) {
+      Node* prev_current = dst.current;
+      dst.current = dst_parent;
+      d = dst.enter(s->site);  // allocates + links under dst_parent
+      dst.current = prev_current;
+    }
+    d->calls += s->calls;
+    d->total += s->total;
+    merge_tree(dst, d, s->first_child);
+  }
+}
+
+/// True when no node of the sibling list (or its descendants) ever
+/// accumulated anything — the shape left behind by reset() in live
+/// threads, which must not resurface as zero-call zones.
+bool subtree_empty(const Node* n) {
+  for (; n != nullptr; n = n->next_sibling)
+    if (n->calls != 0 || n->total != 0 || !subtree_empty(n->first_child))
+      return false;
+  return true;
+}
+
+/// Merge one thread's tree into the report (seconds domain).  Children
+/// keep first-entry order; threads merge in registration order.
+void merge_report(std::vector<ZoneReport>& out, const Node* child,
+                  const std::vector<std::string>& names,
+                  double seconds_per_tick) {
+  for (const Node* s = child; s != nullptr; s = s->next_sibling) {
+    if (s->calls == 0 && s->total == 0 && subtree_empty(s->first_child))
+      continue;
+    ZoneReport* dst = nullptr;
+    for (ZoneReport& z : out)
+      if (z.name == names[s->site]) {
+        dst = &z;
+        break;
+      }
+    if (dst == nullptr) {
+      out.emplace_back();
+      dst = &out.back();
+      dst->name = names[s->site];
+    }
+    dst->calls += s->calls;
+    dst->wall_s += static_cast<double>(s->total) * seconds_per_tick;
+    merge_report(dst->children, s->first_child, names, seconds_per_tick);
+  }
+}
+
+void fill_self_times(std::vector<ZoneReport>& zones) {
+  for (ZoneReport& z : zones) {
+    double child_wall = 0.0;
+    for (const ZoneReport& c : z.children) child_wall += c.wall_s;
+    // An open child (zone torn down by exception mid-run) can make the
+    // sum overshoot by rounding; clamp rather than report negatives.
+    z.self_s = std::max(0.0, z.wall_s - child_wall);
+    fill_self_times(z.children);
+  }
+}
+
+void clear_state(ThreadState& ts) {
+  // Zero totals but keep the node structure: live threads may hold
+  // `current` pointers into their tree mid-zone (reset is documented
+  // quiescent, but a stale pointer must still not dangle).
+  struct Walker {
+    static void zero(Node* n) {
+      for (; n != nullptr; n = n->next_sibling) {
+        n->calls = 0;
+        n->total = 0;
+        zero(n->first_child);
+      }
+    }
+  };
+  Walker::zero(ts.root.first_child);
+  for (CounterCell& c : ts.counters) c.value = 0;
+}
+
+void merge_counters(std::vector<std::uint64_t>& totals,
+                    const std::vector<bool>& high_water,
+                    const ThreadState& ts) {
+  for (std::size_t i = 0; i < ts.counters.size() && i < totals.size(); ++i) {
+    if (high_water[i])
+      totals[i] = std::max(totals[i], ts.counters[i].value);
+    else
+      totals[i] += ts.counters[i].value;
+  }
+}
+
+}  // namespace
+
+#if !(defined(__x86_64__) || defined(__i386__))
+Ticks now_ticks() {
+  return static_cast<Ticks>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+#endif
+
+ZoneSite::ZoneSite(const char* name) {
+  // A name IS the zone: several textual macro sites may share one (e.g.
+  // the same phase instrumented in two branches), so reuse the id —
+  // otherwise the merged report would depend on which site ran first.
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (std::size_t i = 0; i < r.zone_names.size(); ++i)
+    if (r.zone_names[i] == name) {
+      id = static_cast<std::uint32_t>(i);
+      return;
+    }
+  id = static_cast<std::uint32_t>(r.zone_names.size());
+  r.zone_names.emplace_back(name);
+}
+
+CounterSite::CounterSite(const char* name, bool high_water) {
+  // Same dedup as zones: two textual sites bumping one counter name
+  // must share a cell, or each would report only its own share.  The
+  // merge kind has to match too — a name used both as a sum counter
+  // and a high-water mark stays two counters (and a naming bug).
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (std::size_t i = 0; i < r.counter_names.size(); ++i)
+    if (r.counter_names[i] == name && r.counter_high_water[i] == high_water) {
+      id = static_cast<std::uint32_t>(i);
+      return;
+    }
+  id = static_cast<std::uint32_t>(r.counter_names.size());
+  r.counter_names.emplace_back(name);
+  r.counter_high_water.push_back(high_water);
+}
+
+void ThreadState::release_all() {
+  root.first_child = nullptr;
+  current = &root;
+  nodes_.clear();
+  counters.clear();
+}
+
+Node* ThreadState::enter_cold(std::uint32_t site) {
+  nodes_.push_back(std::make_unique<Node>());
+  Node* n = nodes_.back().get();
+  n->site = site;
+  n->parent = current;
+  // Append (not prepend) so first-entry order survives into reports.
+  Node** tail = &current->first_child;
+  while (*tail != nullptr) tail = &(*tail)->next_sibling;
+  *tail = n;
+  current = n;
+  return n;
+}
+
+void ThreadState::grow_counters(std::size_t id) {
+  counters.resize(std::max(id + 1, counters.size() * 2));
+}
+
+ThreadState& make_thread_state() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.live.push_back(std::make_unique<ThreadState>());
+  return *r.live.back();
+}
+
+thread_local ThreadState* tls_cache = nullptr;
+
+namespace {
+/// Guard whose destructor retires the thread.  Separate from tls_cache
+/// so the fast path never pays the guard's init/dtor bookkeeping.
+struct Retirer {
+  ThreadState* state = nullptr;
+  ~Retirer() {
+    if (state != nullptr) {
+      tls_cache = nullptr;
+      retire_thread_state(state);
+    }
+  }
+};
+thread_local Retirer retirer;
+}  // namespace
+
+ThreadState& tls_register() {
+  ThreadState& ts = make_thread_state();
+  retirer.state = &ts;
+  tls_cache = &ts;
+  return ts;
+}
+
+void retire_thread_state(ThreadState* ts) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  merge_tree(r.retired, &r.retired.root, ts->root.first_child);
+  if (ts->counters.size() > r.retired.counters.size())
+    r.retired.counters.resize(ts->counters.size());
+  for (std::size_t i = 0; i < ts->counters.size(); ++i) {
+    if (i < r.counter_high_water.size() && r.counter_high_water[i])
+      r.retired.counters[i].value =
+          std::max(r.retired.counters[i].value, ts->counters[i].value);
+    else
+      r.retired.counters[i].value += ts->counters[i].value;
+  }
+  ++r.retired_count;
+  for (auto it = r.live.begin(); it != r.live.end(); ++it)
+    if (it->get() == ts) {
+      r.live.erase(it);
+      break;
+    }
+}
+
+}  // namespace detail
+
+Snapshot snapshot() {
+  using namespace detail;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+
+  // Calibrate ticks -> seconds against the wall clock span since the
+  // registry was born (microsecond-exact over any bench-scale run).
+  const double span_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - r.time0)
+                            .count();
+  const double span_ticks = static_cast<double>(now_ticks() - r.tick0);
+  const double seconds_per_tick =
+      span_ticks > 0.0 && span_s > 0.0 ? span_s / span_ticks : 0.0;
+
+  Snapshot s;
+  s.enabled = true;
+  s.threads_merged = static_cast<int>(r.live.size()) + r.retired_count;
+
+  std::vector<std::uint64_t> totals(r.counter_names.size(), 0);
+  merge_counters(totals, r.counter_high_water, r.retired);
+  merge_report(s.roots, r.retired.root.first_child, r.zone_names,
+               seconds_per_tick);
+  for (const auto& ts : r.live) {
+    merge_counters(totals, r.counter_high_water, *ts);
+    merge_report(s.roots, ts->root.first_child, r.zone_names,
+                 seconds_per_tick);
+  }
+  fill_self_times(s.roots);
+
+  s.counters.reserve(totals.size());
+  for (std::size_t i = 0; i < totals.size(); ++i)
+    s.counters.push_back(
+        CounterReport{r.counter_names[i], totals[i], r.counter_high_water[i]});
+  std::sort(s.counters.begin(), s.counters.end(),
+            [](const CounterReport& a, const CounterReport& b) {
+              return a.name < b.name;
+            });
+  return s;
+}
+
+void reset() {
+  using namespace detail;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  // Live threads keep their node structure (their `current` pointers
+  // stay valid) with totals zeroed; the retired aggregate has no live
+  // pointers and is dropped outright.
+  for (const auto& ts : r.live) clear_state(*ts);
+  r.retired.release_all();
+  r.retired_count = 0;
+}
+
+}  // namespace lgs::prof
+
+#endif  // LGS_PROFILING

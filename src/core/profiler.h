@@ -1,0 +1,278 @@
+// Embedded always-on profiler (ROADMAP item 4): scoped zones, monotonic
+// counters and high-water marks compiled into the engine hot paths.
+//
+//   void OnlineCluster::dispatch() {
+//     LGS_PROF_ZONE("cluster.dispatch");            // RAII wall-time zone
+//     LGS_PROF_COUNT("cluster.dispatch_cycles", 1); // monotonic counter
+//     LGS_PROF_HIGHWATER("cluster.queue_depth_highwater", queue_.size());
+//     ...
+//   }
+//
+// Design (after the thread-local scoped-zone profilers of lightweight C
+// perf libraries): every macro site owns a lazily registered *site* (one
+// mutex-protected registration per site per process, then a plain id),
+// and all accumulation is thread-local — a zone edge costs one timestamp
+// read (TSC on x86, steady_clock elsewhere) plus a pointer walk over the
+// current node's children, a counter costs one indexed add.  No locks, no
+// allocation on the hot path once a site's node exists.  Zones nest into
+// a per-thread call tree, so the same site reached through different
+// parents stays separate ("grid.run / sim.run / cluster.dispatch" vs a
+// sweep cell's private subtree) and parallel sweep cells on different
+// worker threads never interleave.
+//
+// Aggregation happens only at report time: snapshot() merges every
+// thread's tree (plus the retired aggregate of threads that already
+// exited, e.g. sweep-pool workers) path-by-path into one Snapshot, and
+// converts ticks to seconds with a frequency calibrated against
+// steady_clock over the process lifetime.  snapshot()/reset() must run at
+// a quiescent point — no other thread inside a zone — which every bench
+// guarantees by joining its pool first.
+//
+// Compile-out: configure with -DLGS_PROFILING=OFF and every macro expands
+// to nothing (counter value expressions are NOT evaluated — profiling
+// arguments must be side-effect free), the disabled ZoneScope is an empty
+// type (static_assert below), and src/core/profiler.cpp drops the whole
+// detail machinery from the library (CI greps the archive for
+// lgs::prof::detail symbols to prove it).  The report-side API
+// (snapshot/reset/write_json/summary) stays link-compatible and returns
+// empty data, so callers need no #ifdefs.
+#pragma once
+
+#ifndef LGS_PROFILING
+#define LGS_PROFILING 1
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace lgs {
+class JsonWriter;
+}
+
+namespace lgs::prof {
+
+/// One aggregated zone of the merged call tree.
+struct ZoneReport {
+  std::string name;            ///< site name ("cluster.dispatch")
+  std::uint64_t calls = 0;     ///< completed entries
+  double wall_s = 0.0;         ///< inclusive wall time
+  double self_s = 0.0;         ///< wall_s minus the children's wall_s
+  std::vector<ZoneReport> children;
+};
+
+/// One aggregated counter.  `value` is the sum across threads for
+/// LGS_PROF_COUNT sites and the max across threads for
+/// LGS_PROF_HIGHWATER sites.
+struct CounterReport {
+  std::string name;
+  std::uint64_t value = 0;
+  bool high_water = false;
+};
+
+/// Merged, tick-converted view of every thread's accumulation.
+struct Snapshot {
+  bool enabled = false;
+  int threads_merged = 0;
+  std::vector<ZoneReport> roots;
+  std::vector<CounterReport> counters;  ///< sorted by name
+
+  /// Look up a zone by '/'-joined path from a root ("grid.run/sim.run");
+  /// nullptr when absent.
+  const ZoneReport* find_zone(const std::string& path) const;
+  /// Counter value by name (0 when absent).
+  std::uint64_t counter(const std::string& name) const;
+};
+
+constexpr bool enabled() { return LGS_PROFILING != 0; }
+
+/// Render `s` as a JSON *value* (an object) through `w` — the "profile"
+/// section of BENCH_*.json.  Keys inside deliberately avoid the gated
+/// `*_per_sec` / `*_bytes` suffixes: raw zone walls are noisy, so the
+/// benches derive their gated per-phase metrics from counter deltas
+/// instead.
+void write_json(JsonWriter& w, const Snapshot& s);
+
+/// Human-readable zone tree + counter table (the --profile run summary).
+std::string summary(const Snapshot& s);
+
+#if LGS_PROFILING
+
+/// Merge every thread's tree and counters (quiescent callers only).
+Snapshot snapshot();
+/// Zero all accumulation, live and retired (quiescent callers only).
+void reset();
+
+namespace detail {
+
+using Ticks = std::uint64_t;
+
+#if defined(__x86_64__) || defined(__i386__)
+inline Ticks now_ticks() { return __builtin_ia32_rdtsc(); }
+#else
+Ticks now_ticks();  // steady_clock fallback (profiler.cpp)
+#endif
+
+/// Registered zone macro site: one per LGS_PROF_ZONE textual occurrence,
+/// constructed on first execution (thread-safe function-local static).
+struct ZoneSite {
+  explicit ZoneSite(const char* name);
+  std::uint32_t id;
+};
+
+/// Registered counter site; `high_water` picks max-merge over sum-merge.
+struct CounterSite {
+  CounterSite(const char* name, bool high_water);
+  std::uint32_t id;
+};
+
+/// Node of one thread's private call tree.  Children are a singly linked
+/// list scanned linearly on entry — fanout per parent is a handful of
+/// sites, and the match is a single integer compare per hop.
+struct Node {
+  std::uint32_t site = 0;
+  Node* parent = nullptr;
+  Node* first_child = nullptr;
+  Node* next_sibling = nullptr;
+  std::uint64_t calls = 0;
+  Ticks total = 0;
+};
+
+struct CounterCell {
+  std::uint64_t value = 0;
+};
+
+/// All accumulation of one thread.  Owned by the global registry; when
+/// the thread exits its totals merge into the retired aggregate so sweep
+/// pools (fresh std::threads per sweep) neither lose data nor leak one
+/// state per short-lived thread.
+struct ThreadState {
+  Node root;               ///< sentinel: the top-of-stack anchor
+  Node* current = &root;   ///< innermost open zone
+  std::vector<CounterCell> counters;  ///< indexed by counter-site id
+
+  Node* enter(std::uint32_t site) {
+    for (Node* c = current->first_child; c != nullptr; c = c->next_sibling)
+      if (c->site == site) {
+        current = c;
+        return c;
+      }
+    return enter_cold(site);
+  }
+  void exit(Node* n, Ticks elapsed) {
+    ++n->calls;
+    n->total += elapsed;
+    current = n->parent;
+  }
+  void count(std::uint32_t id, std::uint64_t n) {
+    if (id >= counters.size()) grow_counters(id);
+    counters[id].value += n;
+  }
+  void high_water(std::uint32_t id, std::uint64_t v) {
+    if (id >= counters.size()) grow_counters(id);
+    if (v > counters[id].value) counters[id].value = v;
+  }
+  /// Drop the whole tree and all counters (retired aggregate only — a
+  /// live thread's `current` may point into its tree).
+  void release_all();
+
+ private:
+  Node* enter_cold(std::uint32_t site);  ///< allocate + link a new child
+  void grow_counters(std::size_t id);
+
+  std::vector<std::unique_ptr<Node>> nodes_;  ///< stable node storage
+};
+
+ThreadState& make_thread_state();           ///< register this thread (cold)
+void retire_thread_state(ThreadState* ts);  ///< merge + drop at thread exit
+
+/// Plain-pointer cache of this thread's state.  A raw pointer (not the
+/// registering guard object itself) keeps the hot path to one TLS load
+/// and a null test — no thread-local init guard on every counter bump.
+extern thread_local ThreadState* tls_cache;
+ThreadState& tls_register();  ///< cold: register + install cache/retirement
+
+inline ThreadState& tls() {
+  ThreadState* s = tls_cache;
+  return s != nullptr ? *s : tls_register();
+}
+
+/// The RAII zone guard.  One timestamp read per edge; the thread state
+/// pointer is cached so the destructor skips the TLS lookup.
+class ZoneScope {
+ public:
+  explicit ZoneScope(const ZoneSite& site)
+      : ts_(&tls()), node_(ts_->enter(site.id)), start_(now_ticks()) {}
+  ~ZoneScope() { ts_->exit(node_, now_ticks() - start_); }
+  ZoneScope(const ZoneScope&) = delete;
+  ZoneScope& operator=(const ZoneScope&) = delete;
+
+ private:
+  ThreadState* ts_;
+  Node* node_;
+  Ticks start_;
+};
+
+}  // namespace detail
+
+#else  // !LGS_PROFILING
+
+inline Snapshot snapshot() { return Snapshot{}; }
+inline void reset() {}
+
+namespace detail {
+/// Disabled stand-in, so the compile-out contract is checkable: zones
+/// must cost literally nothing, starting with their storage.
+struct ZoneScope {};
+static_assert(std::is_empty_v<ZoneScope>,
+              "disabled profiler zones must occupy no storage");
+}  // namespace detail
+
+#endif  // LGS_PROFILING
+
+}  // namespace lgs::prof
+
+#define LGS_PROF_CAT2(a, b) a##b
+#define LGS_PROF_CAT(a, b) LGS_PROF_CAT2(a, b)
+
+#if LGS_PROFILING
+
+/// Open a wall-time zone named `name` (a string literal) until the end of
+/// the enclosing scope.
+#define LGS_PROF_ZONE(name)                                       \
+  static ::lgs::prof::detail::ZoneSite LGS_PROF_CAT(              \
+      lgs_prof_site_, __LINE__){name};                            \
+  ::lgs::prof::detail::ZoneScope LGS_PROF_CAT(lgs_prof_zone_,     \
+                                              __LINE__) {         \
+    LGS_PROF_CAT(lgs_prof_site_, __LINE__)                        \
+  }
+
+/// Add `n` to the monotonic counter `name` (sum-merged across threads).
+#define LGS_PROF_COUNT(name, n)                                          \
+  do {                                                                   \
+    static ::lgs::prof::detail::CounterSite lgs_prof_csite{name, false}; \
+    ::lgs::prof::detail::tls().count(lgs_prof_csite.id,                  \
+                                     static_cast<std::uint64_t>(n));     \
+  } while (0)
+
+/// Raise the high-water mark `name` to `v` (max-merged across threads).
+#define LGS_PROF_HIGHWATER(name, v)                                     \
+  do {                                                                  \
+    static ::lgs::prof::detail::CounterSite lgs_prof_hsite{name, true}; \
+    ::lgs::prof::detail::tls().high_water(                              \
+        lgs_prof_hsite.id, static_cast<std::uint64_t>(v));              \
+  } while (0)
+
+#else  // !LGS_PROFILING
+
+// Compiled out: no site, no storage, and the value expressions are never
+// evaluated (sizeof keeps the names odr-used so -Werror=unused stays
+// quiet without costing a cycle).
+#define LGS_PROF_ZONE(name) ((void)0)
+#define LGS_PROF_COUNT(name, n) ((void)sizeof(n))
+#define LGS_PROF_HIGHWATER(name, v) ((void)sizeof(v))
+
+#endif  // LGS_PROFILING

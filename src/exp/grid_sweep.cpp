@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/profiler.h"
 #include "core/report.h"
 #include "core/rng.h"
 #include "exp/sweep.h"
@@ -56,6 +57,7 @@ std::vector<JobSet> make_grid_workloads(const GridSweepSpec& spec,
 
 GridCellResult evaluate_grid_cell(const GridSweepSpec& spec,
                                   const GridCell& cell) {
+  LGS_PROF_ZONE("grid_sweep.cell");
   const auto t0 = std::chrono::steady_clock::now();
   GridCellResult result;
   result.cell = cell;
@@ -128,7 +130,8 @@ GridSweepResult run_grid_sweep(const GridSweepSpec& spec) {
 }
 
 std::string grid_report_json(const GridSweepSpec& spec,
-                             const GridSweepResult& result) {
+                             const GridSweepResult& result,
+                             const prof::Snapshot* profile) {
   JsonWriter w;
   w.begin_object();
 
@@ -192,13 +195,19 @@ std::string grid_report_json(const GridSweepSpec& spec,
   }
   w.end_array();
 
+  if (profile != nullptr) {
+    w.key("profile");
+    prof::write_json(w, *profile);
+  }
+
   w.end_object();
   return w.str();
 }
 
 void write_grid_report(const std::string& path, const GridSweepSpec& spec,
-                       const GridSweepResult& result) {
-  write_file(path, grid_report_json(spec, result));
+                       const GridSweepResult& result,
+                       const prof::Snapshot* profile) {
+  write_file(path, grid_report_json(spec, result, profile));
 }
 
 }  // namespace lgs

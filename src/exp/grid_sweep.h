@@ -131,15 +131,26 @@ GridCellResult evaluate_grid_cell(const GridSweepSpec& spec,
 /// parallel_for_index).
 GridSweepResult run_grid_sweep(const GridSweepSpec& spec);
 
+namespace prof {
+struct Snapshot;  // core/profiler.h
+}
+
 /// JSON report (schema in README, "Multi-cluster grid simulation";
 /// doubles round-trip exactly, so — after stripping the wall-clock
 /// `wall_ms`/`threads` lines, the only nondeterministic fields — reports
 /// can serve as golden files for the determinism tests).
+///
+/// `profile` (optional) appends the embedded profiler's zone tree and
+/// counters under a "profile" key.  The default (nullptr) emits the
+/// legacy report byte-for-byte — profiler walls are nondeterministic,
+/// so the determinism golden tests must never see them.
 std::string grid_report_json(const GridSweepSpec& spec,
-                             const GridSweepResult& result);
+                             const GridSweepResult& result,
+                             const prof::Snapshot* profile = nullptr);
 
 /// Render and write to `path` (throws std::runtime_error on I/O failure).
 void write_grid_report(const std::string& path, const GridSweepSpec& spec,
-                       const GridSweepResult& result);
+                       const GridSweepResult& result,
+                       const prof::Snapshot* profile = nullptr);
 
 }  // namespace lgs

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/profiler.h"
 #include "core/rng.h"
 #include "core/validate.h"
 #include "criteria/lower_bounds.h"
@@ -118,6 +119,7 @@ RowContext make_row_context(const SweepSpec& spec, ApplicationClass app,
 CellResult evaluate_cell_with_context(const SweepSpec& spec,
                                       const SweepCell& cell,
                                       const RowContext& ctx) {
+  LGS_PROF_ZONE("sweep.cell");
   const auto t0 = std::chrono::steady_clock::now();
   CellResult result;
   result.cell = cell;

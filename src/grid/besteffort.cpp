@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/profiler.h"
+
 namespace lgs {
 
 CentralServer::CentralServer(const std::vector<ParametricBag>& bags) {
@@ -25,6 +27,7 @@ BestEffortSource CentralServer::make_source() {
   src.on_kill = [this](Time duration) {
     pending_.push_front(duration);
     ++resubmissions_;
+    LGS_PROF_COUNT("grid.be_resubmits", 1);
   };
   src.on_done = [this] { ++completed_; };
   return src;

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/profiler.h"
+
 namespace lgs {
 
 void DispatchContext::materialize() const {
@@ -27,6 +29,7 @@ const std::vector<RunningJobView>& DispatchContext::running() const {
 
 const Profile& DispatchContext::local_profile() const {
   if (!profile_) {
+    LGS_PROF_COUNT("policy.skyline_rebuilds", 1);
     const std::vector<RunningJobView>& run = running();
     profile_ = std::make_unique<Profile>(capacity);
     profile_->reserve(2 * (run.size() + 1));

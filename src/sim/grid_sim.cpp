@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/profiler.h"
 #include "core/rng.h"
 #include "grid/global.h"
 
@@ -226,6 +227,8 @@ void GridSim::schedule_next_arrival() {
 }
 
 void GridSim::pump_arrivals() {
+  LGS_PROF_ZONE("grid.arrival_pump");
+  LGS_PROF_COUNT("grid.arrival_batches", 1);
   const Time now = sim_.now();
   while (route_cursor_ < route_order_.size() &&
          effective_release(
@@ -236,6 +239,7 @@ void GridSim::pump_arrivals() {
 }
 
 void GridSim::route(std::size_t pending_index) {
+  LGS_PROF_COUNT("grid.routes", 1);
   const Pending& p = pending_[pending_index];
   const JobStore& js = jobs();
   std::size_t target = p.home;
@@ -253,6 +257,7 @@ void GridSim::route(std::size_t pending_index) {
       // exact model) for the bidding round only.
       Job j = js.job(p.index);
       j.release = 0.0;
+      LGS_PROF_COUNT("grid.exchange_bids", 1);
       target = exchange_target(clusters_, p.home, j, ex);
       break;
     }
@@ -262,7 +267,10 @@ void GridSim::route(std::size_t pending_index) {
   }
   const HotJob& row = js[p.index];
   target = fallback_target(target, row.min_procs);
-  if (target != p.home) ++migrations_;
+  if (target != p.home) {
+    ++migrations_;
+    LGS_PROF_COUNT("grid.migrations", 1);
+  }
   // Hot 64-byte hand-off, release overridden to "now" (routing runs at
   // the release instant) — no fat Job on the replay path.
   HotJob h = row;
@@ -271,6 +279,7 @@ void GridSim::route(std::size_t pending_index) {
 }
 
 GridSimResult GridSim::run(Time horizon) {
+  LGS_PROF_ZONE("grid.run");
   if (ran_) throw std::logic_error("run() called twice");
   ran_ = true;
 

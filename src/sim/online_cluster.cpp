@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/profiler.h"
+
 namespace lgs {
 
 OnlineCluster::OnlineCluster(Simulator& sim, const Cluster& desc, Options opts,
@@ -116,6 +118,7 @@ void OnlineCluster::submit_local(const HotJob& h, const TablePool& tables,
 }
 
 void OnlineCluster::submit_hot(const HotJob& h, int queue_priority) {
+  LGS_PROF_COUNT("cluster.submits", 1);
   if (h.release > sim_.now() + kTimeEps) {
     // 64-byte POD capture — the deferred-release timer no longer copies
     // a fat Job into the event slot.
@@ -220,6 +223,7 @@ double OnlineCluster::local_busy_integral() const {
 }
 
 double OnlineCluster::expected_wait(int procs) const {
+  LGS_PROF_COUNT("cluster.expected_wait_calls", 1);
   if (procs < 1)
     throw std::invalid_argument("expected_wait needs procs >= 1");
   // Wider than the volatility-shrunk capacity: the wait is unbounded
@@ -289,6 +293,7 @@ void OnlineCluster::kill_best_effort(int count) {
     account(0, -1);
     ++free_;
     ++be_stats_.killed;
+    LGS_PROF_COUNT("cluster.be_kills", 1);
     be_stats_.wasted_time += sim_.now() - be.start;
     if (be_source_.on_kill) be_source_.on_kill(be.duration);
   }
@@ -303,6 +308,7 @@ void OnlineCluster::start_local(std::size_t queue_index) {
   if (k > free_ + killable_procs())
     throw std::logic_error("start_local without room");
   if (k > free_) kill_best_effort(k - free_);
+  LGS_PROF_COUNT("cluster.starts", 1);
   const Time dur =
       exec_time(submitted_[q.record].exec_ref(), pool_, k) / desc_.speed;
   rec.start = sim_.now();
@@ -330,12 +336,17 @@ void OnlineCluster::finish_local(std::size_t record_index) {
 }
 
 void OnlineCluster::dispatch() {
+  LGS_PROF_COUNT("cluster.dispatch_cycles", 1);
   // Phase 1: local jobs, ordered by the injected queue policy.
   // Best-effort runs never block a local job — they are killable, so a
   // pick fits whenever free + killable >= procs.  One context serves
   // every pick of the cycle; on_started keeps it (and its lazily built
   // skyline) in sync, so policies never rebuild a Profile per event.
   if (!queue_.empty()) {
+    // The zone opens only when there is queue work to order: an empty
+    // cycle is a few nanoseconds and would be mostly zone overhead.
+    LGS_PROF_ZONE("cluster.dispatch");
+    LGS_PROF_HIGHWATER("cluster.queue_depth_highwater", queue_.size());
     refresh_dispatch_context();
     DispatchContext& ctx = dispatch_ctx_;
     while (!queue_.empty()) {

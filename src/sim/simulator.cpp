@@ -1,5 +1,9 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
+#include "core/profiler.h"
+
 namespace lgs {
 
 Simulator::~Simulator() {
@@ -27,6 +31,8 @@ std::uint32_t Simulator::acquire_slot() {
         ref_.allocate(kSlotChunk * sizeof(Slot), alignof(Slot)));
     for (std::size_t i = 0; i < kSlotChunk; ++i) ::new (chunk + i) Slot;
     slot_chunks_.push_back(chunk);
+    // Cold branch: slot growth tracks peak concurrently-pending events.
+    LGS_PROF_HIGHWATER("sim.slots_highwater", slot_count_ + kSlotChunk);
   }
   return static_cast<std::uint32_t>(slot_count_++);
 }
@@ -66,17 +72,46 @@ void Simulator::release_overflow(void* mem, std::size_t size) {
     ::operator delete(mem);
 }
 
+void Simulator::prune_cancellations() {
+  // Exact membership pass: keep only cancellations that still match a
+  // pending event.  Everything else targets a consumed id and can never
+  // match again.  The pending ids are enumerated straight off the heap's
+  // container (order irrelevant).
+  std::unordered_set<EventId> pending;
+  pending.reserve(queue_.entries().size());
+  EventId min_pending = next_id_;
+  for (const QEntry& e : queue_.entries()) {
+    pending.insert(e.id);
+    min_pending = std::min(min_pending, e.id);
+  }
+  for (auto it = cancelled_.begin(); it != cancelled_.end();) {
+    if (pending.count(*it) == 0)
+      it = cancelled_.erase(it);
+    else
+      ++it;
+  }
+  // Every id below the smallest pending one has been consumed.
+  watermark_ = std::max(watermark_, min_pending);
+  next_prune_ = std::max(kMinPrune, 2 * cancelled_.size());
+}
+
 void Simulator::run(Time horizon) {
+  LGS_PROF_ZONE("sim.run");
   while (!queue_.empty()) {
     const QEntry top = queue_.top();
     if (top.t > horizon) break;
     queue_.pop();
+    // In-order consumption (the common case: timers fire roughly in
+    // schedule order) advances the watermark for free.
+    if (top.id == watermark_) ++watermark_;
     if (cancelled_.erase(top.id) > 0) {
       release_slot(top.slot);
+      LGS_PROF_COUNT("sim.cancelled_skips", 1);
       continue;
     }
     now_ = top.t;
     ++executed_;
+    LGS_PROF_COUNT("sim.events", 1);
     // The slot reference stays valid while the callback schedules new
     // events (slots live in fixed chunks: growth never relocates).  The
     // payload is destroyed only after the call returns.
@@ -92,9 +127,13 @@ void Simulator::run(Time horizon) {
     release_slot(top.slot);
   }
   // A drained queue means every surviving cancellation targets an event
-  // that already fired (or never existed): flush them so cancel-after-
-  // fire cannot grow the set across run() calls.
-  if (queue_.empty()) cancelled_.clear();
+  // that already fired (or never existed): flush them — and every id so
+  // far is consumed, so the watermark jumps to next_id_.
+  if (queue_.empty()) {
+    cancelled_.clear();
+    watermark_ = next_id_;
+    next_prune_ = kMinPrune;
+  }
   if (now_ < horizon && horizon != kTimeInfinity) now_ = horizon;
 }
 

@@ -115,10 +115,15 @@ class Simulator {
 
   /// Cancel a pending event (no-op if it already fired, or if `id` was
   /// never returned by at()/after() — ids of future events must not be
-  /// pre-cancelled).
+  /// pre-cancelled).  Cancels of already-consumed ids stay bounded even
+  /// when the queue never drains (the streaming-mode shape): ids below
+  /// the consumed-id watermark are rejected outright, and the set is
+  /// pruned against the actual pending ids when it outgrows them, so
+  /// repeated cancel-after-fire cannot grow it without bound.
   void cancel(EventId id) {
-    if (id == 0 || id >= next_id_) return;
+    if (id == 0 || id >= next_id_ || id < watermark_) return;
     cancelled_.insert(id);
+    if (cancelled_.size() >= next_prune_) prune_cancellations();
   }
 
   /// Run until the queue drains (or `horizon` is reached, if finite).
@@ -127,12 +132,18 @@ class Simulator {
   /// Number of events executed so far (for the micro bench).
   std::uint64_t executed() const { return executed_; }
 
-  /// Cancellations not yet matched against a popped event.  Bounded:
-  /// ids are erased when their event pops, and the set is flushed
-  /// whenever the queue drains (any survivors reference fired or
-  /// never-existing events) — so repeated cancel/run cycles cannot
-  /// grow it without bound.
+  /// Cancellations not yet matched against a popped event.  Bounded by
+  /// O(pending events + prune threshold) even without a drain: ids are
+  /// erased when their event pops, ids below the consumed-id watermark
+  /// are never admitted, the set is pruned against the pending ids when
+  /// it outgrows them, and it is flushed whenever the queue drains.
   std::size_t pending_cancellations() const { return cancelled_.size(); }
+
+  /// Lower bound on live event ids: every id below it has been consumed
+  /// (fired or cancelled), so cancelling it is an immediate no-op.
+  /// Advanced opportunistically on in-order pops, exactly on drain and
+  /// at each cancellation prune.
+  EventId consumed_watermark() const { return watermark_; }
 
   /// Callback slots ever created — tracks the peak number of
   /// *concurrently* pending events, not the events ever scheduled
@@ -185,6 +196,12 @@ class Simulator {
       return a.id > b.id;
     }
   };
+  /// priority_queue with its container exposed: the cancellation pruner
+  /// needs to enumerate the pending ids (read-only, heap order is fine).
+  struct EventQueue : std::priority_queue<QEntry, ArenaVec<QEntry>, Later> {
+    using priority_queue::priority_queue;
+    const ArenaVec<QEntry>& entries() const { return c; }
+  };
 
   /// Slots per slab chunk.  64 slots x 64 bytes of Slot ≈ 4 KiB chunks.
   static constexpr std::size_t kSlotChunk = 64;
@@ -192,17 +209,27 @@ class Simulator {
   std::uint32_t acquire_slot();
   /// Destroy the payload of `index` and recycle slot + overflow block.
   void release_slot(std::uint32_t index);
+  /// Drop cancelled ids that no longer match any pending event and
+  /// advance the consumed-id watermark to the smallest pending id.
+  /// Amortized O(1) per cancel: runs only when the set doubled since the
+  /// last prune, costs O(pending + cancelled) when it does.
+  void prune_cancellations();
   Slot& slot_at(std::uint32_t i) {
     return slot_chunks_[i / kSlotChunk][i % kSlotChunk];
   }
   void* acquire_overflow(std::size_t size);
   void release_overflow(void* mem, std::size_t size);
 
+  /// Cancellation-set prune trigger (see prune_cancellations).
+  static constexpr std::size_t kMinPrune = 64;
+
   ArenaRef ref_;
   Time now_ = 0.0;
   EventId next_id_ = 1;
+  EventId watermark_ = 1;  ///< every id below this has been consumed
+  std::size_t next_prune_ = kMinPrune;
   std::uint64_t executed_ = 0;
-  std::priority_queue<QEntry, ArenaVec<QEntry>, Later> queue_;
+  EventQueue queue_;
   std::unordered_set<EventId> cancelled_;
   ArenaVec<Slot*> slot_chunks_;
   std::size_t slot_count_ = 0;  ///< slots constructed across all chunks

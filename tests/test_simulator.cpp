@@ -93,6 +93,51 @@ TEST(Simulator, StaleCancellationsDoNotAccumulateAcrossRuns) {
   }
 }
 
+TEST(Simulator, StaleCancellationsStayBoundedWithoutDrain) {
+  // The streaming-mode shape: the queue NEVER drains (a far-future
+  // sentinel pins it), so the drain-flush of the previous test never
+  // runs.  Repeated cancel-after-fire must still stay bounded — the
+  // consumed-id watermark rejects ids below the smallest pending id,
+  // and the periodic prune evicts the rest.
+  Simulator sim;
+  sim.at(1e9, [] {});  // sentinel: keeps the queue non-empty throughout
+  for (int round = 0; round < 10000; ++round) {
+    const EventId id = sim.after(1.0, [] {});
+    sim.run(sim.now() + 2.0);  // fires the event, sentinel still queued
+    sim.cancel(id);            // always stale
+    ASSERT_LE(sim.pending_cancellations(), 64u) << "round " << round;
+  }
+  EXPECT_GE(sim.executed(), 10000u);
+}
+
+TEST(Simulator, WatermarkRejectsConsumedIdsOutright) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i)
+    ids.push_back(sim.at(static_cast<Time>(i), [] {}));
+  sim.run();  // drains: every id so far is consumed
+  EXPECT_EQ(sim.consumed_watermark(), ids.back() + 1);
+  for (EventId id : ids) sim.cancel(id);
+  // All below the watermark: rejected without ever entering the set.
+  EXPECT_EQ(sim.pending_cancellations(), 0u);
+}
+
+TEST(Simulator, LowIdScheduledFarAheadStaysCancellable) {
+  // The watermark is a *lower bound on pending ids*, not "largest id
+  // fired": an early-created event living far in the future must stay
+  // cancellable while hundreds of later-created events fire before it.
+  Simulator sim;
+  bool fired = false;
+  const EventId early = sim.at(1000.0, [&] { fired = true; });
+  for (int i = 0; i < 200; ++i) sim.at(static_cast<Time>(i), [] {});
+  sim.run(500.0);  // fires all 200 later-created events
+  EXPECT_LE(sim.consumed_watermark(), early);
+  sim.cancel(early);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 200u);
+}
+
 TEST(Simulator, CancellationSurvivesHorizonPause) {
   Simulator sim;
   bool fired = false;
