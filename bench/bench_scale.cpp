@@ -27,19 +27,25 @@
 // by scheduler noise — what a regression gate should compare.
 //
 // Usage: bench_scale [--quick] [--profile] [--json PATH] [--clusters K]
-//                    [--repeat N]
+//                    [--repeat N] [--grid-threads T]
+//
+// --grid-threads sets the worker count of the grid_sharded phase (the
+// same 16-cluster grid point replayed through sim/shard_sim.h); 0 (the
+// default) resolves to min(8, hardware_concurrency).
 //
 // --profile prints the embedded profiler's zone/counter summary to
 // stderr; the JSON always carries the zone tree under "profile" (empty
 // when the build compiled the profiler out with -DLGS_PROFILING=OFF).
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/arena.h"
@@ -47,6 +53,7 @@
 #include "core/report.h"
 #include "sim/grid_sim.h"
 #include "sim/online_cluster.h"
+#include "sim/shard_sim.h"
 #include "sim/simulator.h"
 #include "workload/generators.h"
 
@@ -102,6 +109,8 @@ struct SizeResult {
   PhaseResult generate;
   PhaseResult online_cluster;
   PhaseResult grid_sim;
+  PhaseResult grid_sharded;
+  int shard_threads = 0;  ///< workers used by the grid_sharded phase
   MemoryResult memory;
 };
 
@@ -144,7 +153,7 @@ void keep_best(PhaseResult& best, const PhaseResult& candidate) {
 }
 
 SizeResult run_size(std::size_t n, int clusters, std::uint64_t seed,
-                    int repeat) {
+                    int repeat, int grid_threads) {
   SizeResult res;
   res.jobs = n;
 
@@ -232,6 +241,40 @@ SizeResult run_size(std::size_t n, int clusters, std::uint64_t seed,
     if (rep + 1 == repeat) res.memory.arena = grid.arena_stats();
   }
 
+  for (int rep = 0; rep < repeat; ++rep) {
+    // Phase: the SAME grid point replayed through the sharded engine
+    // (sim/shard_sim.h) — isolated routing, no bags, so the static
+    // no-barrier strategy fans the clusters out across worker threads.
+    // Bit-identical to grid_sim by the determinism contract; this phase
+    // measures what the parallelism buys.
+    arena.reset();
+    GridSimOptions opts;
+    ShardGridSim grid(make_skewed_grid(clusters, 64, /*skew=*/1.0), opts,
+                      grid_threads, &arena);
+    res.shard_threads = grid.shard_count();
+    const prof::Snapshot before = prof::snapshot();
+    const auto t0 = std::chrono::steady_clock::now();
+    grid.submit_store(trace);
+    const GridSimResult result = grid.run();
+    PhaseResult phase;
+    phase.wall_s = seconds_since(t0);
+    const prof::Snapshot after = prof::snapshot();
+    phase.dispatch_cycles =
+        counter_delta(before, after, "cluster.dispatch_cycles");
+    phase.routes = counter_delta(before, after, "grid.routes");
+    phase.arrival_batches =
+        counter_delta(before, after, "grid.arrival_batches");
+    phase.events = grid.events_executed();
+    phase.events_per_sec =
+        static_cast<double>(phase.events) / phase.wall_s;
+    phase.jobs_per_sec = static_cast<double>(n) / phase.wall_s;
+    keep_best(res.grid_sharded, phase);
+    if (result.jobs_completed != static_cast<long>(n))
+      fail("sharded grid replay lost submissions");
+    for (const std::string& v : validate_grid_result(grid, result))
+      fail("sharded grid replay: " + v);
+  }
+
   return res;
 }
 
@@ -278,7 +321,11 @@ std::string to_json(const std::vector<SizeResult>& results, int clusters,
     phase_json(w, "generate", r.generate, false);
     phase_json(w, "online_cluster", r.online_cluster, true);
     phase_json(w, "grid_sim", r.grid_sim, true);
+    phase_json(w, "grid_sharded", r.grid_sharded, true);
     w.end_object();
+    // Worker count of the sharded phase (an input echo, not a gate key:
+    // no *_per_sec / *_bytes suffix).
+    w.key("shard_threads").value(r.shard_threads);
     // Allocator introspection: the trace store's slabs and the replay
     // arena's counters after the final grid repetition.  The *_bytes
     // leaves are deterministic for a given (n, seed, spec), so
@@ -320,6 +367,7 @@ int main(int argc, char** argv) {
   bool profile = false;
   int clusters = 16;
   int repeat = 3;
+  int grid_threads = 0;  // 0 = auto: min(8, hardware_concurrency)
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -340,12 +388,21 @@ int main(int argc, char** argv) {
         std::cerr << "error: --repeat must be >= 1\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--grid-threads") == 0 && i + 1 < argc) {
+      grid_threads = std::atoi(argv[++i]);
+      if (grid_threads < 0) {
+        std::cerr << "error: --grid-threads must be >= 0\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: bench_scale [--quick] [--profile] [--json PATH] "
-                   "[--clusters K] [--repeat N]\n";
+                   "[--clusters K] [--repeat N] [--grid-threads T]\n";
       return 2;
     }
   }
+  if (grid_threads == 0)
+    grid_threads = static_cast<int>(std::min<unsigned>(
+        8, std::max<unsigned>(1, std::thread::hardware_concurrency())));
 
   // Quick sizes are chosen so the shortest gated phase still runs
   // ~100ms+: long enough that best-of-N throughput is stable under the
@@ -356,12 +413,15 @@ int main(int argc, char** argv) {
 
   std::vector<SizeResult> results;
   for (std::size_t n : sizes) {
-    results.push_back(run_size(n, clusters, /*seed=*/42, repeat));
+    results.push_back(run_size(n, clusters, /*seed=*/42, repeat, grid_threads));
     const SizeResult& r = results.back();
     std::cerr << "jobs=" << r.jobs << "  online " << r.online_cluster.wall_s
               << "s (" << static_cast<long>(r.online_cluster.events_per_sec)
               << " ev/s)  grid " << r.grid_sim.wall_s << "s ("
               << static_cast<long>(r.grid_sim.events_per_sec)
+              << " ev/s)  sharded[" << r.shard_threads << "t] "
+              << r.grid_sharded.wall_s << "s ("
+              << static_cast<long>(r.grid_sharded.events_per_sec)
               << " ev/s)  rss " << peak_rss_mb() << " MB\n";
   }
 

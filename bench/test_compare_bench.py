@@ -108,6 +108,16 @@ class GateDirectionTest(unittest.TestCase):
         r = run_gate({"events_per_sec": 1000.0}, {"events_per_sec": 800.0})
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
+    def test_sharded_grid_throughput_regression_fails(self):
+        # The grid_sharded phase's events_per_sec is a gate leaf like
+        # any other *_per_sec key: losing the sharding speedup (e.g. a
+        # barrier bug serializing the workers) must fail CI.
+        base = {"phases": {"grid_sharded": {"events_per_sec": 2000000.0}}}
+        fresh = {"phases": {"grid_sharded": {"events_per_sec": 1000000.0}}}
+        r = run_gate(base, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("grid_sharded", r.stdout)
+
     def test_speedup_prefix_is_gated_higher(self):
         r = run_gate({"speedup_vs_ref": 4.0}, {"speedup_vs_ref": 1.5})
         self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
@@ -184,6 +194,30 @@ class CommittedBaselineTest(unittest.TestCase):
                  "--fresh", fresh_path],
                 capture_output=True, text=True)
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_committed_baseline_carries_the_sharded_gate_leaf(self):
+        # The sharded phase must actually be wired into the committed
+        # baseline (a silently missing key would make the lower-bound
+        # gate vacuous): halving its throughput has to fail.
+        path = os.path.join(REPO, "bench", "baselines", "BENCH_scale.json")
+        with open(path) as f:
+            baseline = json.load(f)
+        fresh = json.loads(json.dumps(baseline))  # deep copy
+        sizes = fresh.get("sizes", [])
+        self.assertTrue(sizes)
+        for size in sizes:
+            phase = size["phases"]["grid_sharded"]
+            phase["events_per_sec"] *= 0.5
+        with tempfile.TemporaryDirectory() as d:
+            fresh_path = os.path.join(d, "fresh.json")
+            with open(fresh_path, "w") as f:
+                json.dump(fresh, f)
+            r = subprocess.run(
+                [sys.executable, SCRIPT, "--baseline", path,
+                 "--fresh", fresh_path],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("grid_sharded", r.stdout)
 
 
 if __name__ == "__main__":

@@ -305,16 +305,15 @@ ThreadState& make_thread_state() {
   return *r.live.back();
 }
 
-thread_local ThreadState* tls_cache = nullptr;
-
 namespace {
-/// Guard whose destructor retires the thread.  Separate from tls_cache
-/// so the fast path never pays the guard's init/dtor bookkeeping.
+/// Guard whose destructor retires the thread.  Separate from the
+/// tls_cache() pointer so the fast path never pays the guard's
+/// init/dtor bookkeeping.
 struct Retirer {
   ThreadState* state = nullptr;
   ~Retirer() {
     if (state != nullptr) {
-      tls_cache = nullptr;
+      tls_cache() = nullptr;
       retire_thread_state(state);
     }
   }
@@ -325,7 +324,7 @@ thread_local Retirer retirer;
 ThreadState& tls_register() {
   ThreadState& ts = make_thread_state();
   retirer.state = &ts;
-  tls_cache = &ts;
+  tls_cache() = &ts;
   return ts;
 }
 

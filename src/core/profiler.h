@@ -192,12 +192,20 @@ void retire_thread_state(ThreadState* ts);  ///< merge + drop at thread exit
 /// Plain-pointer cache of this thread's state.  A raw pointer (not the
 /// registering guard object itself) keeps the hot path to one TLS load
 /// and a null test — no thread-local init guard on every counter bump.
-extern thread_local ThreadState* tls_cache;
+/// Function-local so the constant-initialized, trivially-destructible
+/// definition is visible in every TU: the compiler emits a direct TLS
+/// access with neither an init guard nor the extern-variable thread
+/// wrapper call (which GCC's UBSan null check misfires on).
+inline ThreadState*& tls_cache() {
+  static thread_local ThreadState* cache = nullptr;
+  return cache;
+}
 ThreadState& tls_register();  ///< cold: register + install cache/retirement
 
 inline ThreadState& tls() {
-  ThreadState* s = tls_cache;
-  return s != nullptr ? *s : tls_register();
+  ThreadState* s = tls_cache();
+  if (s == nullptr) return tls_register();
+  return *s;
 }
 
 /// The RAII zone guard.  One timestamp read per edge; the thread state

@@ -1,0 +1,113 @@
+// Bounded lock-free single-producer/single-consumer ring (the cross-
+// shard mailbox of sim/shard_sim.h).
+//
+// One producer thread pushes, one consumer thread peeks/pops; the two
+// never share an index: each side owns its own atomic position and keeps
+// a cached copy of the other side's, so the hot path is a store-release
+// on the own index and an occasional load-acquire of the opposite one
+// (the classic Lamport queue with index caching, cf. the SPSC/SPMC
+// queues in lock-free work-distribution libraries).  `close()` publishes
+// "no more items": a consumer blocked in wait_peek() drains the residue
+// and then observes end-of-stream.
+//
+// The element type must be trivially copyable — slots are raw copies,
+// never constructed or destroyed, so a crossed slot is published by the
+// index store alone.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <type_traits>
+
+namespace lgs {
+
+template <class T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing slots are raw copies; T must be trivially copyable");
+
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    mask_ = cap - 1;
+    buf_ = std::make_unique<T[]>(cap);
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // ---- producer side -----------------------------------------------------
+
+  /// Non-blocking push; false when the ring is full.
+  bool try_push(const T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    buf_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking push: spin-yield until the consumer makes room.  The
+  /// producer must not call this after close().
+  void push(const T& v) {
+    while (!try_push(v)) std::this_thread::yield();
+  }
+
+  /// Publish end-of-stream (producer side, after the last push).
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  // ---- consumer side -----------------------------------------------------
+
+  /// Pointer to the oldest element, or nullptr when the ring is
+  /// currently empty.  The slot stays valid until pop().
+  const T* peek() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return nullptr;
+    }
+    return &buf_[head & mask_];
+  }
+
+  /// Blocking peek: spin-yield until an element is available or the
+  /// producer closed the stream.  nullptr means closed AND drained —
+  /// the consumer's definitive end-of-stream signal.
+  const T* wait_peek() {
+    for (;;) {
+      if (const T* p = peek()) return p;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: items pushed between the failed peek and the close
+        // flag must not be dropped.
+        return peek();
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Consume the element last returned by peek()/wait_peek().
+  void pop() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+ private:
+  std::unique_ptr<T[]> buf_;
+  std::size_t mask_ = 0;
+  /// Producer-owned: its index, plus a cached copy of the consumer's.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+  /// Consumer-owned mirror image.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace lgs

@@ -7,6 +7,7 @@
 #include "core/report.h"
 #include "core/rng.h"
 #include "exp/sweep.h"
+#include "sim/shard_sim.h"
 
 namespace lgs {
 
@@ -82,11 +83,24 @@ GridCellResult evaluate_grid_cell(const GridSweepSpec& spec,
   // kernel queue, job store, cluster bookkeeping — bumps a private
   // arena, so parallel cells never contend on the global allocator.
   Arena arena;
-  GridSim sim(grid, opts, &arena);
-  sim.submit_workloads(make_grid_workloads(spec, cell));
-  const GridSimResult r = sim.run();
-  result.violations = validate_grid_result(sim, r);
-  result.arena_peak_bytes = sim.arena_stats().bytes_peak;
+  GridSimResult r;
+  if (spec.grid_threads == 1) {
+    GridSim sim(grid, opts, &arena);
+    sim.submit_workloads(make_grid_workloads(spec, cell));
+    r = sim.run();
+    result.violations = validate_grid_result(sim, r);
+    result.arena_peak_bytes = sim.arena_stats().bytes_peak;
+  } else {
+    // Inner-parallel replay: shard this cell's clusters across
+    // grid_threads workers.  Bit-identical to the serial branch (the
+    // sharding determinism contract), so the axis changes wall-clock
+    // only — tests/test_grid_sweep.cpp compares the reports.
+    ShardGridSim sim(grid, opts, spec.grid_threads, &arena);
+    sim.submit_workloads(make_grid_workloads(spec, cell));
+    r = sim.run();
+    result.violations = validate_grid_result(sim, r);
+    result.arena_peak_bytes = sim.arena_peak_bytes();
+  }
 
   result.horizon = r.horizon;
   result.jobs = r.jobs_completed;
@@ -141,6 +155,7 @@ std::string grid_report_json(const GridSweepSpec& spec,
   w.key("besteffort_runs").value(spec.besteffort_runs);
   w.key("volatility_events").value(spec.volatility.events);
   w.key("threads").value(spec.threads);
+  w.key("grid_threads").value(spec.grid_threads);
   w.key("cluster_counts").begin_array();
   for (int n : spec.cluster_counts) w.value(n);
   w.end_array();

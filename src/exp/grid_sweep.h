@@ -64,6 +64,14 @@ struct GridSweepSpec {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   int threads = 0;
 
+  /// Inner per-replay worker threads: each cell runs its grid through
+  /// the sharded engine (sim/shard_sim.h) with this many shard workers.
+  /// 1 (the default) keeps the serial GridSim; 0 = hardware
+  /// concurrency.  Bit-identical at every value by the sharding
+  /// determinism contract — a sweep axis for scaling studies, never for
+  /// results.
+  int grid_threads = 1;
+
   /// The replicate seeds actually used (explicit list or derived).
   std::vector<std::uint64_t> replicate_seeds() const;
   /// The queue-policy axis actually swept (explicit list, or the

@@ -124,31 +124,34 @@ void GridSim::submit_workloads(const std::vector<JobSet>& per_cluster) {
   }
 }
 
-void GridSim::submit_store(const JobStore& store) {
-  if (ran_) throw std::logic_error("submit after run()");
-  if (borrowed_ != nullptr || !store_.empty())
-    throw std::logic_error("cannot mix submit_store() with prior submissions");
-  borrowed_ = &store;
-  const std::size_t n = clusters_.size();
-  // Group pending entries by home cluster, preserving store order inside
-  // each group — the exact order submit_workloads(split_by_community(...))
-  // produces, so the release-date stable sort breaks ties identically
-  // and replays stay bit-identical to the legacy path.
+std::vector<std::size_t> group_pending_by_home(const JobStore& store,
+                                               std::size_t n,
+                                               ArenaVec<GridPending>& pending) {
   std::vector<std::size_t> offset(n + 1, 0);
   const auto home_of = [n](const HotJob& h) {
     return static_cast<std::size_t>(h.community < 0 ? 0 : h.community) % n;
   };
   for (std::size_t i = 0; i < store.size(); ++i) ++offset[home_of(store[i]) + 1];
-  for (std::size_t c = 0; c < n; ++c) {
-    clusters_[c]->reserve_submissions(offset[c + 1]);
-    offset[c + 1] += offset[c];
-  }
-  pending_.resize(store.size());
+  std::vector<std::size_t> counts(offset.begin() + 1, offset.end());
+  for (std::size_t c = 0; c < n; ++c) offset[c + 1] += offset[c];
+  pending.resize(store.size());
   for (std::size_t i = 0; i < store.size(); ++i) {
     const std::size_t home = home_of(store[i]);
-    pending_[offset[home]++] = Pending{static_cast<std::uint32_t>(home),
-                                       static_cast<std::uint32_t>(i)};
+    pending[offset[home]++] = GridPending{static_cast<std::uint32_t>(home),
+                                          static_cast<std::uint32_t>(i)};
   }
+  return counts;
+}
+
+void GridSim::submit_store(const JobStore& store) {
+  if (ran_) throw std::logic_error("submit after run()");
+  if (borrowed_ != nullptr || !store_.empty())
+    throw std::logic_error("cannot mix submit_store() with prior submissions");
+  borrowed_ = &store;
+  const std::vector<std::size_t> counts =
+      group_pending_by_home(store, clusters_.size(), pending_);
+  for (std::size_t c = 0; c < clusters_.size(); ++c)
+    clusters_[c]->reserve_submissions(counts[c]);
 }
 
 std::size_t GridSim::fallback_target(std::size_t target, int min_procs) const {
@@ -158,72 +161,62 @@ std::size_t GridSim::fallback_target(std::size_t target, int min_procs) const {
   throw std::invalid_argument("job wider than every cluster in the grid");
 }
 
-void GridSim::schedule_volatility() {
-  const VolatilityProfile& vol = opts_.volatility;
+void schedule_cluster_volatility(Simulator& sim, OnlineCluster& cl,
+                                 const VolatilityProfile& vol,
+                                 std::uint64_t seed,
+                                 std::size_t cluster_index) {
   if (vol.events <= 0 || vol.window <= 0.0) return;
-  for (std::size_t c = 0; c < clusters_.size(); ++c) {
-    // One independent stream per cluster, keyed on the cluster index —
-    // adding a cluster never perturbs the churn of the others.
-    Rng rng(mix_seed(opts_.volatility_seed, c));
-    OnlineCluster* cl = clusters_[c].get();
-    const int total = cl->processors();
-    const int floor =
-        std::max(1, static_cast<int>(std::ceil(vol.floor_fraction * total)));
-    struct Outage {
-      Time down, up;
-      int cap;
-    };
-    std::vector<Outage> outages;
-    outages.reserve(static_cast<std::size_t>(vol.events));
-    std::vector<Time> boundaries;
-    for (int e = 0; e < vol.events; ++e) {
-      Outage o;
-      o.down = rng.uniform(0.0, vol.window);
-      o.cap =
-          static_cast<int>(rng.uniform_int(std::min(floor, total), total));
-      o.up = o.down + rng.uniform(vol.outage_min, vol.outage_max);
-      boundaries.push_back(o.down);
-      boundaries.push_back(o.up);
-      outages.push_back(o);
-    }
-    // Outages may overlap; the usable capacity at any instant is the
-    // minimum over the active ones (a restore must not cancel another
-    // outage still in progress).  Walk the boundary times and emit one
-    // set_capacity per actual level change.
-    std::sort(boundaries.begin(), boundaries.end());
-    int prev = total;
-    for (const Time t : boundaries) {
-      int cap = total;
-      for (const Outage& o : outages)
-        if (o.down <= t && t < o.up) cap = std::min(cap, o.cap);
-      if (cap == prev) continue;
-      prev = cap;
-      sim_.at(t, [cl, cap] { cl->set_capacity(cap); });
-    }
+  // One independent stream per cluster, keyed on the cluster index —
+  // adding a cluster (or moving this one to another shard) never
+  // perturbs the churn of the others.
+  Rng rng(mix_seed(seed, cluster_index));
+  OnlineCluster* target = &cl;
+  const int total = cl.processors();
+  const int floor =
+      std::max(1, static_cast<int>(std::ceil(vol.floor_fraction * total)));
+  struct Outage {
+    Time down, up;
+    int cap;
+  };
+  std::vector<Outage> outages;
+  outages.reserve(static_cast<std::size_t>(vol.events));
+  std::vector<Time> boundaries;
+  for (int e = 0; e < vol.events; ++e) {
+    Outage o;
+    o.down = rng.uniform(0.0, vol.window);
+    o.cap = static_cast<int>(rng.uniform_int(std::min(floor, total), total));
+    o.up = o.down + rng.uniform(vol.outage_min, vol.outage_max);
+    boundaries.push_back(o.down);
+    boundaries.push_back(o.up);
+    outages.push_back(o);
+  }
+  // Outages may overlap; the usable capacity at any instant is the
+  // minimum over the active ones (a restore must not cancel another
+  // outage still in progress).  Walk the boundary times and emit one
+  // set_capacity per actual level change.
+  std::sort(boundaries.begin(), boundaries.end());
+  int prev = total;
+  for (const Time t : boundaries) {
+    int cap = total;
+    for (const Outage& o : outages)
+      if (o.down <= t && t < o.up) cap = std::min(cap, o.cap);
+    if (cap == prev) continue;
+    prev = cap;
+    sim.at(t, [target, cap] { target->set_capacity(cap); });
   }
 }
 
-namespace {
-// The per-job route events this pump replaced were all scheduled before
-// run() fired anything, so their insertion ids won every same-time tie
-// against the priority-0 events created during the run (completions,
-// volatility) and their priority won against the +1 best-effort
-// bootstrap.  Priority -2 reproduces exactly that: ahead of all of
-// those at the same instant.  (OnlineCluster's -1 release timers never
-// arise inside GridSim — route() zeroes j.release — but note -2 would
-// fire before them, where an old priority-0 route event fired after; if
-// grid jobs ever keep deferred releases, revisit this ordering and the
-// golden digests together.)
-constexpr int kArrivalPriority = -2;
-
-Time effective_release(Time release) { return std::max(0.0, release); }
-}  // namespace
+void GridSim::schedule_volatility() {
+  for (std::size_t c = 0; c < clusters_.size(); ++c)
+    schedule_cluster_volatility(sim_, *clusters_[c], opts_.volatility,
+                                opts_.volatility_seed, c);
+}
 
 void GridSim::schedule_next_arrival() {
   if (route_cursor_ >= route_order_.size()) return;
-  const Time t = effective_release(
+  const Time t = effective_grid_release(
       jobs()[pending_[route_order_[route_cursor_]].index].release);
-  sim_.at(t, [this] { pump_arrivals(); }, kArrivalPriority);
+  sim_.at(t, [this] { pump_arrivals(); }, kGridArrivalPriority);
 }
 
 void GridSim::pump_arrivals() {
@@ -231,7 +224,7 @@ void GridSim::pump_arrivals() {
   LGS_PROF_COUNT("grid.arrival_batches", 1);
   const Time now = sim_.now();
   while (route_cursor_ < route_order_.size() &&
-         effective_release(
+         effective_grid_release(
              jobs()[pending_[route_order_[route_cursor_]].index].release) <=
              now)
     route(route_order_[route_cursor_++]);
@@ -285,50 +278,64 @@ GridSimResult GridSim::run(Time horizon) {
 
   // Omniscient baseline: place every submission with the heterogeneous
   // ECT list scheduler of grid/global, then follow that plan online.
-  // The planner consumes the fat offline interface — materialize Jobs
-  // for it (global-plan only; the decentralized routings stay hot).
   if (opts_.routing == GridRouting::kGlobalPlan) {
-    JobSet combined;
-    combined.reserve(pending_.size());
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      Job j = jobs().job(pending_[i].index);
-      j.id = static_cast<JobId>(i);  // plan ids = pending indices
-      combined.push_back(std::move(j));
-    }
-    const GlobalSchedule plan = global_ect_schedule(grid_, combined);
-    const auto cluster_index = [this](ClusterId id) {
-      for (std::size_t c = 0; c < grid_.clusters.size(); ++c)
-        if (grid_.clusters[c].id == id) return c;
-      throw std::logic_error("global plan placed a job on an unknown cluster");
-    };
     plan_.resize(pending_.size());
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      const GlobalAssignment* a = plan.find(static_cast<JobId>(i));
-      plan_[i] = static_cast<std::uint32_t>(
-          a != nullptr ? cluster_index(a->cluster) : pending_[i].home);
-    }
+    plan_global_targets(grid_, jobs(), pending_.data(), pending_.size(),
+                        plan_.data());
   }
 
   // Stable sort: equal release times route in submission order, exactly
   // as the replaced per-job events did (their ids broke the tie).
   route_order_.resize(pending_.size());
   std::iota(route_order_.begin(), route_order_.end(), std::uint32_t{0});
-  std::stable_sort(route_order_.begin(), route_order_.end(),
-                   [this](std::uint32_t a, std::uint32_t b) {
-                     return effective_release(jobs()[pending_[a].index].release) <
-                            effective_release(jobs()[pending_[b].index].release);
-                   });
+  std::stable_sort(
+      route_order_.begin(), route_order_.end(),
+      [this](std::uint32_t a, std::uint32_t b) {
+        return effective_grid_release(jobs()[pending_[a].index].release) <
+               effective_grid_release(jobs()[pending_[b].index].release);
+      });
   schedule_next_arrival();
   schedule_volatility();
   sim_.run(horizon);
+  return aggregate_grid_result(clusters_, sim_.now(), migrations_,
+                               server_.get());
+}
 
+void plan_global_targets(const LightGrid& grid, const JobStore& jobs,
+                         const GridPending* pending, std::size_t n,
+                         std::uint32_t* targets) {
+  // The planner consumes the fat offline interface — materialize Jobs
+  // for it (global-plan only; the decentralized routings stay hot).
+  JobSet combined;
+  combined.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Job j = jobs.job(pending[i].index);
+    j.id = static_cast<JobId>(i);  // plan ids = pending indices
+    combined.push_back(std::move(j));
+  }
+  const GlobalSchedule plan = global_ect_schedule(grid, combined);
+  const auto cluster_index = [&grid](ClusterId id) {
+    for (std::size_t c = 0; c < grid.clusters.size(); ++c)
+      if (grid.clusters[c].id == id) return c;
+    throw std::logic_error("global plan placed a job on an unknown cluster");
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const GlobalAssignment* a = plan.find(static_cast<JobId>(i));
+    targets[i] = static_cast<std::uint32_t>(
+        a != nullptr ? cluster_index(a->cluster) : pending[i].home);
+  }
+}
+
+GridSimResult aggregate_grid_result(
+    const std::vector<std::unique_ptr<OnlineCluster>>& clusters, Time horizon,
+    long migrations, const CentralServer* server) {
   GridSimResult res;
-  res.horizon = sim_.now();
-  res.migrations = migrations_;
-  if (server_ != nullptr) {
-    res.grid_runs_total = server_->total_runs();
-    res.grid_runs_completed = server_->completed();
-    res.grid_resubmissions = server_->resubmissions();
+  res.horizon = horizon;
+  res.migrations = migrations;
+  if (server != nullptr) {
+    res.grid_runs_total = server->total_runs();
+    res.grid_runs_completed = server->completed();
+    res.grid_resubmissions = server->resubmissions();
   }
 
   double busy = 0.0, capacity = 0.0;
@@ -344,8 +351,8 @@ GridSimResult GridSim::run(Time horizon) {
     by_community.back().community = id;
     return by_community.back();
   };
-  res.clusters.reserve(clusters_.size());
-  for (const auto& c : clusters_) {
+  res.clusters.reserve(clusters.size());
+  for (const auto& c : clusters) {
     GridClusterOutcome out;
     out.id = c->id();
     out.processors = c->processors();
@@ -397,13 +404,19 @@ GridSimResult GridSim::run(Time horizon) {
 
 std::vector<std::string> validate_grid_result(const GridSim& sim,
                                               const GridSimResult& result) {
+  return validate_grid_clusters(sim.clusters(), result);
+}
+
+std::vector<std::string> validate_grid_clusters(
+    const std::vector<std::unique_ptr<OnlineCluster>>& clusters,
+    const GridSimResult& result) {
   std::vector<std::string> violations;
   const auto flag = [&](const std::string& what) {
     violations.push_back(what);
   };
   long records_total = 0;
-  for (std::size_t i = 0; i < sim.cluster_count(); ++i) {
-    const OnlineCluster& c = sim.cluster(i);
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const OnlineCluster& c = *clusters[i];
     const std::string tag = "cluster " + std::to_string(i) + ": ";
     if (c.queued_jobs() != 0)
       flag(tag + std::to_string(c.queued_jobs()) + " jobs still queued");

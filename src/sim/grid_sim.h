@@ -106,6 +106,72 @@ struct GridSimResult {
   long grid_resubmissions = 0;
 };
 
+/// One registered submission of a grid engine: 8 bytes, indexing the
+/// active job store.  Shared by the serial (GridSim) and sharded
+/// (sim/shard_sim.h) engines so their routing preludes stay one code
+/// path.
+struct GridPending {
+  std::uint32_t home;
+  std::uint32_t index;  ///< row in the active JobStore
+};
+
+/// Same-instant priority of the grid arrival pump.  The per-job route
+/// events the pump replaced were all scheduled before run() fired
+/// anything, so their insertion ids won every same-time tie against the
+/// priority-0 events created during the run (completions, volatility)
+/// and their priority won against the +1 best-effort bootstrap.
+/// Priority -2 reproduces exactly that: ahead of all of those at the
+/// same instant.  (OnlineCluster's -1 release timers never arise inside
+/// the grid engines — routing zeroes j.release — but note -2 would fire
+/// before them, where an old priority-0 route event fired after; if
+/// grid jobs ever keep deferred releases, revisit this ordering and the
+/// golden digests together.)
+constexpr int kGridArrivalPriority = -2;
+
+/// Arrival instant of a registered job: negative releases clamp to the
+/// start of the replay.
+inline Time effective_grid_release(Time release) {
+  return release > 0.0 ? release : 0.0;
+}
+
+/// submit_store prelude shared by both engines: group `store`'s rows by
+/// home cluster (community % n), preserving store order inside each
+/// group — the exact order submit_workloads(split_by_community(...))
+/// produces, so the release-date stable sort breaks ties identically.
+/// Returns the per-home counts (for reserve_submissions).
+std::vector<std::size_t> group_pending_by_home(const JobStore& store,
+                                               std::size_t n,
+                                               ArenaVec<GridPending>& pending);
+
+/// Schedule the §1 capacity-churn events of cluster `cluster_index` on
+/// `sim`.  One independent stream per cluster, keyed on
+/// mix_seed(seed, cluster_index) ONLY — never on schedule order or on
+/// which engine (or shard) owns the cluster — so churn is bit-identical
+/// across serial and sharded execution and adding a cluster never
+/// perturbs the others.
+void schedule_cluster_volatility(Simulator& sim, OnlineCluster& cl,
+                                 const VolatilityProfile& vol,
+                                 std::uint64_t seed,
+                                 std::size_t cluster_index);
+
+/// kGlobalPlan prelude shared by both engines: place every registered
+/// submission with the heterogeneous ECT list scheduler of grid/global
+/// and write the target cluster index of pending[i] to targets[i].
+void plan_global_targets(const LightGrid& grid, const JobStore& jobs,
+                         const GridPending* pending, std::size_t n,
+                         std::uint32_t* targets);
+
+/// Aggregate the outcome of a finished replay from the drained clusters
+/// (cluster-index order).  Shared by both engines.
+GridSimResult aggregate_grid_result(
+    const std::vector<std::unique_ptr<OnlineCluster>>& clusters, Time horizon,
+    long migrations, const CentralServer* server);
+
+/// Engine-agnostic body of validate_grid_result (see below).
+std::vector<std::string> validate_grid_clusters(
+    const std::vector<std::unique_ptr<OnlineCluster>>& clusters,
+    const GridSimResult& result);
+
 /// The engine.  Usage: construct, `submit` / `submit_workloads` /
 /// `submit_store`, `run()` once; the clusters stay inspectable
 /// afterwards (local records, stats).
@@ -144,6 +210,11 @@ class GridSim {
 
   std::size_t cluster_count() const { return clusters_.size(); }
   const OnlineCluster& cluster(std::size_t i) const { return *clusters_[i]; }
+  /// The clusters in index order (the currency of the shared helpers
+  /// above and of grid/exchange bidding).
+  const std::vector<std::unique_ptr<OnlineCluster>>& clusters() const {
+    return clusters_;
+  }
   const LightGrid& grid() const { return grid_; }
   Simulator& simulator() { return sim_; }
 
@@ -151,11 +222,7 @@ class GridSim {
   const ArenaStats& arena_stats() const { return arena_.stats(); }
 
  private:
-  /// One registered submission: 8 bytes, indexing the job store.
-  struct Pending {
-    std::uint32_t home;
-    std::uint32_t index;  ///< row in jobs()
-  };
+  using Pending = GridPending;
 
   /// The active trace: borrowed when submit_store was used, else the
   /// engine-owned store fed by submit().

@@ -1,0 +1,428 @@
+#include "sim/shard_sim.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "core/profiler.h"
+#include "core/spsc_ring.h"
+#include "grid/exchange.h"
+
+namespace lgs {
+
+/// One worker shard: a private arena, a private event queue on it, and
+/// the SPSC mailbox the coordinator streams arrivals through (static
+/// strategies).  `error` carries a worker exception across the join.
+struct ShardGridSim::Shard {
+  /// One routed arrival: release instant + target cluster + store row.
+  struct Arrival {
+    Time release;
+    std::uint32_t cluster;
+    std::uint32_t job;
+  };
+  /// 4096 × 16 B = 64 KiB in flight per shard: deep enough that the
+  /// coordinator's walk stays ahead of the workers, small enough to
+  /// bound memory when one shard lags.
+  static constexpr std::size_t kMailboxCapacity = 4096;
+
+  Arena arena;
+  std::unique_ptr<Simulator> sim;
+  SpscRing<Arrival> mailbox{kMailboxCapacity};
+  std::exception_ptr error;
+};
+
+ShardGridSim::ShardGridSim(const LightGrid& grid, const GridSimOptions& opts,
+                           int threads, Arena* arena)
+    : grid_(grid),
+      opts_(opts),
+      arena_(arena != nullptr ? *arena : owned_arena_),
+      store_(ArenaRef(arena_)),
+      pending_(ArenaAllocator<GridPending>(ArenaRef(arena_))),
+      plan_(ArenaAllocator<std::uint32_t>(ArenaRef(arena_))),
+      route_order_(ArenaAllocator<std::uint32_t>(ArenaRef(arena_))) {
+  if (grid_.clusters.empty())
+    throw std::invalid_argument("grid without clusters");
+  if (threads < 0)
+    throw std::invalid_argument("negative shard thread count");
+  std::size_t want =
+      threads > 0 ? static_cast<std::size_t>(threads)
+                  : std::max(1u, std::thread::hardware_concurrency());
+  // The central best-effort server couples every dispatch on every
+  // cluster through one shared grant FIFO — no time window preserves
+  // that order, so the engine degrades to one shard (= serial order).
+  if (!opts_.bags.empty()) want = 1;
+  const std::size_t n_shards = std::min(want, grid_.clusters.size());
+  shards_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->sim = std::make_unique<Simulator>(ArenaRef(sh->arena));
+    shards_.push_back(std::move(sh));
+  }
+  shard_of_.reserve(grid_.clusters.size());
+  clusters_.reserve(grid_.clusters.size());
+  for (std::size_t i = 0; i < grid_.clusters.size(); ++i) {
+    const std::size_t s = i % n_shards;
+    shard_of_.push_back(static_cast<std::uint32_t>(s));
+    clusters_.push_back(std::make_unique<OnlineCluster>(
+        *shards_[s]->sim, grid_.clusters[i], opts_.cluster,
+        ArenaRef(shards_[s]->arena)));
+  }
+  if (!opts_.bags.empty()) {
+    server_ = std::make_unique<CentralServer>(opts_.bags);
+    for (auto& c : clusters_)
+      c->set_besteffort_source(server_->make_source());
+  }
+}
+
+ShardGridSim::~ShardGridSim() = default;
+
+int ShardGridSim::shard_count() const {
+  return static_cast<int>(shards_.size());
+}
+
+std::uint64_t ShardGridSim::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->sim->executed();
+  return total;
+}
+
+std::size_t ShardGridSim::arena_peak_bytes() const {
+  std::size_t total = arena_.stats().bytes_peak;
+  for (const auto& sh : shards_) total += sh->arena.stats().bytes_peak;
+  return total;
+}
+
+void ShardGridSim::submit(std::size_t home, const Job& j) {
+  if (ran_) throw std::logic_error("submit after run()");
+  if (borrowed_ != nullptr)
+    throw std::logic_error("cannot mix submit() with submit_store()");
+  if (home >= clusters_.size())
+    throw std::invalid_argument("home cluster out of range");
+  store_.append(j);
+  pending_.push_back(GridPending{static_cast<std::uint32_t>(home),
+                                 static_cast<std::uint32_t>(store_.size() - 1)});
+}
+
+void ShardGridSim::submit_workloads(const std::vector<JobSet>& per_cluster) {
+  if (per_cluster.size() > clusters_.size())
+    throw std::invalid_argument("more workloads than clusters");
+  std::size_t total = 0;
+  for (const JobSet& jobs : per_cluster) total += jobs.size();
+  pending_.reserve(pending_.size() + total);
+  store_.reserve(store_.size() + total);
+  for (std::size_t i = 0; i < per_cluster.size(); ++i) {
+    clusters_[i]->reserve_submissions(per_cluster[i].size());
+    for (const Job& j : per_cluster[i]) submit(i, j);
+  }
+}
+
+void ShardGridSim::submit_store(const JobStore& store) {
+  if (ran_) throw std::logic_error("submit after run()");
+  if (borrowed_ != nullptr || !store_.empty())
+    throw std::logic_error("cannot mix submit_store() with prior submissions");
+  borrowed_ = &store;
+  const std::vector<std::size_t> counts =
+      group_pending_by_home(store, clusters_.size(), pending_);
+  for (std::size_t c = 0; c < clusters_.size(); ++c)
+    clusters_[c]->reserve_submissions(counts[c]);
+}
+
+std::size_t ShardGridSim::fallback_target(std::size_t target,
+                                          int min_procs) const {
+  if (min_procs <= clusters_[target]->processors()) return target;
+  for (std::size_t c = 0; c < clusters_.size(); ++c)
+    if (min_procs <= clusters_[c]->processors()) return c;
+  throw std::invalid_argument("job wider than every cluster in the grid");
+}
+
+std::size_t ShardGridSim::static_target(std::size_t pending_index) const {
+  const GridPending& p = pending_[pending_index];
+  const std::size_t target = opts_.routing == GridRouting::kGlobalPlan
+                                 ? plan_[pending_index]
+                                 : p.home;
+  return fallback_target(target, jobs()[p.index].min_procs);
+}
+
+void ShardGridSim::route_one(std::size_t pending_index) {
+  LGS_PROF_COUNT("grid.routes", 1);
+  const GridPending& p = pending_[pending_index];
+  const JobStore& js = jobs();
+  std::size_t target = p.home;
+  switch (opts_.routing) {
+    case GridRouting::kIsolated:
+      break;
+    case GridRouting::kThreshold:
+    case GridRouting::kEconomic: {
+      ExchangeOptions ex;
+      ex.policy = to_exchange_policy(opts_.routing);
+      ex.wait_threshold = opts_.wait_threshold;
+      ex.migration_penalty = opts_.migration_penalty;
+      // Bidding consumes the fat interface (see GridSim::route); the
+      // bid reads expected_wait on clusters of OTHER shards, which is
+      // exactly why the dynamic strategies quiesce every shard at this
+      // instant first.
+      Job j = js.job(p.index);
+      j.release = 0.0;
+      LGS_PROF_COUNT("grid.exchange_bids", 1);
+      target = exchange_target(clusters_, p.home, j, ex);
+      break;
+    }
+    case GridRouting::kGlobalPlan:
+      target = plan_[pending_index];
+      break;
+  }
+  const HotJob& row = js[p.index];
+  target = fallback_target(target, row.min_procs);
+  if (target != p.home) {
+    ++migrations_;
+    LGS_PROF_COUNT("grid.migrations", 1);
+  }
+  HotJob h = row;
+  h.release = 0.0;
+  clusters_[target]->submit_local(h, js.tables());
+}
+
+void ShardGridSim::build_route_order() {
+  // Stable sort: equal release times route in submission order, the
+  // serial engine's tie-break.
+  route_order_.resize(pending_.size());
+  std::iota(route_order_.begin(), route_order_.end(), std::uint32_t{0});
+  std::stable_sort(
+      route_order_.begin(), route_order_.end(),
+      [this](std::uint32_t a, std::uint32_t b) {
+        return effective_grid_release(jobs()[pending_[a].index].release) <
+               effective_grid_release(jobs()[pending_[b].index].release);
+      });
+}
+
+GridSimResult ShardGridSim::run(Time horizon) {
+  LGS_PROF_ZONE("grid.run");
+  if (ran_) throw std::logic_error("run() called twice");
+  ran_ = true;
+  if (opts_.routing == GridRouting::kGlobalPlan) {
+    plan_.resize(pending_.size());
+    plan_global_targets(grid_, jobs(), pending_.data(), pending_.size(),
+                        plan_.data());
+  }
+  build_route_order();
+  // Volatility churn before any worker starts: per-cluster order-free
+  // streams (grid_sim.h), scheduled on the owning shard's queue.
+  for (std::size_t c = 0; c < clusters_.size(); ++c)
+    schedule_cluster_volatility(*shards_[shard_of_[c]]->sim, *clusters_[c],
+                                opts_.volatility, opts_.volatility_seed, c);
+  const bool static_routing = opts_.routing == GridRouting::kIsolated ||
+                              opts_.routing == GridRouting::kGlobalPlan;
+  if (shards_.size() == 1)
+    run_single(horizon);
+  else if (static_routing)
+    run_static(horizon);
+  else
+    run_windows(horizon);
+  // The serial clock ends on the globally last event; with every shard
+  // drained that is the max over the shard clocks (each shard replays
+  // its serial event subsequence, so per-shard finals match).
+  Time end = 0.0;
+  for (const auto& sh : shards_) end = std::max(end, sh->sim->now());
+  return aggregate_grid_result(clusters_, end, migrations_, server_.get());
+}
+
+void ShardGridSim::run_single(Time horizon) {
+  // One shard: the serial event order replayed inline on the calling
+  // thread (no workers).  This is the only legal strategy when the
+  // central best-effort server is configured, and the degenerate case
+  // of both parallel strategies.
+  Simulator& sim = *shards_[0]->sim;
+  const JobStore& js = jobs();
+  std::size_t cursor = 0;
+  while (cursor < route_order_.size()) {
+    const Time t = effective_grid_release(
+        js[pending_[route_order_[cursor]].index].release);
+    if (t > horizon) break;
+    sim.run_until(t, kGridArrivalPriority);
+    LGS_PROF_COUNT("grid.arrival_batches", 1);
+    while (cursor < route_order_.size() &&
+           effective_grid_release(
+               js[pending_[route_order_[cursor]].index].release) <= t)
+      route_one(route_order_[cursor++]);
+  }
+  sim.run(horizon);
+}
+
+void ShardGridSim::worker_static(std::size_t s, Time horizon) {
+  Shard& sh = *shards_[s];
+  try {
+    LGS_PROF_ZONE("grid.shard_run");
+    const JobStore& js = jobs();
+    Time batch_t = -1.0;
+    // Blocking peek: the next arrival's instant bounds how far this
+    // shard may advance, so the worker cannot outrun the coordinator —
+    // and the mailbox content is timing-independent, so neither thread
+    // schedule nor buffer depth can change the replay.
+    while (const Shard::Arrival* a = sh.mailbox.wait_peek()) {
+      sh.sim->run_until(a->release, kGridArrivalPriority);
+      if (a->release != batch_t) {
+        batch_t = a->release;
+        LGS_PROF_COUNT("grid.arrival_batches", 1);
+      }
+      HotJob h = js[a->job];
+      h.release = 0.0;
+      clusters_[a->cluster]->submit_local(h, js.tables());
+      sh.mailbox.pop();
+    }
+    sh.sim->run(horizon);
+  } catch (...) {
+    sh.error = std::current_exception();
+    // Keep draining so the coordinator's blocking push can never wedge
+    // on a dead consumer.
+    while (sh.mailbox.wait_peek() != nullptr) sh.mailbox.pop();
+  }
+}
+
+void ShardGridSim::run_static(Time horizon) {
+  // Static strategies (isolated / global-plan): every routing decision
+  // is computable here, before the clock starts.  The coordinator walks
+  // the arrivals in global release order and streams each to its target
+  // shard's mailbox; workers replay concurrently with zero barriers.
+  std::vector<std::thread> pool;
+  pool.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    pool.emplace_back([this, s, horizon] { worker_static(s, horizon); });
+  const JobStore& js = jobs();
+  for (const std::uint32_t idx : route_order_) {
+    const GridPending& p = pending_[idx];
+    const Time t = effective_grid_release(js[p.index].release);
+    if (t > horizon) break;
+    LGS_PROF_COUNT("grid.routes", 1);
+    const std::size_t target = static_target(idx);
+    if (target != p.home) {
+      ++migrations_;
+      LGS_PROF_COUNT("grid.migrations", 1);
+    }
+    shards_[shard_of_[target]]->mailbox.push(
+        Shard::Arrival{t, static_cast<std::uint32_t>(target), p.index});
+  }
+  for (auto& sh : shards_) sh->mailbox.close();
+  for (auto& th : pool) th.join();
+  for (auto& sh : shards_)
+    if (sh->error) std::rethrow_exception(sh->error);
+}
+
+namespace {
+
+/// Barrier coordinator of the dynamic strategies: the coordinator
+/// issues one command per window (advance to T / final drain / exit)
+/// and blocks until every worker acknowledged — a generation-counter
+/// barrier on one mutex, which also carries the happens-before edges
+/// that let the coordinator touch quiesced shard state in between.
+struct WindowCrew {
+  enum class Cmd { kRunUntil, kDrain, kExit };
+
+  explicit WindowCrew(int workers) : workers_(workers) {}
+
+  /// Coordinator: publish a command and wait for all acknowledgements.
+  void issue(Cmd c, Time t) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cmd_ = c;
+    target_ = t;
+    ++epoch_;
+    pending_ = workers_;
+    cv_cmd_.notify_all();
+    cv_done_.wait(lk, [this] { return pending_ == 0; });
+  }
+
+  /// Worker: park until the next command (returns it + its target).
+  Cmd await(std::uint64_t* seen, Time* t) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_cmd_.wait(lk, [this, seen] { return epoch_ != *seen; });
+    *seen = epoch_;
+    *t = target_;
+    return cmd_;
+  }
+
+  /// Worker: acknowledge the current command as executed.
+  void ack() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--pending_ == 0) cv_done_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_cmd_, cv_done_;
+  int workers_;
+  int pending_ = 0;
+  std::uint64_t epoch_ = 0;
+  Cmd cmd_ = Cmd::kExit;
+  Time target_ = 0.0;
+};
+
+}  // namespace
+
+void ShardGridSim::run_windows(Time horizon) {
+  // Dynamic strategies (threshold / economic): exchange bids read every
+  // cluster's expected_wait at each arrival instant, so the engine runs
+  // conservative windows — quiesce all shards at the instant, then the
+  // coordinator alone replays the serial bid/submit sequence (bids at
+  // one instant observe the submissions of the previous ones, exactly
+  // as the serial pump interleaves them).
+  WindowCrew crew(static_cast<int>(shards_.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    pool.emplace_back([this, s, &crew] {
+      LGS_PROF_ZONE("grid.shard_run");
+      Shard& sh = *shards_[s];
+      std::uint64_t seen = 0;
+      for (;;) {
+        Time t = 0.0;
+        const WindowCrew::Cmd c = crew.await(&seen, &t);
+        if (c == WindowCrew::Cmd::kExit) {
+          crew.ack();
+          return;
+        }
+        try {
+          if (c == WindowCrew::Cmd::kRunUntil)
+            sh.sim->run_until(t, kGridArrivalPriority);
+          else
+            sh.sim->run(t);
+        } catch (...) {
+          if (!sh.error) sh.error = std::current_exception();
+        }
+        LGS_PROF_COUNT("grid.shard_barrier_waits", 1);
+        crew.ack();
+      }
+    });
+  const JobStore& js = jobs();
+  try {
+    std::size_t cursor = 0;
+    while (cursor < route_order_.size()) {
+      const Time t = effective_grid_release(
+          js[pending_[route_order_[cursor]].index].release);
+      if (t > horizon) break;
+      crew.issue(WindowCrew::Cmd::kRunUntil, t);
+      LGS_PROF_COUNT("grid.arrival_batches", 1);
+      while (cursor < route_order_.size() &&
+             effective_grid_release(
+                 js[pending_[route_order_[cursor]].index].release) <= t)
+        route_one(route_order_[cursor++]);
+    }
+    crew.issue(WindowCrew::Cmd::kDrain, horizon);
+  } catch (...) {
+    crew.issue(WindowCrew::Cmd::kExit, 0.0);
+    for (auto& th : pool) th.join();
+    throw;
+  }
+  crew.issue(WindowCrew::Cmd::kExit, 0.0);
+  for (auto& th : pool) th.join();
+  for (auto& sh : shards_)
+    if (sh->error) std::rethrow_exception(sh->error);
+}
+
+std::vector<std::string> validate_grid_result(const ShardGridSim& sim,
+                                              const GridSimResult& result) {
+  return validate_grid_clusters(sim.clusters(), result);
+}
+
+}  // namespace lgs

@@ -1,0 +1,150 @@
+// Sharded multi-cluster replay (ROADMAP item 1: intra-grid
+// parallelism): the clusters of ONE grid partitioned round-robin across
+// worker threads, each advancing its shard's PRIVATE event queue
+// (sim/simulator.h) out of a PRIVATE arena — with the hard requirement
+// that the outcome is bit-identical to the serial GridSim, pinned by
+// the FNV-1a golden digests of tests/test_shard_sim.cpp.
+//
+// Why clusters shard at all: jobs cross cluster boundaries only at
+// their release instants (routing / exchange bids) and through the
+// central best-effort server's grant queue.  Everything else —
+// dispatch, backfilling, completions, volatility churn — is
+// cluster-private, so the per-cluster event subsequences of the serial
+// replay commute freely across clusters and can run concurrently.
+// Three execution strategies follow (the determinism contract, also in
+// docs/ARCHITECTURE.md):
+//
+//  * STATIC routing (isolated / global-plan, no best-effort bags):
+//    every target is computable before the clock starts (the global
+//    plan is an upfront prelude; fallback widening reads only static
+//    processors()).  The coordinator thread streams arrivals in global
+//    release order through one lock-free SPSC mailbox per shard
+//    (core/spsc_ring.h); each worker alternates
+//    `run_until(next_arrival, kGridArrivalPriority)` with submissions.
+//    No barriers at all — wall-clock scales with the slowest shard.
+//
+//  * DYNAMIC routing (threshold / economic, no bags): exchange bids
+//    read every cluster's expected_wait at each arrival instant, so the
+//    engine runs conservative time-window barriers: workers quiesce
+//    their shards at the next arrival instant T (run_until pins every
+//    shard clock to exactly T, before the pump's queue position), then
+//    the coordinator alone replays the serial bid/submit sequence while
+//    the workers are parked.
+//
+//  * CENTRAL BEST-EFFORT SERVER configured: every dispatch on every
+//    cluster may consume from the shared grant FIFO, an ordering
+//    coupling no time window preserves — the engine forces ONE shard
+//    and replays inline on the calling thread (provably the serial
+//    event order, threads uninvolved).
+//
+// In all three strategies the serial tie-break (time, priority,
+// insertion id) is replayed exactly: per-cluster event streams keep
+// their serial relative order because submissions reach each cluster in
+// the serial arrival order, and cross-cluster same-instant ties commute
+// because no shared state is touched between barrier points.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/arena.h"
+#include "core/job.h"
+#include "core/job_store.h"
+#include "grid/besteffort.h"
+#include "platform/platform.h"
+#include "sim/grid_sim.h"
+#include "sim/online_cluster.h"
+#include "sim/simulator.h"
+
+namespace lgs {
+
+/// Parallel drop-in for GridSim: same construction, submission and
+/// run-once surface, same GridSimResult, bit-identical outcome.
+///
+/// `threads` requests the worker count: 0 = hardware_concurrency,
+/// clamped to [1, cluster_count()], and forced to 1 when best-effort
+/// bags are configured (see the determinism contract above).  Memory
+/// follows GridSim's replay-arena discipline, but per shard: the
+/// coordinator arena holds the store and routing tables, and each shard
+/// owns a private arena for its simulator and clusters so PR 6's
+/// allocation discipline holds without cross-thread contention.
+class ShardGridSim {
+ public:
+  ShardGridSim(const LightGrid& grid, const GridSimOptions& opts,
+               int threads = 0, Arena* arena = nullptr);
+  ~ShardGridSim();
+  ShardGridSim(const ShardGridSim&) = delete;
+  ShardGridSim& operator=(const ShardGridSim&) = delete;
+
+  /// Register `j` with home cluster index `home` (see GridSim::submit).
+  void submit(std::size_t home, const Job& j);
+  /// Register `per_cluster[i]` as the local workload of cluster i.
+  void submit_workloads(const std::vector<JobSet>& per_cluster);
+  /// Borrow an already-built trace (see GridSim::submit_store).
+  void submit_store(const JobStore& store);
+
+  /// Route every submission, drive all shard queues until they drain
+  /// (or `horizon`), and aggregate the outcome.  Callable once; worker
+  /// threads live only inside this call.
+  GridSimResult run(Time horizon = kTimeInfinity);
+
+  std::size_t cluster_count() const { return clusters_.size(); }
+  const OnlineCluster& cluster(std::size_t i) const { return *clusters_[i]; }
+  /// The clusters in index order (grid/exchange bidding, validation).
+  const std::vector<std::unique_ptr<OnlineCluster>>& clusters() const {
+    return clusters_;
+  }
+  const LightGrid& grid() const { return grid_; }
+
+  /// Effective shard count after clamping (1 when bags are configured).
+  int shard_count() const;
+  /// Which shard owns cluster `i` (round-robin: i % shard_count()).
+  int shard_of(std::size_t i) const { return static_cast<int>(shard_of_[i]); }
+  /// Events executed across all shard simulators.
+  std::uint64_t events_executed() const;
+  /// Peak arena bytes: coordinator arena plus every shard arena.
+  std::size_t arena_peak_bytes() const;
+
+ private:
+  struct Shard;
+
+  const JobStore& jobs() const {
+    return borrowed_ != nullptr ? *borrowed_ : store_;
+  }
+  std::size_t fallback_target(std::size_t target, int min_procs) const;
+  /// Routing target of one pending submission under static routing.
+  std::size_t static_target(std::size_t pending_index) const;
+  /// Serial-order routing + submission of one pending entry (dynamic
+  /// strategies; runs on the coordinator with all shards quiesced).
+  void route_one(std::size_t pending_index);
+  void build_route_order();
+  void run_single(Time horizon);
+  void run_static(Time horizon);
+  void run_windows(Time horizon);
+  void worker_static(std::size_t s, Time horizon);
+
+  LightGrid grid_;
+  GridSimOptions opts_;
+  Arena owned_arena_;  ///< unused (empty) when an external arena is given
+  Arena& arena_;       ///< coordinator arena (store + routing tables)
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::uint32_t> shard_of_;  ///< cluster index -> shard index
+  std::vector<std::unique_ptr<OnlineCluster>> clusters_;
+  std::unique_ptr<CentralServer> server_;
+  JobStore store_;  ///< submissions via submit(); empty when borrowing
+  const JobStore* borrowed_ = nullptr;
+  ArenaVec<GridPending> pending_;
+  ArenaVec<std::uint32_t> plan_;  ///< kGlobalPlan: pending index -> target
+  ArenaVec<std::uint32_t> route_order_;  ///< pending indices by release
+  long migrations_ = 0;
+  bool ran_ = false;
+};
+
+/// validate_grid_result over the sharded engine (same checks as the
+/// serial overload).
+std::vector<std::string> validate_grid_result(const ShardGridSim& sim,
+                                              const GridSimResult& result);
+
+}  // namespace lgs

@@ -95,37 +95,36 @@ void Simulator::prune_cancellations() {
   next_prune_ = std::max(kMinPrune, 2 * cancelled_.size());
 }
 
-void Simulator::run(Time horizon) {
-  LGS_PROF_ZONE("sim.run");
-  while (!queue_.empty()) {
-    const QEntry top = queue_.top();
-    if (top.t > horizon) break;
-    queue_.pop();
-    // In-order consumption (the common case: timers fire roughly in
-    // schedule order) advances the watermark for free.
-    if (top.id == watermark_) ++watermark_;
-    if (cancelled_.erase(top.id) > 0) {
-      release_slot(top.slot);
-      LGS_PROF_COUNT("sim.cancelled_skips", 1);
-      continue;
-    }
-    now_ = top.t;
-    ++executed_;
-    LGS_PROF_COUNT("sim.events", 1);
-    // The slot reference stays valid while the callback schedules new
-    // events (slots live in fixed chunks: growth never relocates).  The
-    // payload is destroyed only after the call returns.
-    Slot& slot = slot_at(top.slot);
-    void* payload = slot.ops->inline_stored ? static_cast<void*>(slot.buf)
-                                            : slot.heap;
-    try {
-      slot.ops->invoke(payload);
-    } catch (...) {
-      release_slot(top.slot);
-      throw;
-    }
+void Simulator::step() {
+  const QEntry top = queue_.top();
+  queue_.pop();
+  // In-order consumption (the common case: timers fire roughly in
+  // schedule order) advances the watermark for free.
+  if (top.id == watermark_) ++watermark_;
+  if (cancelled_.erase(top.id) > 0) {
     release_slot(top.slot);
+    LGS_PROF_COUNT("sim.cancelled_skips", 1);
+    return;
   }
+  now_ = top.t;
+  ++executed_;
+  LGS_PROF_COUNT("sim.events", 1);
+  // The slot reference stays valid while the callback schedules new
+  // events (slots live in fixed chunks: growth never relocates).  The
+  // payload is destroyed only after the call returns.
+  Slot& slot = slot_at(top.slot);
+  void* payload = slot.ops->inline_stored ? static_cast<void*>(slot.buf)
+                                          : slot.heap;
+  try {
+    slot.ops->invoke(payload);
+  } catch (...) {
+    release_slot(top.slot);
+    throw;
+  }
+  release_slot(top.slot);
+}
+
+void Simulator::note_if_drained() {
   // A drained queue means every surviving cancellation targets an event
   // that already fired (or never existed): flush them — and every id so
   // far is consumed, so the watermark jumps to next_id_.
@@ -134,7 +133,28 @@ void Simulator::run(Time horizon) {
     watermark_ = next_id_;
     next_prune_ = kMinPrune;
   }
+}
+
+void Simulator::run(Time horizon) {
+  LGS_PROF_ZONE("sim.run");
+  while (!queue_.empty() && queue_.top().t <= horizon) step();
+  note_if_drained();
   if (now_ < horizon && horizon != kTimeInfinity) now_ = horizon;
+}
+
+void Simulator::run_until(Time t, int before_priority) {
+  if (t < now_ - kTimeEps)
+    throw std::invalid_argument("run_until cannot rewind the clock");
+  LGS_PROF_ZONE("sim.run");
+  while (!queue_.empty()) {
+    const QEntry& top = queue_.top();
+    // Exact queue-order comparison (no epsilons): identical to the Later
+    // tie-break, so the stop position matches the serial pump's slot.
+    if (!(top.t < t || (top.t == t && top.priority < before_priority))) break;
+    step();
+  }
+  note_if_drained();
+  if (t > now_) now_ = t;
 }
 
 }  // namespace lgs

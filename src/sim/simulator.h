@@ -129,6 +129,18 @@ class Simulator {
   /// Run until the queue drains (or `horizon` is reached, if finite).
   void run(Time horizon = kTimeInfinity);
 
+  /// Advance the clock to exactly `t` (>= now), executing every pending
+  /// event strictly ordered before the queue position (t,
+  /// before_priority): all events at earlier times, plus events at `t`
+  /// whose priority is < before_priority.  Events at (t, >=
+  /// before_priority) stay pending, and now() == t afterwards even if
+  /// nothing fired.  This is the quiescence primitive of the sharded
+  /// grid engine (sim/shard_sim.h): each shard's clock is pinned to a
+  /// global synchronization instant before cross-shard state is read,
+  /// replaying exactly the serial pump's position in the tie-break
+  /// order (time, priority, insertion id).
+  void run_until(Time t, int before_priority);
+
   /// Number of events executed so far (for the micro bench).
   std::uint64_t executed() const { return executed_; }
 
@@ -205,6 +217,12 @@ class Simulator {
 
   /// Slots per slab chunk.  64 slots x 64 bytes of Slot ≈ 4 KiB chunks.
   static constexpr std::size_t kSlotChunk = 64;
+
+  /// Pop + execute the queue head (shared body of run/run_until).
+  void step();
+  /// Drained-queue bookkeeping shared by run/run_until: flush the
+  /// cancellation set and jump the consumed-id watermark.
+  void note_if_drained();
 
   std::uint32_t acquire_slot();
   /// Destroy the payload of `index` and recycle slot + overflow block.

@@ -19,6 +19,7 @@
 #include "core/rng.h"
 #include "sim/grid_sim.h"
 #include "sim/online_cluster.h"
+#include "sim/shard_sim.h"
 #include "workload/generators.h"
 
 namespace lgs {
@@ -51,7 +52,12 @@ inline bool rng_matches_reference_library() {
   return rng.uniform_int(0, 1000000) == 357630;
 }
 
-inline std::uint64_t digest_grid_result(const GridSim& sim,
+/// Fold a finished replay into one digest.  Templated over the engine:
+/// GridSim and ShardGridSim expose the same cluster_count()/cluster()
+/// surface, and the differential harness hashes both through the exact
+/// same byte stream.
+template <class GridEngine>
+inline std::uint64_t digest_grid_result(const GridEngine& sim,
                                         const GridSimResult& res) {
   std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
   for (std::size_t c = 0; c < sim.cluster_count(); ++c) {
@@ -90,6 +96,25 @@ struct GoldenScenario {
   bool with_bags;
   int volatility_events;
 };
+
+/// One pinned golden digest (tests/test_replay_golden.cpp and
+/// tests/test_shard_sim.cpp assert against the same table).
+struct GoldenDigest {
+  const char* name;
+  std::uint64_t digest;
+};
+
+/// The pinned FNV-1a digests, captured from the pre-overhaul
+/// implementation (commit c853b3d) with libstdc++'s distribution
+/// algorithms — index-aligned with golden_scenarios().
+inline std::vector<GoldenDigest> golden_digests() {
+  return {
+      {"isolated-fcfs-bags-vol", 0x2ea19de7c3954cf2ull},
+      {"threshold-easy-bags", 0xb5e4be5273c9e79full},
+      {"economic-fcfs-vol", 0x6e90d7f2490c5b24ull},
+      {"global-plan-easy", 0xf3dff33f17c00882ull},
+  };
+}
 
 inline std::vector<GoldenScenario> golden_scenarios() {
   return {
@@ -148,6 +173,17 @@ inline std::uint64_t run_golden_scenario_store(const GoldenScenario& sc,
   const JobStore store = to_job_store(golden_workload(), ArenaRef(arena));
   GridSim sim(make_skewed_grid(4, 24, 2.0), golden_options(sc), &arena);
   sim.submit_store(store);
+  const GridSimResult res = sim.run();
+  return digest_grid_result(sim, res);
+}
+
+/// Same scenario through the sharded engine (sim/shard_sim.h) at the
+/// requested worker count — the parallel replay must reproduce the
+/// pinned serial digests bit for bit at every thread count.
+inline std::uint64_t run_golden_scenario_sharded(const GoldenScenario& sc,
+                                                 int threads) {
+  ShardGridSim sim(make_skewed_grid(4, 24, 2.0), golden_options(sc), threads);
+  sim.submit_workloads(split_by_community(golden_workload(), 4));
   const GridSimResult res = sim.run();
   return digest_grid_result(sim, res);
 }

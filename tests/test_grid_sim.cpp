@@ -8,6 +8,7 @@
 
 #include "core/rng.h"
 #include "sim/grid_sim.h"
+#include "sim/shard_sim.h"
 #include "workload/generators.h"
 
 namespace lgs {
@@ -168,6 +169,55 @@ TEST(GridSim, VolatilityIsDeterministicPerSeed) {
   // below 2 * events * clusters — but churn must have happened.
   EXPECT_GT(changes, 0);
   EXPECT_TRUE(validate_grid_result(*a, ra).empty());
+}
+
+TEST(GridSim, VolatilityStreamsIgnoreShardAssignment) {
+  // Each cluster's churn stream is keyed mix_seed(volatility_seed,
+  // cluster_index) and drawn from a PRIVATE Rng — never from a shared
+  // generator whose consumption order would depend on which shard (or
+  // thread count) owns the cluster.  Replaying the same volatility-heavy
+  // grid serially and sharded at several worker counts must therefore
+  // produce IDENTICAL per-cluster VolatilityStats: round-robin
+  // assignment changes with the shard count, the streams must not.
+  const auto make_grid = [] {
+    LightGrid g = make_skewed_grid(5, 8, 1.5);
+    return g;
+  };
+  const auto make_jobs = [] {
+    std::vector<JobSet> w(5);
+    for (int c = 0; c < 5; ++c) {
+      Rng rng(mix_seed(404, static_cast<std::uint64_t>(c)));
+      w[c] = make_community_workload(static_cast<Community>(c % 4), 15, rng,
+                                     static_cast<JobId>(c) * 100, 0.5, 20.0);
+    }
+    return w;
+  };
+  GridSimOptions opts;
+  opts.routing = GridRouting::kEconomic;
+  opts.volatility.events = 8;
+  opts.volatility.window = 15.0;
+  opts.volatility.floor_fraction = 0.5;
+  opts.volatility_seed = 77;
+
+  GridSim serial(make_grid(), opts);
+  serial.submit_workloads(make_jobs());
+  (void)serial.run();
+
+  for (int threads : {1, 2, 3, 5}) {
+    SCOPED_TRACE(threads);
+    ShardGridSim sharded(make_grid(), opts, threads);
+    sharded.submit_workloads(make_jobs());
+    (void)sharded.run();
+    ASSERT_EQ(sharded.cluster_count(), serial.cluster_count());
+    for (std::size_t c = 0; c < serial.cluster_count(); ++c) {
+      SCOPED_TRACE(c);
+      const VolatilityStats& a = serial.cluster(c).volatility_stats();
+      const VolatilityStats& b = sharded.cluster(c).volatility_stats();
+      EXPECT_EQ(a.capacity_changes, b.capacity_changes);
+      EXPECT_EQ(a.local_preemptions, b.local_preemptions);
+      EXPECT_EQ(a.local_wasted, b.local_wasted);
+    }
+  }
 }
 
 TEST(GridSim, OverlappingOutagesComposeAsMinimum) {

@@ -183,29 +183,64 @@ TEST(GridSweep, ReplicateSeedsDeriveFromSharedMixer) {
               mix_seed(42, static_cast<std::uint64_t>(r)));
 }
 
+// Timing and thread fields legitimately differ between runs; everything
+// else must not — compare reports with wall_ms / threads(/grid_threads)
+// lines stripped.
+std::string strip_timing_lines(const std::string& doc) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < doc.size()) {
+    std::size_t end = doc.find('\n', start);
+    if (end == std::string::npos) end = doc.size();
+    const std::string line = doc.substr(start, end - start);
+    if (line.find("wall_ms") == std::string::npos &&
+        line.find("threads") == std::string::npos)
+      out += line + "\n";
+    start = end + 1;
+  }
+  return out;
+}
+
 TEST(GridSweep, ReportJsonIsDeterministicAcrossThreadCounts) {
   GridSweepSpec spec = small_spec();
   spec.threads = 1;
   const std::string first = grid_report_json(spec, run_grid_sweep(spec));
   spec.threads = 3;
   const std::string second = grid_report_json(spec, run_grid_sweep(spec));
-  // Timing and thread fields legitimately differ; everything else must
-  // not — compare with wall_ms / threads lines stripped.
-  const auto strip = [](const std::string& doc) {
-    std::string out;
-    std::size_t start = 0;
-    while (start < doc.size()) {
-      std::size_t end = doc.find('\n', start);
-      if (end == std::string::npos) end = doc.size();
-      const std::string line = doc.substr(start, end - start);
-      if (line.find("wall_ms") == std::string::npos &&
-          line.find("threads") == std::string::npos)
-        out += line + "\n";
-      start = end + 1;
-    }
-    return out;
-  };
-  EXPECT_EQ(strip(first), strip(second));
+  EXPECT_EQ(strip_timing_lines(first), strip_timing_lines(second));
+}
+
+// The inner grid_threads axis (sim/shard_sim.h): every cell replayed
+// through the sharded engine must reproduce the serial cells bit for
+// bit at every worker count.  Bags are dropped so the cells genuinely
+// fan out across shard workers (a configured central best-effort server
+// forces one shard).
+TEST(GridSweep, InnerGridThreadsAxisIsBitIdentical) {
+  GridSweepSpec spec = small_spec();
+  spec.besteffort_runs = 0;
+  spec.threads = 2;  // outer cell pool and inner shards compose
+  ASSERT_EQ(spec.grid_threads, 1);
+  const GridSweepResult serial = run_grid_sweep(spec);
+  for (int grid_threads : {2, 3, 0}) {  // 0 = hardware_concurrency
+    SCOPED_TRACE(grid_threads);
+    spec.grid_threads = grid_threads;
+    const GridSweepResult sharded = run_grid_sweep(spec);
+    ASSERT_EQ(sharded.cells.size(), serial.cells.size());
+    for (std::size_t i = 0; i < serial.cells.size(); ++i)
+      expect_cells_identical(serial.cells[i], sharded.cells[i]);
+  }
+}
+
+// With the central best-effort server on (small_spec's default), the
+// sharded engine forces one shard per cell — and must STILL byte-match
+// the serial report once the timing/thread lines are stripped.
+TEST(GridSweep, GridThreadsReportMatchesSerialReportWithBags) {
+  GridSweepSpec spec = small_spec();
+  spec.threads = 1;
+  const std::string serial = grid_report_json(spec, run_grid_sweep(spec));
+  spec.grid_threads = 4;
+  const std::string sharded = grid_report_json(spec, run_grid_sweep(spec));
+  EXPECT_EQ(strip_timing_lines(serial), strip_timing_lines(sharded));
 }
 
 TEST(GridSweep, ReportJsonContainsEveryCell) {

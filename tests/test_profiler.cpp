@@ -17,6 +17,7 @@
 #include "core/rng.h"
 #include "exp/grid_sweep.h"
 #include "sim/grid_sim.h"
+#include "sim/shard_sim.h"
 #include "sim/simulator.h"
 #include "workload/generators.h"
 
@@ -227,6 +228,75 @@ TEST(Profiler, RenderersProduceWellFormedOutput) {
   if (!prof::enabled()) {
     EXPECT_NE(text.find("compiled out"), std::string::npos);
   }
+}
+
+JobSet sharding_probe_workload() {
+  JobSet jobs;
+  for (int c = 0; c < 4; ++c) {
+    Rng rng(mix_seed(21, static_cast<std::uint64_t>(c)));
+    append_workload(jobs,
+                    make_community_workload(static_cast<Community>(c), 25, rng,
+                                            static_cast<JobId>(c) * 100, 1.0,
+                                            10.0));
+  }
+  return jobs;
+}
+
+// Multi-producer retirement merge: four shard workers accumulate
+// "sim.events" into four private thread states that retire at join; the
+// merged counter must equal the engine's own executed() sum EXACTLY —
+// no lost updates, no double counts.
+TEST(Profiler, ShardWorkerCountersSurviveRetiredThreadMerge) {
+  if (!prof::enabled()) GTEST_SKIP() << "profiler compiled out";
+  const prof::Snapshot before = prof::snapshot();
+  GridSimOptions opts;  // isolated, no bags: static strategy, live workers
+  ShardGridSim grid(make_skewed_grid(4, 8, 1.5), opts, /*threads=*/4);
+  ASSERT_EQ(grid.shard_count(), 4);
+  grid.submit_workloads(split_by_community(sharding_probe_workload(), 4));
+  (void)grid.run();
+  const prof::Snapshot after = prof::snapshot();
+  EXPECT_EQ(counter_delta(before, after, "sim.events"),
+            grid.events_executed());
+  // One grid.shard_run zone entry per worker thread, all surviving the
+  // retired-thread merge.
+  EXPECT_EQ(zone_calls(after.roots, "grid.shard_run") -
+                zone_calls(before.roots, "grid.shard_run"),
+            4u);
+  EXPECT_GE(after.threads_merged, 2);
+}
+
+// Reconciliation against the serial engine: the serial replay's only
+// events with no shard counterpart are its arrival-pump firings (the
+// sharded engine drives arrivals from outside the queues), so
+//   serial sim.events - serial grid.arrival_batches == sharded sim.events
+// — and the dynamic strategies must report their barrier waits.
+TEST(Profiler, ShardedEventTotalsReconcileWithSerialCounter) {
+  if (!prof::enabled()) GTEST_SKIP() << "profiler compiled out";
+  GridSimOptions opts;
+  opts.routing = GridRouting::kEconomic;  // dynamic: barrier windows
+  opts.volatility.events = 3;
+  opts.volatility.window = 10.0;
+  opts.volatility_seed = 5;
+
+  const prof::Snapshot s0 = prof::snapshot();
+  GridSim serial(make_skewed_grid(4, 8, 1.5), opts);
+  serial.submit_workloads(split_by_community(sharding_probe_workload(), 4));
+  (void)serial.run();
+  const prof::Snapshot s1 = prof::snapshot();
+  ShardGridSim sharded(make_skewed_grid(4, 8, 1.5), opts, /*threads=*/4);
+  ASSERT_EQ(sharded.shard_count(), 4);
+  sharded.submit_workloads(split_by_community(sharding_probe_workload(), 4));
+  (void)sharded.run();
+  const prof::Snapshot s2 = prof::snapshot();
+
+  const std::uint64_t serial_events = counter_delta(s0, s1, "sim.events");
+  const std::uint64_t serial_batches =
+      counter_delta(s0, s1, "grid.arrival_batches");
+  const std::uint64_t sharded_events = counter_delta(s1, s2, "sim.events");
+  EXPECT_EQ(sharded_events, sharded.events_executed());
+  EXPECT_EQ(sharded_events, serial_events - serial_batches);
+  // Every worker acknowledges every window plus the final drain.
+  EXPECT_GE(counter_delta(s1, s2, "grid.shard_barrier_waits"), 4u);
 }
 
 TEST(Profiler, DisabledMacrosDoNotEvaluateArguments) {

@@ -14,30 +14,17 @@
 namespace lgs {
 namespace {
 
-struct Expected {
-  const char* name;
-  std::uint64_t digest;
-};
-
-// Captured from the pre-overhaul implementation (commit c853b3d) with
-// libstdc++'s distribution algorithms.
-constexpr Expected kExpected[] = {
-    {"isolated-fcfs-bags-vol", 0x2ea19de7c3954cf2ull},
-    {"threshold-easy-bags", 0xb5e4be5273c9e79full},
-    {"economic-fcfs-vol", 0x6e90d7f2490c5b24ull},
-    {"global-plan-easy", 0xf3dff33f17c00882ull},
-};
-
 TEST(ReplayGolden, FullStackDigestsUnchanged) {
   if (!rng_matches_reference_library())
     GTEST_SKIP() << "non-reference standard library: golden digests do not "
                     "apply (they pin libstdc++ distribution draws)";
   const std::vector<GoldenScenario> scenarios = golden_scenarios();
-  ASSERT_EQ(scenarios.size(), std::size(kExpected));
+  const std::vector<GoldenDigest> expected = golden_digests();
+  ASSERT_EQ(scenarios.size(), expected.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     SCOPED_TRACE(scenarios[i].name);
-    EXPECT_EQ(scenarios[i].name, kExpected[i].name);
-    EXPECT_EQ(run_golden_scenario(scenarios[i]), kExpected[i].digest)
+    EXPECT_EQ(scenarios[i].name, expected[i].name);
+    EXPECT_EQ(run_golden_scenario(scenarios[i]), expected[i].digest)
         << "optimized engine diverged from the pre-overhaul implementation";
   }
 }
@@ -56,13 +43,14 @@ TEST(ReplayGolden, StorePathDigestsUnchanged) {
     GTEST_SKIP() << "non-reference standard library: golden digests do not "
                     "apply (they pin libstdc++ distribution draws)";
   const std::vector<GoldenScenario> scenarios = golden_scenarios();
-  ASSERT_EQ(scenarios.size(), std::size(kExpected));
+  const std::vector<GoldenDigest> expected = golden_digests();
+  ASSERT_EQ(scenarios.size(), expected.size());
   Arena arena;  // shared across scenarios: reset-reuse on the real engine
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     SCOPED_TRACE(scenarios[i].name);
     arena.reset();
     EXPECT_EQ(run_golden_scenario_store(scenarios[i], arena),
-              kExpected[i].digest)
+              expected[i].digest)
         << "arena/store replay diverged from the fat-Job path";
   }
 }

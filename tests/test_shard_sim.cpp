@@ -1,0 +1,329 @@
+// Differential harness for the sharded grid engine (sim/shard_sim.h):
+// the parallel replay must be BIT-identical to the serial GridSim.
+//
+// Three layers of evidence, from pinned to randomized:
+//  * the four golden scenarios reproduce the pinned serial FNV-1a
+//    digests at 1, 2, 4 and hardware-concurrency worker threads;
+//  * sharded-vs-serial digest equality holds on ANY standard library
+//    (no reference-Rng skip — both engines draw the same streams);
+//  * a 200-round randomized small-grid fuzz (random routing, policies,
+//    kill policies, volatility, bags, seeds, thread counts) compares
+//    the drained engines field by field — every record, every stats
+//    block, bitwise on doubles.
+// Plus unit tests for the SPSC mailbox the static strategies stream
+// arrivals through (core/spsc_ring.h).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/spsc_ring.h"
+#include "grid_golden_scenarios.h"
+
+namespace lgs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SPSC mailbox
+// ---------------------------------------------------------------------------
+
+TEST(SpscRing, FifoOrderAndWraparound) {
+  SpscRing<int> ring(4);  // rounds to 4: wraps many times below
+  int next_out = 0, queued = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    ++queued;
+    // Drain to a varying target occupancy (0..3) so the indices wrap at
+    // every phase offset.
+    while (queued > i % 4) {
+      const int* p = ring.peek();
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(*p, next_out++);
+      ring.pop();
+      --queued;
+    }
+  }
+  while (const int* p = ring.peek()) {
+    EXPECT_EQ(*p, next_out++);
+    ring.pop();
+  }
+  EXPECT_EQ(next_out, 1000);
+}
+
+TEST(SpscRing, TryPushFailsOnlyWhenFull) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  ring.peek();
+  ring.pop();
+  EXPECT_TRUE(ring.try_push(3));
+}
+
+TEST(SpscRing, WaitPeekDrainsResidueAfterClose) {
+  SpscRing<int> ring(8);
+  ring.push(7);
+  ring.push(8);
+  ring.close();
+  const int* p = ring.wait_peek();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+  ring.pop();
+  p = ring.wait_peek();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 8);
+  ring.pop();
+  EXPECT_EQ(ring.wait_peek(), nullptr);  // closed AND drained
+}
+
+TEST(SpscRing, CrossThreadStreamKeepsOrder) {
+  constexpr int kItems = 50000;
+  SpscRing<int> ring(64);
+  std::thread producer([&ring] {
+    for (int i = 0; i < kItems; ++i) ring.push(i);
+    ring.close();
+  });
+  long long sum = 0;
+  int expected = 0;
+  bool ordered = true;
+  while (const int* p = ring.wait_peek()) {
+    ordered = ordered && (*p == expected++);
+    sum += *p;
+    ring.pop();
+  }
+  producer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(expected, kItems);
+  EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Golden scenarios, sharded
+// ---------------------------------------------------------------------------
+
+std::vector<int> golden_thread_counts() {
+  std::vector<int> counts = {1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 0) counts.push_back(hw);
+  return counts;
+}
+
+TEST(ShardSim, GoldenDigestsMatchPinnedSerialValues) {
+  if (!rng_matches_reference_library())
+    GTEST_SKIP() << "non-reference standard library: golden digests do not "
+                    "apply (they pin libstdc++ distribution draws)";
+  const std::vector<GoldenScenario> scenarios = golden_scenarios();
+  const std::vector<GoldenDigest> expected = golden_digests();
+  ASSERT_EQ(scenarios.size(), expected.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    for (const int threads : golden_thread_counts()) {
+      SCOPED_TRACE(scenarios[i].name + " @ " + std::to_string(threads) +
+                   " threads");
+      EXPECT_EQ(run_golden_scenario_sharded(scenarios[i], threads),
+                expected[i].digest)
+          << "sharded replay diverged from the pinned serial digest";
+    }
+  }
+}
+
+// The library-agnostic half of the differential: even where the pinned
+// values do not apply (foreign stdlib draws different workloads), the
+// sharded engine must still agree with the serial one bit for bit.
+TEST(ShardSim, ShardedEqualsSerialOnAnyLibrary) {
+  for (const GoldenScenario& sc : golden_scenarios()) {
+    const std::uint64_t serial = run_golden_scenario(sc);
+    for (const int threads : golden_thread_counts()) {
+      SCOPED_TRACE(sc.name + " @ " + std::to_string(threads) + " threads");
+      EXPECT_EQ(run_golden_scenario_sharded(sc, threads), serial);
+    }
+  }
+}
+
+TEST(ShardSim, BagsForceSingleShard) {
+  GridSimOptions opts = golden_options(golden_scenarios().front());
+  ASSERT_FALSE(opts.bags.empty());
+  ShardGridSim sim(make_skewed_grid(4, 24, 2.0), opts, /*threads=*/4);
+  EXPECT_EQ(sim.shard_count(), 1)
+      << "the central best-effort server requires serial-order execution";
+  opts.bags.clear();
+  ShardGridSim free_sim(make_skewed_grid(4, 24, 2.0), opts, /*threads=*/4);
+  EXPECT_EQ(free_sim.shard_count(), 4);
+  EXPECT_EQ(free_sim.shard_of(0), 0);
+  EXPECT_EQ(free_sim.shard_of(1), 1);  // round-robin assignment
+}
+
+TEST(ShardSim, ThreadCountClampsToClusterCount) {
+  GridSimOptions opts;
+  ShardGridSim sim(make_skewed_grid(3, 8, 1.0), opts, /*threads=*/16);
+  EXPECT_EQ(sim.shard_count(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized small-grid fuzz: field-by-field drain-state comparison
+// ---------------------------------------------------------------------------
+
+void expect_identical_outcome(const GridSim& serial_sim,
+                              const GridSimResult& serial,
+                              const ShardGridSim& sharded_sim,
+                              const GridSimResult& sharded) {
+  ASSERT_EQ(serial_sim.cluster_count(), sharded_sim.cluster_count());
+  for (std::size_t c = 0; c < serial_sim.cluster_count(); ++c) {
+    SCOPED_TRACE("cluster " + std::to_string(c));
+    const OnlineCluster& a = serial_sim.cluster(c);
+    const OnlineCluster& b = sharded_sim.cluster(c);
+    ASSERT_EQ(a.local_records().size(), b.local_records().size());
+    for (std::size_t r = 0; r < a.local_records().size(); ++r) {
+      const LocalJobRecord& ra = a.local_records()[r];
+      const LocalJobRecord& rb = b.local_records()[r];
+      SCOPED_TRACE("record " + std::to_string(r));
+      EXPECT_EQ(ra.id, rb.id);
+      EXPECT_EQ(ra.community, rb.community);
+      EXPECT_EQ(ra.submit, rb.submit);  // bitwise: no tolerance anywhere
+      EXPECT_EQ(ra.start, rb.start);
+      EXPECT_EQ(ra.finish, rb.finish);
+      EXPECT_EQ(ra.procs, rb.procs);
+      EXPECT_EQ(ra.best_duration, rb.best_duration);
+    }
+    const BestEffortStats& ba = a.besteffort_stats();
+    const BestEffortStats& bb = b.besteffort_stats();
+    EXPECT_EQ(ba.started, bb.started);
+    EXPECT_EQ(ba.completed, bb.completed);
+    EXPECT_EQ(ba.killed, bb.killed);
+    EXPECT_EQ(ba.wasted_time, bb.wasted_time);
+    EXPECT_EQ(ba.completed_time, bb.completed_time);
+    const VolatilityStats& va = a.volatility_stats();
+    const VolatilityStats& vb = b.volatility_stats();
+    EXPECT_EQ(va.capacity_changes, vb.capacity_changes);
+    EXPECT_EQ(va.local_preemptions, vb.local_preemptions);
+    EXPECT_EQ(va.local_wasted, vb.local_wasted);
+  }
+  EXPECT_EQ(serial.horizon, sharded.horizon);
+  EXPECT_EQ(serial.jobs_completed, sharded.jobs_completed);
+  EXPECT_EQ(serial.migrations, sharded.migrations);
+  EXPECT_EQ(serial.mean_flow, sharded.mean_flow);
+  EXPECT_EQ(serial.mean_wait, sharded.mean_wait);
+  EXPECT_EQ(serial.mean_slowdown, sharded.mean_slowdown);
+  EXPECT_EQ(serial.grid_runs_total, sharded.grid_runs_total);
+  EXPECT_EQ(serial.grid_runs_completed, sharded.grid_runs_completed);
+  EXPECT_EQ(serial.grid_resubmissions, sharded.grid_resubmissions);
+  ASSERT_EQ(serial.communities.size(), sharded.communities.size());
+  for (std::size_t i = 0; i < serial.communities.size(); ++i) {
+    EXPECT_EQ(serial.communities[i].community,
+              sharded.communities[i].community);
+    EXPECT_EQ(serial.communities[i].jobs, sharded.communities[i].jobs);
+    EXPECT_EQ(serial.communities[i].mean_wait,
+              sharded.communities[i].mean_wait);
+  }
+}
+
+struct FuzzCase {
+  LightGrid grid;
+  GridSimOptions opts;
+  JobSet workload;
+  std::size_t clusters;
+  int threads;
+};
+
+FuzzCase make_fuzz_case(std::uint64_t round) {
+  Rng rng(mix_seed(0x5ca1ab1eull, round));
+  FuzzCase fc;
+  fc.clusters = 2 + rng.uniform_int(0, 3);  // 2..5
+  fc.grid = make_skewed_grid(static_cast<int>(fc.clusters),
+                             4 + static_cast<int>(rng.uniform_int(0, 8)),
+                             1.0 + rng.uniform(0.0, 1.5));
+  static const GridRouting kRoutings[] = {
+      GridRouting::kIsolated, GridRouting::kThreshold, GridRouting::kEconomic,
+      GridRouting::kGlobalPlan};
+  fc.opts.routing = kRoutings[rng.uniform_int(0, 3)];
+  fc.opts.cluster.policy =
+      rng.uniform_int(0, 1) == 0 ? "fcfs-list" : "easy-backfill";
+  static const OnlineCluster::KillPolicy kKills[] = {
+      OnlineCluster::KillPolicy::kYoungestFirst,
+      OnlineCluster::KillPolicy::kOldestFirst,
+      OnlineCluster::KillPolicy::kLongestRemaining};
+  fc.opts.cluster.kill_policy = kKills[rng.uniform_int(0, 2)];
+  fc.opts.wait_threshold = rng.uniform(1.0, 8.0);
+  fc.opts.migration_penalty = rng.uniform(0.0, 2.0);
+  if (rng.uniform_int(0, 3) == 0)  // every 4th round: best-effort layer
+    fc.opts.bags = {{"fuzz-bag", 10 + static_cast<int>(rng.uniform_int(0, 30)),
+                     rng.uniform(0.2, 1.0), 1, rng.uniform(0.3, 1.5)}};
+  if (rng.uniform_int(0, 2) != 0) {  // 2 of 3 rounds: volatility churn
+    fc.opts.volatility.events = 1 + static_cast<int>(rng.uniform_int(0, 4));
+    fc.opts.volatility.window = rng.uniform(5.0, 25.0);
+    fc.opts.volatility.floor_fraction = rng.uniform(0.3, 0.8);
+    fc.opts.volatility_seed = mix_seed(round, 17);
+  }
+  const int per_community = 6 + static_cast<int>(rng.uniform_int(0, 10));
+  for (std::size_t c = 0; c < fc.clusters; ++c) {
+    Rng wrng(mix_seed(round * 1000 + 1, c));
+    append_workload(fc.workload,
+                    make_community_workload(
+                        static_cast<Community>(c % 4), per_community, wrng,
+                        /*first_id=*/static_cast<JobId>(c * 1000),
+                        /*time_scale=*/0.05,
+                        /*arrival_window=*/rng.uniform(5.0, 20.0)));
+  }
+  fc.threads = 2 + static_cast<int>(round % 3);  // 2..4 workers
+  return fc;
+}
+
+TEST(ShardSim, RandomizedSmallGridFuzzMatchesSerialFieldByField) {
+  constexpr std::uint64_t kRounds = 200;
+  for (std::uint64_t round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const FuzzCase fc = make_fuzz_case(round);
+
+    GridSim serial(fc.grid, fc.opts);
+    serial.submit_workloads(split_by_community(fc.workload, fc.clusters));
+    const GridSimResult serial_res = serial.run();
+
+    ShardGridSim sharded(fc.grid, fc.opts, fc.threads);
+    sharded.submit_workloads(split_by_community(fc.workload, fc.clusters));
+    const GridSimResult sharded_res = sharded.run();
+
+    expect_identical_outcome(serial, serial_res, sharded, sharded_res);
+    EXPECT_TRUE(validate_grid_result(sharded, sharded_res).empty());
+    if (::testing::Test::HasFailure()) break;  // one full dump is enough
+  }
+}
+
+// Finite horizons cut both engines at the same instant: arrivals beyond
+// the horizon never route, shard clocks all end exactly at the horizon,
+// and the partially-run record state still agrees bitwise.
+TEST(ShardSim, FiniteHorizonCutMatchesSerial) {
+  for (const GoldenScenario& sc : golden_scenarios()) {
+    SCOPED_TRACE(sc.name);
+    const Time horizon = 15.0;  // mid-run: inside the arrival window
+
+    GridSim serial(make_skewed_grid(4, 24, 2.0), golden_options(sc));
+    serial.submit_workloads(split_by_community(golden_workload(), 4));
+    const GridSimResult serial_res = serial.run(horizon);
+
+    ShardGridSim sharded(make_skewed_grid(4, 24, 2.0), golden_options(sc),
+                         /*threads=*/3);
+    sharded.submit_workloads(split_by_community(golden_workload(), 4));
+    const GridSimResult sharded_res = sharded.run(horizon);
+
+    EXPECT_EQ(serial_res.horizon, sharded_res.horizon);
+    EXPECT_EQ(digest_grid_result(serial, serial_res),
+              digest_grid_result(sharded, sharded_res));
+  }
+}
+
+// The submit_store path of the sharded engine must agree with its
+// submit_workloads path (and hence with serial) — same grouping, same
+// release-date tie-breaks.
+TEST(ShardSim, StorePathMatchesWorkloadPath) {
+  const GoldenScenario sc = golden_scenarios()[2];  // economic + volatility
+  const std::uint64_t via_workloads = run_golden_scenario_sharded(sc, 3);
+  Arena arena;
+  const JobStore store = to_job_store(golden_workload(), ArenaRef(arena));
+  ShardGridSim sim(make_skewed_grid(4, 24, 2.0), golden_options(sc),
+                   /*threads=*/3, &arena);
+  sim.submit_store(store);
+  const GridSimResult res = sim.run();
+  EXPECT_EQ(digest_grid_result(sim, res), via_workloads);
+}
+
+}  // namespace
+}  // namespace lgs
