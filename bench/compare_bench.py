@@ -73,6 +73,33 @@ def walk(baseline, fresh, path, out):
             walk(base_value, fresh_value, f"{path}[{i}]", out)
 
 
+def severity(kind, base, new):
+    """How far past the bar a failed metric is: the regression factor
+    (>1 = worse), direction-normalized so throughput drops and footprint
+    growth sort on one scale.  Zero denominators (a throughput metric
+    collapsing to 0, or footprint growth over a 0 baseline) rank ahead
+    of every finite factor without printing inf."""
+    if kind == "higher":
+        return base / new if new else float("1e308")
+    return new / base if base else float("1e308")
+
+
+def print_failure_table(rows):
+    """The triage view on failure: every regressed metric in one table,
+    worst offender first, so a 40-leaf run with three regressions leads
+    with the three instead of burying them in the scrolled-past log."""
+    ranked = sorted(rows, key=lambda r: severity(r[1], r[2], r[3]),
+                    reverse=True)
+    width = max(len(r[0]) for r in ranked)
+    print("\nregressions, worst first (x = fresh/baseline):")
+    print(f"  {'metric':<{width}}  {'x':>8}  {'baseline':>14}  "
+          f"{'fresh':>14}  better")
+    for path, kind, base, new in ranked:
+        ratio = f"{new / base:.3f}" if base else "n/a"
+        print(f"  {path:<{width}}  {ratio:>8}  {base:>14g}  {new:>14g}  "
+              f"{kind}")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="bench JSON perf-regression gate")
@@ -105,6 +132,7 @@ def main():
         return 2
 
     failures = 0
+    failed_rows = []
     for path, key, kind, base, new in gated:
         if new is None:
             print(f"FAIL {path}: missing from fresh run (baseline {base:g})")
@@ -127,8 +155,11 @@ def main():
               f"({detail}, {kind} is better)")
         if not ok:
             failures += 1
+            failed_rows.append((path, kind, base, new))
 
     if failures:
+        if failed_rows:
+            print_failure_table(failed_rows)
         print(f"\n{failures} gated metric(s) regressed beyond "
               f"{args.tolerance:.0%} tolerance", file=sys.stderr)
         return 1

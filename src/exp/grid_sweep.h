@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/grid_sim.h"
+#include "sim/shard_sim.h"
 
 namespace lgs {
 
@@ -71,6 +72,10 @@ struct GridSweepSpec {
   /// determinism contract — a sweep axis for scaling studies, never for
   /// results.
   int grid_threads = 1;
+
+  /// Cluster -> shard placement when grid_threads != 1 (outcome-neutral
+  /// by the determinism contract; LPT balances the skewed ladders).
+  ShardPlacement shard_placement = ShardPlacement::kLpt;
 
   /// The replicate seeds actually used (explicit list or derived).
   std::vector<std::uint64_t> replicate_seeds() const;

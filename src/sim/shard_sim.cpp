@@ -13,6 +13,22 @@
 
 namespace lgs {
 
+const char* to_string(ShardPlacement p) {
+  switch (p) {
+    case ShardPlacement::kLpt:
+      return "lpt";
+    case ShardPlacement::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+ShardPlacement shard_placement_from_string(const std::string& s) {
+  if (s == "lpt") return ShardPlacement::kLpt;
+  if (s == "round-robin") return ShardPlacement::kRoundRobin;
+  throw std::invalid_argument("unknown shard placement: " + s);
+}
+
 /// One worker shard: a private arena, a private event queue on it, and
 /// the SPSC mailbox the coordinator streams arrivals through (static
 /// strategies).  `error` carries a worker exception across the join.
@@ -27,17 +43,25 @@ struct ShardGridSim::Shard {
   /// coordinator's walk stays ahead of the workers, small enough to
   /// bound memory when one shard lags.
   static constexpr std::size_t kMailboxCapacity = 4096;
+  /// Arrivals moved per bulk mailbox operation (push_n/pop_n): one
+  /// release-store per batch instead of per item on the hot streaming
+  /// path.
+  static constexpr std::size_t kArrivalBatch = 64;
 
   Arena arena;
   std::unique_ptr<Simulator> sim;
   SpscRing<Arrival> mailbox{kMailboxCapacity};
+  /// Coordinator-side staging buffer for bulk pushes (only the
+  /// coordinator touches it).
+  std::vector<Arrival> staging;
   std::exception_ptr error;
 };
 
 ShardGridSim::ShardGridSim(const LightGrid& grid, const GridSimOptions& opts,
-                           int threads, Arena* arena)
+                           int threads, Arena* arena, ShardPlacement placement)
     : grid_(grid),
       opts_(opts),
+      placement_(placement),
       arena_(arena != nullptr ? *arena : owned_arena_),
       store_(ArenaRef(arena_)),
       pending_(ArenaAllocator<GridPending>(ArenaRef(arena_))),
@@ -47,13 +71,9 @@ ShardGridSim::ShardGridSim(const LightGrid& grid, const GridSimOptions& opts,
     throw std::invalid_argument("grid without clusters");
   if (threads < 0)
     throw std::invalid_argument("negative shard thread count");
-  std::size_t want =
+  const std::size_t want =
       threads > 0 ? static_cast<std::size_t>(threads)
                   : std::max(1u, std::thread::hardware_concurrency());
-  // The central best-effort server couples every dispatch on every
-  // cluster through one shared grant FIFO — no time window preserves
-  // that order, so the engine degrades to one shard (= serial order).
-  if (!opts_.bags.empty()) want = 1;
   const std::size_t n_shards = std::min(want, grid_.clusters.size());
   shards_.reserve(n_shards);
   for (std::size_t s = 0; s < n_shards; ++s) {
@@ -61,11 +81,65 @@ ShardGridSim::ShardGridSim(const LightGrid& grid, const GridSimOptions& opts,
     sh->sim = std::make_unique<Simulator>(ArenaRef(sh->arena));
     shards_.push_back(std::move(sh));
   }
-  shard_of_.reserve(grid_.clusters.size());
+  // Cluster -> shard binding is deferred to ensure_materialized() so
+  // the LPT cost model can see the trace split (submissions arrive
+  // after construction).
+}
+
+ShardGridSim::~ShardGridSim() = default;
+
+std::vector<std::uint32_t> ShardGridSim::compute_placement() const {
+  const std::size_t n = grid_.clusters.size();
+  const std::size_t n_shards = shards_.size();
+  std::vector<std::uint32_t> owner(n);
+  if (placement_ == ShardPlacement::kRoundRobin || n_shards <= 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      owner[i] = static_cast<std::uint32_t>(i % n_shards);
+    return owner;
+  }
+  // Cost model: processors × (1 + home-trace job count).  The job count
+  // proxies expected load (routing may migrate some away, but home
+  // counts are the right order of magnitude); the +1 keeps empty
+  // clusters from costing nothing at all.
+  std::vector<std::size_t> jobs_at_home(n, 0);
+  for (const GridPending& p : pending_) ++jobs_at_home[p.home];
+  std::vector<double> cost(n);
+  for (std::size_t i = 0; i < n; ++i)
+    cost[i] = static_cast<double>(grid_.clusters[i].processors()) *
+              (1.0 + static_cast<double>(jobs_at_home[i]));
+  // LPT: heaviest cluster first (stable sort — equal costs keep cluster
+  // index order), each onto the least-loaded shard (strict < keeps the
+  // lowest shard index on ties).  Deterministic by construction.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), std::uint32_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&cost](std::uint32_t a, std::uint32_t b) {
+                     return cost[a] > cost[b];
+                   });
+  std::vector<double> load(n_shards, 0.0);
+  for (const std::uint32_t c : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < n_shards; ++s)
+      if (load[s] < load[best]) best = s;
+    owner[c] = static_cast<std::uint32_t>(best);
+    load[best] += cost[c];
+  }
+  return owner;
+}
+
+void ShardGridSim::ensure_materialized() const {
+  if (materialized_) return;
+  materialized_ = true;
+  shard_of_ = compute_placement();
+  // The coupled strategy needs every shard on the shared id counter
+  // BEFORE any event is scheduled (the bootstrap dispatches below must
+  // carry serial ids 1..N).
+  const bool coupled = !opts_.bags.empty() && shards_.size() > 1;
+  if (coupled)
+    for (const auto& sh : shards_) sh->sim->share_ids(&id_counter_);
   clusters_.reserve(grid_.clusters.size());
   for (std::size_t i = 0; i < grid_.clusters.size(); ++i) {
-    const std::size_t s = i % n_shards;
-    shard_of_.push_back(static_cast<std::uint32_t>(s));
+    const std::size_t s = shard_of_[i];
     clusters_.push_back(std::make_unique<OnlineCluster>(
         *shards_[s]->sim, grid_.clusters[i], opts_.cluster,
         ArenaRef(shards_[s]->arena)));
@@ -75,9 +149,12 @@ ShardGridSim::ShardGridSim(const LightGrid& grid, const GridSimOptions& opts,
     for (auto& c : clusters_)
       c->set_besteffort_source(server_->make_source());
   }
+  if (!deferred_reserve_.empty()) {
+    for (std::size_t c = 0; c < deferred_reserve_.size(); ++c)
+      clusters_[c]->reserve_submissions(deferred_reserve_[c]);
+    deferred_reserve_.clear();
+  }
 }
-
-ShardGridSim::~ShardGridSim() = default;
 
 int ShardGridSim::shard_count() const {
   return static_cast<int>(shards_.size());
@@ -99,7 +176,7 @@ void ShardGridSim::submit(std::size_t home, const Job& j) {
   if (ran_) throw std::logic_error("submit after run()");
   if (borrowed_ != nullptr)
     throw std::logic_error("cannot mix submit() with submit_store()");
-  if (home >= clusters_.size())
+  if (home >= grid_.clusters.size())
     throw std::invalid_argument("home cluster out of range");
   store_.append(j);
   pending_.push_back(GridPending{static_cast<std::uint32_t>(home),
@@ -107,14 +184,19 @@ void ShardGridSim::submit(std::size_t home, const Job& j) {
 }
 
 void ShardGridSim::submit_workloads(const std::vector<JobSet>& per_cluster) {
-  if (per_cluster.size() > clusters_.size())
+  if (per_cluster.size() > grid_.clusters.size())
     throw std::invalid_argument("more workloads than clusters");
   std::size_t total = 0;
   for (const JobSet& jobs : per_cluster) total += jobs.size();
   pending_.reserve(pending_.size() + total);
   store_.reserve(store_.size() + total);
+  if (deferred_reserve_.empty() && !materialized_)
+    deferred_reserve_.assign(grid_.clusters.size(), 0);
   for (std::size_t i = 0; i < per_cluster.size(); ++i) {
-    clusters_[i]->reserve_submissions(per_cluster[i].size());
+    if (materialized_)
+      clusters_[i]->reserve_submissions(per_cluster[i].size());
+    else
+      deferred_reserve_[i] += per_cluster[i].size();
     for (const Job& j : per_cluster[i]) submit(i, j);
   }
 }
@@ -125,9 +207,16 @@ void ShardGridSim::submit_store(const JobStore& store) {
     throw std::logic_error("cannot mix submit_store() with prior submissions");
   borrowed_ = &store;
   const std::vector<std::size_t> counts =
-      group_pending_by_home(store, clusters_.size(), pending_);
-  for (std::size_t c = 0; c < clusters_.size(); ++c)
-    clusters_[c]->reserve_submissions(counts[c]);
+      group_pending_by_home(store, grid_.clusters.size(), pending_);
+  if (materialized_) {
+    for (std::size_t c = 0; c < grid_.clusters.size(); ++c)
+      clusters_[c]->reserve_submissions(counts[c]);
+  } else {
+    if (deferred_reserve_.empty())
+      deferred_reserve_.assign(grid_.clusters.size(), 0);
+    for (std::size_t c = 0; c < grid_.clusters.size(); ++c)
+      deferred_reserve_[c] += counts[c];
+  }
 }
 
 std::size_t ShardGridSim::fallback_target(std::size_t target,
@@ -198,9 +287,26 @@ void ShardGridSim::build_route_order() {
       });
 }
 
+void ShardGridSim::arm_pump() {
+  // The serial engine's schedule_next_arrival allocates an id for the
+  // pump event here; consume the same id from the shared counter so
+  // every subsequent allocation matches serially.  The pump never
+  // enters a shard queue — run_coupled merges its (t, -2, id) key
+  // virtually.
+  if (route_cursor_ >= route_order_.size()) {
+    pump_armed_ = false;
+    return;
+  }
+  pump_t_ = effective_grid_release(
+      jobs()[pending_[route_order_[route_cursor_]].index].release);
+  pump_id_ = id_counter_.fetch_add(1, std::memory_order_relaxed);
+  pump_armed_ = true;
+}
+
 GridSimResult ShardGridSim::run(Time horizon) {
   LGS_PROF_ZONE("grid.run");
   if (ran_) throw std::logic_error("run() called twice");
+  ensure_materialized();
   ran_ = true;
   if (opts_.routing == GridRouting::kGlobalPlan) {
     plan_.resize(pending_.size());
@@ -208,6 +314,13 @@ GridSimResult ShardGridSim::run(Time horizon) {
                         plan_.data());
   }
   build_route_order();
+  route_cursor_ = 0;
+  const bool coupled = server_ != nullptr && shards_.size() > 1;
+  // Serial id layout with bags: bootstrap dispatches took ids 1..N at
+  // materialization; the serial engine allocates its pump event id
+  // next, BEFORE the volatility events — mirror that here so the churn
+  // stream ids line up.
+  if (coupled) arm_pump();
   // Volatility churn before any worker starts: per-cluster order-free
   // streams (grid_sim.h), scheduled on the owning shard's queue.
   for (std::size_t c = 0; c < clusters_.size(); ++c)
@@ -217,6 +330,8 @@ GridSimResult ShardGridSim::run(Time horizon) {
                               opts_.routing == GridRouting::kGlobalPlan;
   if (shards_.size() == 1)
     run_single(horizon);
+  else if (coupled)
+    run_coupled(horizon);
   else if (static_routing)
     run_static(horizon);
   else
@@ -231,24 +346,107 @@ GridSimResult ShardGridSim::run(Time horizon) {
 
 void ShardGridSim::run_single(Time horizon) {
   // One shard: the serial event order replayed inline on the calling
-  // thread (no workers).  This is the only legal strategy when the
-  // central best-effort server is configured, and the degenerate case
-  // of both parallel strategies.
+  // thread (no workers) — the degenerate case of every strategy.
   Simulator& sim = *shards_[0]->sim;
   const JobStore& js = jobs();
-  std::size_t cursor = 0;
-  while (cursor < route_order_.size()) {
+  while (route_cursor_ < route_order_.size()) {
     const Time t = effective_grid_release(
-        js[pending_[route_order_[cursor]].index].release);
+        js[pending_[route_order_[route_cursor_]].index].release);
     if (t > horizon) break;
     sim.run_until(t, kGridArrivalPriority);
     LGS_PROF_COUNT("grid.arrival_batches", 1);
-    while (cursor < route_order_.size() &&
+    while (route_cursor_ < route_order_.size() &&
            effective_grid_release(
-               js[pending_[route_order_[cursor]].index].release) <= t)
-      route_one(route_order_[cursor++]);
+               js[pending_[route_order_[route_cursor_]].index].release) <= t)
+      route_one(route_order_[route_cursor_++]);
   }
   sim.run(horizon);
+}
+
+void ShardGridSim::run_coupled(Time horizon) {
+  // Central best-effort server on N shards: the coordinator executes
+  // events ONE at a time in merged (time, priority, id) order across
+  // the shard queues — the shared id counter makes every allocation
+  // land on the exact serial id, so by induction the replay (including
+  // every grant-FIFO pop, kill-resubmit and completion) IS the serial
+  // replay, just stored in per-shard queues.  The serial arrival pump
+  // participates as a virtual event: arm_pump() holds its (t, -2, id)
+  // key; when it wins the merge, the coordinator pins every shard
+  // clock to the batch instant and routes the batch inline, exactly
+  // like the serial pump callback.
+  //
+  // The moment the campaign completes (completed() == total_runs())
+  // the FIFO is silent FOREVER — nothing pending, nothing running, so
+  // no future dispatch can pop a grant, no kill can resubmit, no
+  // completion can land — and the remaining replay decomposes like a
+  // bag-free run: hand off to the parallel strategy for the tail.
+  const JobStore& js = jobs();
+  const long target_runs = server_->total_runs();
+  bool handoff = false;
+  for (;;) {
+    if (server_->completed() == target_runs) {
+      handoff = true;
+      break;
+    }
+    int best_shard = -1;
+    Time bt = 0.0;
+    int bp = 0;
+    EventId bid = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Time t;
+      int p;
+      EventId id;
+      if (!shards_[s]->sim->peek_next(&t, &p, &id)) continue;
+      if (best_shard < 0 || t < bt ||
+          (t == bt && (p < bp || (p == bp && id < bid)))) {
+        best_shard = static_cast<int>(s);
+        bt = t;
+        bp = p;
+        bid = id;
+      }
+    }
+    const bool pump_best =
+        pump_armed_ &&
+        (best_shard < 0 || pump_t_ < bt ||
+         (pump_t_ == bt && (kGridArrivalPriority < bp ||
+                            (kGridArrivalPriority == bp && pump_id_ < bid))));
+    if (best_shard < 0 && !pump_armed_) break;
+    const Time next_t = pump_best ? pump_t_ : bt;
+    if (next_t > horizon) break;
+    if (pump_best) {
+      // Everything ordered before the pump already ran, so run_until
+      // executes nothing — it pins each shard clock to the batch
+      // instant (exchange bids and submit records read now()).
+      for (const auto& sh : shards_)
+        sh->sim->run_until(pump_t_, kGridArrivalPriority);
+      LGS_PROF_COUNT("grid.arrival_batches", 1);
+      const Time t = pump_t_;
+      pump_armed_ = false;
+      while (route_cursor_ < route_order_.size() &&
+             effective_grid_release(
+                 js[pending_[route_order_[route_cursor_]].index].release) <= t)
+        route_one(route_order_[route_cursor_++]);
+      arm_pump();
+    } else {
+      shards_[static_cast<std::size_t>(best_shard)]->sim->step_one();
+    }
+  }
+  if (!handoff) {
+    // Horizon cut (or full drain): pin every clock, serial-style.
+    for (const auto& sh : shards_) sh->sim->run(horizon);
+    return;
+  }
+  pump_armed_ = false;
+  // Parallel tail: the FIFO is silent, so the remaining replay obeys
+  // the bag-free determinism argument (workers' id draws stay
+  // per-shard monotone on the shared counter; concurrent request()
+  // calls only read the drained deque).
+  const bool static_routing = opts_.routing == GridRouting::kIsolated ||
+                              opts_.routing == GridRouting::kGlobalPlan;
+  if (static_routing)
+    run_static(horizon);
+  else
+    run_windows(horizon);
 }
 
 void ShardGridSim::worker_static(std::size_t s, Time horizon) {
@@ -257,27 +455,32 @@ void ShardGridSim::worker_static(std::size_t s, Time horizon) {
     LGS_PROF_ZONE("grid.shard_run");
     const JobStore& js = jobs();
     Time batch_t = -1.0;
-    // Blocking peek: the next arrival's instant bounds how far this
+    Shard::Arrival buf[Shard::kArrivalBatch];
+    // Blocking bulk pop: each arrival's instant bounds how far this
     // shard may advance, so the worker cannot outrun the coordinator —
     // and the mailbox content is timing-independent, so neither thread
     // schedule nor buffer depth can change the replay.
-    while (const Shard::Arrival* a = sh.mailbox.wait_peek()) {
-      sh.sim->run_until(a->release, kGridArrivalPriority);
-      if (a->release != batch_t) {
-        batch_t = a->release;
-        LGS_PROF_COUNT("grid.arrival_batches", 1);
+    while (const std::size_t n = sh.mailbox.wait_pop_n(buf, Shard::kArrivalBatch)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Shard::Arrival& a = buf[i];
+        sh.sim->run_until(a.release, kGridArrivalPriority);
+        if (a.release != batch_t) {
+          batch_t = a.release;
+          LGS_PROF_COUNT("grid.arrival_batches", 1);
+        }
+        HotJob h = js[a.job];
+        h.release = 0.0;
+        clusters_[a.cluster]->submit_local(h, js.tables());
       }
-      HotJob h = js[a->job];
-      h.release = 0.0;
-      clusters_[a->cluster]->submit_local(h, js.tables());
-      sh.mailbox.pop();
     }
     sh.sim->run(horizon);
   } catch (...) {
     sh.error = std::current_exception();
     // Keep draining so the coordinator's blocking push can never wedge
     // on a dead consumer.
-    while (sh.mailbox.wait_peek() != nullptr) sh.mailbox.pop();
+    Shard::Arrival sink[Shard::kArrivalBatch];
+    while (sh.mailbox.wait_pop_n(sink, Shard::kArrivalBatch) != 0) {
+    }
   }
 }
 
@@ -285,13 +488,19 @@ void ShardGridSim::run_static(Time horizon) {
   // Static strategies (isolated / global-plan): every routing decision
   // is computable here, before the clock starts.  The coordinator walks
   // the arrivals in global release order and streams each to its target
-  // shard's mailbox; workers replay concurrently with zero barriers.
+  // shard's mailbox (staged into kArrivalBatch-deep bulk pushes);
+  // workers replay concurrently with zero barriers.
   std::vector<std::thread> pool;
   pool.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s)
     pool.emplace_back([this, s, horizon] { worker_static(s, horizon); });
   const JobStore& js = jobs();
-  for (const std::uint32_t idx : route_order_) {
+  for (auto& sh : shards_) {
+    sh->staging.clear();
+    sh->staging.reserve(Shard::kArrivalBatch);
+  }
+  for (; route_cursor_ < route_order_.size(); ++route_cursor_) {
+    const std::uint32_t idx = route_order_[route_cursor_];
     const GridPending& p = pending_[idx];
     const Time t = effective_grid_release(js[p.index].release);
     if (t > horizon) break;
@@ -301,10 +510,21 @@ void ShardGridSim::run_static(Time horizon) {
       ++migrations_;
       LGS_PROF_COUNT("grid.migrations", 1);
     }
-    shards_[shard_of_[target]]->mailbox.push(
+    Shard& sh = *shards_[shard_of_[target]];
+    sh.staging.push_back(
         Shard::Arrival{t, static_cast<std::uint32_t>(target), p.index});
+    if (sh.staging.size() >= Shard::kArrivalBatch) {
+      sh.mailbox.push_n(sh.staging.data(), sh.staging.size());
+      sh.staging.clear();
+    }
   }
-  for (auto& sh : shards_) sh->mailbox.close();
+  for (auto& sh : shards_) {
+    if (!sh->staging.empty()) {
+      sh->mailbox.push_n(sh->staging.data(), sh->staging.size());
+      sh->staging.clear();
+    }
+    sh->mailbox.close();
+  }
   for (auto& th : pool) th.join();
   for (auto& sh : shards_)
     if (sh->error) std::rethrow_exception(sh->error);
@@ -396,17 +616,16 @@ void ShardGridSim::run_windows(Time horizon) {
     });
   const JobStore& js = jobs();
   try {
-    std::size_t cursor = 0;
-    while (cursor < route_order_.size()) {
+    while (route_cursor_ < route_order_.size()) {
       const Time t = effective_grid_release(
-          js[pending_[route_order_[cursor]].index].release);
+          js[pending_[route_order_[route_cursor_]].index].release);
       if (t > horizon) break;
       crew.issue(WindowCrew::Cmd::kRunUntil, t);
       LGS_PROF_COUNT("grid.arrival_batches", 1);
-      while (cursor < route_order_.size() &&
+      while (route_cursor_ < route_order_.size() &&
              effective_grid_release(
-                 js[pending_[route_order_[cursor]].index].release) <= t)
-        route_one(route_order_[cursor++]);
+                 js[pending_[route_order_[route_cursor_]].index].release) <= t)
+        route_one(route_order_[route_cursor_++]);
     }
     crew.issue(WindowCrew::Cmd::kDrain, horizon);
   } catch (...) {

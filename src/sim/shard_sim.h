@@ -1,6 +1,6 @@
 // Sharded multi-cluster replay (ROADMAP item 1: intra-grid
-// parallelism): the clusters of ONE grid partitioned round-robin across
-// worker threads, each advancing its shard's PRIVATE event queue
+// parallelism): the clusters of ONE grid partitioned across worker
+// threads, each advancing its shard's PRIVATE event queue
 // (sim/simulator.h) out of a PRIVATE arena — with the hard requirement
 // that the outcome is bit-identical to the serial GridSim, pinned by
 // the FNV-1a golden digests of tests/test_shard_sim.cpp.
@@ -19,7 +19,8 @@
 //    plan is an upfront prelude; fallback widening reads only static
 //    processors()).  The coordinator thread streams arrivals in global
 //    release order through one lock-free SPSC mailbox per shard
-//    (core/spsc_ring.h); each worker alternates
+//    (core/spsc_ring.h), batched per push_n/pop_n to amortize the
+//    atomic traffic; each worker alternates
 //    `run_until(next_arrival, kGridArrivalPriority)` with submissions.
 //    No barriers at all — wall-clock scales with the slowest shard.
 //
@@ -32,21 +33,47 @@
 //    the workers are parked.
 //
 //  * CENTRAL BEST-EFFORT SERVER configured: every dispatch on every
-//    cluster may consume from the shared grant FIFO, an ordering
-//    coupling no time window preserves — the engine forces ONE shard
-//    and replays inline on the calling thread (provably the serial
-//    event order, threads uninvolved).
+//    cluster may consume from the shared grant FIFO — an ordering
+//    coupling no time window preserves, because grant order depends on
+//    the full serial interleaving of dispatches across clusters.  The
+//    engine runs the COUPLED-LOCKSTEP strategy: all shard simulators
+//    draw insertion ids from ONE shared counter
+//    (Simulator::share_ids), and the coordinator executes events one
+//    at a time in merged (time, priority, id) order across the shard
+//    queues — by induction this reproduces the serial engine's id
+//    assignment and execution order exactly, so every FIFO operation
+//    happens in serial order.  The serial arrival pump is mirrored as
+//    a *virtual* event (its id is allocated from the shared counter at
+//    the serial position, but it never enters a shard queue).  Once
+//    the campaign completes (`completed() == total_runs()`) the FIFO
+//    is provably silent forever — no run is pending or running
+//    anywhere, so no future dispatch can pop, kill or complete a grant
+//    — and the engine hands the remaining replay to the parallel
+//    strategy above (static streaming or windows, resumed from the
+//    current arrival cursor).  In the tail, concurrent id draws stay
+//    per-shard monotone, which is all the tie-break needs.
 //
-// In all three strategies the serial tie-break (time, priority,
-// insertion id) is replayed exactly: per-cluster event streams keep
-// their serial relative order because submissions reach each cluster in
-// the serial arrival order, and cross-cluster same-instant ties commute
-// because no shared state is touched between barrier points.
+// In all strategies the serial tie-break (time, priority, insertion
+// id) is replayed exactly: per-cluster event streams keep their serial
+// relative order because submissions reach each cluster in the serial
+// arrival order, and cross-cluster same-instant ties commute because
+// no shared state is touched between synchronization points.
+//
+// Cluster -> shard placement is a deterministic LPT partition by
+// default (ShardPlacement::kLpt): clusters sorted by descending cost —
+// `processors x (1 + home-trace job count)` — each assigned to the
+// least-loaded shard (ties broken by cluster index, then lowest shard
+// index), so make_skewed_grid's geometric ladder no longer piles the
+// heavy clusters onto a few workers the way round-robin did.  Because
+// volatility streams are keyed by cluster_index (not shard), placement
+// can NEVER change the replay outcome — pinned by tests.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/arena.h"
@@ -60,20 +87,38 @@
 
 namespace lgs {
 
+/// Cluster -> shard assignment strategy.  Outcome-neutral by
+/// construction (the determinism contract keys all per-cluster streams
+/// by cluster index): only load balance changes.
+enum class ShardPlacement {
+  kLpt,        ///< longest-processing-time partition over the cost model
+  kRoundRobin  ///< cluster i -> shard i % shard_count (the PR-8 layout)
+};
+
+const char* to_string(ShardPlacement p);
+/// Parse "lpt" / "round-robin"; throws std::invalid_argument otherwise.
+ShardPlacement shard_placement_from_string(const std::string& s);
+
 /// Parallel drop-in for GridSim: same construction, submission and
 /// run-once surface, same GridSimResult, bit-identical outcome.
 ///
 /// `threads` requests the worker count: 0 = hardware_concurrency,
-/// clamped to [1, cluster_count()], and forced to 1 when best-effort
-/// bags are configured (see the determinism contract above).  Memory
-/// follows GridSim's replay-arena discipline, but per shard: the
-/// coordinator arena holds the store and routing tables, and each shard
-/// owns a private arena for its simulator and clusters so PR 6's
-/// allocation discipline holds without cross-thread contention.
+/// clamped to [1, cluster_count()].  Memory follows GridSim's
+/// replay-arena discipline, but per shard: the coordinator arena holds
+/// the store and routing tables, and each shard owns a private arena
+/// for its simulator and clusters so PR 6's allocation discipline holds
+/// without cross-thread contention.
+///
+/// Cluster -> shard placement is decided lazily (first access of
+/// cluster()/clusters()/shard_of() or run()), so the LPT cost model can
+/// see the trace split; submit everything before reading the placement
+/// to get load-aware costs (earlier access falls back to node-count
+/// costs — still deterministic, still outcome-identical).
 class ShardGridSim {
  public:
   ShardGridSim(const LightGrid& grid, const GridSimOptions& opts,
-               int threads = 0, Arena* arena = nullptr);
+               int threads = 0, Arena* arena = nullptr,
+               ShardPlacement placement = ShardPlacement::kLpt);
   ~ShardGridSim();
   ShardGridSim(const ShardGridSim&) = delete;
   ShardGridSim& operator=(const ShardGridSim&) = delete;
@@ -90,18 +135,27 @@ class ShardGridSim {
   /// threads live only inside this call.
   GridSimResult run(Time horizon = kTimeInfinity);
 
-  std::size_t cluster_count() const { return clusters_.size(); }
-  const OnlineCluster& cluster(std::size_t i) const { return *clusters_[i]; }
+  std::size_t cluster_count() const { return grid_.clusters.size(); }
+  const OnlineCluster& cluster(std::size_t i) const {
+    ensure_materialized();
+    return *clusters_[i];
+  }
   /// The clusters in index order (grid/exchange bidding, validation).
   const std::vector<std::unique_ptr<OnlineCluster>>& clusters() const {
+    ensure_materialized();
     return clusters_;
   }
   const LightGrid& grid() const { return grid_; }
 
-  /// Effective shard count after clamping (1 when bags are configured).
+  /// Effective shard count after clamping.
   int shard_count() const;
-  /// Which shard owns cluster `i` (round-robin: i % shard_count()).
-  int shard_of(std::size_t i) const { return static_cast<int>(shard_of_[i]); }
+  /// The placement strategy in force.
+  ShardPlacement placement() const { return placement_; }
+  /// Which shard owns cluster `i` (decided by the placement strategy).
+  int shard_of(std::size_t i) const {
+    ensure_materialized();
+    return static_cast<int>(shard_of_[i]);
+  }
   /// Events executed across all shard simulators.
   std::uint64_t events_executed() const;
   /// Peak arena bytes: coordinator arena plus every shard arena.
@@ -113,6 +167,12 @@ class ShardGridSim {
   const JobStore& jobs() const {
     return borrowed_ != nullptr ? *borrowed_ : store_;
   }
+  /// Bind clusters to shards (placement + construction + central
+  /// server).  Idempotent; called by run() and the cluster accessors.
+  void ensure_materialized() const;
+  /// Cluster -> shard map under placement_ (LPT over the cost model,
+  /// or round-robin).
+  std::vector<std::uint32_t> compute_placement() const;
   std::size_t fallback_target(std::size_t target, int min_procs) const;
   /// Routing target of one pending submission under static routing.
   std::size_t static_target(std::size_t pending_index) const;
@@ -120,24 +180,39 @@ class ShardGridSim {
   /// strategies; runs on the coordinator with all shards quiesced).
   void route_one(std::size_t pending_index);
   void build_route_order();
+  /// Mirror the serial pump: allocate the id the serial engine's next
+  /// arrival-pump event would carry (coupled strategy only).
+  void arm_pump();
   void run_single(Time horizon);
+  void run_coupled(Time horizon);
   void run_static(Time horizon);
   void run_windows(Time horizon);
   void worker_static(std::size_t s, Time horizon);
 
   LightGrid grid_;
   GridSimOptions opts_;
+  ShardPlacement placement_;
   Arena owned_arena_;  ///< unused (empty) when an external arena is given
   Arena& arena_;       ///< coordinator arena (store + routing tables)
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::uint32_t> shard_of_;  ///< cluster index -> shard index
-  std::vector<std::unique_ptr<OnlineCluster>> clusters_;
-  std::unique_ptr<CentralServer> server_;
+  /// Lazily materialized (mutable: const accessors may trigger it).
+  mutable std::vector<std::uint32_t> shard_of_;  ///< cluster -> shard
+  mutable std::vector<std::unique_ptr<OnlineCluster>> clusters_;
+  mutable std::unique_ptr<CentralServer> server_;
+  mutable std::vector<std::size_t> deferred_reserve_;  ///< per home cluster
+  mutable bool materialized_ = false;
+  /// Shared insertion-id counter of the coupled strategy (serial id 1
+  /// is the first bootstrap dispatch, as in GridSim).
+  mutable std::atomic<EventId> id_counter_{1};
   JobStore store_;  ///< submissions via submit(); empty when borrowing
   const JobStore* borrowed_ = nullptr;
   ArenaVec<GridPending> pending_;
   ArenaVec<std::uint32_t> plan_;  ///< kGlobalPlan: pending index -> target
   ArenaVec<std::uint32_t> route_order_;  ///< pending indices by release
+  std::size_t route_cursor_ = 0;  ///< next arrival (strategies resume here)
+  bool pump_armed_ = false;  ///< coupled: virtual pump event pending
+  Time pump_t_ = 0.0;
+  EventId pump_id_ = 0;
   long migrations_ = 0;
   bool ran_ = false;
 };

@@ -25,6 +25,7 @@
 // before.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -97,7 +98,10 @@ class Simulator {
       throw;
     }
     slot.ops = &OpsFor<Fn, kInline>::value;
-    const EventId id = next_id_++;
+    const EventId id = shared_ids_
+                           ? shared_ids_->fetch_add(1, std::memory_order_relaxed)
+                           : next_id_++;
+    if (shared_ids_ && id >= next_id_) next_id_ = id + 1;
     try {
       queue_.push(QEntry{t, id, slot_index, priority});
     } catch (...) {
@@ -125,6 +129,30 @@ class Simulator {
     cancelled_.insert(id);
     if (cancelled_.size() >= next_prune_) prune_cancellations();
   }
+
+  /// Draw insertion ids from a shared atomic counter instead of the
+  /// private sequence.  This is how the coupled sharded engine
+  /// (sim/shard_sim.h) reproduces the serial engine's global id
+  /// assignment across several per-shard kernels: while the coordinator
+  /// executes events one at a time in merged (time, priority, id) order,
+  /// every at() call allocates the exact id the serial replay would have
+  /// used.  The counter must be monotone and >= every id this kernel has
+  /// handed out (enable it before the first at()).  Pass nullptr to
+  /// return to the private sequence.  The kernel keeps a local upper
+  /// bound mirror so cancel()'s never-issued-id guard stays exact.
+  void share_ids(std::atomic<EventId>* counter) { shared_ids_ = counter; }
+
+  /// Peek the next live event without executing it: prunes cancelled
+  /// entries off the queue head, then reports the (time, priority, id)
+  /// key of the true head.  Returns false when nothing live is pending.
+  /// This is the merge key the coupled sharded engine compares across
+  /// shards to pick the globally next event.
+  bool peek_next(Time* t, int* priority, EventId* id);
+
+  /// Execute exactly one live event (skipping cancelled entries), or
+  /// return false if the queue holds none.  Does not advance now_ past
+  /// the executed event's time.
+  bool step_one();
 
   /// Run until the queue drains (or `horizon` is reached, if finite).
   void run(Time horizon = kTimeInfinity);
@@ -243,6 +271,7 @@ class Simulator {
 
   ArenaRef ref_;
   Time now_ = 0.0;
+  std::atomic<EventId>* shared_ids_ = nullptr;
   EventId next_id_ = 1;
   EventId watermark_ = 1;  ///< every id below this has been consumed
   std::size_t next_prune_ = kMinPrune;

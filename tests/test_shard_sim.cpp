@@ -7,13 +7,19 @@
 //  * sharded-vs-serial digest equality holds on ANY standard library
 //    (no reference-Rng skip — both engines draw the same streams);
 //  * a 200-round randomized small-grid fuzz (random routing, policies,
-//    kill policies, volatility, bags, seeds, thread counts) compares
-//    the drained engines field by field — every record, every stats
-//    block, bitwise on doubles.
+//    kill policies, volatility, bags, seeds, thread counts, placement)
+//    compares the drained engines field by field — every record, every
+//    stats block, bitwise on doubles;
+//  * an explicit central-server matrix (kill policy × ≥2 shards) pins
+//    the coupled-lockstep strategy against serial digests, and the
+//    placement tests pin that the LPT partition is deterministic,
+//    balanced, and outcome-neutral.
 // Plus unit tests for the SPSC mailbox the static strategies stream
-// arrivals through (core/spsc_ring.h).
+// arrivals through (core/spsc_ring.h), including the push_n/pop_n bulk
+// operations the streaming path batches with.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -74,6 +80,74 @@ TEST(SpscRing, WaitPeekDrainsResidueAfterClose) {
   EXPECT_EQ(*p, 8);
   ring.pop();
   EXPECT_EQ(ring.wait_peek(), nullptr);  // closed AND drained
+}
+
+TEST(SpscRing, BulkPushPopWraparound) {
+  SpscRing<int> ring(8);
+  int in = 0, out = 0;
+  int ibuf[5], obuf[8];
+  // Varying batch sizes shift the ring offset every iteration, so the
+  // two-segment memcpy split is exercised at every phase.
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t n = 1 + static_cast<std::size_t>(iter % 5);
+    for (std::size_t i = 0; i < n; ++i) ibuf[i] = in++;
+    ASSERT_EQ(ring.try_push_n(ibuf, n), n);
+    ASSERT_EQ(ring.pop_n(obuf, 8), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(obuf[i], out++);
+  }
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(ring.pop_n(obuf, 8), 0u);
+}
+
+TEST(SpscRing, TryPushNPartialWhenNearlyFull) {
+  SpscRing<int> ring(4);
+  int buf[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.try_push_n(buf, 6), 4u);  // partial: only 4 slots free
+  EXPECT_EQ(ring.try_push_n(buf, 1), 0u);  // full
+  int obuf[4];
+  ASSERT_EQ(ring.pop_n(obuf, 4), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(obuf[i], i);
+}
+
+TEST(SpscRing, WaitPopNDrainsResidueAfterClose) {
+  SpscRing<int> ring(8);
+  const int items[3] = {7, 8, 9};
+  ring.push_n(items, 3);
+  ring.close();  // close mid-batch: the residue must still drain
+  int obuf[2];
+  ASSERT_EQ(ring.wait_pop_n(obuf, 2), 2u);
+  EXPECT_EQ(obuf[0], 7);
+  EXPECT_EQ(obuf[1], 8);
+  ASSERT_EQ(ring.wait_pop_n(obuf, 2), 1u);
+  EXPECT_EQ(obuf[0], 9);
+  EXPECT_EQ(ring.wait_pop_n(obuf, 2), 0u);  // closed AND drained
+}
+
+TEST(SpscRing, CrossThreadBulkStreamKeepsOrder) {
+  constexpr int kItems = 60000;
+  SpscRing<int> ring(64);
+  std::thread producer([&ring] {
+    int next = 0;
+    int batch[17];
+    while (next < kItems) {
+      std::size_t n = 1 + static_cast<std::size_t>(next % 17);
+      if (next + static_cast<int>(n) > kItems)
+        n = static_cast<std::size_t>(kItems - next);
+      for (std::size_t i = 0; i < n; ++i) batch[i] = next++;
+      ring.push_n(batch, n);
+    }
+    ring.close();
+  });
+  int expected = 0;
+  bool ordered = true;
+  int buf[16];
+  while (const std::size_t n = ring.wait_pop_n(buf, 16)) {
+    for (std::size_t i = 0; i < n; ++i)
+      ordered = ordered && (buf[i] == expected++);
+  }
+  producer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(expected, kItems);
 }
 
 TEST(SpscRing, CrossThreadStreamKeepsOrder) {
@@ -139,17 +213,124 @@ TEST(ShardSim, ShardedEqualsSerialOnAnyLibrary) {
   }
 }
 
-TEST(ShardSim, BagsForceSingleShard) {
+TEST(ShardSim, CentralServerRunsOnMultipleShards) {
+  // PR 8 forced one shard whenever best-effort bags were configured;
+  // the coupled-lockstep strategy lifted that — the grant FIFO now
+  // replays serially on N shards.
   GridSimOptions opts = golden_options(golden_scenarios().front());
   ASSERT_FALSE(opts.bags.empty());
   ShardGridSim sim(make_skewed_grid(4, 24, 2.0), opts, /*threads=*/4);
-  EXPECT_EQ(sim.shard_count(), 1)
-      << "the central best-effort server requires serial-order execution";
-  opts.bags.clear();
-  ShardGridSim free_sim(make_skewed_grid(4, 24, 2.0), opts, /*threads=*/4);
-  EXPECT_EQ(free_sim.shard_count(), 4);
-  EXPECT_EQ(free_sim.shard_of(0), 0);
-  EXPECT_EQ(free_sim.shard_of(1), 1);  // round-robin assignment
+  EXPECT_EQ(sim.shard_count(), 4)
+      << "bags must no longer force single-shard execution";
+}
+
+// Explicit central-server matrix: every kill policy × ≥2 shards must
+// reproduce the serial digest on both bag scenarios (isolated streams
+// into the static tail after campaign completion, threshold into the
+// windowed tail).
+TEST(ShardSim, CentralServerKillPolicyMatrixMatchesSerial) {
+  static const OnlineCluster::KillPolicy kKills[] = {
+      OnlineCluster::KillPolicy::kYoungestFirst,
+      OnlineCluster::KillPolicy::kOldestFirst,
+      OnlineCluster::KillPolicy::kLongestRemaining};
+  for (const GoldenScenario& sc : golden_scenarios()) {
+    GridSimOptions base = golden_options(sc);
+    if (base.bags.empty()) continue;
+    for (const OnlineCluster::KillPolicy kill : kKills) {
+      GridSimOptions opts = base;
+      opts.cluster.kill_policy = kill;
+      GridSim serial(make_skewed_grid(4, 24, 2.0), opts);
+      serial.submit_workloads(split_by_community(golden_workload(), 4));
+      const GridSimResult serial_res = serial.run();
+      const std::uint64_t want = digest_grid_result(serial, serial_res);
+      for (const int threads : golden_thread_counts()) {
+        if (threads < 2) continue;
+        SCOPED_TRACE(sc.name + " kill=" + std::to_string(static_cast<int>(kill)) +
+                     " @ " + std::to_string(threads) + " threads");
+        ShardGridSim sharded(make_skewed_grid(4, 24, 2.0), opts, threads);
+        sharded.submit_workloads(split_by_community(golden_workload(), 4));
+        const GridSimResult res = sharded.run();
+        EXPECT_GE(sharded.shard_count(), 2);
+        EXPECT_EQ(digest_grid_result(sharded, res), want);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Placement: LPT partition, deterministic and outcome-neutral
+// ---------------------------------------------------------------------------
+
+TEST(ShardPlacementTest, RoundRobinKeepsLegacyLayout) {
+  GridSimOptions opts;
+  ShardGridSim sim(make_skewed_grid(6, 24, 2.0), opts, /*threads=*/4,
+                   nullptr, ShardPlacement::kRoundRobin);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(sim.shard_of(i), static_cast<int>(i % 4));
+}
+
+TEST(ShardPlacementTest, LptTieBreaksByClusterThenShardIndex) {
+  // skew 1.0: every cluster costs the same, so the LPT order is the
+  // cluster index order and ties on shard load resolve to the lowest
+  // shard index — the assignment alternates deterministically.
+  GridSimOptions opts;
+  ShardGridSim sim(make_skewed_grid(5, 8, 1.0), opts, /*threads=*/2,
+                   nullptr, ShardPlacement::kLpt);
+  EXPECT_EQ(sim.shard_of(0), 0);
+  EXPECT_EQ(sim.shard_of(1), 1);
+  EXPECT_EQ(sim.shard_of(2), 0);
+  EXPECT_EQ(sim.shard_of(3), 1);
+  EXPECT_EQ(sim.shard_of(4), 0);
+}
+
+TEST(ShardPlacementTest, LptBalancesSkewedLadderBetterThanRoundRobin) {
+  const LightGrid grid = make_skewed_grid(8, 64, 4.0);
+  GridSimOptions opts;
+  const std::size_t kShards = 2;
+  const auto max_load = [&](ShardPlacement p) {
+    ShardGridSim sim(grid, opts, static_cast<int>(kShards), nullptr, p);
+    std::vector<double> load(kShards, 0.0);
+    for (std::size_t i = 0; i < grid.clusters.size(); ++i)
+      load[static_cast<std::size_t>(sim.shard_of(i))] +=
+          grid.clusters[i].processors();
+    return *std::max_element(load.begin(), load.end());
+  };
+  double total = 0.0, largest = 0.0;
+  for (const Cluster& c : grid.clusters) {
+    total += c.processors();
+    largest = std::max(largest, static_cast<double>(c.processors()));
+  }
+  const double lpt = max_load(ShardPlacement::kLpt);
+  const double rr = max_load(ShardPlacement::kRoundRobin);
+  // The geometric ladder is exactly the shape round-robin mishandles.
+  EXPECT_LT(lpt, rr);
+  // Graham's LPT bound: max load <= (4/3 - 1/3m) * OPT, with
+  // OPT >= max(average, largest item).
+  const double opt_lb = std::max(total / kShards, largest);
+  EXPECT_LE(lpt, (4.0 / 3.0 - 1.0 / (3.0 * kShards)) * opt_lb + 1e-9);
+}
+
+std::uint64_t run_sharded_with_placement(const GoldenScenario& sc, int threads,
+                                         ShardPlacement placement) {
+  ShardGridSim sim(make_skewed_grid(4, 24, 2.0), golden_options(sc), threads,
+                   nullptr, placement);
+  sim.submit_workloads(split_by_community(golden_workload(), 4));
+  const GridSimResult res = sim.run();
+  return digest_grid_result(sim, res);
+}
+
+// The determinism contract keys every per-cluster stream by cluster
+// index, so WHERE a cluster runs can never change WHAT it computes:
+// both placements must produce the same digest on every scenario.
+TEST(ShardPlacementTest, PlacementChoiceNeverChangesReplayDigests) {
+  for (const GoldenScenario& sc : golden_scenarios()) {
+    for (const int threads : {2, 3}) {
+      SCOPED_TRACE(sc.name + " @ " + std::to_string(threads) + " threads");
+      EXPECT_EQ(run_sharded_with_placement(sc, threads, ShardPlacement::kLpt),
+                run_sharded_with_placement(sc, threads,
+                                           ShardPlacement::kRoundRobin));
+    }
+  }
 }
 
 TEST(ShardSim, ThreadCountClampsToClusterCount) {
@@ -222,6 +403,7 @@ struct FuzzCase {
   JobSet workload;
   std::size_t clusters;
   int threads;
+  ShardPlacement placement;
 };
 
 FuzzCase make_fuzz_case(std::uint64_t round) {
@@ -264,6 +446,10 @@ FuzzCase make_fuzz_case(std::uint64_t round) {
                         /*arrival_window=*/rng.uniform(5.0, 20.0)));
   }
   fc.threads = 2 + static_cast<int>(round % 3);  // 2..4 workers
+  // Placement is outcome-neutral; alternating it across rounds fuzzes
+  // that claim alongside everything else.
+  fc.placement =
+      round % 2 == 0 ? ShardPlacement::kLpt : ShardPlacement::kRoundRobin;
   return fc;
 }
 
@@ -277,7 +463,7 @@ TEST(ShardSim, RandomizedSmallGridFuzzMatchesSerialFieldByField) {
     serial.submit_workloads(split_by_community(fc.workload, fc.clusters));
     const GridSimResult serial_res = serial.run();
 
-    ShardGridSim sharded(fc.grid, fc.opts, fc.threads);
+    ShardGridSim sharded(fc.grid, fc.opts, fc.threads, nullptr, fc.placement);
     sharded.submit_workloads(split_by_community(fc.workload, fc.clusters));
     const GridSimResult sharded_res = sharded.run();
 
