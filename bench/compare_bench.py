@@ -10,6 +10,10 @@ tolerance (default 25%):
   - keys ending in ``_mb`` or ``_bytes`` (``peak_rss_mb``, the arena and
     job-store introspection counters) are footprint metrics - FAIL when
     fresh > max(baseline * (1 + tol), baseline + abs_slack);
+  - keys ending in ``_latency_us`` (the streaming service's ingest
+    latencies) are latency metrics - gated like footprints (lower is
+    better) with their own absolute slack (default 100 us), since a
+    near-zero latency baseline must not become a zero-budget gate;
   - every other leaf (wall times, counts, labels) is informational.
 
 The absolute-slack floor on footprint metrics exists for zero (or tiny)
@@ -49,9 +53,19 @@ def gate_kind(key):
     """'higher', 'lower', or None (not gated)."""
     if key.endswith("_per_sec") or key.startswith("speedup"):
         return "higher"
-    if key.endswith("_mb") or key.endswith("_bytes"):
+    if key.endswith("_mb") or key.endswith("_bytes") \
+            or key.endswith("_latency_us"):
         return "lower"
     return None
+
+
+def abs_slack(key, args):
+    """The absolute allowance of a lower-is-better metric."""
+    if key.endswith("_mb"):
+        return args.abs_slack_mb
+    if key.endswith("_latency_us"):
+        return args.abs_slack_latency_us
+    return args.abs_slack_bytes
 
 
 def walk(baseline, fresh, path, out):
@@ -114,6 +128,9 @@ def main():
     parser.add_argument("--abs-slack-mb", type=float, default=1.0,
                         help="absolute allowance for *_mb footprint "
                              "metrics (default 1.0 MB)")
+    parser.add_argument("--abs-slack-latency-us", type=float, default=100.0,
+                        help="absolute allowance for *_latency_us metrics "
+                             "(default 100 us)")
     args = parser.parse_args()
 
     try:
@@ -141,8 +158,7 @@ def main():
         if kind == "higher":
             ok = new >= base * (1.0 - args.tolerance)
         else:
-            slack = (args.abs_slack_mb if key.endswith("_mb")
-                     else args.abs_slack_bytes)
+            slack = abs_slack(key, args)
             ok = new <= max(base * (1.0 + args.tolerance), base + slack)
         verdict = "ok" if ok else "REGRESSION"
         if base:

@@ -136,6 +136,41 @@ class GateDirectionTest(unittest.TestCase):
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
 
+class LatencyGateTest(unittest.TestCase):
+    """*_latency_us leaves (the streaming service's ingest latencies):
+    lower is better, with a latency-sized absolute slack."""
+
+    def test_latency_regression_fails(self):
+        r = run_gate({"ingest_p99_latency_us": 2000.0},
+                     {"ingest_p99_latency_us": 4000.0})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_latency_improvement_and_tolerance_pass(self):
+        r = run_gate({"ingest_p99_latency_us": 2000.0},
+                     {"ingest_p99_latency_us": 1000.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        r = run_gate({"ingest_p99_latency_us": 2000.0},
+                     {"ingest_p99_latency_us": 2400.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_tiny_latency_baseline_gets_latency_slack_not_bytes(self):
+        # A 2 us baseline regressing to 50 us is inside the 100 us
+        # absolute slack — but a jump to 500 us is a real regression and
+        # must NOT be forgiven by the (huge) _bytes slack.
+        r = run_gate({"ingest_mean_latency_us": 2.0},
+                     {"ingest_mean_latency_us": 50.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        r = run_gate({"ingest_mean_latency_us": 2.0},
+                     {"ingest_mean_latency_us": 500.0})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_latency_slack_flag_override(self):
+        r = run_gate({"ingest_mean_latency_us": 2.0},
+                     {"ingest_mean_latency_us": 500.0},
+                     "--abs-slack-latency-us", "1000")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+
 class StructureTest(unittest.TestCase):
     def test_missing_gated_metric_fails(self):
         r = run_gate({"events_per_sec": 1000.0}, {})

@@ -158,6 +158,25 @@ class TablePool {
     return times_.capacity() * sizeof(Time) + descs_.capacity() * sizeof(Desc);
   }
 
+  // Checkpoint surface (core/checkpoint): the slabs are dumped and
+  // restored verbatim — intern() is append-only, so a restored pool
+  // keeps handing out the exact descriptor indices and offsets the
+  // uninterrupted run would have.
+  /// The flat time slab (serialized raw; offsets index into it).
+  const std::vector<Time>& times_raw() const { return times_; }
+  /// Offset of descriptor `ref` into times_raw().
+  std::uint32_t off(std::uint32_t ref) const { return descs_[ref].off; }
+  /// Drop everything and install a restored time slab (descriptors
+  /// follow via restore_desc, in index order).
+  void restore_times(std::vector<Time> times) {
+    times_ = std::move(times);
+    descs_.clear();
+  }
+  /// Append descriptor (off, len) verbatim — bypasses intern's copy.
+  void restore_desc(std::uint32_t off, std::uint32_t len) {
+    descs_.push_back(Desc{off, len});
+  }
+
  private:
   struct Desc {
     std::uint32_t off = 0;

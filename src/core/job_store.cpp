@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "core/checkpoint.h"
 
 namespace lgs {
 
@@ -69,6 +72,76 @@ JobStore to_job_store(const JobSet& jobs, ArenaRef arena) {
   store.reserve(jobs.size());
   for (const Job& j : jobs) store.append(j);
   return store;
+}
+
+void save_hot_job(CheckpointWriter& w, const HotJob& h) {
+  w.f64(h.release);
+  w.f64(h.weight);
+  w.f64(h.due);
+  w.f64(h.exec_a);
+  w.f64(h.exec_b);
+  w.u32(h.id);
+  w.i32(h.min_procs);
+  w.i32(h.max_procs);
+  w.i32(h.community);
+  w.u32(h.exec_c);
+  w.u8(static_cast<std::uint8_t>(h.exec_kind));
+  w.u8(static_cast<std::uint8_t>(h.kind));
+}
+
+HotJob load_hot_job(CheckpointReader& r) {
+  HotJob h;
+  h.release = r.f64();
+  h.weight = r.f64();
+  h.due = r.f64();
+  h.exec_a = r.f64();
+  h.exec_b = r.f64();
+  h.id = r.u32();
+  h.min_procs = r.i32();
+  h.max_procs = r.i32();
+  h.community = r.i32();
+  h.exec_c = r.u32();
+  h.exec_kind = static_cast<ExecKind>(r.u8());
+  h.kind = static_cast<JobKind>(r.u8());
+  return h;
+}
+
+void save_table_pool(CheckpointWriter& w, const TablePool& pool) {
+  const std::vector<Time>& times = pool.times_raw();
+  w.u64(times.size());
+  for (Time t : times) w.f64(t);
+  w.u64(pool.tables());
+  for (std::uint32_t ref = 0; ref < pool.tables(); ++ref) {
+    w.u32(pool.off(ref));
+    w.u32(pool.len(ref));
+  }
+}
+
+void load_table_pool(CheckpointReader& r, TablePool& pool) {
+  std::vector<Time> times(r.u64());
+  for (Time& t : times) t = r.f64();
+  pool.restore_times(std::move(times));
+  const std::uint64_t descs = r.u64();
+  for (std::uint64_t i = 0; i < descs; ++i) {
+    const std::uint32_t off = r.u32();
+    const std::uint32_t len = r.u32();
+    pool.restore_desc(off, len);
+  }
+}
+
+void save_job_store(CheckpointWriter& w, const JobStore& store) {
+  save_table_pool(w, store.tables());
+  w.u64(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) save_hot_job(w, store[i]);
+}
+
+void load_job_store(CheckpointReader& r, JobStore& store) {
+  if (!store.empty())
+    throw CheckpointError("job store restore requires an empty store");
+  load_table_pool(r, store.mutable_tables());
+  const std::uint64_t n = r.u64();
+  store.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) store.append_raw(load_hot_job(r));
 }
 
 }  // namespace lgs

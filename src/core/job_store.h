@@ -116,6 +116,12 @@ class JobStore {
   /// and legacy call sites.
   JobSet to_jobset() const;
 
+  /// Checkpoint surface (core/checkpoint): append one restored row
+  /// verbatim (its exec_c already indexes this store's restored pool)
+  /// and expose the pool for slab restoration.
+  void append_raw(const HotJob& h) { hot_.push_back(h); }
+  TablePool& mutable_tables() { return pool_; }
+
   /// Hot-slab footprint in bytes (capacity, the figure that lands in the
   /// arena or on the heap).
   std::size_t hot_bytes() const { return hot_.capacity() * sizeof(HotJob); }
@@ -129,5 +135,27 @@ class JobStore {
 
 /// Build a store from a legacy JobSet (compacting every model).
 JobStore to_job_store(const JobSet& jobs, ArenaRef arena = {});
+
+// ---------------------------------------------------------------------------
+// Checkpoint serialization helpers (core/checkpoint) shared by every
+// engine that snapshots job rows.  All FIELD-WISE — HotJob and the pool
+// descriptors carry padding, and raw struct dumps would embed
+// nondeterministic bytes into a checksummed snapshot.
+// ---------------------------------------------------------------------------
+
+class CheckpointReader;
+class CheckpointWriter;
+
+void save_hot_job(CheckpointWriter& w, const HotJob& h);
+HotJob load_hot_job(CheckpointReader& r);
+
+void save_table_pool(CheckpointWriter& w, const TablePool& pool);
+/// Restores into `pool` (dropping its previous slabs).
+void load_table_pool(CheckpointReader& r, TablePool& pool);
+
+/// Whole-store snapshot: pool + every hot row.
+void save_job_store(CheckpointWriter& w, const JobStore& store);
+/// Restore into an EMPTY store (throws CheckpointError otherwise).
+void load_job_store(CheckpointReader& r, JobStore& store);
 
 }  // namespace lgs

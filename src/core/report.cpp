@@ -166,12 +166,12 @@ JsonWriter& JsonWriter::end_object() {
   if (has_items_.empty()) throw std::logic_error("end_object with no object");
   const bool had = has_items_.back();
   has_items_.pop_back();
-  if (had) {
+  if (had && !compact_) {
     out_ += "\n";
     indent();
   }
   out_ += "}";
-  if (has_items_.empty()) out_ += "\n";
+  if (has_items_.empty() && !compact_) out_ += "\n";
   return *this;
 }
 
@@ -186,18 +186,18 @@ JsonWriter& JsonWriter::end_array() {
   if (has_items_.empty()) throw std::logic_error("end_array with no array");
   const bool had = has_items_.back();
   has_items_.pop_back();
-  if (had) {
+  if (had && !compact_) {
     out_ += "\n";
     indent();
   }
   out_ += "]";
-  if (has_items_.empty()) out_ += "\n";
+  if (has_items_.empty() && !compact_) out_ += "\n";
   return *this;
 }
 
 JsonWriter& JsonWriter::key(const std::string& k) {
   before_item();
-  out_ += "\"" + json_escape(k) + "\": ";
+  out_ += "\"" + json_escape(k) + (compact_ ? "\":" : "\": ");
   pending_key_ = true;
   return *this;
 }
@@ -251,8 +251,9 @@ void JsonWriter::before_item() {
   }
   if (has_items_.empty()) return;
   if (has_items_.back()) out_ += ",";
-  out_ += "\n";
   has_items_.back() = true;
+  if (compact_) return;
+  out_ += "\n";
   indent();
 }
 

@@ -65,6 +65,11 @@ std::string json_escape(const std::string& s);
 /// compare results bit-for-bit.  Non-finite doubles become null.
 class JsonWriter {
  public:
+  /// `compact` emits no whitespace at all (single-line documents) — the
+  /// newline-delimited-JSON mode of the streaming sink
+  /// (sim/stream_sim.h), where one record must be exactly one line.
+  explicit JsonWriter(bool compact = false) : compact_(compact) {}
+
   JsonWriter& begin_object();
   JsonWriter& end_object();
   JsonWriter& begin_array();
@@ -91,6 +96,7 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> has_items_;  // per open container
   bool pending_key_ = false;
+  bool compact_ = false;
 };
 
 }  // namespace lgs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
 #include "core/profiler.h"
 
 namespace lgs {
@@ -31,6 +32,23 @@ BestEffortSource CentralServer::make_source() {
   };
   src.on_done = [this] { ++completed_; };
   return src;
+}
+
+void CentralServer::save_checkpoint(CheckpointWriter& w) const {
+  w.u64(pending_.size());
+  for (Time t : pending_) w.f64(t);
+  w.i64(total_runs_);
+  w.i64(completed_);
+  w.i64(resubmissions_);
+}
+
+void CentralServer::restore_checkpoint(CheckpointReader& r) {
+  pending_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) pending_.push_back(r.f64());
+  total_runs_ = static_cast<long>(r.i64());
+  completed_ = static_cast<long>(r.i64());
+  resubmissions_ = static_cast<long>(r.i64());
 }
 
 namespace {

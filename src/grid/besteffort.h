@@ -34,6 +34,11 @@ class CentralServer {
   long resubmissions() const { return resubmissions_; }
   long pending() const { return static_cast<long>(pending_.size()); }
 
+  /// Checkpoint surface (core/checkpoint): the pending deque in order
+  /// plus the counters — the server's entire state.
+  void save_checkpoint(CheckpointWriter& w) const;
+  void restore_checkpoint(CheckpointReader& r);
+
  private:
   std::deque<Time> pending_;
   long total_runs_ = 0;

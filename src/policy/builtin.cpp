@@ -172,6 +172,22 @@ class BatchQueue : public QueuePolicy {
 
   OfflineAlgo offline_;
   std::deque<std::size_t> plan_;  ///< record keys, planned start order
+
+ public:
+  // The release plan is the one piece of cross-cycle state any builtin
+  // carries: serialize the record keys in plan order so a restored
+  // cluster keeps releasing the interrupted batch instead of re-planning
+  // mid-flight (which could reorder starts and break bit-identity).
+  void save_state(std::vector<std::uint64_t>& out) const override {
+    out.reserve(out.size() + plan_.size());
+    for (const std::size_t record : plan_)
+      out.push_back(static_cast<std::uint64_t>(record));
+  }
+  void restore_state(const std::uint64_t* words, std::size_t n) override {
+    plan_.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      plan_.push_back(static_cast<std::size_t>(words[i]));
+  }
 };
 
 // --------------------------------------------------------------------------

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -133,6 +135,27 @@ class QueuePolicy {
   /// Index into ctx.queue of a job to start *now* (its procs must fit
   /// ctx.available()), or kNoPick when nothing may start yet.
   virtual std::size_t pick_next(const DispatchContext& ctx) = 0;
+
+  /// Checkpoint support (core/checkpoint): persistent CROSS-CYCLE state
+  /// as opaque 64-bit words.  Most builtins (FCFS, EASY, conservative)
+  /// derive every decision from the DispatchContext and keep none — the
+  /// default empty save is exact for them.  A policy that does carry
+  /// state across dispatch cycles (the §4.2 batch adapter's release
+  /// plan) overrides both sides; the words mean whatever the policy
+  /// wrote, versioned with the snapshot as a whole.
+  virtual void save_state(std::vector<std::uint64_t>& out) const {
+    (void)out;
+  }
+  /// Restore words written by save_state on an identically-constructed
+  /// policy.  The default (stateless) accepts only an empty blob: words
+  /// reaching a policy that never wrote any means a snapshot/engine
+  /// mismatch, not data to ignore.
+  virtual void restore_state(const std::uint64_t* words, std::size_t n) {
+    (void)words;
+    if (n != 0)
+      throw std::invalid_argument(
+          "queue policy received checkpoint state it never saves");
+  }
 };
 
 /// One scheduling policy, both facets.  Stateless and reusable off-line;

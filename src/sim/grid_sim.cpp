@@ -1,11 +1,14 @@
 #include "sim/grid_sim.h"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
+#include "core/checkpoint.h"
 #include "core/profiler.h"
 #include "core/rng.h"
 #include "grid/global.h"
@@ -164,7 +167,8 @@ std::size_t GridSim::fallback_target(std::size_t target, int min_procs) const {
 void schedule_cluster_volatility(Simulator& sim, OnlineCluster& cl,
                                  const VolatilityProfile& vol,
                                  std::uint64_t seed,
-                                 std::size_t cluster_index) {
+                                 std::size_t cluster_index,
+                                 std::vector<GridCapacityEvent>* out) {
   if (vol.events <= 0 || vol.window <= 0.0) return;
   // One independent stream per cluster, keyed on the cluster index —
   // adding a cluster (or moving this one to another shard) never
@@ -202,21 +206,25 @@ void schedule_cluster_volatility(Simulator& sim, OnlineCluster& cl,
       if (o.down <= t && t < o.up) cap = std::min(cap, o.cap);
     if (cap == prev) continue;
     prev = cap;
-    sim.at(t, [target, cap] { target->set_capacity(cap); });
+    const EventId id = sim.at(t, [target, cap] { target->set_capacity(cap); });
+    if (out != nullptr)
+      out->push_back(GridCapacityEvent{
+          t, id, static_cast<std::uint32_t>(cluster_index), cap});
   }
 }
 
 void GridSim::schedule_volatility() {
   for (std::size_t c = 0; c < clusters_.size(); ++c)
     schedule_cluster_volatility(sim_, *clusters_[c], opts_.volatility,
-                                opts_.volatility_seed, c);
+                                opts_.volatility_seed, c, &capacity_events_);
 }
 
 void GridSim::schedule_next_arrival() {
   if (route_cursor_ >= route_order_.size()) return;
   const Time t = effective_grid_release(
       jobs()[pending_[route_order_[route_cursor_]].index].release);
-  sim_.at(t, [this] { pump_arrivals(); }, kGridArrivalPriority);
+  pump_time_ = t;
+  pump_event_ = sim_.at(t, [this] { pump_arrivals(); }, kGridArrivalPriority);
 }
 
 void GridSim::pump_arrivals() {
@@ -271,9 +279,9 @@ void GridSim::route(std::size_t pending_index) {
   clusters_[target]->submit_local(h, js.tables());
 }
 
-GridSimResult GridSim::run(Time horizon) {
-  LGS_PROF_ZONE("grid.run");
+void GridSim::prepare_run() {
   if (ran_) throw std::logic_error("run() called twice");
+  if (streaming_) throw std::logic_error("run() on a streaming engine");
   ran_ = true;
 
   // Omniscient baseline: place every submission with the heterogeneous
@@ -296,9 +304,323 @@ GridSimResult GridSim::run(Time horizon) {
       });
   schedule_next_arrival();
   schedule_volatility();
+}
+
+GridSimResult GridSim::run(Time horizon) {
+  LGS_PROF_ZONE("grid.run");
+  prepare_run();
   sim_.run(horizon);
   return aggregate_grid_result(clusters_, sim_.now(), migrations_,
                                server_.get());
+}
+
+void GridSim::run_to(Time t) {
+  LGS_PROF_ZONE("grid.run");
+  prepare_run();
+  // INT_MIN boundary: every event strictly before `t` executes, events
+  // AT `t` (any priority) stay pending — a quiescent point between
+  // instants, where checkpoint() is exact.
+  sim_.run_until(t, INT_MIN);
+}
+
+GridSimResult GridSim::resume(Time horizon) {
+  LGS_PROF_ZONE("grid.run");
+  if (!ran_ || streaming_)
+    throw std::logic_error("resume() needs a run_to()/restored batch replay");
+  sim_.run(horizon);
+  return aggregate_grid_result(clusters_, sim_.now(), migrations_,
+                               server_.get());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming service mode.
+// ---------------------------------------------------------------------------
+
+void GridSim::begin_streaming() {
+  if (ran_) throw std::logic_error("begin_streaming() after run()");
+  if (streaming_) throw std::logic_error("begin_streaming() called twice");
+  if (borrowed_ != nullptr || !store_.empty())
+    throw std::logic_error("begin_streaming() after batch submissions");
+  if (opts_.routing == GridRouting::kGlobalPlan)
+    throw std::invalid_argument(
+        "global-plan routing needs the whole trace up front and cannot "
+        "stream");
+  streaming_ = true;
+  schedule_volatility();
+}
+
+void GridSim::ingest(const HotJob& h, const TablePool& tables,
+                     std::size_t home) {
+  if (!streaming_) throw std::logic_error("ingest() before begin_streaming()");
+  if (home >= clusters_.size())
+    throw std::invalid_argument("home cluster out of range");
+  LGS_PROF_COUNT("grid.stream_ingests", 1);
+  // Copy the row into the engine-owned store (table refs re-interned, so
+  // the producer's batch buffer can be recycled immediately).
+  HotJob local = h;
+  if (local.exec_kind == ExecKind::kTable)
+    local.exec_c = store_.mutable_tables().intern(tables.data(h.exec_c),
+                                                  tables.len(h.exec_c));
+  store_.append_raw(local);
+  const std::uint64_t pending_index = pending_.size();
+  pending_.push_back(Pending{static_cast<std::uint32_t>(home),
+                             static_cast<std::uint32_t>(store_.size() - 1)});
+  // Per-job route event at the arrival instant.  Same (time, priority)
+  // key as the batch pump, and ties among routes break by insertion id =
+  // ingestion order — so a release-ordered stream replays the batch
+  // run's exact routing sequence.
+  const Time t = std::max(sim_.now(),
+                          effective_grid_release(local.release));
+  const std::size_t idx = static_cast<std::size_t>(pending_index);
+  const EventId id =
+      sim_.at(t, [this, idx] { route(idx); }, kGridArrivalPriority);
+  route_events_.push_back(RouteEvent{t, id, pending_index});
+}
+
+void GridSim::advance_to(Time t) {
+  if (!streaming_)
+    throw std::logic_error("advance_to() before begin_streaming()");
+  // Stop at (t, arrival-priority): completions and churn strictly before
+  // `t` execute, but route events AT `t` stay pending — jobs with
+  // release == t ingested after this call still route ahead of
+  // same-instant completions, exactly like the batch pump's position in
+  // the tie-break order.
+  sim_.run_until(t, kGridArrivalPriority);
+}
+
+GridSimResult GridSim::finish_streaming(Time horizon) {
+  if (!streaming_)
+    throw std::logic_error("finish_streaming() before begin_streaming()");
+  LGS_PROF_ZONE("grid.run");
+  sim_.run(horizon);
+  return aggregate_grid_result(clusters_, sim_.now(), migrations_,
+                               server_.get());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore.
+// ---------------------------------------------------------------------------
+
+std::uint64_t GridSim::config_digest() const {
+  // Everything that shapes the replay must match between the
+  // snapshotting and the restoring engine; the digest is the cheap
+  // whole-config equality proxy embedded in every snapshot.
+  CheckpointWriter w;
+  w.u64(grid_.clusters.size());
+  for (const Cluster& c : grid_.clusters) {
+    w.i32(c.id);
+    w.i32(c.nodes);
+    w.i32(c.cpus_per_node);
+    w.f64(c.speed);
+    w.i32(c.owner_community);
+  }
+  w.u8(static_cast<std::uint8_t>(opts_.routing));
+  w.f64(opts_.wait_threshold);
+  w.f64(opts_.migration_penalty);
+  w.str(opts_.cluster.policy);
+  w.u8(static_cast<std::uint8_t>(opts_.cluster.kill_policy));
+  w.u64(opts_.bags.size());
+  for (const ParametricBag& bag : opts_.bags) {
+    w.i32(bag.runs);
+    w.f64(bag.run_time);
+  }
+  w.i32(opts_.volatility.events);
+  w.f64(opts_.volatility.window);
+  w.f64(opts_.volatility.floor_fraction);
+  w.f64(opts_.volatility.outage_min);
+  w.f64(opts_.volatility.outage_max);
+  w.u64(opts_.volatility_seed);
+  const std::vector<unsigned char> buf = w.finish();
+  return checkpoint_fnv1a(kCheckpointFnvBasis, buf.data(), buf.size());
+}
+
+std::vector<unsigned char> GridSim::checkpoint() const {
+  LGS_PROF_ZONE("grid.checkpoint");
+  if (!ran_ && !streaming_)
+    throw std::logic_error("checkpoint() before run_to()/begin_streaming()");
+
+  // Account for the ENTIRE pending-event set before writing anything: a
+  // pending event this engine cannot re-create would silently change
+  // the resumed replay, which is exactly what bit-identity forbids.
+  std::unordered_set<EventId> pending;
+  for (const Simulator::PendingEvent& e : sim_.pending_events())
+    pending.insert(e.id);
+  std::vector<EventId> expected;
+  expected.reserve(pending.size());
+  for (const auto& c : clusters_) c->append_expected_event_ids(pending, expected);
+  const bool pump_pending =
+      pump_event_ != 0 && pending.count(pump_event_) != 0;
+  if (pump_pending) expected.push_back(pump_event_);
+  for (const GridCapacityEvent& e : capacity_events_)
+    if (pending.count(e.id) != 0) expected.push_back(e.id);
+  for (const RouteEvent& e : route_events_)
+    if (pending.count(e.id) != 0) expected.push_back(e.id);
+  std::sort(expected.begin(), expected.end());
+  if (std::adjacent_find(expected.begin(), expected.end()) != expected.end())
+    throw CheckpointError("duplicate pending event id in the accounting");
+  if (expected.size() != pending.size())
+    throw CheckpointError(
+        "snapshot cannot account for every pending event (" +
+        std::to_string(pending.size()) + " pending, " +
+        std::to_string(expected.size()) + " accounted)");
+  for (const EventId id : expected)
+    if (pending.count(id) == 0)
+      throw CheckpointError("engine expects an event that is not pending");
+
+  CheckpointWriter w;
+  w.str("gridsim");
+  w.u64(config_digest());
+  w.u8(streaming_ ? 1 : 0);
+  w.u8(ran_ ? 1 : 0);
+  w.f64(sim_.now());
+  w.u64(sim_.next_event_id());
+  w.u64(sim_.executed());
+
+  // The active trace (borrowed or owned) is serialized wholesale either
+  // way; restore always lands it in the engine-owned store.
+  save_job_store(w, jobs());
+
+  w.u64(pending_.size());
+  for (const Pending& p : pending_) {
+    w.u32(p.home);
+    w.u32(p.index);
+  }
+  w.u64(plan_.size());
+  for (const std::uint32_t t : plan_) w.u32(t);
+  w.u64(route_order_.size());
+  for (const std::uint32_t i : route_order_) w.u32(i);
+  w.u64(route_cursor_);
+  w.i64(migrations_);
+
+  w.u8(pump_pending ? 1 : 0);
+  w.u64(pump_event_);
+  w.f64(pump_time_);
+
+  std::uint64_t live_vol = 0;
+  for (const GridCapacityEvent& e : capacity_events_)
+    if (pending.count(e.id) != 0) ++live_vol;
+  w.u64(live_vol);
+  for (const GridCapacityEvent& e : capacity_events_)
+    if (pending.count(e.id) != 0) {
+      w.f64(e.t);
+      w.u64(e.id);
+      w.u32(e.cluster);
+      w.i32(e.cap);
+    }
+
+  std::uint64_t live_routes = 0;
+  for (const RouteEvent& e : route_events_)
+    if (pending.count(e.id) != 0) ++live_routes;
+  w.u64(live_routes);
+  for (const RouteEvent& e : route_events_)
+    if (pending.count(e.id) != 0) {
+      w.f64(e.t);
+      w.u64(e.id);
+      w.u64(e.pending_index);
+    }
+
+  w.u8(server_ != nullptr ? 1 : 0);
+  if (server_ != nullptr) server_->save_checkpoint(w);
+
+  for (const auto& c : clusters_) c->save_checkpoint(w, pending);
+  return w.finish();
+}
+
+void GridSim::restore(const std::vector<unsigned char>& blob) {
+  LGS_PROF_ZONE("grid.restore");
+  if (ran_ || streaming_ || borrowed_ != nullptr || !store_.empty())
+    throw std::logic_error("restore() needs a freshly constructed engine");
+
+  CheckpointReader r(blob);
+  if (r.str() != "gridsim")
+    throw CheckpointError("snapshot was written by a different engine");
+  if (r.u64() != config_digest())
+    throw CheckpointError(
+        "snapshot config digest mismatch (different grid or options)");
+  streaming_ = r.u8() != 0;
+  ran_ = r.u8() != 0;
+  const Time now = r.f64();
+  const EventId next_id = r.u64();
+  const std::uint64_t executed = r.u64();
+
+  // Drop the fresh-construction events (the best-effort bootstraps) and
+  // pin clock + id cursor; every pending event is re-created below under
+  // its original id.
+  sim_.reset_for_restore(now, next_id, executed);
+
+  load_job_store(r, store_);
+  borrowed_ = nullptr;
+
+  pending_.clear();
+  const std::uint64_t n_pending = r.u64();
+  pending_.reserve(n_pending);
+  for (std::uint64_t i = 0; i < n_pending; ++i) {
+    const std::uint32_t home = r.u32();
+    const std::uint32_t index = r.u32();
+    if (home >= clusters_.size() || index >= store_.size())
+      throw CheckpointError("pending table entry out of range");
+    pending_.push_back(Pending{home, index});
+  }
+  plan_.clear();
+  const std::uint64_t n_plan = r.u64();
+  plan_.reserve(n_plan);
+  for (std::uint64_t i = 0; i < n_plan; ++i) plan_.push_back(r.u32());
+  route_order_.clear();
+  const std::uint64_t n_order = r.u64();
+  route_order_.reserve(n_order);
+  for (std::uint64_t i = 0; i < n_order; ++i) route_order_.push_back(r.u32());
+  route_cursor_ = static_cast<std::size_t>(r.u64());
+  migrations_ = static_cast<long>(r.i64());
+
+  const bool pump_pending = r.u8() != 0;
+  pump_event_ = r.u64();
+  pump_time_ = r.f64();
+  if (pump_pending)
+    sim_.restore_event(pump_time_, kGridArrivalPriority, pump_event_,
+                       [this] { pump_arrivals(); });
+
+  capacity_events_.clear();
+  const std::uint64_t n_vol = r.u64();
+  capacity_events_.reserve(n_vol);
+  for (std::uint64_t i = 0; i < n_vol; ++i) {
+    GridCapacityEvent e;
+    e.t = r.f64();
+    e.id = r.u64();
+    e.cluster = r.u32();
+    e.cap = r.i32();
+    if (e.cluster >= clusters_.size())
+      throw CheckpointError("volatility event references unknown cluster");
+    capacity_events_.push_back(e);
+    OnlineCluster* target = clusters_[e.cluster].get();
+    const int cap = e.cap;
+    sim_.restore_event(e.t, /*priority=*/0, e.id,
+                       [target, cap] { target->set_capacity(cap); });
+  }
+
+  route_events_.clear();
+  const std::uint64_t n_routes = r.u64();
+  route_events_.reserve(n_routes);
+  for (std::uint64_t i = 0; i < n_routes; ++i) {
+    RouteEvent e;
+    e.t = r.f64();
+    e.id = r.u64();
+    e.pending_index = r.u64();
+    if (e.pending_index >= pending_.size())
+      throw CheckpointError("route event references unknown pending entry");
+    route_events_.push_back(e);
+    const std::size_t idx = static_cast<std::size_t>(e.pending_index);
+    sim_.restore_event(e.t, kGridArrivalPriority, e.id,
+                       [this, idx] { route(idx); });
+  }
+
+  const bool has_server = r.u8() != 0;
+  if (has_server != (server_ != nullptr))
+    throw CheckpointError("snapshot/engine disagree on the central server");
+  if (server_ != nullptr) server_->restore_checkpoint(r);
+
+  for (auto& c : clusters_) c->restore_checkpoint(r);
+  if (!r.exhausted())
+    throw CheckpointError("trailing bytes after the last engine section");
 }
 
 void plan_global_targets(const LightGrid& grid, const JobStore& jobs,

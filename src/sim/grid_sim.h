@@ -143,16 +143,28 @@ std::vector<std::size_t> group_pending_by_home(const JobStore& store,
                                                std::size_t n,
                                                ArenaVec<GridPending>& pending);
 
+/// One scheduled set_capacity event of the volatility stream — recorded
+/// so a checkpoint can tell which churn events are still ahead and
+/// re-schedule exactly those under their original ids.
+struct GridCapacityEvent {
+  Time t = 0.0;
+  EventId id = 0;
+  std::uint32_t cluster = 0;
+  std::int32_t cap = 0;
+};
+
 /// Schedule the §1 capacity-churn events of cluster `cluster_index` on
 /// `sim`.  One independent stream per cluster, keyed on
 /// mix_seed(seed, cluster_index) ONLY — never on schedule order or on
 /// which engine (or shard) owns the cluster — so churn is bit-identical
 /// across serial and sharded execution and adding a cluster never
-/// perturbs the others.
+/// perturbs the others.  When `out` is given, every scheduled event is
+/// appended to it (the checkpoint bookkeeping of GridSim).
 void schedule_cluster_volatility(Simulator& sim, OnlineCluster& cl,
                                  const VolatilityProfile& vol,
                                  std::uint64_t seed,
-                                 std::size_t cluster_index);
+                                 std::size_t cluster_index,
+                                 std::vector<GridCapacityEvent>* out = nullptr);
 
 /// kGlobalPlan prelude shared by both engines: place every registered
 /// submission with the heterogeneous ECT list scheduler of grid/global
@@ -208,6 +220,63 @@ class GridSim {
   /// `horizon`), and aggregate the outcome.  Callable once.
   GridSimResult run(Time horizon = kTimeInfinity);
 
+  // ---- checkpoint/restore (core/checkpoint) ----------------------------
+
+  /// Batch-mode partial run: the full run() prelude, then drive the
+  /// queue to exactly time `t` (every event strictly before `t`
+  /// executed; events AT `t` stay pending).  Follow with checkpoint()
+  /// and/or resume().  Callable once, like run().
+  void run_to(Time t);
+
+  /// Continue a run_to()/restore()d batch replay to completion and
+  /// aggregate — `run_to(T); resume(h)` is bit-identical to `run(h)`.
+  GridSimResult resume(Time horizon = kTimeInfinity);
+
+  /// Serialize the complete engine state — simulator clock/id cursor,
+  /// job store, routing tables, per-cluster engines, central server,
+  /// every pending event's semantic payload — into a versioned snapshot
+  /// (core/checkpoint framing: magic, version, FNV-1a checksum).  The
+  /// engine must be at a quiescent point (between events): after
+  /// run_to(), or between streaming advance_to() calls.  Throws
+  /// CheckpointError if any pending event cannot be accounted for.
+  std::vector<unsigned char> checkpoint() const;
+
+  /// Restore a snapshot into this FRESHLY constructed engine.  The grid
+  /// and options must match the snapshotting engine exactly (a config
+  /// digest is embedded and verified).  After restore the replay
+  /// continues bit-identically to the uninterrupted run: resume() for
+  /// batch snapshots, ingest()/advance_to()/finish_streaming() for
+  /// streaming ones.
+  void restore(const std::vector<unsigned char>& blob);
+
+  // ---- streaming service mode (sim/stream_sim.h drives this) -----------
+
+  /// Enter streaming mode: jobs arrive via ingest() instead of a
+  /// pre-registered trace.  Schedules volatility churn; global-plan
+  /// routing needs the whole trace up front and is rejected.
+  void begin_streaming();
+
+  /// Ingest one job row (tables resolved against `tables`) with home
+  /// cluster `home`.  The job is copied into the engine's own store and
+  /// its routing decision fires at max(now, release) — ingest in
+  /// release order to reproduce the batch replay exactly.
+  void ingest(const HotJob& h, const TablePool& tables, std::size_t home);
+
+  /// Advance the stream clock to exactly `t`: every event strictly
+  /// ordered before (t, arrival-priority) executes; route events AT `t`
+  /// stay pending, so jobs ingested later with release == t still route
+  /// ahead of same-instant completions — the batch pump's tie-break
+  /// order.  Quiescent afterwards: checkpoint() is legal.
+  void advance_to(Time t);
+
+  /// End of stream: drain the queue (or stop at `horizon`) and
+  /// aggregate, exactly like the tail of run().
+  GridSimResult finish_streaming(Time horizon = kTimeInfinity);
+
+  bool streaming() const { return streaming_; }
+  /// Jobs ingested so far (streaming mode).
+  std::size_t ingested() const { return pending_.size(); }
+
   std::size_t cluster_count() const { return clusters_.size(); }
   const OnlineCluster& cluster(std::size_t i) const { return *clusters_[i]; }
   /// The clusters in index order (the currency of the shared helpers
@@ -217,6 +286,7 @@ class GridSim {
   }
   const LightGrid& grid() const { return grid_; }
   Simulator& simulator() { return sim_; }
+  const Simulator& simulator() const { return sim_; }
 
   /// Replay-arena introspection (exported into BENCH_scale.json).
   const ArenaStats& arena_stats() const { return arena_.stats(); }
@@ -235,6 +305,12 @@ class GridSim {
   std::size_t fallback_target(std::size_t target, int min_procs) const;
   void schedule_volatility();
   void route(std::size_t pending_index);
+  /// The run() prelude (plan, release sort, arrival pump, volatility) —
+  /// shared by run() and run_to().
+  void prepare_run();
+  /// Digest of everything that must match between the snapshotting and
+  /// the restoring engine: grid shape and options.
+  std::uint64_t config_digest() const;
   /// Arrival pump: ONE pending simulator event walks the submissions in
   /// release order, instead of one pre-scheduled event per job (which
   /// made the event queue — and its memory — scale with the whole trace
@@ -259,6 +335,24 @@ class GridSim {
   std::size_t route_cursor_ = 0;
   long migrations_ = 0;
   bool ran_ = false;
+  bool streaming_ = false;
+  /// Arrival-pump bookkeeping for checkpoints: the (time, id) of the one
+  /// pump event schedule_next_arrival keeps in flight (stale once fired
+  /// without re-scheduling — a checkpoint filters on the live pending
+  /// set, ids are never reused).
+  EventId pump_event_ = 0;
+  Time pump_time_ = 0.0;
+  /// Every scheduled volatility event; checkpoint keeps the still-
+  /// pending subset.
+  std::vector<GridCapacityEvent> capacity_events_;
+  /// Streaming per-job route events: {t, id, pending index}; checkpoint
+  /// keeps the still-pending subset.
+  struct RouteEvent {
+    Time t = 0.0;
+    EventId id = 0;
+    std::uint64_t pending_index = 0;
+  };
+  std::vector<RouteEvent> route_events_;
 };
 
 /// Split a workload across `n` home clusters by community

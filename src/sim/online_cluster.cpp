@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
 #include "core/profiler.h"
 
 namespace lgs {
@@ -79,8 +80,10 @@ void OnlineCluster::set_capacity(int procs) {
 
 void OnlineCluster::set_besteffort_source(BestEffortSource source) {
   be_source_ = std::move(source);
-  // New supply may fill currently idle processors.
-  sim_.after(0.0, [this] { dispatch(); }, /*priority=*/1);
+  // New supply may fill currently idle processors.  The event id is
+  // kept so a checkpoint taken before it fires can account for it.
+  be_bootstrap_time_ = sim_.now();
+  be_bootstrap_ = sim_.after(0.0, [this] { dispatch(); }, /*priority=*/1);
 }
 
 int OnlineCluster::allotment_for(const HotJob& h) const {
@@ -381,25 +384,230 @@ void OnlineCluster::dispatch() {
       account(0, 1);
       ++be_stats_.started;
       const Time finish = be.finish;
-      be.completion = sim_.at(finish, [this, finish] {
-        const auto it = std::find_if(
-            be_running_.begin(), be_running_.end(), [&](const RunningBe& b) {
-              return almost_equal(b.finish, finish);
-            });
-        if (it == be_running_.end())
-          throw std::logic_error("completion for unknown best-effort run");
-        const double wall = it->finish - it->start;
-        be_running_.erase(it);
-        ++free_;
-        account(0, -1);
-        ++be_stats_.completed;
-        be_stats_.completed_time += wall;
-        if (be_source_.on_done) be_source_.on_done();
-        dispatch();
-      });
+      be.completion =
+          sim_.at(finish, [this, finish] { finish_besteffort(finish); });
       be_running_.push_back(be);
     }
   }
+}
+
+void OnlineCluster::finish_besteffort(Time finish) {
+  const auto it = std::find_if(be_running_.begin(), be_running_.end(),
+                               [&](const RunningBe& b) {
+                                 return almost_equal(b.finish, finish);
+                               });
+  if (it == be_running_.end())
+    throw std::logic_error("completion for unknown best-effort run");
+  const double wall = it->finish - it->start;
+  be_running_.erase(it);
+  ++free_;
+  account(0, -1);
+  ++be_stats_.completed;
+  be_stats_.completed_time += wall;
+  if (be_source_.on_done) be_source_.on_done();
+  dispatch();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore.
+//
+// Everything is serialized FIELD-WISE (never struct memcpy): HotJob and
+// LocalJobRecord carry padding bytes, and a raw dump would embed
+// nondeterministic padding into a checksummed blob.
+// ---------------------------------------------------------------------------
+
+void OnlineCluster::save_checkpoint(
+    CheckpointWriter& w, const std::unordered_set<EventId>& pending) const {
+  save_table_pool(w, pool_);
+
+  w.u64(submitted_.size());
+  for (const HotJob& h : submitted_) save_hot_job(w, h);
+
+  w.u64(records_.size());
+  for (const LocalJobRecord& rec : records_) {
+    w.u32(rec.id);
+    w.i32(rec.community);
+    w.f64(rec.submit);
+    w.f64(rec.start);
+    w.f64(rec.finish);
+    w.i32(rec.procs);
+    w.f64(rec.best_duration);
+  }
+
+  w.u64(queue_.size());
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Queued& q = queue_[i];
+    w.u64(q.record);
+    w.f64(q.submit);
+    w.i32(q.priority);
+  }
+  w.i32(queue_min_priority_);
+
+  w.u64(running_.size());
+  for (const RunningLocal& r : running_) {
+    w.u64(r.record);
+    w.i32(r.procs);
+    w.f64(r.finish);
+    w.u64(r.completion);
+  }
+
+  w.u64(be_running_.size());
+  for (const RunningBe& b : be_running_) {
+    w.f64(b.start);
+    w.f64(b.finish);
+    w.f64(b.duration);
+    w.u64(b.completion);
+  }
+
+  w.i32(capacity_);
+  w.i32(free_);
+
+  w.i64(be_stats_.started);
+  w.i64(be_stats_.completed);
+  w.i64(be_stats_.killed);
+  w.f64(be_stats_.wasted_time);
+  w.f64(be_stats_.completed_time);
+
+  w.i64(volatility_.capacity_changes);
+  w.i64(volatility_.local_preemptions);
+  w.f64(volatility_.local_wasted);
+
+  w.f64(busy_integral_);
+  w.f64(local_busy_integral_);
+  w.f64(last_change_);
+  w.i32(local_busy_now_);
+  w.i32(be_busy_now_);
+
+  // The set_besteffort_source bootstrap: pending only when the snapshot
+  // was taken before its (t=attach-time, priority 1) slot executed.
+  const bool bootstrap_pending =
+      be_bootstrap_ != 0 && pending.count(be_bootstrap_) != 0;
+  w.u8(bootstrap_pending ? 1 : 0);
+  w.u64(be_bootstrap_);
+  w.f64(be_bootstrap_time_);
+
+  std::vector<std::uint64_t> policy_words;
+  qpolicy_->save_state(policy_words);
+  w.u64(policy_words.size());
+  for (std::uint64_t word : policy_words) w.u64(word);
+}
+
+void OnlineCluster::restore_checkpoint(CheckpointReader& r) {
+  load_table_pool(r, pool_);
+
+  submitted_.clear();
+  const std::uint64_t n_submitted = r.u64();
+  submitted_.reserve(n_submitted);
+  for (std::uint64_t i = 0; i < n_submitted; ++i)
+    submitted_.push_back(load_hot_job(r));
+
+  records_.clear();
+  const std::uint64_t n_records = r.u64();
+  records_.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    LocalJobRecord rec;
+    rec.id = r.u32();
+    rec.community = r.i32();
+    rec.submit = r.f64();
+    rec.start = r.f64();
+    rec.finish = r.f64();
+    rec.procs = r.i32();
+    rec.best_duration = r.f64();
+    records_.push_back(rec);
+  }
+
+  queue_.clear();
+  const std::uint64_t n_queue = r.u64();
+  for (std::uint64_t i = 0; i < n_queue; ++i) {
+    Queued q;
+    q.record = static_cast<std::size_t>(r.u64());
+    q.submit = r.f64();
+    q.priority = r.i32();
+    if (q.record >= records_.size())
+      throw CheckpointError("queued entry references unknown record");
+    queue_.push_back(q);
+    // The policy re-learns the queue through on_submit, in queue order —
+    // the same calls a live engine made (modulo its own saved words).
+    qpolicy_->on_submit(view_of(q));
+  }
+  queue_min_priority_ = r.i32();
+
+  running_.clear();
+  const std::uint64_t n_running = r.u64();
+  running_.reserve(n_running);
+  for (std::uint64_t i = 0; i < n_running; ++i) {
+    RunningLocal run;
+    run.record = static_cast<std::size_t>(r.u64());
+    run.procs = r.i32();
+    run.finish = r.f64();
+    run.completion = r.u64();
+    if (run.record >= records_.size())
+      throw CheckpointError("running entry references unknown record");
+    running_.push_back(run);
+    const std::size_t record_index = run.record;
+    sim_.restore_event(run.finish, /*priority=*/0, run.completion,
+                       [this, record_index] { finish_local(record_index); });
+  }
+
+  be_running_.clear();
+  const std::uint64_t n_be = r.u64();
+  be_running_.reserve(n_be);
+  for (std::uint64_t i = 0; i < n_be; ++i) {
+    RunningBe be;
+    be.start = r.f64();
+    be.finish = r.f64();
+    be.duration = r.f64();
+    be.completion = r.u64();
+    be_running_.push_back(be);
+    const Time finish = be.finish;
+    sim_.restore_event(be.finish, /*priority=*/0, be.completion,
+                       [this, finish] { finish_besteffort(finish); });
+  }
+
+  capacity_ = r.i32();
+  free_ = r.i32();
+
+  be_stats_.started = static_cast<long>(r.i64());
+  be_stats_.completed = static_cast<long>(r.i64());
+  be_stats_.killed = static_cast<long>(r.i64());
+  be_stats_.wasted_time = r.f64();
+  be_stats_.completed_time = r.f64();
+
+  volatility_.capacity_changes = static_cast<long>(r.i64());
+  volatility_.local_preemptions = static_cast<long>(r.i64());
+  volatility_.local_wasted = r.f64();
+
+  busy_integral_ = r.f64();
+  local_busy_integral_ = r.f64();
+  last_change_ = r.f64();
+  local_busy_now_ = r.i32();
+  be_busy_now_ = r.i32();
+
+  const bool bootstrap_pending = r.u8() != 0;
+  be_bootstrap_ = r.u64();
+  be_bootstrap_time_ = r.f64();
+  if (bootstrap_pending) {
+    if (!be_source_.request)
+      throw CheckpointError(
+          "snapshot has a pending best-effort bootstrap but the restored "
+          "cluster has no source attached");
+    sim_.restore_event(be_bootstrap_time_, /*priority=*/1, be_bootstrap_,
+                       [this] { dispatch(); });
+  }
+
+  const std::uint64_t n_words = r.u64();
+  std::vector<std::uint64_t> policy_words(n_words);
+  for (std::uint64_t i = 0; i < n_words; ++i) policy_words[i] = r.u64();
+  qpolicy_->restore_state(policy_words.data(), policy_words.size());
+}
+
+void OnlineCluster::append_expected_event_ids(
+    const std::unordered_set<EventId>& pending,
+    std::vector<EventId>& out) const {
+  for (const RunningLocal& r : running_) out.push_back(r.completion);
+  for (const RunningBe& b : be_running_) out.push_back(b.completion);
+  if (be_bootstrap_ != 0 && pending.count(be_bootstrap_) != 0)
+    out.push_back(be_bootstrap_);
 }
 
 }  // namespace lgs

@@ -19,6 +19,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/arena.h"
@@ -29,6 +30,9 @@
 #include "sim/simulator.h"
 
 namespace lgs {
+
+class CheckpointReader;
+class CheckpointWriter;
 
 /// Completion record of one local job.
 struct LocalJobRecord {
@@ -158,6 +162,31 @@ class OnlineCluster {
   double busy_integral() const;
   double local_busy_integral() const;
 
+  // ---- checkpoint/restore (core/checkpoint, driven by sim/grid_sim) ----
+
+  /// Serialize the full per-cluster replay state: table pool, submitted
+  /// rows, records, queue, running sets, stats, busy integrals and the
+  /// queue policy's cross-cycle words.  `pending` is the simulator's
+  /// live pending-id set (so events this engine owns — the best-effort
+  /// bootstrap — are marked pending or consumed exactly).
+  void save_checkpoint(CheckpointWriter& w,
+                       const std::unordered_set<EventId>& pending) const;
+
+  /// Restore into a FRESHLY constructed cluster (same descriptor, same
+  /// options): rebuilds every container and re-schedules each in-flight
+  /// completion under its original event id via
+  /// Simulator::restore_event, so the resumed replay is bit-identical
+  /// to the uninterrupted one.  The simulator must already be
+  /// reset_for_restore()d.
+  void restore_checkpoint(CheckpointReader& r);
+
+  /// Append every pending event id this engine owns (local completions,
+  /// best-effort completions, the best-effort bootstrap if still
+  /// pending) — the grid engine's proof that a snapshot accounts for
+  /// the whole event queue.
+  void append_expected_event_ids(const std::unordered_set<EventId>& pending,
+                                 std::vector<EventId>& out) const;
+
  private:
   /// A queued submission.  Deliberately tiny (no Job copy — the job
   /// lives in submitted_, keyed by the record index): queue shuffling is
@@ -183,6 +212,10 @@ class OnlineCluster {
   void dispatch();
   void start_local(std::size_t queue_index);
   void finish_local(std::size_t record_index);
+  /// Completion of the best-effort run with this finish time (the
+  /// callback body of the phase-2 grants — also the restore target, so
+  /// a restored completion executes the exact same code path).
+  void finish_besteffort(Time finish);
   /// Submission past the release deferral: `h.exec_c` must already index
   /// this cluster's own pool_.
   void submit_hot(const HotJob& h, int queue_priority);
@@ -235,6 +268,10 @@ class OnlineCluster {
   BestEffortStats be_stats_;
   VolatilityStats volatility_;
   BestEffortSource be_source_;
+  /// The supply-arrived bootstrap event of set_besteffort_source — owned
+  /// here so checkpoints can account for it while it is still pending.
+  EventId be_bootstrap_ = 0;
+  Time be_bootstrap_time_ = 0.0;
 
   // Busy-time integrals maintained incrementally.
   double busy_integral_ = 0.0;

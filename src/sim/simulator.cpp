@@ -171,6 +171,22 @@ void Simulator::note_if_drained() {
   }
 }
 
+void Simulator::reset_for_restore(Time now, EventId next_id,
+                                  std::uint64_t executed) {
+  while (!queue_.empty()) {
+    release_slot(queue_.top().slot);
+    queue_.pop();
+  }
+  cancelled_.clear();
+  next_prune_ = kMinPrune;
+  now_ = now;
+  next_id_ = next_id;
+  // restore_event lowers this to the smallest re-scheduled id; with no
+  // pending events every id below next_id has been consumed.
+  watermark_ = next_id;
+  executed_ = executed;
+}
+
 void Simulator::run(Time horizon) {
   LGS_PROF_ZONE("sim.run");
   while (!queue_.empty() && queue_.top().t <= horizon) step();

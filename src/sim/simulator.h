@@ -157,6 +157,114 @@ class Simulator {
   /// Run until the queue drains (or `horizon` is reached, if finite).
   void run(Time horizon = kTimeInfinity);
 
+  /// One live (not cancelled) pending event, as the introspection
+  /// iterator reports it.  The callback payload stays opaque — owners of
+  /// the event (the engines) know what they scheduled under each id.
+  struct PendingEvent {
+    Time t = 0.0;
+    int priority = 0;
+    EventId id = 0;
+  };
+
+  /// Const forward iterator over the live pending events, in HEAP order
+  /// (an implementation detail — callers needing (t, priority, id) order
+  /// must sort).  Entries whose id was cancelled are skipped, so the
+  /// count seen equals the events a full drain would still execute.
+  /// This is the serialization surface of core/checkpoint: an engine
+  /// enumerates the pending set to prove every event is accounted for
+  /// before writing a snapshot — and tests assert queue contents
+  /// directly instead of via side effects.
+  class PendingIterator {
+   public:
+    using value_type = PendingEvent;
+
+    PendingEvent operator*() const {
+      const QEntry& e = sim_->queue_.entries()[index_];
+      return PendingEvent{e.t, e.priority, e.id};
+    }
+    PendingIterator& operator++() {
+      ++index_;
+      skip_cancelled();
+      return *this;
+    }
+    bool operator==(const PendingIterator& o) const {
+      return index_ == o.index_;
+    }
+    bool operator!=(const PendingIterator& o) const { return !(*this == o); }
+
+   private:
+    friend class Simulator;
+    PendingIterator(const Simulator* sim, std::size_t index)
+        : sim_(sim), index_(index) {
+      skip_cancelled();
+    }
+    void skip_cancelled() {
+      const auto& entries = sim_->queue_.entries();
+      while (index_ < entries.size() &&
+             sim_->cancelled_.count(entries[index_].id) > 0)
+        ++index_;
+    }
+    const Simulator* sim_;
+    std::size_t index_;
+  };
+
+  struct PendingRange {
+    PendingIterator begin_, end_;
+    PendingIterator begin() const { return begin_; }
+    PendingIterator end() const { return end_; }
+  };
+
+  /// Live pending events (cancelled entries excluded), heap order.
+  PendingRange pending_events() const {
+    return PendingRange{PendingIterator(this, 0),
+                        PendingIterator(this, queue_.entries().size())};
+  }
+
+  /// Live pending events, counted through the same filter.
+  std::size_t pending_count() const {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const PendingEvent& e : pending_events()) ++n;
+    return n;
+  }
+
+  /// The id the next at()/after() call will hand out (snapshot field:
+  /// restoring it replays the uninterrupted run's id sequence, which is
+  /// what keeps same-instant tie-breaks bit-identical after a restore).
+  EventId next_event_id() const { return next_id_; }
+
+  /// Checkpoint-restore entry point: drop EVERY pending event (payloads
+  /// destroyed, slots recycled) and all cancellations, pin the clock to
+  /// `now` and the id sequence to `next_id` (>= every id about to be
+  /// re-scheduled), and restore the executed-event count.  Followed by
+  /// one restore_event() per serialized pending event.
+  void reset_for_restore(Time now, EventId next_id, std::uint64_t executed);
+
+  /// Re-schedule a serialized pending event under its ORIGINAL id (must
+  /// be < next_event_id(); only valid after reset_for_restore).  The
+  /// (t, priority, id) queue key is reproduced exactly, so the restored
+  /// run pops events in the uninterrupted run's order.
+  template <class F>
+  void restore_event(Time t, int priority, EventId id, F&& cb) {
+    if (id == 0 || id >= next_id_)
+      throw std::invalid_argument("restore_event id outside [1, next_id)");
+    if (t < now_ - kTimeEps)
+      throw std::invalid_argument("restore_event in the past");
+    const EventId keep_next = next_id_;
+    next_id_ = id;  // let at() assign exactly `id`
+    std::atomic<EventId>* shared = shared_ids_;
+    shared_ids_ = nullptr;
+    try {
+      at(t, std::forward<F>(cb), priority);
+    } catch (...) {
+      next_id_ = keep_next;
+      shared_ids_ = shared;
+      throw;
+    }
+    next_id_ = keep_next;
+    shared_ids_ = shared;
+    watermark_ = std::min(watermark_, id);
+  }
+
   /// Advance the clock to exactly `t` (>= now), executing every pending
   /// event strictly ordered before the queue position (t,
   /// before_priority): all events at earlier times, plus events at `t`

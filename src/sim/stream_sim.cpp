@@ -1,0 +1,171 @@
+#include "sim/stream_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "core/report.h"
+
+namespace lgs {
+
+StreamGridSim::StreamGridSim(const LightGrid& grid, const GridSimOptions& opts,
+                             Options stream_opts, SinkFn sink)
+    : sim_(grid, opts),
+      opts_(stream_opts),
+      sink_(std::move(sink)),
+      ring_(std::max<std::size_t>(2, stream_opts.ring_capacity)),
+      batch_buf_(std::max<std::size_t>(1, stream_opts.batch)) {}
+
+void StreamGridSim::begin_if_needed() {
+  if (begun_) return;
+  begun_ = true;
+  if (!sim_.streaming()) sim_.begin_streaming();
+  emit_cursor_.assign(sim_.cluster_count(), 0);
+  next_metrics_ = opts_.metrics_interval;
+}
+
+bool StreamGridSim::poll(const TablePool& tables) {
+  if (done_) return false;
+  begin_if_needed();
+  const std::size_t n = ring_.wait_pop_n(batch_buf_.data(), batch_buf_.size());
+  if (n == 0) {
+    // Closed and drained: run the engine dry and publish the aggregate.
+    result_ = sim_.finish_streaming(opts_.horizon);
+    emit_completions(/*drain_all=*/true);
+    if (opts_.metrics_interval > 0.0) emit_metrics();
+    done_ = true;
+    return false;
+  }
+  const std::size_t clusters = sim_.cluster_count();
+  Time frontier = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const HotJob& h = batch_buf_[i];
+    // Home rule of GridSim::submit_store: community % cluster count.
+    const std::size_t home =
+        static_cast<std::size_t>(h.community < 0 ? 0 : h.community) % clusters;
+    sim_.ingest(h, tables, home);
+    frontier = std::max(frontier, effective_grid_release(h.release));
+  }
+  // The frontier instant stays pending (advance_to's contract), so jobs
+  // of the next batch releasing exactly at the frontier still route in
+  // the batch replay's tie-break position.
+  if (frontier > sim_.simulator().now()) sim_.advance_to(frontier);
+  emit_completions(/*drain_all=*/false);
+  if (opts_.metrics_interval > 0.0) emit_metrics();
+  return true;
+}
+
+GridSimResult StreamGridSim::serve(const TablePool& tables) {
+  while (poll(tables)) {
+  }
+  return result_;
+}
+
+const GridSimResult& StreamGridSim::result() const {
+  if (!done_) throw std::logic_error("result() before the stream finished");
+  return result_;
+}
+
+Time StreamGridSim::clock() const { return sim_.simulator().now(); }
+
+void StreamGridSim::emit_completions(bool drain_all) {
+  const Time now = sim_.simulator().now();
+  for (std::size_t c = 0; c < sim_.cluster_count(); ++c) {
+    const OnlineCluster& cl = sim_.cluster(c);
+    const auto& recs = cl.local_records();
+    std::size_t& cursor = emit_cursor_[c];
+    while (cursor < recs.size()) {
+      const LocalJobRecord& r = recs[cursor];
+      // Completed iff started (positive durations: a started record has
+      // finish > 0, a queued one has finish == 0) and its completion
+      // event — at (finish, priority 0), behind the advance_to frontier
+      // — already fired.  A queued/running record at the cursor holds
+      // the line: records emit in per-cluster submission order, each
+      // exactly once.
+      if (!drain_all && !(r.finish > 0.0 && r.finish < now)) break;
+      if (sink_) {
+        JsonWriter w(/*compact=*/true);
+        w.begin_object();
+        w.key("type").value("job");
+        w.key("cluster").value(static_cast<int>(cl.id()));
+        w.key("job").value(static_cast<std::uint64_t>(r.id));
+        w.key("community").value(r.community);
+        w.key("procs").value(r.procs);
+        w.key("submit").value(r.submit);
+        w.key("start").value(r.start);
+        w.key("finish").value(r.finish);
+        w.key("wait").value(r.wait());
+        w.key("flow").value(r.flow());
+        w.end_object();
+        sink_(w.str());
+      }
+      ++cursor;
+      ++records_emitted_;
+    }
+  }
+}
+
+void StreamGridSim::emit_metrics() {
+  const Time now = sim_.simulator().now();
+  if (now + kTimeEps < next_metrics_) return;
+  next_metrics_ = now + opts_.metrics_interval;
+  if (!sink_) return;
+  std::uint64_t queued = 0, running = 0, be_running = 0;
+  for (std::size_t c = 0; c < sim_.cluster_count(); ++c) {
+    const OnlineCluster& cl = sim_.cluster(c);
+    queued += cl.queued_jobs();
+    running += cl.running_local_jobs();
+    be_running += cl.running_besteffort_jobs();
+  }
+  JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  w.key("type").value("metrics");
+  w.key("t").value(now);
+  w.key("ingested").value(static_cast<std::uint64_t>(sim_.ingested()));
+  w.key("emitted").value(records_emitted_);
+  w.key("queued").value(queued);
+  w.key("running_local").value(running);
+  w.key("running_besteffort").value(be_running);
+  w.key("pending_events").value(
+      static_cast<std::uint64_t>(sim_.simulator().pending_count()));
+  w.end_object();
+  sink_(w.str());
+}
+
+std::vector<unsigned char> StreamGridSim::checkpoint() const {
+  if (done_)
+    throw std::logic_error("checkpoint() after the stream finished");
+  CheckpointWriter w;
+  w.str("streamsim");
+  w.u64(emit_cursor_.size());
+  for (const std::size_t c : emit_cursor_) w.u64(c);
+  w.f64(next_metrics_);
+  w.u64(records_emitted_);
+  w.u8(begun_ ? 1 : 0);
+  const std::vector<unsigned char> inner = sim_.checkpoint();
+  w.bytes(inner.data(), inner.size());
+  return w.finish();
+}
+
+void StreamGridSim::restore(const std::vector<unsigned char>& blob) {
+  if (begun_ || done_)
+    throw std::logic_error("restore() needs a fresh service");
+  CheckpointReader r(blob);
+  if (r.str() != "streamsim")
+    throw CheckpointError("snapshot was not written by the streaming service");
+  const std::uint64_t n = r.u64();
+  if (n != sim_.cluster_count())
+    throw CheckpointError("snapshot cluster count mismatch");
+  emit_cursor_.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < emit_cursor_.size(); ++i)
+    emit_cursor_[i] = static_cast<std::size_t>(r.u64());
+  next_metrics_ = r.f64();
+  records_emitted_ = r.u64();
+  begun_ = r.u8() != 0;
+  const std::vector<unsigned char> inner = r.blob();
+  if (!r.exhausted())
+    throw CheckpointError("trailing bytes after the streaming snapshot");
+  sim_.restore(inner);
+}
+
+}  // namespace lgs

@@ -1,0 +1,128 @@
+// Streaming service mode: live job ingestion over a bounded pipeline.
+//
+// GridSim replays a trace it was handed up front; this driver turns the
+// same engine into a long-running *service*.  A producer thread feeds
+// 64-byte HotJob rows (release-ordered, like any submission log) into a
+// bounded SPSC ring (core/spsc_ring.h) — a full ring blocks the
+// producer, which is the backpressure contract: the simulator, not an
+// unbounded buffer, paces ingestion.  The service thread drains the
+// ring in batches, ingests each row into the grid engine and advances
+// the simulated clock to the newest release frontier; because the
+// frontier instant itself stays pending (GridSim::advance_to), the
+// streamed replay is bit-identical to the equivalent batch run.
+//
+// Results stream out as newline-delimited JSON through a caller sink:
+// one `{"type":"job",...}` record per completed local job (per-cluster
+// submission order) plus periodic `{"type":"metrics",...}` snapshots of
+// the live engine.  The whole service — engine plus driver cursors —
+// checkpoints into one versioned snapshot (core/checkpoint): restore
+// into a fresh service, re-feed the not-yet-ingested suffix of the
+// stream, and the drained result matches the uninterrupted run's golden
+// digest exactly.
+//
+// Thread boundaries: push/push_n/close on ONE producer thread,
+// everything else (poll/serve/checkpoint/restore/result) on ONE service
+// thread.  Single-threaded use (push then poll from the same thread) is
+// fine as long as pushes between polls stay under the ring capacity.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/spsc_ring.h"
+#include "sim/grid_sim.h"
+
+namespace lgs {
+
+class StreamGridSim {
+ public:
+  struct Options {
+    /// Ring slots (rounded up to a power of two).  Full ring = blocked
+    /// producer: this bound is the whole backpressure mechanism.
+    std::size_t ring_capacity = 1024;
+    /// Max rows ingested per poll() step.
+    std::size_t batch = 256;
+    /// Simulated-time period of `{"type":"metrics"}` snapshot lines
+    /// (sampled at poll quiescent points); 0 disables them.
+    Time metrics_interval = 0.0;
+    /// Horizon passed to the final drain once the stream closes.
+    Time horizon = kTimeInfinity;
+  };
+
+  /// Receives one complete JSON document per call (no trailing
+  /// newline); the sink owns the "\n" framing and any I/O.  Called from
+  /// the service thread only.  May be empty (records are dropped).
+  using SinkFn = std::function<void(const std::string& line)>;
+
+  StreamGridSim(const LightGrid& grid, const GridSimOptions& opts,
+                Options stream_opts, SinkFn sink);
+
+  // ---- producer side (one thread) --------------------------------------
+
+  /// Blocking push with backpressure; rows must arrive in release order
+  /// for batch-identical replay.  Table-model rows must reference the
+  /// pool later passed to poll()/serve().
+  void push(const HotJob& h) { ring_.push(h); }
+  /// Bulk variant (one atomic publish for the whole span).
+  void push_n(const HotJob* rows, std::size_t n) { ring_.push_n(rows, n); }
+  /// End of stream (after the last push).
+  void close() { ring_.close(); }
+
+  // ---- service side (one thread) ---------------------------------------
+
+  /// One service step: wait for stream input, ingest up to
+  /// Options::batch rows (tables resolved against `tables`), advance
+  /// the clock to the release frontier and emit completions/metrics.
+  /// Returns false exactly once — when the stream is closed, drained
+  /// and the final result is ready.  Quiescent between calls:
+  /// checkpoint() is legal.
+  bool poll(const TablePool& tables);
+
+  /// Run poll() to completion and return the aggregated result.
+  GridSimResult serve(const TablePool& tables);
+
+  bool done() const { return done_; }
+  /// The aggregate outcome; valid once done().
+  const GridSimResult& result() const;
+
+  /// Rows consumed from the stream so far — after restore(), the
+  /// producer re-feeds the stream starting at this index.
+  std::size_t ingested() const { return sim_.ingested(); }
+  /// Per-job completion records emitted so far.
+  std::uint64_t records_emitted() const { return records_emitted_; }
+  Time clock() const;
+
+  /// Snapshot the whole service (engine + driver cursors).  Call
+  /// between poll() steps on the service thread.
+  std::vector<unsigned char> checkpoint() const;
+  /// Restore into a FRESH service built with the same grid, options and
+  /// sink.  The producer then pushes the remaining rows (from
+  /// ingested() on) and the service continues bit-identically.
+  void restore(const std::vector<unsigned char>& blob);
+
+  GridSim& grid_sim() { return sim_; }
+  const GridSim& grid_sim() const { return sim_; }
+
+ private:
+  void begin_if_needed();
+  void emit_completions(bool drain_all);
+  void emit_metrics();
+
+  GridSim sim_;
+  Options opts_;
+  SinkFn sink_;
+  SpscRing<HotJob> ring_;
+  std::vector<HotJob> batch_buf_;
+  /// Per-cluster emission cursor into local_records() — records are
+  /// emitted in per-cluster submission order, each exactly once.
+  std::vector<std::size_t> emit_cursor_;
+  Time next_metrics_ = 0.0;
+  std::uint64_t records_emitted_ = 0;
+  bool begun_ = false;
+  bool done_ = false;
+  GridSimResult result_;
+};
+
+}  // namespace lgs

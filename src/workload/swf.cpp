@@ -5,99 +5,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "workload/swf_stream.h"
+
 namespace lgs {
-
-namespace {
-
-struct SwfLine {
-  long job_id = -1;
-  double submit = -1;
-  double wait = -1;
-  double run = -1;
-  long procs_alloc = -1;
-  long procs_req = -1;
-  double req_time = -1;
-  long status = -1;
-  long user = -1;
-};
-
-/// Parse one data line; returns false for blank lines.
-bool parse_line(const std::string& line, SwfLine* out) {
-  std::istringstream in(line);
-  std::vector<double> fields;
-  double v;
-  while (in >> v) fields.push_back(v);
-  if (fields.empty()) return false;
-  if (fields.size() < 5)
-    throw std::invalid_argument("SWF line with fewer than 5 fields: " + line);
-  const auto get = [&](std::size_t idx1) {
-    return idx1 <= fields.size() ? fields[idx1 - 1] : -1.0;
-  };
-  out->job_id = static_cast<long>(get(1));
-  out->submit = get(2);
-  out->wait = get(3);
-  out->run = get(4);
-  out->procs_alloc = static_cast<long>(get(5));
-  out->procs_req = static_cast<long>(get(8));
-  out->req_time = get(9);
-  out->status = static_cast<long>(get(11));
-  out->user = static_cast<long>(get(12));
-  return true;
-}
-
-}  // namespace
 
 JobStore parse_swf_store(const std::string& text, const SwfOptions& opts,
                          SwfParseStats* stats, ArenaRef arena) {
-  JobStore jobs(arena);
-  SwfParseStats local;
-  std::istringstream in(text);
-  std::string line;
-  JobId next_id = 0;
-  while (std::getline(in, line)) {
-    // CRLF tolerance: getline leaves the '\r' of a CRLF ending in place.
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    // Header/comment lines start with ';'.  Separators may be any mix of
-    // spaces and tabs (parse_line extracts with operator>>).
-    const std::size_t first = line.find_first_not_of(" \t");
-    if (first == std::string::npos || line[first] == ';') continue;
-    ++local.data_lines;
-    SwfLine rec;
-    if (!parse_line(line, &rec)) {
-      // Content but no leading numeric field (e.g. a header line that
-      // lost its ';'): malformed, counted — never silently skipped.
-      if (opts.skip_invalid) {
-        ++local.dropped_invalid;
-        continue;
-      }
-      throw std::invalid_argument("SWF line without numeric fields: " + line);
-    }
-
-    long procs = opts.prefer_requested_procs && rec.procs_req > 0
-                     ? rec.procs_req
-                     : rec.procs_alloc;
-    if (procs <= 0) procs = rec.procs_req;  // fall back either way
-    const double run = rec.run;
-    if (procs <= 0 || run <= 0) {
-      if (opts.skip_invalid) {
-        ++local.dropped_invalid;
-        continue;
-      }
-      throw std::invalid_argument("SWF job without processors or run time");
-    }
-    jobs.append_rigid(next_id, static_cast<int>(procs),
-                      run * opts.time_scale,
-                      std::max(0.0, rec.submit) * opts.time_scale);
-    jobs[jobs.size() - 1].community =
-        rec.user > 0 ? static_cast<int>(rec.user) : 0;
-    ++next_id;
-    ++local.parsed;
-    if (opts.max_jobs > 0 &&
-        static_cast<int>(jobs.size()) >= opts.max_jobs)
-      break;
-  }
-  if (stats != nullptr) *stats = local;
-  return jobs;
+  // The incremental parser is the primary implementation; feeding the
+  // whole text as one chunk makes the batch path identical to any
+  // chunked feed by construction (tests/test_swf_stream.cpp pins it).
+  SwfStreamParser parser(opts, arena);
+  parser.feed(text.data(), text.size());
+  parser.finish();
+  if (stats != nullptr) *stats = parser.stats();
+  return parser.take_store();
 }
 
 JobSet parse_swf(const std::string& text, const SwfOptions& opts,
@@ -112,18 +33,24 @@ JobStore load_swf_file_store(const std::string& path, const SwfOptions& opts,
                              SwfParseStats* stats, ArenaRef arena) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open SWF trace: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return parse_swf_store(buf.str(), opts, stats, arena);
+  // Stream the file through the incremental parser in fixed chunks — a
+  // multi-GB archive trace never materialises as one string.
+  SwfStreamParser parser(opts, arena);
+  std::vector<char> buf(1 << 16);
+  while (in && !parser.done()) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const std::streamsize got = in.gcount();
+    if (got <= 0) break;
+    parser.feed(buf.data(), static_cast<std::size_t>(got));
+  }
+  parser.finish();
+  if (stats != nullptr) *stats = parser.stats();
+  return parser.take_store();
 }
 
 JobSet load_swf_file(const std::string& path, const SwfOptions& opts,
                      SwfParseStats* stats) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open SWF trace: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return parse_swf(buf.str(), opts, stats);
+  return load_swf_file_store(path, opts, stats).to_jobset();
 }
 
 std::string to_swf(const JobSet& jobs, const Schedule* s,

@@ -1,0 +1,135 @@
+#include "workload/swf_stream.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace lgs {
+
+namespace {
+
+struct SwfLine {
+  long job_id = -1;
+  double submit = -1;
+  double wait = -1;
+  double run = -1;
+  long procs_alloc = -1;
+  long procs_req = -1;
+  double req_time = -1;
+  long status = -1;
+  long user = -1;
+};
+
+/// Parse one data line; returns false for blank lines.
+bool parse_line(const std::string& line, SwfLine* out) {
+  std::istringstream in(line);
+  std::vector<double> fields;
+  double v;
+  while (in >> v) fields.push_back(v);
+  if (fields.empty()) return false;
+  if (fields.size() < 5)
+    throw std::invalid_argument("SWF line with fewer than 5 fields: " + line);
+  const auto get = [&](std::size_t idx1) {
+    return idx1 <= fields.size() ? fields[idx1 - 1] : -1.0;
+  };
+  out->job_id = static_cast<long>(get(1));
+  out->submit = get(2);
+  out->wait = get(3);
+  out->run = get(4);
+  out->procs_alloc = static_cast<long>(get(5));
+  out->procs_req = static_cast<long>(get(8));
+  out->req_time = get(9);
+  out->status = static_cast<long>(get(11));
+  out->user = static_cast<long>(get(12));
+  return true;
+}
+
+}  // namespace
+
+SwfStreamParser::SwfStreamParser(const SwfOptions& opts, ArenaRef arena)
+    : opts_(opts), store_(arena) {}
+
+void SwfStreamParser::feed(const char* data, std::size_t n) {
+  if (finished_)
+    throw std::logic_error("SwfStreamParser::feed after finish()");
+  // Past max_jobs the batch parser stops reading lines entirely (stats
+  // freeze mid-file); mirror that by dropping the rest of the stream.
+  if (done_) return;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (data[i] != '\n') continue;
+    if (carry_.empty()) {
+      process_line(std::string(data + start, i - start));
+    } else {
+      carry_.append(data + start, i - start);
+      process_line(std::move(carry_));
+      carry_.clear();
+    }
+    start = i + 1;
+    if (done_) return;
+  }
+  carry_.append(data + start, n - start);
+}
+
+void SwfStreamParser::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // std::getline semantics: a final line without a terminator is still a
+  // line.  (After a trailing '\n' the carry is empty and nothing runs.)
+  if (!done_ && !carry_.empty()) process_line(std::move(carry_));
+  carry_.clear();
+  carry_.shrink_to_fit();
+}
+
+JobStore SwfStreamParser::take_store() {
+  if (!finished_)
+    throw std::logic_error("SwfStreamParser::take_store before finish()");
+  return std::move(store_);
+}
+
+void SwfStreamParser::process_line(std::string line) {
+  // CRLF tolerance: line splitting keeps the '\r' of a CRLF ending.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  // Header/comment lines start with ';'.  Separators may be any mix of
+  // spaces and tabs (parse_line extracts with operator>>).
+  const std::size_t first = line.find_first_not_of(" \t");
+  if (first == std::string::npos || line[first] == ';') return;
+  ++stats_.data_lines;
+  SwfLine rec;
+  if (!parse_line(line, &rec)) {
+    // Content but no leading numeric field (e.g. a header line that
+    // lost its ';'): malformed, counted — never silently skipped.
+    if (opts_.skip_invalid) {
+      ++stats_.dropped_invalid;
+      return;
+    }
+    throw std::invalid_argument("SWF line without numeric fields: " + line);
+  }
+
+  long procs = opts_.prefer_requested_procs && rec.procs_req > 0
+                   ? rec.procs_req
+                   : rec.procs_alloc;
+  if (procs <= 0) procs = rec.procs_req;  // fall back either way
+  const double run = rec.run;
+  if (procs <= 0 || run <= 0) {
+    if (opts_.skip_invalid) {
+      ++stats_.dropped_invalid;
+      return;
+    }
+    throw std::invalid_argument("SWF job without processors or run time");
+  }
+  store_.append_rigid(next_id_, static_cast<int>(procs),
+                      run * opts_.time_scale,
+                      std::max(0.0, rec.submit) * opts_.time_scale);
+  store_[store_.size() - 1].community =
+      rec.user > 0 ? static_cast<int>(rec.user) : 0;
+  ++next_id_;
+  ++stats_.parsed;
+  if (opts_.max_jobs > 0 &&
+      static_cast<int>(store_.size()) >= opts_.max_jobs)
+    done_ = true;
+}
+
+}  // namespace lgs

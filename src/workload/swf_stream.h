@@ -1,0 +1,66 @@
+// Incremental (streaming) SWF parser.
+//
+// The batch parser (workload/swf.h) needs the whole trace in memory;
+// the streaming service mode (sim/stream_sim.h) ingests a live
+// submission log that may never end.  SwfStreamParser accepts the trace
+// in arbitrary chunks — any split, even mid-line or mid-field — and
+// produces exactly the JobStore and SwfParseStats of
+// parse_swf_store(whole_text): it IS the primary implementation, the
+// batch entry points delegate to it (one feed + finish), so the
+// byte-for-byte equivalence holds by construction and is pinned by the
+// randomized-chunk differential in tests/test_swf_stream.cpp.
+//
+// Usage:
+//   SwfStreamParser p(opts);
+//   while (read(chunk)) p.feed(chunk.data(), chunk.size());
+//   p.finish();                       // handles a final unterminated line
+//   use(p.stats(), p.store());        // or take_store() to keep the slab
+//
+// Rows become visible in store() as soon as their line is complete, so
+// a service can hand parsed rows onward between feed() calls.
+#pragma once
+
+#include <string>
+
+#include "core/job_store.h"
+#include "workload/swf.h"
+
+namespace lgs {
+
+class SwfStreamParser {
+ public:
+  explicit SwfStreamParser(const SwfOptions& opts = {}, ArenaRef arena = {});
+
+  /// Consume the next chunk (any byte split; '\n' terminates lines,
+  /// CRLF tolerated).  No-op once done() — the batch parser stops
+  /// reading at max_jobs, and so does this one.
+  void feed(const char* data, std::size_t n);
+  void feed(const std::string& chunk) { feed(chunk.data(), chunk.size()); }
+
+  /// End of input: parses a final unterminated line, exactly like
+  /// std::getline on a text without a trailing newline.  Idempotent;
+  /// feed() afterwards throws.
+  void finish();
+
+  /// True once max_jobs rows were produced (further input is ignored).
+  bool done() const { return done_; }
+
+  const SwfParseStats& stats() const { return stats_; }
+  /// Rows parsed so far (grows during feed; final after finish).
+  const JobStore& store() const { return store_; }
+  /// Move the finished store out (call after finish()).
+  JobStore take_store();
+
+ private:
+  void process_line(std::string line);
+
+  SwfOptions opts_;
+  JobStore store_;
+  SwfParseStats stats_;
+  std::string carry_;  ///< partial line awaiting its terminator
+  JobId next_id_ = 0;
+  bool done_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace lgs

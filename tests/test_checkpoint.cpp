@@ -1,0 +1,205 @@
+// Checkpoint/restore: a batch replay snapshotted at time T and restored
+// into a fresh engine must finish BIT-IDENTICAL to the uninterrupted
+// run — the same pinned golden digests of tests/test_replay_golden.cpp,
+// across all four routing modes, volatility churn and the best-effort
+// layer.  Plus the framing rejections: truncation, corruption, version
+// skew, config mismatch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "grid_golden_scenarios.h"
+#include "sim/grid_sim.h"
+
+namespace lgs {
+namespace {
+
+/// Checkpoint instants exercised per scenario: before the first event,
+/// mid-churn, and late in the arrival window.
+const Time kCheckpointTimes[] = {0.0, 0.75, 7.25, 21.5};
+
+GridSim make_engine(const GoldenScenario& sc) {
+  return GridSim(make_skewed_grid(4, 24, 2.0), golden_options(sc));
+}
+
+void submit_golden(GridSim& sim) {
+  sim.submit_workloads(split_by_community(golden_workload(), 4));
+}
+
+TEST(Checkpoint, RunToResumeMatchesUninterruptedRun) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const auto scenarios = golden_scenarios();
+  const auto digests = golden_digests();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    GridSim sim = make_engine(scenarios[i]);
+    submit_golden(sim);
+    sim.run_to(7.25);
+    const GridSimResult res = sim.resume();
+    EXPECT_EQ(digest_grid_result(sim, res), digests[i].digest)
+        << scenarios[i].name;
+  }
+}
+
+TEST(Checkpoint, RestoreReproducesGoldenDigests) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const auto scenarios = golden_scenarios();
+  const auto digests = golden_digests();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    for (const Time t : kCheckpointTimes) {
+      GridSim writer = make_engine(scenarios[i]);
+      submit_golden(writer);
+      writer.run_to(t);
+      const std::vector<unsigned char> blob = writer.checkpoint();
+
+      GridSim reader = make_engine(scenarios[i]);
+      reader.restore(blob);
+      const GridSimResult res = reader.resume();
+      EXPECT_EQ(digest_grid_result(reader, res), digests[i].digest)
+          << scenarios[i].name << " @ t=" << t;
+    }
+  }
+}
+
+TEST(Checkpoint, DoubleCheckpointIsStable) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  // checkpoint() is a const observation: two snapshots at the same
+  // quiescent point are byte-identical, and a restored engine
+  // re-snapshots to the same bytes.
+  const GoldenScenario sc = golden_scenarios()[0];
+  GridSim writer = make_engine(sc);
+  submit_golden(writer);
+  writer.run_to(7.25);
+  const std::vector<unsigned char> a = writer.checkpoint();
+  const std::vector<unsigned char> b = writer.checkpoint();
+  EXPECT_EQ(a, b);
+
+  GridSim reader = make_engine(sc);
+  reader.restore(a);
+  EXPECT_EQ(reader.checkpoint(), a);
+}
+
+TEST(Checkpoint, RejectsTruncatedSnapshot) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const GoldenScenario sc = golden_scenarios()[0];
+  GridSim writer = make_engine(sc);
+  submit_golden(writer);
+  writer.run_to(0.75);
+  std::vector<unsigned char> blob = writer.checkpoint();
+  blob.resize(blob.size() - 7);
+  GridSim reader = make_engine(sc);
+  EXPECT_THROW(reader.restore(blob), CheckpointError);
+  blob.resize(4);  // shorter than the header
+  EXPECT_THROW(reader.restore(blob), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsCorruptedSnapshot) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const GoldenScenario sc = golden_scenarios()[0];
+  GridSim writer = make_engine(sc);
+  submit_golden(writer);
+  writer.run_to(0.75);
+  std::vector<unsigned char> blob = writer.checkpoint();
+  blob[blob.size() / 2] ^= 0x40;
+  GridSim reader = make_engine(sc);
+  EXPECT_THROW(reader.restore(blob), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsVersionSkew) {
+  // Hand-assemble an otherwise valid (checksummed) blob carrying a
+  // future format version: the reader must refuse it outright.
+  std::vector<unsigned char> blob(kCheckpointMagic,
+                                  kCheckpointMagic + sizeof kCheckpointMagic);
+  const std::uint32_t version = kCheckpointVersion + 1;
+  for (int i = 0; i < 4; ++i)
+    blob.push_back(static_cast<unsigned char>((version >> (8 * i)) & 0xff));
+  const std::uint64_t sum =
+      checkpoint_fnv1a(kCheckpointFnvBasis, blob.data(), blob.size());
+  for (int i = 0; i < 8; ++i)
+    blob.push_back(static_cast<unsigned char>((sum >> (8 * i)) & 0xff));
+  EXPECT_THROW(CheckpointReader r(blob), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsForeignBytes) {
+  const std::string junk = "this is not a snapshot, not even close....";
+  const std::vector<unsigned char> blob(junk.begin(), junk.end());
+  EXPECT_THROW(CheckpointReader r(blob), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsConfigMismatch) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const GoldenScenario sc = golden_scenarios()[0];
+  GridSim writer = make_engine(sc);
+  submit_golden(writer);
+  writer.run_to(0.75);
+  const std::vector<unsigned char> blob = writer.checkpoint();
+
+  GridSimOptions other = golden_options(sc);
+  other.volatility_seed += 1;  // any config drift must be caught
+  GridSim reader(make_skewed_grid(4, 24, 2.0), other);
+  EXPECT_THROW(reader.restore(blob), CheckpointError);
+
+  GridSim smaller(make_skewed_grid(3, 24, 2.0), golden_options(sc));
+  EXPECT_THROW(smaller.restore(blob), CheckpointError);
+}
+
+TEST(Checkpoint, LifecycleGuards) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const GoldenScenario sc = golden_scenarios()[0];
+  GridSim sim = make_engine(sc);
+  EXPECT_THROW(sim.checkpoint(), std::logic_error);
+  EXPECT_THROW(sim.resume(), std::logic_error);
+  submit_golden(sim);
+  sim.run_to(0.75);
+  const std::vector<unsigned char> blob = sim.checkpoint();
+  // A used engine cannot be restored into.
+  EXPECT_THROW(sim.restore(blob), std::logic_error);
+  sim.resume();
+}
+
+TEST(CheckpointFraming, PrimitiveRoundTrip) {
+  CheckpointWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f64(3.14159);
+  w.f64(-0.0);
+  w.str("hello snapshot");
+  const unsigned char raw[3] = {1, 2, 3};
+  w.bytes(raw, sizeof raw);
+  const std::vector<unsigned char> blob = w.finish();
+
+  CheckpointReader r(blob);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_EQ(r.f64(), 3.14159);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // raw IEEE bits, not a text trip
+  EXPECT_EQ(r.str(), "hello snapshot");
+  unsigned char back[3] = {0, 0, 0};
+  r.bytes(back, sizeof back);
+  EXPECT_EQ(back[2], 3);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW(r.u8(), CheckpointError);
+}
+
+TEST(CheckpointFraming, ByteRunLengthMismatchRejected) {
+  CheckpointWriter w;
+  const unsigned char raw[4] = {9, 9, 9, 9};
+  w.bytes(raw, sizeof raw);
+  const std::vector<unsigned char> blob = w.finish();
+  CheckpointReader r(blob);
+  unsigned char back[8];
+  EXPECT_THROW(r.bytes(back, sizeof back), CheckpointError);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,6 +1,7 @@
 // Tests for the DES kernel (sim/simulator.h).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <memory>
 #include <vector>
@@ -346,6 +347,87 @@ TEST(Simulator, CascadingEvents) {
   sim.run();
   EXPECT_EQ(depth, 100);
   EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(Simulator, PendingIteratorSeesLiveEventsOnly) {
+  Simulator sim;
+  const EventId a = sim.at(3.0, [] {}, /*priority=*/1);
+  const EventId b = sim.at(1.0, [] {});
+  const EventId c = sim.at(2.0, [] {});
+  sim.cancel(c);  // cancelled entries must be invisible
+
+  std::vector<Simulator::PendingEvent> seen;
+  for (const Simulator::PendingEvent& e : sim.pending_events())
+    seen.push_back(e);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(sim.pending_count(), 2u);
+  std::sort(seen.begin(), seen.end(),
+            [](const Simulator::PendingEvent& x,
+               const Simulator::PendingEvent& y) { return x.id < y.id; });
+  EXPECT_EQ(seen[0].id, a);
+  EXPECT_DOUBLE_EQ(seen[0].t, 3.0);
+  EXPECT_EQ(seen[0].priority, 1);
+  EXPECT_EQ(seen[1].id, b);
+  EXPECT_DOUBLE_EQ(seen[1].t, 1.0);
+
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.pending_events().begin(), sim.pending_events().end());
+}
+
+TEST(Simulator, RestoreEventReplaysOriginalTieBreakOrder) {
+  // The uninterrupted run: three same-instant events fire in insertion
+  // order.  A "restored" kernel re-schedules them in a DIFFERENT call
+  // order but under their original ids — and must fire them in the
+  // original order anyway, because the queue key (t, priority, id) is
+  // reproduced exactly.
+  std::vector<int> order;
+  Simulator sim;
+  sim.at(5.0, [&] { order.push_back(1); });  // id 1
+  sim.at(5.0, [&] { order.push_back(2); });  // id 2
+  sim.at(5.0, [&] { order.push_back(3); });  // id 3
+
+  Simulator restored;
+  restored.reset_for_restore(/*now=*/2.0, /*next_id=*/4, /*executed=*/7);
+  EXPECT_DOUBLE_EQ(restored.now(), 2.0);
+  EXPECT_EQ(restored.next_event_id(), 4u);
+  EXPECT_EQ(restored.executed(), 7u);
+  std::vector<int> order2;
+  restored.restore_event(5.0, 0, 3, [&] { order2.push_back(3); });
+  restored.restore_event(5.0, 0, 1, [&] { order2.push_back(1); });
+  restored.restore_event(5.0, 0, 2, [&] { order2.push_back(2); });
+
+  sim.run();
+  restored.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(order2, order);
+  EXPECT_EQ(restored.executed(), 10u);  // 7 restored + 3 fired
+  // New events after the restore continue the pinned id sequence.
+  EXPECT_EQ(restored.next_event_id(), 4u);
+}
+
+TEST(Simulator, ResetForRestoreDropsPendingState) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(1.0, [&] { fired = true; });
+  const EventId doomed = sim.at(2.0, [&] { fired = true; });
+  sim.cancel(doomed);
+  sim.reset_for_restore(/*now=*/0.5, /*next_id=*/10, /*executed=*/0);
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.pending_cancellations(), 0u);
+  sim.run();
+  EXPECT_FALSE(fired);  // the dropped events never fire
+  EXPECT_DOUBLE_EQ(sim.now(), 0.5);
+}
+
+TEST(Simulator, RestoreEventRejectsBadIds) {
+  Simulator sim;
+  sim.reset_for_restore(/*now=*/0.0, /*next_id=*/5, /*executed=*/0);
+  EXPECT_THROW(sim.restore_event(1.0, 0, 0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.restore_event(1.0, 0, 5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.restore_event(1.0, 0, 9, [] {}), std::invalid_argument);
+  sim.restore_event(1.0, 0, 4, [] {});  // in [1, next_id) is fine
+  sim.run();
 }
 
 }  // namespace

@@ -1,0 +1,213 @@
+// Streaming service mode (sim/stream_sim.h): live ingestion over the
+// bounded SPSC pipeline must replay BIT-IDENTICAL to the batch engine —
+// the same pinned golden digests — including across a mid-stream
+// checkpoint/restore split, under real producer-thread backpressure,
+// and with the NDJSON sink observing every completion exactly once.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "grid_golden_scenarios.h"
+#include "sim/stream_sim.h"
+
+namespace lgs {
+namespace {
+
+/// The golden workload as a store plus the exact order the batch engine
+/// routes it: grouped by home cluster (community % n, store order
+/// within each group), then stably sorted by effective release — the
+/// order a live submission front-end would naturally produce.
+struct GoldenStream {
+  JobStore store;
+  std::vector<HotJob> feed;  ///< rows in batch route order
+};
+
+GoldenStream golden_stream(std::size_t clusters) {
+  GoldenStream gs{to_job_store(golden_workload()), {}};
+  ArenaVec<GridPending> pending;
+  group_pending_by_home(gs.store, clusters, pending);
+  std::vector<std::uint32_t> order(pending.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return effective_grid_release(
+                                gs.store[pending[a].index].release) <
+                            effective_grid_release(
+                                gs.store[pending[b].index].release);
+                   });
+  gs.feed.reserve(order.size());
+  for (const std::uint32_t i : order)
+    gs.feed.push_back(gs.store[pending[i].index]);
+  return gs;
+}
+
+/// Streaming-capable golden scenarios (kGlobalPlan needs the whole
+/// trace up front and is rejected by begin_streaming).
+std::vector<std::size_t> streamable_scenarios() { return {0, 1, 2}; }
+
+TEST(StreamSim, MatchesBatchGoldenDigests) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const auto scenarios = golden_scenarios();
+  const auto digests = golden_digests();
+  const GoldenStream gs = golden_stream(4);
+  for (const std::size_t i : streamable_scenarios()) {
+    StreamGridSim::Options sopts;
+    sopts.ring_capacity = gs.feed.size() + 1;
+    sopts.batch = 37;  // odd batch: ingestion splits must not matter
+    StreamGridSim svc(make_skewed_grid(4, 24, 2.0),
+                      golden_options(scenarios[i]), sopts, nullptr);
+    svc.push_n(gs.feed.data(), gs.feed.size());
+    svc.close();
+    const GridSimResult res = svc.serve(gs.store.tables());
+    EXPECT_EQ(digest_grid_result(svc.grid_sim(), res), digests[i].digest)
+        << scenarios[i].name;
+  }
+}
+
+TEST(StreamSim, GlobalPlanRoutingIsRejected) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const GoldenScenario sc = golden_scenarios()[3];
+  ASSERT_EQ(sc.routing, GridRouting::kGlobalPlan);
+  StreamGridSim svc(make_skewed_grid(4, 24, 2.0), golden_options(sc), {},
+                    nullptr);
+  const GoldenStream gs = golden_stream(4);
+  svc.push(gs.feed[0]);
+  EXPECT_THROW(svc.poll(gs.store.tables()), std::invalid_argument);
+}
+
+TEST(StreamSim, BackpressureUnderRealProducerThread) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const auto scenarios = golden_scenarios();
+  const auto digests = golden_digests();
+  const GoldenStream gs = golden_stream(4);
+  StreamGridSim::Options sopts;
+  sopts.ring_capacity = 4;  // tiny ring: the producer blocks constantly
+  sopts.batch = 3;
+  StreamGridSim svc(make_skewed_grid(4, 24, 2.0),
+                    golden_options(scenarios[0]), sopts, nullptr);
+  std::thread producer([&] {
+    for (const HotJob& h : gs.feed) svc.push(h);
+    svc.close();
+  });
+  const GridSimResult res = svc.serve(gs.store.tables());
+  producer.join();
+  EXPECT_EQ(digest_grid_result(svc.grid_sim(), res), digests[0].digest);
+  EXPECT_EQ(svc.ingested(), gs.feed.size());
+}
+
+TEST(StreamSim, NdjsonSinkSeesEveryCompletionOnce) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const GoldenScenario sc = golden_scenarios()[0];
+  const GoldenStream gs = golden_stream(4);
+  std::vector<std::string> lines;
+  StreamGridSim::Options sopts;
+  sopts.ring_capacity = gs.feed.size() + 1;
+  sopts.metrics_interval = 5.0;
+  StreamGridSim svc(make_skewed_grid(4, 24, 2.0), golden_options(sc), sopts,
+                    [&](const std::string& line) { lines.push_back(line); });
+  svc.push_n(gs.feed.data(), gs.feed.size());
+  svc.close();
+  svc.serve(gs.store.tables());
+
+  std::size_t job_lines = 0, metrics_lines = 0;
+  for (const std::string& line : lines) {
+    // One self-contained JSON document per sink call: single-line,
+    // object-framed, type-tagged.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.rfind("{\"type\":\"job\",", 0) == 0) {
+      ++job_lines;
+      EXPECT_NE(line.find("\"cluster\":"), std::string::npos);
+      EXPECT_NE(line.find("\"finish\":"), std::string::npos);
+    } else {
+      ASSERT_EQ(line.rfind("{\"type\":\"metrics\",", 0), 0u) << line;
+      ++metrics_lines;
+      EXPECT_NE(line.find("\"pending_events\":"), std::string::npos);
+    }
+  }
+  std::size_t total_records = 0;
+  for (std::size_t c = 0; c < svc.grid_sim().cluster_count(); ++c)
+    total_records += svc.grid_sim().cluster(c).local_records().size();
+  EXPECT_EQ(job_lines, total_records);
+  EXPECT_EQ(svc.records_emitted(), total_records);
+  EXPECT_GT(metrics_lines, 0u);
+}
+
+TEST(StreamSim, MidStreamCheckpointRestoreIsBitIdentical) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const auto scenarios = golden_scenarios();
+  const auto digests = golden_digests();
+  const GoldenStream gs = golden_stream(4);
+  const LightGrid grid = make_skewed_grid(4, 24, 2.0);
+
+  for (const std::size_t i : streamable_scenarios()) {
+    const GridSimOptions opts = golden_options(scenarios[i]);
+    for (const std::size_t cut : {std::size_t{1}, gs.feed.size() / 3,
+                                  2 * gs.feed.size() / 3}) {
+      // Interrupted service: ingest the prefix, snapshot, abandon.
+      std::vector<std::string> first_lines;
+      StreamGridSim::Options sopts;
+      sopts.ring_capacity = gs.feed.size() + 1;
+      sopts.batch = 29;
+      StreamGridSim first(grid, opts, sopts,
+                          [&](const std::string& l) { first_lines.push_back(l); });
+      first.push_n(gs.feed.data(), cut);
+      while (first.ingested() < cut) first.poll(gs.store.tables());
+      ASSERT_EQ(first.ingested(), cut);
+      const std::vector<unsigned char> blob = first.checkpoint();
+
+      // Restored service: re-feed the not-yet-ingested suffix and drain.
+      std::vector<std::string> rest_lines;
+      StreamGridSim second(grid, opts, sopts,
+                           [&](const std::string& l) { rest_lines.push_back(l); });
+      second.restore(blob);
+      ASSERT_EQ(second.ingested(), cut);
+      second.push_n(gs.feed.data() + cut, gs.feed.size() - cut);
+      second.close();
+      const GridSimResult res = second.serve(gs.store.tables());
+
+      EXPECT_EQ(digest_grid_result(second.grid_sim(), res),
+                digests[i].digest)
+          << scenarios[i].name << " cut=" << cut;
+
+      // The split emits every record exactly once across both halves.
+      std::size_t total_records = 0;
+      for (std::size_t c = 0; c < second.grid_sim().cluster_count(); ++c)
+        total_records +=
+            second.grid_sim().cluster(c).local_records().size();
+      EXPECT_EQ(first_lines.size() + rest_lines.size(), total_records)
+          << scenarios[i].name << " cut=" << cut;
+    }
+  }
+}
+
+TEST(StreamSim, LifecycleGuards) {
+  if (!rng_matches_reference_library()) GTEST_SKIP();
+  const GoldenScenario sc = golden_scenarios()[0];
+  const GoldenStream gs = golden_stream(4);
+  StreamGridSim svc(make_skewed_grid(4, 24, 2.0), golden_options(sc), {},
+                    nullptr);
+  EXPECT_THROW(svc.result(), std::logic_error);
+  svc.close();
+  svc.serve(gs.store.tables());
+  EXPECT_TRUE(svc.done());
+  EXPECT_THROW(svc.checkpoint(), std::logic_error);
+  // A used service cannot be restored into.
+  StreamGridSim other(make_skewed_grid(4, 24, 2.0), golden_options(sc), {},
+                      nullptr);
+  const std::vector<unsigned char> junk;
+  EXPECT_THROW(svc.restore(junk), std::logic_error);
+  // And a fresh one rejects garbage bytes outright.
+  EXPECT_THROW(other.restore(junk), CheckpointError);
+}
+
+}  // namespace
+}  // namespace lgs

@@ -1,0 +1,196 @@
+// SwfStreamParser: the incremental parser must be byte-identical to the
+// batch parse_swf_store on any chunking of the same text — same JobStore
+// rows, same SwfParseStats, same exceptions.  parse_swf_store itself
+// delegates to the stream parser (one whole-text feed), so these
+// differentials pin the chunk-boundary reassembly logic specifically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "workload/swf.h"
+#include "workload/swf_stream.h"
+
+namespace lgs {
+namespace {
+
+/// A deliberately messy trace: comments, CRLF endings, tab separators,
+/// leading whitespace, blank lines, malformed/droppable rows, and a
+/// final line without a terminator.
+const char kMessyTrace[] =
+    "; SWF header comment\r\n"
+    ";  another ; comment line\n"
+    "\n"
+    "   \t  \n"
+    "1 0.0 -1 10.0 4 -1 -1 4 -1 -1 1 7 -1 -1 -1 -1 -1 -1\n"
+    "2\t1.5\t-1\t3.25\t2\t-1\t-1\t2\t-1\t-1\t1\t3\t-1\t-1\t-1\t-1\t-1\t-1\r\n"
+    "  3 2.0 -1 5.0 0 -1 -1 0 -1 -1 1 2 -1 -1 -1 -1 -1 -1\n"
+    "4 -3.5 -1 2.0 1 -1 -1 2 -1 -1 1 0 -1 -1 -1 -1 -1 -1\r\n"
+    "5 4.0 -1 0.0 8 -1 -1 8 -1 -1 1 9 -1 -1 -1 -1 -1 -1\n"
+    "6 5.0 -1 1.0 3 -1 -1 5 -1 -1 1 11 -1 -1 -1 -1 -1 -1";
+
+void expect_same_rows(const JobStore& a, const JobStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const HotJob& x = a[i];
+    const HotJob& y = b[i];
+    EXPECT_EQ(x.id, y.id) << "row " << i;
+    EXPECT_EQ(x.release, y.release) << "row " << i;
+    EXPECT_EQ(x.weight, y.weight) << "row " << i;
+    EXPECT_EQ(x.due, y.due) << "row " << i;
+    EXPECT_EQ(x.exec_a, y.exec_a) << "row " << i;
+    EXPECT_EQ(x.exec_b, y.exec_b) << "row " << i;
+    EXPECT_EQ(x.exec_c, y.exec_c) << "row " << i;
+    EXPECT_EQ(x.min_procs, y.min_procs) << "row " << i;
+    EXPECT_EQ(x.max_procs, y.max_procs) << "row " << i;
+    EXPECT_EQ(x.community, y.community) << "row " << i;
+    EXPECT_EQ(x.exec_kind, y.exec_kind) << "row " << i;
+    EXPECT_EQ(x.kind, y.kind) << "row " << i;
+  }
+}
+
+void expect_same_stats(const SwfParseStats& a, const SwfParseStats& b) {
+  EXPECT_EQ(a.data_lines, b.data_lines);
+  EXPECT_EQ(a.parsed, b.parsed);
+  EXPECT_EQ(a.dropped_invalid, b.dropped_invalid);
+}
+
+/// Feed `text` in chunks drawn from `rng` and compare against the batch
+/// parse with the same options.
+void differential(const std::string& text, const SwfOptions& opts, Rng& rng,
+                  std::size_t max_chunk) {
+  SwfParseStats batch_stats;
+  const JobStore batch = parse_swf_store(text, opts, &batch_stats);
+
+  SwfStreamParser p(opts);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        text.size() - pos,
+        static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<int>(max_chunk))));
+    p.feed(text.data() + pos, n);
+    pos += n;
+  }
+  p.finish();
+
+  expect_same_stats(batch_stats, p.stats());
+  expect_same_rows(batch, p.store());
+}
+
+TEST(SwfStream, MatchesBatchOnRandomChunkings) {
+  Rng rng(2024);
+  const std::string text(kMessyTrace);
+  for (int round = 0; round < 40; ++round) {
+    differential(text, SwfOptions{}, rng, /*max_chunk=*/7);
+    differential(text, SwfOptions{}, rng, /*max_chunk=*/64);
+  }
+}
+
+TEST(SwfStream, ByteAtATimeFeed) {
+  const std::string text(kMessyTrace);
+  SwfParseStats batch_stats;
+  const JobStore batch = parse_swf_store(text, {}, &batch_stats);
+
+  SwfStreamParser p;
+  for (char c : text) p.feed(&c, 1);
+  p.finish();
+  expect_same_stats(batch_stats, p.stats());
+  expect_same_rows(batch, p.store());
+}
+
+TEST(SwfStream, OptionVariantsMatchBatch) {
+  Rng rng(7);
+  const std::string text(kMessyTrace);
+  SwfOptions opts;
+  opts.prefer_requested_procs = true;
+  opts.time_scale = 1.0 / 3600.0;
+  for (int round = 0; round < 10; ++round) differential(text, opts, rng, 16);
+}
+
+TEST(SwfStream, MaxJobsStopsMidStream) {
+  Rng rng(99);
+  const std::string text(kMessyTrace);
+  SwfOptions opts;
+  opts.max_jobs = 2;
+  for (int round = 0; round < 10; ++round) differential(text, opts, rng, 9);
+
+  // Stats freeze the moment the cap is reached — trailing lines are
+  // never even counted, exactly like the batch parser's early break.
+  SwfStreamParser p(opts);
+  p.feed(text);
+  EXPECT_TRUE(p.done());
+  p.finish();
+  EXPECT_EQ(p.stats().parsed, 2);
+  SwfParseStats batch_stats;
+  parse_swf_store(text, opts, &batch_stats);
+  EXPECT_EQ(batch_stats.data_lines, p.stats().data_lines);
+}
+
+TEST(SwfStream, StrictModeThrowsLikeBatch) {
+  SwfOptions strict;
+  strict.skip_invalid = false;
+  const std::string bad = "1 0.0 -1 10.0 0 -1 -1 0 -1 -1 1 7\n";
+  EXPECT_THROW(parse_swf_store(bad, strict), std::invalid_argument);
+  SwfStreamParser p(strict);
+  EXPECT_THROW(p.feed(bad), std::invalid_argument);
+
+  const std::string short_line = "1 2 3\n";
+  SwfStreamParser q(strict);
+  EXPECT_THROW(q.feed(short_line), std::invalid_argument);
+}
+
+TEST(SwfStream, FinalUnterminatedLineParsesAtFinish) {
+  const std::string text = "1 0.0 -1 10.0 4 -1 -1 4 -1 -1 1 7";
+  SwfStreamParser p;
+  p.feed(text);
+  EXPECT_EQ(p.store().size(), 0u);  // no terminator yet
+  p.finish();
+  EXPECT_EQ(p.store().size(), 1u);
+  EXPECT_EQ(p.stats().parsed, 1);
+}
+
+TEST(SwfStream, LifecycleGuards) {
+  SwfStreamParser p;
+  EXPECT_THROW(p.take_store(), std::logic_error);
+  p.finish();
+  p.finish();  // idempotent
+  EXPECT_THROW(p.feed("x", 1), std::logic_error);
+  const JobStore s = p.take_store();
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SwfStream, EmptyAndCommentOnlyInputs) {
+  SwfStreamParser p;
+  p.finish();
+  EXPECT_EQ(p.stats().data_lines, 0);
+
+  SwfStreamParser q;
+  q.feed(std::string("; only a comment\n;\n\n"));
+  q.finish();
+  EXPECT_EQ(q.stats().data_lines, 0);
+  EXPECT_EQ(q.store().size(), 0u);
+}
+
+TEST(SwfStream, ChunkedFileLoadMatchesWholeTextParse) {
+  // load_swf_file_store streams the file through the incremental parser;
+  // the result must equal parsing the file contents as one string.
+  const std::string path = ::testing::TempDir() + "lgs_swf_stream_test.swf";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << kMessyTrace;
+  }
+  SwfParseStats file_stats, text_stats;
+  const JobStore from_file = load_swf_file_store(path, {}, &file_stats);
+  const JobStore from_text =
+      parse_swf_store(std::string(kMessyTrace), {}, &text_stats);
+  expect_same_stats(file_stats, text_stats);
+  expect_same_rows(from_file, from_text);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lgs
